@@ -1,0 +1,163 @@
+//! The Deep-Fingerprinting-style baseline (Sirinam et al., CCS 2018):
+//! an end-to-end CNN classifier over the two-sequence representation.
+//!
+//! The contrast the paper draws (Table III): DF reaches high accuracy
+//! but couples feature extraction to the label set — every content
+//! update or class change forces a full retraining run, which is what
+//! makes it operationally expensive at webpage-fingerprinting scale.
+
+use serde::{Deserialize, Serialize};
+
+use tlsfp_core::knn::RankedPrediction;
+use tlsfp_core::metrics::EvalReport;
+use tlsfp_nn::cnn::{Cnn1dClassifier, CnnConfig};
+use tlsfp_nn::optim::Sgd;
+use tlsfp_nn::parallel::map_elems;
+use tlsfp_nn::seq::SeqInput;
+use tlsfp_trace::dataset::Dataset;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// DF-lite training configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DfConfig {
+    /// Input length the CNN pads/truncates traces to.
+    pub input_len: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Samples per SGD step.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Momentum.
+    pub momentum: f32,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+}
+
+impl Default for DfConfig {
+    fn default() -> Self {
+        DfConfig {
+            input_len: 60,
+            epochs: 30,
+            batch_size: 64,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            threads: 0,
+        }
+    }
+}
+
+/// A trained DF-lite classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeepFingerprinting {
+    net: Cnn1dClassifier,
+    config: DfConfig,
+    /// Wall-clock seconds the last (re)training took — the quantity
+    /// Table III's update column is about.
+    pub last_train_seconds: f64,
+}
+
+impl DeepFingerprinting {
+    /// Trains the CNN on a labeled dataset. This is also the *retrain*
+    /// entry point: DF must be refit from scratch whenever the target
+    /// set changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn fit(train: &Dataset, config: DfConfig, seed: u64) -> Self {
+        assert!(!train.is_empty(), "cannot fit on an empty dataset");
+        let cnn_config = CnnConfig::df_lite(train.channels(), config.input_len, train.n_classes());
+        let mut net = Cnn1dClassifier::new(cnn_config, seed).expect("valid df-lite config");
+        let mut opt = Sgd::with_momentum(config.learning_rate, config.momentum).clip(5.0);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+
+        let start = std::time::Instant::now();
+        let mut order: Vec<usize> = (0..train.len()).collect();
+        for epoch in 0..config.epochs {
+            order.shuffle(&mut rng);
+            for (bi, chunk) in order.chunks(config.batch_size).enumerate() {
+                let batch: Vec<(&SeqInput, usize)> = chunk
+                    .iter()
+                    .map(|&i| (&train.seqs()[i], train.labels()[i]))
+                    .collect();
+                net.train_batch(
+                    &batch,
+                    &mut opt,
+                    config.threads,
+                    (epoch * 10_007 + bi) as u64,
+                );
+            }
+        }
+        DeepFingerprinting {
+            net,
+            config,
+            last_train_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// The underlying CNN.
+    pub fn network(&self) -> &Cnn1dClassifier {
+        &self.net
+    }
+
+    /// Classifies one trace (softmax ranking).
+    pub fn classify(&self, trace: &SeqInput) -> RankedPrediction {
+        let ranked = self.net.ranked_classes(trace);
+        let votes = vec![1usize; ranked.len()];
+        RankedPrediction { ranked, votes }
+    }
+
+    /// Evaluates against a labeled test set.
+    pub fn evaluate(&self, test: &Dataset) -> EvalReport {
+        let predictions = map_elems(test.seqs(), self.config.threads, |t| self.classify(t));
+        EvalReport::from_predictions(&predictions, test.labels(), self.net.n_classes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tlsfp_trace::tensorize::TensorConfig;
+    use tlsfp_web::corpus::CorpusSpec;
+
+    use super::*;
+
+    #[test]
+    fn df_learns_a_small_corpus() {
+        let (_, ds) = Dataset::generate(
+            &CorpusSpec::wiki_like(5, 14),
+            &TensorConfig::two_seq(),
+            31,
+        )
+        .unwrap();
+        let (train, test) = ds.split_per_class(0.25, 0);
+        let df = DeepFingerprinting::fit(&train, DfConfig::default(), 3);
+        let report = df.evaluate(&test);
+        let top1 = report.top_n_accuracy(1);
+        assert!(top1 > 0.4, "DF top-1 only {top1} (chance 0.2)");
+        assert!(df.last_train_seconds > 0.0);
+    }
+
+    #[test]
+    fn ranked_covers_all_classes() {
+        let (_, ds) = Dataset::generate(
+            &CorpusSpec::wiki_like(4, 6),
+            &TensorConfig::two_seq(),
+            37,
+        )
+        .unwrap();
+        let df = DeepFingerprinting::fit(
+            &ds,
+            DfConfig {
+                epochs: 2,
+                ..DfConfig::default()
+            },
+            3,
+        );
+        let pred = df.classify(&ds.seqs()[0]);
+        assert_eq!(pred.ranked.len(), 4);
+    }
+}

@@ -1,0 +1,132 @@
+//! Hand-crafted trace features in the style of k-fingerprinting
+//! (Hayes & Danezis, USENIX Security 2016).
+//!
+//! k-FP summarizes a trace with packet-count/byte-count statistics,
+//! ordering features and burst features, then feeds them to a random
+//! forest. The same feature families are computed here over the
+//! per-channel step sequences.
+
+use tlsfp_nn::seq::SeqInput;
+
+/// Number of leading per-step values included verbatim per channel.
+pub const HEAD_STEPS: usize = 8;
+
+/// Extracts the k-FP-style feature vector from a trace.
+///
+/// Feature families, per channel: totals, activity counts, mean / std /
+/// max of non-zero step values, burst statistics (runs of consecutive
+/// activity), positional statistics (first/last active step), and the
+/// first [`HEAD_STEPS`] raw step values. Plus global features: step
+/// count, total activation, per-channel fractions.
+pub fn extract(trace: &SeqInput) -> Vec<f32> {
+    let channels = trace.channels();
+    let steps = trace.steps();
+    let mut features = Vec::with_capacity(channels * (9 + HEAD_STEPS) + 4);
+
+    let mut grand_total = 0.0f32;
+    for c in 0..channels {
+        let col: Vec<f32> = (0..steps).map(|t| trace.step(t)[c]).collect();
+        let active: Vec<f32> = col.iter().copied().filter(|&v| v > 0.0).collect();
+        let total: f32 = active.iter().sum();
+        grand_total += total;
+        let n = active.len() as f32;
+        let mean = if n > 0.0 { total / n } else { 0.0 };
+        let var = if n > 0.0 {
+            active.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n
+        } else {
+            0.0
+        };
+        let max = active.iter().copied().fold(0.0f32, f32::max);
+
+        // Burst features: runs of consecutive non-zero steps.
+        let mut bursts = 0usize;
+        let mut longest = 0usize;
+        let mut run = 0usize;
+        for &v in &col {
+            if v > 0.0 {
+                run += 1;
+                if run == 1 {
+                    bursts += 1;
+                }
+                longest = longest.max(run);
+            } else {
+                run = 0;
+            }
+        }
+
+        // Positional features.
+        let first = col.iter().position(|&v| v > 0.0).unwrap_or(steps);
+        let last = col.iter().rposition(|&v| v > 0.0).unwrap_or(0);
+
+        features.push(total);
+        features.push(n);
+        features.push(mean);
+        features.push(var.sqrt());
+        features.push(max);
+        features.push(bursts as f32);
+        features.push(longest as f32);
+        features.push(first as f32 / steps.max(1) as f32);
+        features.push(last as f32 / steps.max(1) as f32);
+        for t in 0..HEAD_STEPS {
+            features.push(col.get(t).copied().unwrap_or(0.0));
+        }
+    }
+
+    features.push(steps as f32);
+    features.push(grand_total);
+    // Per-channel share of the total (interleaving signature).
+    for c in 0..channels.min(2) {
+        let total: f32 = (0..steps).map(|t| trace.step(t)[c]).sum();
+        features.push(if grand_total > 0.0 {
+            total / grand_total
+        } else {
+            0.0
+        });
+    }
+
+    features
+}
+
+/// Feature-vector length for traces with `channels` channels.
+pub fn feature_len(channels: usize) -> usize {
+    channels * (9 + HEAD_STEPS) + 2 + channels.min(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_matches_contract() {
+        for channels in [2usize, 3] {
+            let t = SeqInput::zeros(10, channels);
+            assert_eq!(extract(&t).len(), feature_len(channels));
+        }
+    }
+
+    #[test]
+    fn features_distinguish_obvious_traces() {
+        let small = SeqInput::new(2, 2, vec![0.1, 0.0, 0.0, 0.2]).unwrap();
+        let large = SeqInput::new(2, 2, vec![0.9, 0.0, 0.0, 0.8]).unwrap();
+        assert_ne!(extract(&small), extract(&large));
+    }
+
+    #[test]
+    fn burst_counting() {
+        // Channel 0 activity: [1, 1, 0, 1] → 2 bursts, longest 2.
+        let t = SeqInput::new(4, 1, vec![0.5, 0.5, 0.0, 0.5]).unwrap();
+        let f = extract(&t);
+        // Layout: total, count, mean, std, max, bursts, longest, first, last, head…
+        assert_eq!(f[5], 2.0, "bursts");
+        assert_eq!(f[6], 2.0, "longest run");
+        assert_eq!(f[7], 0.0, "first active step fraction");
+        assert_eq!(f[8], 0.75, "last active step fraction");
+    }
+
+    #[test]
+    fn all_zero_trace_is_finite() {
+        let t = SeqInput::zeros(5, 3);
+        let f = extract(&t);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+}

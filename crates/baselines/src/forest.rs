@@ -1,0 +1,385 @@
+//! A random forest (CART trees, gini impurity, bagging and feature
+//! subsampling) implemented from scratch — the classifier behind the
+//! k-fingerprinting baseline.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Forest hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples to keep splitting a node.
+    pub min_samples_split: usize,
+    /// Features examined per split (`0` = √(n_features)).
+    pub features_per_split: usize,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 60,
+            max_depth: 18,
+            min_samples_split: 4,
+            features_per_split: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        /// Class histogram at the leaf (counts).
+        counts: Vec<u32>,
+        /// Unique id of this leaf within its tree.
+        leaf_id: u32,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Tree {
+    root: Node,
+    n_leaves: u32,
+}
+
+impl Tree {
+    fn leaf_for(&self, x: &[f32]) -> (&Vec<u32>, u32) {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { counts, leaf_id } => return (counts, *leaf_id),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+/// A trained random forest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<Tree>,
+    n_classes: usize,
+    n_features: usize,
+}
+
+impl RandomForest {
+    /// Trains a forest on `(samples, labels)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input, inconsistent lengths or zero classes.
+    pub fn fit(
+        samples: &[Vec<f32>],
+        labels: &[usize],
+        n_classes: usize,
+        config: &ForestConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(!samples.is_empty(), "cannot fit on an empty sample set");
+        assert_eq!(samples.len(), labels.len(), "sample/label count mismatch");
+        assert!(n_classes > 0, "need at least one class");
+        let n_features = samples[0].len();
+        assert!(
+            samples.iter().all(|s| s.len() == n_features),
+            "inconsistent feature lengths"
+        );
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mtry = if config.features_per_split == 0 {
+            (n_features as f64).sqrt().ceil() as usize
+        } else {
+            config.features_per_split.min(n_features)
+        };
+
+        let trees = (0..config.n_trees)
+            .map(|_| {
+                // Bootstrap sample.
+                let indices: Vec<usize> = (0..samples.len())
+                    .map(|_| rng.random_range(0..samples.len()))
+                    .collect();
+                let mut n_leaves = 0u32;
+                let root = build_node(
+                    samples,
+                    labels,
+                    n_classes,
+                    &indices,
+                    config,
+                    mtry,
+                    0,
+                    &mut n_leaves,
+                    &mut rng,
+                );
+                Tree { root, n_leaves }
+            })
+            .collect();
+
+        RandomForest {
+            trees,
+            n_classes,
+            n_features,
+        }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Class-probability estimate (mean of per-tree leaf histograms).
+    pub fn predict_proba(&self, x: &[f32]) -> Vec<f64> {
+        let mut probs = vec![0.0f64; self.n_classes];
+        for tree in &self.trees {
+            let (counts, _) = tree.leaf_for(x);
+            let total: u32 = counts.iter().sum();
+            if total > 0 {
+                for (p, &c) in probs.iter_mut().zip(counts) {
+                    *p += c as f64 / total as f64;
+                }
+            }
+        }
+        let norm = self.trees.len().max(1) as f64;
+        probs.iter_mut().for_each(|p| *p /= norm);
+        probs
+    }
+
+    /// Most probable class.
+    pub fn predict(&self, x: &[f32]) -> usize {
+        let probs = self.predict_proba(x);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Classes ordered from most to least probable.
+    pub fn ranked_classes(&self, x: &[f32]) -> Vec<usize> {
+        let probs = self.predict_proba(x);
+        let mut order: Vec<usize> = (0..probs.len()).collect();
+        order.sort_by(|&a, &b| probs[b].total_cmp(&probs[a]));
+        order
+    }
+
+    /// k-FP's fingerprint: the vector of leaf ids the sample lands in,
+    /// one per tree. Two samples landing in the same leaves are
+    /// indistinguishable to the forest.
+    pub fn leaf_vector(&self, x: &[f32]) -> Vec<u32> {
+        self.trees.iter().map(|t| t.leaf_for(x).1).collect()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_node(
+    samples: &[Vec<f32>],
+    labels: &[usize],
+    n_classes: usize,
+    indices: &[usize],
+    config: &ForestConfig,
+    mtry: usize,
+    depth: usize,
+    n_leaves: &mut u32,
+    rng: &mut StdRng,
+) -> Node {
+    let mut counts = vec![0u32; n_classes];
+    for &i in indices {
+        counts[labels[i]] += 1;
+    }
+    let n_present = counts.iter().filter(|&&c| c > 0).count();
+    if depth >= config.max_depth || indices.len() < config.min_samples_split || n_present <= 1 {
+        let leaf_id = *n_leaves;
+        *n_leaves += 1;
+        return Node::Leaf { counts, leaf_id };
+    }
+
+    // Candidate features.
+    let n_features = samples[0].len();
+    let mut feats: Vec<usize> = (0..n_features).collect();
+    feats.shuffle(rng);
+    feats.truncate(mtry);
+
+    let parent_gini = gini(&counts, indices.len());
+    let mut best: Option<(usize, f32, f64)> = None; // (feature, threshold, gain)
+    for &f in &feats {
+        // Candidate thresholds: midpoints of a sorted value sample.
+        let mut values: Vec<f32> = indices.iter().map(|&i| samples[i][f]).collect();
+        values.sort_by(f32::total_cmp);
+        values.dedup();
+        if values.len() < 2 {
+            continue;
+        }
+        // Probe a bounded number of thresholds for speed.
+        let stride = (values.len() / 12).max(1);
+        for w in values.windows(2).step_by(stride) {
+            let threshold = (w[0] + w[1]) * 0.5;
+            let mut left_counts = vec![0u32; n_classes];
+            let mut left_n = 0usize;
+            for &i in indices {
+                if samples[i][f] <= threshold {
+                    left_counts[labels[i]] += 1;
+                    left_n += 1;
+                }
+            }
+            let right_n = indices.len() - left_n;
+            if left_n == 0 || right_n == 0 {
+                continue;
+            }
+            let right_counts: Vec<u32> = counts
+                .iter()
+                .zip(&left_counts)
+                .map(|(&a, &b)| a - b)
+                .collect();
+            let weighted = (left_n as f64 * gini(&left_counts, left_n)
+                + right_n as f64 * gini(&right_counts, right_n))
+                / indices.len() as f64;
+            let gain = parent_gini - weighted;
+            if gain > 1e-9 && best.map_or(true, |(_, _, g)| gain > g) {
+                best = Some((f, threshold, gain));
+            }
+        }
+    }
+
+    match best {
+        None => {
+            let leaf_id = *n_leaves;
+            *n_leaves += 1;
+            Node::Leaf { counts, leaf_id }
+        }
+        Some((feature, threshold, _)) => {
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                .iter()
+                .partition(|&&i| samples[i][feature] <= threshold);
+            let left = build_node(
+                samples, labels, n_classes, &left_idx, config, mtry, depth + 1, n_leaves, rng,
+            );
+            let right = build_node(
+                samples, labels, n_classes, &right_idx, config, mtry, depth + 1, n_leaves, rng,
+            );
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(left),
+                right: Box::new(right),
+            }
+        }
+    }
+}
+
+fn gini(counts: &[u32], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / t;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly-separable two-class data.
+    fn toy_data(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            let base = if class == 0 { 0.2 } else { 0.8 };
+            xs.push(vec![
+                base + rng.random_range(-0.1..0.1),
+                rng.random_range(0.0..1.0),
+            ]);
+            ys.push(class);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn fits_separable_data() {
+        let (xs, ys) = toy_data(100, 0);
+        let forest = RandomForest::fit(&xs, &ys, 2, &ForestConfig::default(), 1);
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, y)| forest.predict(x) == **y)
+            .count();
+        assert!(correct >= 95, "train accuracy {correct}/100");
+        // Held-out points.
+        assert_eq!(forest.predict(&[0.1, 0.5]), 0);
+        assert_eq!(forest.predict(&[0.9, 0.5]), 1);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (xs, ys) = toy_data(60, 2);
+        let forest = RandomForest::fit(&xs, &ys, 2, &ForestConfig::default(), 1);
+        let p = forest.predict_proba(&[0.5, 0.5]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranked_classes_cover_label_space() {
+        let (xs, ys) = toy_data(60, 3);
+        let forest = RandomForest::fit(&xs, &ys, 2, &ForestConfig::default(), 1);
+        let ranked = forest.ranked_classes(&[0.3, 0.3]);
+        assert_eq!(ranked.len(), 2);
+        assert_ne!(ranked[0], ranked[1]);
+    }
+
+    #[test]
+    fn leaf_vectors_have_one_entry_per_tree() {
+        let (xs, ys) = toy_data(60, 4);
+        let cfg = ForestConfig {
+            n_trees: 7,
+            ..ForestConfig::default()
+        };
+        let forest = RandomForest::fit(&xs, &ys, 2, &cfg, 1);
+        let lv = forest.leaf_vector(&xs[0]);
+        assert_eq!(lv.len(), 7);
+        // Same input → same leaves; far input → usually different.
+        assert_eq!(lv, forest.leaf_vector(&xs[0]));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (xs, ys) = toy_data(60, 5);
+        let a = RandomForest::fit(&xs, &ys, 2, &ForestConfig::default(), 9);
+        let b = RandomForest::fit(&xs, &ys, 2, &ForestConfig::default(), 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn rejects_empty_input() {
+        let _ = RandomForest::fit(&[], &[], 2, &ForestConfig::default(), 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Miller-et-al.-style user-journey decoding: a hidden Markov model
+//! whose states are webpages, whose transitions follow the site's link
+//! graph, and whose emissions come from any per-page classifier.
+//!
+//! The paper's Exp. 1 discussion references this design ([1]): a
+//! per-page classifier's accuracy over a browsing *session* improves
+//! substantially once the link structure constrains the sequence.
+
+use serde::{Deserialize, Serialize};
+
+use tlsfp_web::linkgraph::LinkGraph;
+
+/// An HMM over a website's pages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JourneyHmm {
+    n_pages: usize,
+    /// Log transition matrix, row-major `[from][to]`.
+    log_trans: Vec<f64>,
+    /// Log initial distribution.
+    log_init: Vec<f64>,
+}
+
+impl JourneyHmm {
+    /// Builds the HMM from a link graph with a uniform-over-links click
+    /// model plus `restart_prob` random jumps, and a uniform start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `restart_prob` is outside `[0, 1]`.
+    pub fn from_link_graph(graph: &LinkGraph, restart_prob: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&restart_prob),
+            "restart probability must be in [0,1]"
+        );
+        let n = graph.n_pages();
+        let mut log_trans = vec![f64::NEG_INFINITY; n * n];
+        for from in 0..n {
+            for to in 0..n {
+                let p = graph.transition_prob(from, to, restart_prob);
+                log_trans[from * n + to] = p.max(1e-12).ln();
+            }
+        }
+        let log_init = vec![-((n as f64).ln()); n];
+        JourneyHmm {
+            n_pages: n,
+            log_trans,
+            log_init,
+        }
+    }
+
+    /// Number of pages (states).
+    pub fn n_pages(&self) -> usize {
+        self.n_pages
+    }
+
+    /// Viterbi decoding: the most likely page sequence given per-load
+    /// emission probabilities (`emissions[t][page]`, need not be
+    /// normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any emission row's length differs from the page count.
+    pub fn viterbi(&self, emissions: &[Vec<f64>]) -> Vec<usize> {
+        if emissions.is_empty() {
+            return Vec::new();
+        }
+        let n = self.n_pages;
+        for row in emissions {
+            assert_eq!(row.len(), n, "emission row length");
+        }
+        let log_emit = |row: &Vec<f64>, s: usize| row[s].max(1e-12).ln();
+
+        let mut delta: Vec<f64> = (0..n)
+            .map(|s| self.log_init[s] + log_emit(&emissions[0], s))
+            .collect();
+        let mut back: Vec<Vec<usize>> = Vec::with_capacity(emissions.len());
+
+        for row in emissions.iter().skip(1) {
+            let mut next = vec![f64::NEG_INFINITY; n];
+            let mut argmax = vec![0usize; n];
+            for to in 0..n {
+                let mut best = f64::NEG_INFINITY;
+                let mut best_from = 0usize;
+                for from in 0..n {
+                    let cand = delta[from] + self.log_trans[from * n + to];
+                    if cand > best {
+                        best = cand;
+                        best_from = from;
+                    }
+                }
+                next[to] = best + log_emit(row, to);
+                argmax[to] = best_from;
+            }
+            delta = next;
+            back.push(argmax);
+        }
+
+        // Backtrack.
+        let mut last = delta
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let mut path = vec![last];
+        for argmax in back.iter().rev() {
+            last = argmax[last];
+            path.push(last);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Fraction of positions where the decoded journey matches the true
+    /// one.
+    pub fn journey_accuracy(decoded: &[usize], truth: &[usize]) -> f64 {
+        assert_eq!(decoded.len(), truth.len(), "journey length mismatch");
+        if truth.is_empty() {
+            return 0.0;
+        }
+        let hits = decoded.iter().zip(truth).filter(|(a, b)| a == b).count();
+        hits as f64 / truth.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn viterbi_prefers_linked_paths() {
+        // A 3-page chain: 0 → 1 → 2 (plus restarts).
+        let graph = LinkGraph::generate(3, 1, 40);
+        let hmm = JourneyHmm::from_link_graph(&graph, 0.1);
+
+        // Ambiguous emissions at t=1: the graph should break the tie in
+        // favour of a linked successor of the decoded t=0 state.
+        let strong0 = vec![0.9, 0.05, 0.05];
+        let flat = vec![1.0 / 3.0; 3];
+        let decoded = hmm.viterbi(&[strong0, flat]);
+        assert_eq!(decoded[0], 0);
+        assert!(
+            graph.links_from(0).contains(&decoded[1]) || decoded[1] == 0,
+            "t=1 state {} not reachable from 0",
+            decoded[1]
+        );
+    }
+
+    #[test]
+    fn strong_emissions_dominate() {
+        let graph = LinkGraph::generate(4, 2, 41);
+        let hmm = JourneyHmm::from_link_graph(&graph, 0.2);
+        let emissions = vec![
+            vec![0.97, 0.01, 0.01, 0.01],
+            vec![0.01, 0.97, 0.01, 0.01],
+            vec![0.01, 0.01, 0.97, 0.01],
+        ];
+        let decoded = hmm.viterbi(&emissions);
+        assert_eq!(decoded, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_emissions_yield_empty_path() {
+        let graph = LinkGraph::generate(3, 1, 42);
+        let hmm = JourneyHmm::from_link_graph(&graph, 0.1);
+        assert!(hmm.viterbi(&[]).is_empty());
+    }
+
+    #[test]
+    fn journey_accuracy_counts_positions() {
+        assert_eq!(JourneyHmm::journey_accuracy(&[1, 2, 3], &[1, 9, 3]), 2.0 / 3.0);
+        assert_eq!(JourneyHmm::journey_accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "emission row length")]
+    fn rejects_bad_emission_shape() {
+        let graph = LinkGraph::generate(3, 1, 43);
+        let hmm = JourneyHmm::from_link_graph(&graph, 0.1);
+        let _ = hmm.viterbi(&[vec![0.5, 0.5]]);
+    }
+}

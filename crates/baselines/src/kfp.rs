@@ -1,0 +1,176 @@
+//! The k-fingerprinting baseline (Hayes & Danezis, USENIX Security
+//! 2016): hand-crafted features → random forest → kNN over leaf
+//! vectors.
+//!
+//! Unlike the paper's embedding model, k-FP's forest is fit to a fixed
+//! label set; new or drifted pages need the forest refit — though, as
+//! Table III notes, its update cost is lower than a deep model's
+//! retraining because fitting is cheap.
+
+use serde::{Deserialize, Serialize};
+
+use tlsfp_core::knn::RankedPrediction;
+use tlsfp_core::metrics::EvalReport;
+use tlsfp_nn::parallel::map_elems;
+use tlsfp_nn::seq::SeqInput;
+use tlsfp_trace::dataset::Dataset;
+
+use crate::features;
+use crate::forest::{ForestConfig, RandomForest};
+
+/// k-FP configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KfpConfig {
+    /// Forest hyperparameters.
+    pub forest: ForestConfig,
+    /// Neighbours for the leaf-vector kNN stage.
+    pub k: usize,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+}
+
+impl Default for KfpConfig {
+    fn default() -> Self {
+        KfpConfig {
+            forest: ForestConfig::default(),
+            k: 5,
+            threads: 0,
+        }
+    }
+}
+
+/// A trained k-fingerprinting attack.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KFingerprinting {
+    forest: RandomForest,
+    /// Leaf vectors of the training samples (the reference corpus for
+    /// the kNN stage).
+    train_leaves: Vec<Vec<u32>>,
+    train_labels: Vec<usize>,
+    config: KfpConfig,
+}
+
+impl KFingerprinting {
+    /// Fits the attack on a labeled dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn fit(train: &Dataset, config: KfpConfig, seed: u64) -> Self {
+        assert!(!train.is_empty(), "cannot fit on an empty dataset");
+        let samples: Vec<Vec<f32>> =
+            map_elems(train.seqs(), config.threads, features::extract);
+        let forest = RandomForest::fit(
+            &samples,
+            train.labels(),
+            train.n_classes(),
+            &config.forest,
+            seed,
+        );
+        let train_leaves = map_elems(&samples, config.threads, |s| forest.leaf_vector(s));
+        KFingerprinting {
+            forest,
+            train_leaves,
+            train_labels: train.labels().to_vec(),
+            config,
+        }
+    }
+
+    /// The underlying forest.
+    pub fn forest(&self) -> &RandomForest {
+        &self.forest
+    }
+
+    /// Classifies one trace: leaf-vector hamming kNN against the
+    /// training corpus, ranked by votes (closest-first tie-break).
+    pub fn classify(&self, trace: &SeqInput) -> RankedPrediction {
+        let fv = features::extract(trace);
+        let lv = self.forest.leaf_vector(&fv);
+        // Hamming distance to every training leaf vector.
+        let mut dists: Vec<(usize, u32)> = self
+            .train_leaves
+            .iter()
+            .enumerate()
+            .map(|(i, tl)| {
+                let d = tl.iter().zip(&lv).filter(|(a, b)| a != b).count() as u32;
+                (i, d)
+            })
+            .collect();
+        let k = self.config.k.min(dists.len()).max(1);
+        dists.select_nth_unstable_by_key(k - 1, |&(_, d)| d);
+        dists.truncate(k);
+        dists.sort_by_key(|&(_, d)| d);
+
+        let mut votes: Vec<(usize, usize, u32)> = Vec::new(); // (label, votes, best dist)
+        for &(i, d) in &dists {
+            let label = self.train_labels[i];
+            match votes.iter_mut().find(|(l, _, _)| *l == label) {
+                Some((_, v, bd)) => {
+                    *v += 1;
+                    if d < *bd {
+                        *bd = d;
+                    }
+                }
+                None => votes.push((label, 1, d)),
+            }
+        }
+        votes.sort_by(|a, b| b.1.cmp(&a.1).then(a.2.cmp(&b.2)));
+        RankedPrediction {
+            ranked: votes.iter().map(|(l, _, _)| *l).collect(),
+            votes: votes.iter().map(|(_, v, _)| *v).collect(),
+        }
+    }
+
+    /// Evaluates against a labeled test set.
+    pub fn evaluate(&self, test: &Dataset) -> EvalReport {
+        let predictions = map_elems(test.seqs(), self.config.threads, |t| self.classify(t));
+        EvalReport::from_predictions(&predictions, test.labels(), self.forest.n_classes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tlsfp_trace::tensorize::TensorConfig;
+    use tlsfp_web::corpus::CorpusSpec;
+
+    use super::*;
+
+    #[test]
+    fn kfp_learns_a_small_corpus() {
+        let (_, ds) = Dataset::generate(
+            &CorpusSpec::wiki_like(6, 14),
+            &TensorConfig::wiki(),
+            19,
+        )
+        .unwrap();
+        let (train, test) = ds.split_per_class(0.25, 0);
+        let kfp = KFingerprinting::fit(&train, KfpConfig::default(), 3);
+        let report = kfp.evaluate(&test);
+        let top1 = report.top_n_accuracy(1);
+        // Chance is 1/6 ≈ 0.17.
+        assert!(top1 > 0.5, "k-FP top-1 only {top1}");
+    }
+
+    #[test]
+    fn classify_returns_ranked_votes() {
+        let (_, ds) = Dataset::generate(
+            &CorpusSpec::wiki_like(4, 8),
+            &TensorConfig::wiki(),
+            23,
+        )
+        .unwrap();
+        let kfp = KFingerprinting::fit(&ds, KfpConfig::default(), 3);
+        let pred = kfp.classify(&ds.seqs()[0]);
+        assert!(!pred.ranked.is_empty());
+        assert_eq!(pred.ranked.len(), pred.votes.len());
+        // Votes total k.
+        assert_eq!(pred.votes.iter().sum::<usize>(), kfp.config.k);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn rejects_empty_dataset() {
+        let ds = Dataset::new(2, 3, 60);
+        let _ = KFingerprinting::fit(&ds, KfpConfig::default(), 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # tlsfp-baselines — comparator fingerprinting systems
+//!
+//! The systems the paper compares against (Table III), implemented from
+//! scratch so the full comparison can be regenerated:
+//!
+//! - [`kfp::KFingerprinting`] — k-fingerprinting (Hayes & Danezis):
+//!   hand-crafted features, a from-scratch random forest, and kNN over
+//!   leaf vectors.
+//! - [`df::DeepFingerprinting`] — a Deep-Fingerprinting-style CNN
+//!   classifier that must retrain on every target-set change.
+//! - [`hmm::JourneyHmm`] — Miller-et-al.-style user-journey decoding
+//!   over the site's link graph (Viterbi).
+//! - [`cost`] — the Juarez et al. operational-cost framework and the
+//!   Table III system profiles.
+//!
+//! ## Example: fit k-FP on a synthetic corpus
+//!
+//! ```
+//! use tlsfp_baselines::kfp::{KFingerprinting, KfpConfig};
+//! use tlsfp_trace::dataset::Dataset;
+//! use tlsfp_trace::tensorize::TensorConfig;
+//! use tlsfp_web::corpus::CorpusSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (_, ds) = Dataset::generate(&CorpusSpec::wiki_like(4, 6), &TensorConfig::wiki(), 7)?;
+//! let kfp = KFingerprinting::fit(&ds, KfpConfig::default(), 0);
+//! let report = kfp.evaluate(&ds);
+//! assert!(report.top_n_accuracy(1) > 0.5); // training-set sanity
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod df;
+pub mod features;
+pub mod forest;
+pub mod hmm;
+pub mod kfp;
+
+pub use cost::{table3_systems, CostModel, SystemProfile};
+pub use df::{DeepFingerprinting, DfConfig};
+pub use forest::{ForestConfig, RandomForest};
+pub use hmm::JourneyHmm;
+pub use kfp::{KFingerprinting, KfpConfig};

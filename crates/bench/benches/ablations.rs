@@ -1,0 +1,61 @@
+//! Ablation bench: regenerates the design-choice studies at smoke
+//! scale and times the tensorization variants they compare.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tlsfp_bench::ablations::{print_ablations, run_ablations};
+use tlsfp_bench::experiments::Scale;
+use tlsfp_trace::sequence::IpSequences;
+use tlsfp_trace::tensorize::{ScaleMode, TensorConfig};
+use tlsfp_web::corpus::{CorpusSpec, SyntheticCorpus};
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut scale = Scale::smoke();
+    scale.known_sweep = vec![6];
+    scale.pipeline.epochs = 4;
+    scale.pipeline_two_seq.epochs = 4;
+    let rows = run_ablations(&scale);
+    println!("\n[ablations @ smoke scale]");
+    print_ablations(&rows);
+
+    // Time the encoding variants.
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::wiki_like(4, 4), 3).unwrap();
+    let seqs: Vec<IpSequences> = corpus
+        .traces
+        .iter()
+        .map(|lc| IpSequences::extract(&lc.capture))
+        .collect();
+
+    for (name, cfg) in [
+        ("3seq_log", TensorConfig::wiki()),
+        ("2seq_log", TensorConfig::two_seq()),
+        (
+            "3seq_linear",
+            TensorConfig {
+                scale: ScaleMode::Linear { cap: 1_000_000 },
+                ..TensorConfig::wiki()
+            },
+        ),
+        (
+            "3seq_no_quant",
+            TensorConfig {
+                quantize_bin: 1,
+                ..TensorConfig::wiki()
+            },
+        ),
+    ] {
+        c.bench_function(&format!("ablations/tensorize_{name}"), |b| {
+            b.iter(|| {
+                for s in &seqs {
+                    std::hint::black_box(cfg.tensorize(s));
+                }
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ablations
+}
+criterion_main!(benches);

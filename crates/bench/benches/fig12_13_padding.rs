@@ -1,0 +1,54 @@
+//! Figures 12/13 bench: regenerates the FL-padding defense evaluation
+//! and times the defense application itself (the defender's cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tlsfp_bench::experiments::{print_series, run_fig12_13, Scale};
+use tlsfp_core::defense::{AnonymitySetDefense, FixedLengthDefense, RandomPaddingDefense};
+use tlsfp_web::corpus::{CorpusSpec, SyntheticCorpus};
+
+fn bench_fig12_13(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let result = run_fig12_13(&scale);
+    println!("\n[fig12 @ smoke scale]");
+    for s in &result.fig12 {
+        print_series(s);
+    }
+    println!("[fig13 @ smoke scale]");
+    for s in &result.fig13 {
+        print_series(s);
+    }
+    println!("  FL overhead: {:.2}x", result.overhead_factor);
+
+    // Time applying each defense to a corpus.
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::wiki_like(8, 8), 3).unwrap();
+
+    c.bench_function("defense/fixed_length_apply", |b| {
+        b.iter(|| {
+            let mut traces = corpus.traces.clone();
+            std::hint::black_box(FixedLengthDefense::default().apply(&mut traces, 0))
+        })
+    });
+    c.bench_function("defense/anonymity_sets_apply", |b| {
+        b.iter(|| {
+            let mut traces = corpus.traces.clone();
+            let d = AnonymitySetDefense {
+                set_size: 4,
+                record_quantum: 16_384,
+            };
+            std::hint::black_box(d.apply(&mut traces, 0))
+        })
+    });
+    c.bench_function("defense/random_padding_apply", |b| {
+        b.iter(|| {
+            let mut traces = corpus.traces.clone();
+            std::hint::black_box(RandomPaddingDefense { max_pad: 1024 }.apply(&mut traces, 0))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig12_13
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 6 bench: regenerates the Exp. 1 series at smoke scale, then
+//! times the classification phase (embed + kNN over the reference set).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tlsfp_bench::experiments::{print_series, run_fig6, Scale};
+use tlsfp_core::pipeline::AdaptiveFingerprinter;
+use tlsfp_trace::dataset::Dataset;
+use tlsfp_trace::tensorize::TensorConfig;
+use tlsfp_web::corpus::CorpusSpec;
+
+fn bench_fig6(c: &mut Criterion) {
+    // Regenerate the figure once so `cargo bench` output shows it.
+    let scale = Scale::smoke();
+    let result = run_fig6(&scale);
+    println!("\n[fig6 @ smoke scale]");
+    for s in &result.series {
+        print_series(s);
+    }
+    print_series(&result.tls13);
+
+    // Time the per-trace fingerprinting path on a provisioned deployment.
+    let (_, ds) = Dataset::generate(
+        &CorpusSpec::wiki_like(10, 12),
+        &TensorConfig::wiki(),
+        scale.seed,
+    )
+    .unwrap();
+    let (train, test) = ds.split_per_class(0.2, 0);
+    let fp = AdaptiveFingerprinter::provision(&train, &scale.pipeline, scale.seed).unwrap();
+    let trace = &test.seqs()[0];
+
+    c.bench_function("fig6/fingerprint_one_trace", |b| {
+        b.iter(|| std::hint::black_box(fp.fingerprint(trace)))
+    });
+    c.bench_function("fig6/evaluate_test_set", |b| {
+        b.iter(|| std::hint::black_box(fp.evaluate(&test).top_n_accuracy(1)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig6
+}
+criterion_main!(benches);

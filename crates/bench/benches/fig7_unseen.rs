@@ -1,0 +1,51 @@
+//! Figure 7 bench: regenerates the Exp. 2 unseen-class series, then
+//! times the adaptation step (reference swap without retraining) —
+//! the operation the paper's design makes cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tlsfp_bench::experiments::{print_series, run_fig7, Scale};
+use tlsfp_core::pipeline::AdaptiveFingerprinter;
+use tlsfp_trace::dataset::Dataset;
+use tlsfp_trace::tensorize::TensorConfig;
+use tlsfp_web::corpus::CorpusSpec;
+
+fn bench_fig7(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let result = run_fig7(&scale);
+    println!("\n[fig7 @ smoke scale] (trained on {} classes)", result.train_classes);
+    for s in &result.series {
+        print_series(s);
+    }
+
+    // Time adaptation: swapping in a disjoint class partition.
+    let (_, ds) = Dataset::generate(
+        &CorpusSpec::wiki_like(12, 12),
+        &TensorConfig::wiki(),
+        scale.seed,
+    )
+    .unwrap();
+    let split = ds.figure5(6, 0.2, 0).unwrap();
+    let fp = AdaptiveFingerprinter::provision(&split.set_a, &scale.pipeline, scale.seed).unwrap();
+
+    c.bench_function("fig7/set_reference_unseen_classes", |b| {
+        b.iter(|| {
+            let mut clone = fp.clone();
+            clone.set_reference(&split.set_c).unwrap();
+            std::hint::black_box(clone.reference().len())
+        })
+    });
+    c.bench_function("fig7/update_single_class", |b| {
+        let fresh: Vec<_> = split.set_d.seqs()[..4.min(split.set_d.len())].to_vec();
+        b.iter(|| {
+            let mut clone = fp.clone();
+            std::hint::black_box(clone.update_class(0, &fresh).unwrap())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig7
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 8 bench: regenerates the cross-site/version transfer series
+//! and times the two-sequence embedding path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tlsfp_bench::experiments::{print_series, run_fig8, Scale};
+use tlsfp_core::pipeline::AdaptiveFingerprinter;
+use tlsfp_trace::dataset::Dataset;
+use tlsfp_trace::tensorize::TensorConfig;
+use tlsfp_web::corpus::CorpusSpec;
+
+fn bench_fig8(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let result = run_fig8(&scale);
+    println!("\n[fig8 @ smoke scale]");
+    print_series(&result.wiki_baseline);
+    for s in &result.github {
+        print_series(s);
+    }
+
+    // Time embedding github-like (variable server set) traces with a
+    // wiki-trained two-sequence model.
+    let (_, wiki) = Dataset::generate(
+        &CorpusSpec::wiki_like(6, 12),
+        &TensorConfig::two_seq(),
+        scale.seed,
+    )
+    .unwrap();
+    let fp =
+        AdaptiveFingerprinter::provision(&wiki, &scale.pipeline_two_seq, scale.seed).unwrap();
+    let (_, github) = Dataset::generate(
+        &CorpusSpec::github_like(6, 6),
+        &TensorConfig::two_seq(),
+        scale.seed,
+    )
+    .unwrap();
+
+    c.bench_function("fig8/embed_github_corpus_with_wiki_model", |b| {
+        b.iter(|| std::hint::black_box(fp.embed_all(github.seqs()).len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig8
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figures 9-11 bench: regenerates the per-class guess CDFs (known,
+//! unseen, FL-padded) and times the per-class metric computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tlsfp_bench::experiments::{print_cdf, run_fig9_to_11, Scale, CDF_MAX_GUESSES};
+use tlsfp_core::pipeline::AdaptiveFingerprinter;
+use tlsfp_trace::dataset::Dataset;
+use tlsfp_trace::tensorize::TensorConfig;
+use tlsfp_web::corpus::CorpusSpec;
+
+fn bench_fig9_to_11(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let result = run_fig9_to_11(&scale);
+    println!("\n[fig9 @ smoke scale]");
+    for curve in &result.fig9 {
+        print_cdf(curve);
+    }
+    println!("[fig10 @ smoke scale]");
+    for curve in &result.fig10 {
+        print_cdf(curve);
+    }
+    println!("[fig11 @ smoke scale]");
+    for curve in &result.fig11 {
+        print_cdf(curve);
+    }
+
+    // Time the metric pipeline: evaluate + per-class CDF extraction.
+    let (_, ds) = Dataset::generate(
+        &CorpusSpec::wiki_like(8, 12),
+        &TensorConfig::wiki(),
+        scale.seed,
+    )
+    .unwrap();
+    let (train, test) = ds.split_per_class(0.25, 0);
+    let fp = AdaptiveFingerprinter::provision(&train, &scale.pipeline, scale.seed).unwrap();
+    let report = fp.evaluate(&test);
+
+    c.bench_function("fig9_to_11/guess_cdf", |b| {
+        b.iter(|| std::hint::black_box(report.guess_cdf(CDF_MAX_GUESSES)))
+    });
+    c.bench_function("fig9_to_11/per_class_mean_guesses", |b| {
+        b.iter(|| std::hint::black_box(report.per_class_mean_guesses()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_fig9_to_11
+}
+criterion_main!(benches);

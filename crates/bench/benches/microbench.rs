@@ -1,0 +1,106 @@
+//! Component micro-benchmarks: the substrate operations every
+//! experiment is built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tlsfp_core::knn::KnnClassifier;
+use tlsfp_core::reference::ReferenceSet;
+use tlsfp_nn::embedding::{EmbedderConfig, SequenceEmbedder};
+use tlsfp_nn::lstm::Lstm;
+use tlsfp_nn::optim::Sgd;
+use tlsfp_nn::pairs::{random_pairs, ClassIndex};
+use tlsfp_nn::seq::SeqInput;
+use tlsfp_nn::siamese::SiameseTrainer;
+use tlsfp_trace::sequence::IpSequences;
+use tlsfp_trace::tensorize::TensorConfig;
+use tlsfp_web::browser::{load_page, BrowserConfig};
+use tlsfp_web::site::{SiteSpec, Website};
+
+fn bench_components(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Page-load simulation (the corpus generator's unit of work).
+    let site = Website::generate(SiteSpec::wiki_like(20), 1).unwrap();
+    let browser = BrowserConfig::crawler_default();
+    c.bench_function("web/load_page", |b| {
+        b.iter(|| std::hint::black_box(load_page(&site, 3, &browser, &mut rng).unwrap()))
+    });
+
+    // Sequence extraction + tensorization.
+    let capture = load_page(&site, 3, &browser, &mut StdRng::seed_from_u64(1)).unwrap();
+    c.bench_function("trace/extract_sequences", |b| {
+        b.iter(|| std::hint::black_box(IpSequences::extract(&capture)))
+    });
+    let seqs = IpSequences::extract(&capture);
+    let tensor = TensorConfig::wiki();
+    c.bench_function("trace/tensorize", |b| {
+        b.iter(|| std::hint::black_box(tensor.tensorize(&seqs)))
+    });
+
+    // pcap serialization round-trip.
+    c.bench_function("net/pcap_round_trip", |b| {
+        b.iter(|| {
+            let bytes = capture.to_pcap();
+            std::hint::black_box(
+                tlsfp_net::capture::Capture::from_pcap(&bytes, capture.client).unwrap(),
+            )
+        })
+    });
+
+    // LSTM forward at the paper's size (30 hidden, 3 inputs).
+    let lstm = Lstm::new(3, 30, &mut rng);
+    let xs: Vec<f32> = (0..180).map(|i| (i % 7) as f32 * 0.1).collect(); // T=60
+    c.bench_function("nn/lstm_forward_T60_H30", |b| {
+        b.iter(|| std::hint::black_box(lstm.forward(&xs)))
+    });
+
+    // Embedding forward (paper-shaped network).
+    let net = SequenceEmbedder::new(EmbedderConfig::paper(3), 7).unwrap();
+    let trace = tensor.tensorize(&seqs);
+    c.bench_function("nn/embed_paper_model", |b| {
+        b.iter(|| std::hint::black_box(net.embed(&trace)))
+    });
+
+    // One siamese SGD batch.
+    let pool: Vec<SeqInput> = (0..16)
+        .map(|i| {
+            let v = (i % 4) as f32 * 0.2;
+            SeqInput::new(10, 3, vec![v; 30]).unwrap()
+        })
+        .collect();
+    let labels: Vec<usize> = (0..16).map(|i| i % 4).collect();
+    let index = ClassIndex::from_labels(&labels);
+    let pairs = random_pairs(&index, 32, 0.5, &mut rng);
+    let trainer = SiameseTrainer::new(4.0, 32);
+    c.bench_function("nn/siamese_train_batch_32_pairs", |b| {
+        let mut net = SequenceEmbedder::new(EmbedderConfig::small(3), 7).unwrap();
+        let mut opt = Sgd::with_momentum(0.01, 0.9);
+        b.iter(|| std::hint::black_box(trainer.train_batch(&mut net, &pool, &pairs, &mut opt, 0)))
+    });
+
+    // kNN query across reference-set sizes.
+    let mut group = c.benchmark_group("core/knn_query");
+    for &size in &[100usize, 1_000, 10_000] {
+        let mut reference = ReferenceSet::new(32, 100);
+        let mut r = StdRng::seed_from_u64(9);
+        use rand::RngExt;
+        for i in 0..size {
+            let emb: Vec<f32> = (0..32).map(|_| r.random_range(-1.0..1.0)).collect();
+            reference.add(i % 100, emb).unwrap();
+        }
+        let query: Vec<f32> = (0..32).map(|_| r.random_range(-1.0..1.0)).collect();
+        let knn = KnnClassifier::new(50);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| std::hint::black_box(knn.classify(&query, &reference)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_components
+}
+criterion_main!(benches);

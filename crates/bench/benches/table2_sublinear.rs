@@ -1,0 +1,39 @@
+//! Table II bench: regenerates the smallest-n search and times it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tlsfp_bench::experiments::{run_fig7, Scale};
+use tlsfp_core::pipeline::AdaptiveFingerprinter;
+use tlsfp_trace::dataset::Dataset;
+use tlsfp_trace::tensorize::TensorConfig;
+use tlsfp_web::corpus::CorpusSpec;
+
+fn bench_table2(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let result = run_fig7(&scale);
+    println!("\n[table2 @ smoke scale]");
+    println!("  #classes   n    top-n acc   n/#classes %");
+    for (classes, n, acc, pct) in &result.table2 {
+        println!("  {classes:<10} {n:<4} {acc:<11.3} {pct:.2}%");
+    }
+
+    let (_, ds) = Dataset::generate(
+        &CorpusSpec::wiki_like(10, 12),
+        &TensorConfig::wiki(),
+        scale.seed,
+    )
+    .unwrap();
+    let (train, test) = ds.split_per_class(0.25, 0);
+    let fp = AdaptiveFingerprinter::provision(&train, &scale.pipeline, scale.seed).unwrap();
+    let report = fp.evaluate(&test);
+
+    c.bench_function("table2/smallest_n_search", |b| {
+        b.iter(|| std::hint::black_box(report.smallest_n_for(0.89)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_table2
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Table III bench: regenerates the operational-cost comparison and
+//! times the two update paths the table contrasts — reference-swap
+//! adaptation (ours) vs classifier refitting (baselines).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tlsfp_baselines::df::{DeepFingerprinting, DfConfig};
+use tlsfp_baselines::kfp::{KFingerprinting, KfpConfig};
+use tlsfp_bench::experiments::{run_table3, Scale};
+use tlsfp_core::pipeline::AdaptiveFingerprinter;
+use tlsfp_trace::dataset::Dataset;
+use tlsfp_trace::tensorize::TensorConfig;
+use tlsfp_web::corpus::CorpusSpec;
+
+fn bench_table3(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let result = run_table3(&scale);
+    println!("\n[table3 @ smoke scale]");
+    for m in &result.measured {
+        println!(
+            "  {:<32} train {:>8.2}s  infer {:>9.6}s/tr  update {:>8.3}s  retrains: {}",
+            m.name,
+            m.train_seconds,
+            m.infer_seconds_per_trace,
+            m.update_compute_seconds,
+            m.retrained
+        );
+    }
+
+    let (_, ds) = Dataset::generate(
+        &CorpusSpec::wiki_like(8, 12),
+        &TensorConfig::wiki(),
+        scale.seed,
+    )
+    .unwrap();
+    let (train, _) = ds.split_per_class(0.25, 0);
+    let fp = AdaptiveFingerprinter::provision(&train, &scale.pipeline, scale.seed).unwrap();
+
+    c.bench_function("table3/adaptive_update_reference_swap", |b| {
+        b.iter(|| {
+            let mut clone = fp.clone();
+            clone.set_reference(&train).unwrap();
+            std::hint::black_box(clone.reference().len())
+        })
+    });
+    c.bench_function("table3/kfp_refit", |b| {
+        b.iter(|| std::hint::black_box(KFingerprinting::fit(&train, KfpConfig::default(), 1)))
+    });
+
+    let (_, two) = Dataset::generate(
+        &CorpusSpec::wiki_like(8, 12),
+        &TensorConfig::two_seq(),
+        scale.seed,
+    )
+    .unwrap();
+    c.bench_function("table3/df_retrain_2_epochs", |b| {
+        let cfg = DfConfig {
+            epochs: 2,
+            ..DfConfig::default()
+        };
+        b.iter(|| std::hint::black_box(DeepFingerprinting::fit(&two, cfg.clone(), 1)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table3
+}
+criterion_main!(benches);

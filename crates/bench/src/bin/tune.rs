@@ -1,0 +1,61 @@
+//! Scratch hyperparameter tuning harness (not part of the public API).
+
+use tlsfp_core::pipeline::{AdaptiveFingerprinter, PipelineConfig};
+use tlsfp_trace::dataset::Dataset;
+use tlsfp_trace::tensorize::TensorConfig;
+use tlsfp_web::corpus::CorpusSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let classes: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let traces: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let epochs: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(12);
+
+    let mut tc = TensorConfig::wiki();
+    if let Ok(s) = std::env::var("SCALE") {
+        let cap: u32 = std::env::var("CAP").ok().and_then(|c| c.parse().ok()).unwrap_or(1_000_000);
+        tc.scale = match s.as_str() {
+            "log" => tlsfp_trace::tensorize::ScaleMode::Log { cap },
+            _ => tlsfp_trace::tensorize::ScaleMode::Linear { cap },
+        };
+    }
+    if let Ok(r) = std::env::var("REV") {
+        tc.reverse = r == "1";
+    }
+    println!("tensor: {tc:?}");
+
+    let t0 = std::time::Instant::now();
+    let (_, ds) = Dataset::generate(&CorpusSpec::wiki_like(classes, traces), &tc, 3).unwrap();
+    println!("corpus: {} traces in {:.1}s", ds.len(), t0.elapsed().as_secs_f64());
+
+    let lr: f32 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let margin: f32 = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(6.0);
+    let (train, test) = ds.split_per_class(0.25, 0);
+    let mut cfg = PipelineConfig::small();
+    cfg.epochs = epochs;
+    cfg.learning_rate = lr;
+    cfg.margin = margin;
+    println!("lr {lr} margin {margin} epochs {epochs}");
+
+    let t1 = std::time::Instant::now();
+    let fp = AdaptiveFingerprinter::provision(&train, &cfg, 7).unwrap();
+    println!(
+        "train: {:.1}s  losses: {:?}",
+        t1.elapsed().as_secs_f64(),
+        fp.training_log()
+            .epoch_losses
+            .iter()
+            .map(|l| (l * 100.0).round() / 100.0)
+            .collect::<Vec<f32>>()
+    );
+
+    let t2 = std::time::Instant::now();
+    let report = fp.evaluate(&test);
+    println!(
+        "eval: {:.1}s  top1 {:.3}  top3 {:.3}  top10 {:.3}",
+        t2.elapsed().as_secs_f64(),
+        report.top_n_accuracy(1),
+        report.top_n_accuracy(3),
+        report.top_n_accuracy(10),
+    );
+}

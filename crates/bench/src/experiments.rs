@@ -1,0 +1,723 @@
+//! Experiment runners: one function per table/figure of the paper.
+//!
+//! Each runner is deterministic in its seed, returns a serializable
+//! result struct, and has a `print` companion that emits the same
+//! rows/series the paper reports. The `repro` binary dispatches to
+//! these; the criterion benches reuse them at reduced scale.
+
+use serde::{Deserialize, Serialize};
+
+use tlsfp_baselines::cost::{table3_systems, CostModel, MeasuredCosts};
+use tlsfp_baselines::df::{DeepFingerprinting, DfConfig};
+use tlsfp_baselines::kfp::{KFingerprinting, KfpConfig};
+use tlsfp_core::defense::FixedLengthDefense;
+use tlsfp_core::metrics::EvalReport;
+use tlsfp_core::pipeline::{AdaptiveFingerprinter, PipelineConfig};
+use tlsfp_trace::dataset::Dataset;
+use tlsfp_trace::tensorize::TensorConfig;
+use tlsfp_web::corpus::{CorpusSpec, SyntheticCorpus};
+use tlsfp_web::crawler::LabeledCapture;
+
+/// Scale knobs shared by all experiments.
+///
+/// The paper's corpora (19,000 classes × 100 traces) exceed a laptop
+/// budget for a from-scratch CPU stack; the default scale keeps every
+/// *sweep shape* while shrinking the axes. `full()` grows toward the
+/// paper's axes for long runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Class counts swept in Exp. 1 (paper: 500/1000/3000/6000).
+    pub known_sweep: Vec<usize>,
+    /// Class counts swept in Exp. 2 (paper: 500..13000).
+    pub unseen_sweep: Vec<usize>,
+    /// Traces per class (paper: 100 for Wiki).
+    pub traces_per_class: usize,
+    /// Fraction of samples held out as the test side (paper: 10/100).
+    pub test_fraction: f64,
+    /// Pipeline preset used for 3-sequence experiments.
+    pub pipeline: PipelineConfig,
+    /// Pipeline preset for 2-sequence experiments.
+    pub pipeline_two_seq: PipelineConfig,
+    /// Github-like class counts for Exp. 3 (paper: 100/250/500).
+    pub github_sweep: Vec<usize>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Laptop-scale defaults (minutes, not days).
+    pub fn default_scale() -> Self {
+        // k = 25 keeps the vote list wide enough for the top-10/top-20
+        // tails at ~19 reference traces per class (the paper's k = 250
+        // assumes ~90 per class).
+        let mut pipeline = PipelineConfig::small();
+        pipeline.k = 25;
+        let mut pipeline_two_seq = PipelineConfig::small_two_seq();
+        pipeline_two_seq.k = 25;
+        Scale {
+            known_sweep: vec![10, 25, 50, 100],
+            unseen_sweep: vec![10, 25, 50, 100],
+            traces_per_class: 24,
+            test_fraction: 0.2,
+            pipeline,
+            pipeline_two_seq,
+            github_sweep: vec![10, 25, 50],
+            seed: 7,
+        }
+    }
+
+    /// A larger run, closer to the paper's axes (hours on a laptop).
+    pub fn full() -> Self {
+        let mut s = Scale::default_scale();
+        s.known_sweep = vec![50, 100, 300, 600];
+        s.unseen_sweep = vec![50, 100, 300, 600, 1300];
+        s.github_sweep = vec![100, 250, 500];
+        s.traces_per_class = 40;
+        s.pipeline.epochs = 60;
+        s.pipeline.pairs_per_epoch = 4096;
+        s.pipeline_two_seq.epochs = 60;
+        s.pipeline_two_seq.pairs_per_epoch = 4096;
+        s
+    }
+
+    /// A tiny smoke-test scale for CI and criterion.
+    pub fn smoke() -> Self {
+        let mut s = Scale::default_scale();
+        s.known_sweep = vec![6, 10];
+        s.unseen_sweep = vec![6, 10];
+        s.github_sweep = vec![6];
+        s.traces_per_class = 12;
+        s.pipeline.epochs = 10;
+        s.pipeline.pairs_per_epoch = 1024;
+        s.pipeline_two_seq.epochs = 10;
+        s.pipeline_two_seq.pairs_per_epoch = 1024;
+        s
+    }
+}
+
+/// One top-N accuracy series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccuracySeries {
+    /// Series label (e.g. "500 classes", "TLS 1.3").
+    pub label: String,
+    /// Number of classes in the pool.
+    pub n_classes: usize,
+    /// `(n, top-n accuracy)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+impl AccuracySeries {
+    fn from_report(label: String, n_classes: usize, report: &EvalReport, ns: &[usize]) -> Self {
+        AccuracySeries {
+            label,
+            n_classes,
+            points: ns
+                .iter()
+                .map(|&n| (n, report.top_n_accuracy(n)))
+                .collect(),
+        }
+    }
+}
+
+/// The `n` values reported in the accuracy figures.
+pub const FIG_NS: [usize; 7] = [1, 2, 3, 4, 5, 10, 20];
+
+fn wiki_dataset(classes: usize, traces: usize, seed: u64) -> Dataset {
+    let (_, ds) = Dataset::generate(
+        &CorpusSpec::wiki_like(classes, traces),
+        &TensorConfig::wiki(),
+        seed,
+    )
+    .expect("valid corpus spec");
+    ds
+}
+
+// ---------------------------------------------------------------------
+// Figure 6 — Exp. 1: static webpage classification (known classes).
+// ---------------------------------------------------------------------
+
+/// Result of the Figure 6 run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig6Result {
+    /// One series per class-count slice (TLS 1.2).
+    pub series: Vec<AccuracySeries>,
+    /// The TLS 1.3 evaluation of the same model (smallest slice size).
+    pub tls13: AccuracySeries,
+    /// Seconds the (single) provisioning run took.
+    pub train_seconds: f64,
+}
+
+/// Runs Exp. 1: trains one model on the largest slice's classes, then
+/// evaluates known-class recognition on each slice, plus a TLS 1.3
+/// variant of the smallest slice.
+pub fn run_fig6(scale: &Scale) -> Fig6Result {
+    let max_classes = *scale.known_sweep.iter().max().expect("non-empty sweep");
+    let ds = wiki_dataset(max_classes, scale.traces_per_class, scale.seed);
+    let (reference, test) = ds.split_per_class(scale.test_fraction, scale.seed);
+
+    let adversary = AdaptiveFingerprinter::provision(&reference, &scale.pipeline, scale.seed)
+        .expect("provisioning succeeds");
+
+    let mut series = Vec::new();
+    for &classes in &scale.known_sweep {
+        let class_ids: Vec<usize> = (0..classes).collect();
+        let ref_slice = reference.subset_classes(&class_ids).expect("subset");
+        let test_slice = test.subset_classes(&class_ids).expect("subset");
+        let mut fp = adversary.clone();
+        fp.set_reference(&ref_slice).expect("reference");
+        let report = fp.evaluate(&test_slice);
+        series.push(AccuracySeries::from_report(
+            format!("{classes} classes (TLS 1.2)"),
+            classes,
+            &report,
+            &FIG_NS,
+        ));
+    }
+
+    // TLS 1.3 evaluation: the *same* site and pages (same generation
+    // seed), re-crawled over TLS 1.3 — only the protocol framing,
+    // handshake shape and record overheads change, mirroring the
+    // paper's "seen during training but only through TLS 1.2" setup.
+    let tls13_classes = *scale.known_sweep.iter().min().expect("non-empty");
+    let mut spec13 = CorpusSpec::wiki_like(tls13_classes, scale.traces_per_class);
+    spec13.site.version = tlsfp_net::record::TlsVersion::V1_3;
+    let (_, ds13) =
+        Dataset::generate(&spec13, &TensorConfig::wiki(), scale.seed).expect("valid corpus");
+    let (ref13, test13) = ds13.split_per_class(scale.test_fraction, scale.seed);
+    let mut fp13 = adversary.clone();
+    fp13.set_reference(&ref13).expect("reference");
+    let report13 = fp13.evaluate(&test13);
+    let tls13 = AccuracySeries::from_report(
+        format!("{tls13_classes} classes (TLS 1.3)"),
+        tls13_classes,
+        &report13,
+        &FIG_NS,
+    );
+
+    Fig6Result {
+        series,
+        tls13,
+        train_seconds: adversary.training_log().train_seconds,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 7 + Table II — Exp. 2: classes never seen during training.
+// ---------------------------------------------------------------------
+
+/// Result of the Figure 7 / Table II run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Result {
+    /// Classes the model was trained on.
+    pub train_classes: usize,
+    /// One series per unseen-class-count slice.
+    pub series: Vec<AccuracySeries>,
+    /// Table II rows: `(classes, n, top-n accuracy, n/classes %)` with
+    /// the smallest n reaching ~0.89.
+    pub table2: Vec<(usize, usize, f64, f64)>,
+}
+
+/// Runs Exp. 2: the model trains on one class partition and classifies
+/// a completely disjoint partition (reference = Set C, test = Set D).
+pub fn run_fig7(scale: &Scale) -> Fig7Result {
+    let train_classes = *scale.known_sweep.iter().max().expect("non-empty");
+    let unseen_max = *scale.unseen_sweep.iter().max().expect("non-empty");
+    let total = train_classes + unseen_max;
+
+    let ds = wiki_dataset(total, scale.traces_per_class, scale.seed + 1);
+    let split = ds
+        .figure5(train_classes, scale.test_fraction, scale.seed)
+        .expect("figure 5 split");
+
+    let adversary = AdaptiveFingerprinter::provision(&split.set_a, &scale.pipeline, scale.seed)
+        .expect("provisioning succeeds");
+
+    let mut series = Vec::new();
+    let mut table2 = Vec::new();
+    for &classes in &scale.unseen_sweep {
+        let class_ids: Vec<usize> = (0..classes).collect();
+        let ref_slice = split.set_c.subset_classes(&class_ids).expect("subset");
+        let test_slice = split.set_d.subset_classes(&class_ids).expect("subset");
+        let mut fp = adversary.clone();
+        fp.set_reference(&ref_slice).expect("reference");
+        let report = fp.evaluate(&test_slice);
+        series.push(AccuracySeries::from_report(
+            format!("{classes} unseen classes"),
+            classes,
+            &report,
+            &FIG_NS,
+        ));
+        if let Some(n) = report.smallest_n_for(0.89) {
+            table2.push((
+                classes,
+                n,
+                report.top_n_accuracy(n),
+                100.0 * n as f64 / classes as f64,
+            ));
+        }
+    }
+
+    Fig7Result {
+        train_classes,
+        series,
+        table2,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 8 — Exp. 3: TLS version & theme sensitivity.
+// ---------------------------------------------------------------------
+
+/// Result of the Figure 8 run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8Result {
+    /// Two-sequence Wikipedia baseline (training distribution).
+    pub wiki_baseline: AccuracySeries,
+    /// Github-like evaluations of the same model at several sizes.
+    pub github: Vec<AccuracySeries>,
+}
+
+/// Runs Exp. 3: a two-sequence model trained on Wiki TLS 1.2 traffic is
+/// evaluated unchanged on Github-like TLS 1.3 corpora.
+pub fn run_fig8(scale: &Scale) -> Fig8Result {
+    let wiki_classes = *scale.github_sweep.iter().max().expect("non-empty");
+    let tensor = TensorConfig::two_seq();
+    let (_, wiki) = Dataset::generate(
+        &CorpusSpec::wiki_like(wiki_classes, scale.traces_per_class),
+        &tensor,
+        scale.seed + 2,
+    )
+    .expect("valid corpus");
+    let (wiki_ref, wiki_test) = wiki.split_per_class(scale.test_fraction, scale.seed);
+    let adversary =
+        AdaptiveFingerprinter::provision(&wiki_ref, &scale.pipeline_two_seq, scale.seed)
+            .expect("provisioning succeeds");
+    let wiki_report = adversary.evaluate(&wiki_test);
+    let wiki_baseline = AccuracySeries::from_report(
+        format!("wiki {wiki_classes} (baseline, 2-seq)"),
+        wiki_classes,
+        &wiki_report,
+        &FIG_NS,
+    );
+
+    let mut github = Vec::new();
+    for &classes in &scale.github_sweep {
+        let (_, gh) = Dataset::generate(
+            &CorpusSpec::github_like(classes, scale.traces_per_class),
+            &tensor,
+            scale.seed + 3,
+        )
+        .expect("valid corpus");
+        let (gh_ref, gh_test) = gh.split_per_class(scale.test_fraction, scale.seed);
+        let mut fp = adversary.clone();
+        fp.set_reference(&gh_ref).expect("reference");
+        let report = fp.evaluate(&gh_test);
+        github.push(AccuracySeries::from_report(
+            format!("github {classes} (transfer)"),
+            classes,
+            &report,
+            &FIG_NS,
+        ));
+    }
+
+    Fig8Result {
+        wiki_baseline,
+        github,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figures 9-11 — Exp. 4: per-class distinguishability CDFs.
+// ---------------------------------------------------------------------
+
+/// One CDF curve: `(guesses, fraction of classes)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CdfCurve {
+    /// Curve label.
+    pub label: String,
+    /// `(g, fraction of classes with mean guesses ≤ g)`.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Result of the Figures 9-11 run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig9To11Result {
+    /// Figure 9: known classes, two sizes.
+    pub fig9: Vec<CdfCurve>,
+    /// Figure 10: unseen classes, two sizes.
+    pub fig10: Vec<CdfCurve>,
+    /// Figure 11: FL-padded traces, known and unseen.
+    pub fig11: Vec<CdfCurve>,
+}
+
+/// Maximum guess count plotted in the CDFs.
+pub const CDF_MAX_GUESSES: usize = 25;
+
+/// Runs Exp. 4: cumulative distributions of the mean number of guesses
+/// needed per class, for known classes, unseen classes, and FL-padded
+/// traffic.
+pub fn run_fig9_to_11(scale: &Scale) -> Fig9To11Result {
+    let sizes: Vec<usize> = scale.known_sweep.iter().copied().take(2).collect();
+    let max_classes = *sizes.iter().max().expect("non-empty");
+
+    // Known classes (Figure 9) — reuse the Exp. 1 structure.
+    let ds = wiki_dataset(max_classes * 2, scale.traces_per_class, scale.seed + 4);
+    let split = ds
+        .figure5(max_classes, scale.test_fraction, scale.seed)
+        .expect("figure 5 split");
+    let adversary = AdaptiveFingerprinter::provision(&split.set_a, &scale.pipeline, scale.seed)
+        .expect("provisioning succeeds");
+
+    let mut fig9 = Vec::new();
+    let mut fig10 = Vec::new();
+    for &classes in &sizes {
+        let ids: Vec<usize> = (0..classes).collect();
+        // Known: reference = train slice, test = Set B slice.
+        let mut fp = adversary.clone();
+        fp.set_reference(&split.set_a.subset_classes(&ids).expect("subset"))
+            .expect("reference");
+        let report = fp.evaluate(&split.set_b.subset_classes(&ids).expect("subset"));
+        fig9.push(CdfCurve {
+            label: format!("wiki-{classes} known"),
+            points: report.guess_cdf(CDF_MAX_GUESSES),
+        });
+        // Unseen: reference = Set C slice, test = Set D slice.
+        let mut fp = adversary.clone();
+        fp.set_reference(&split.set_c.subset_classes(&ids).expect("subset"))
+            .expect("reference");
+        let report = fp.evaluate(&split.set_d.subset_classes(&ids).expect("subset"));
+        fig10.push(CdfCurve {
+            label: format!("wiki-{classes} unseen"),
+            points: report.guess_cdf(CDF_MAX_GUESSES),
+        });
+    }
+
+    // Figure 11: FL-padded corpus, known + unseen, smallest size.
+    let classes = sizes[0];
+    let corpus = SyntheticCorpus::generate(
+        &CorpusSpec::wiki_like(classes * 2, scale.traces_per_class),
+        scale.seed + 5,
+    )
+    .expect("valid corpus");
+    let mut padded: Vec<LabeledCapture> = corpus.traces.clone();
+    FixedLengthDefense::default().apply(&mut padded, scale.seed);
+    let tensor = TensorConfig::wiki();
+    let mut padded_ds = Dataset::new(classes * 2, tensor.channels, tensor.max_steps);
+    for lc in &padded {
+        padded_ds.push_capture(lc, &tensor).expect("labels in range");
+    }
+    let psplit = padded_ds
+        .figure5(classes, scale.test_fraction, scale.seed)
+        .expect("figure 5 split");
+    let padded_adversary =
+        AdaptiveFingerprinter::provision(&psplit.set_a, &scale.pipeline, scale.seed)
+            .expect("provisioning succeeds");
+    let mut fig11 = Vec::new();
+    {
+        // Provision leaves the reference set pointed at Set A, so the
+        // known-class evaluation runs directly against Set B.
+        let report = padded_adversary.evaluate(&psplit.set_b);
+        fig11.push(CdfCurve {
+            label: format!("wiki-{classes} known, FL-padded"),
+            points: report.guess_cdf(CDF_MAX_GUESSES),
+        });
+        let mut fp = padded_adversary.clone();
+        fp.set_reference(&psplit.set_c).expect("reference");
+        let report2 = fp.evaluate(&psplit.set_d);
+        fig11.push(CdfCurve {
+            label: format!("wiki-{classes} unseen, FL-padded"),
+            points: report2.guess_cdf(CDF_MAX_GUESSES),
+        });
+    }
+
+    Fig9To11Result { fig9, fig10, fig11 }
+}
+
+// ---------------------------------------------------------------------
+// Figures 12-13 — fixed-length padding vs the adversary.
+// ---------------------------------------------------------------------
+
+/// Result of the Figures 12/13 run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig12And13Result {
+    /// Figure 12: known classes — unpadded vs FL-padded series.
+    pub fig12: Vec<AccuracySeries>,
+    /// Figure 13: unseen classes — unpadded vs FL-padded series.
+    pub fig13: Vec<AccuracySeries>,
+    /// Bandwidth overhead factor the FL defense cost.
+    pub overhead_factor: f64,
+}
+
+/// Runs the §VII defense evaluation at two class counts.
+pub fn run_fig12_13(scale: &Scale) -> Fig12And13Result {
+    let sizes: Vec<usize> = scale.known_sweep.iter().copied().take(2).collect();
+    let max_classes = *sizes.iter().max().expect("non-empty");
+    let tensor = TensorConfig::wiki();
+
+    // One corpus; padded copy made once.
+    let corpus = SyntheticCorpus::generate(
+        &CorpusSpec::wiki_like(max_classes * 2, scale.traces_per_class),
+        scale.seed + 6,
+    )
+    .expect("valid corpus");
+    let mut padded_traces = corpus.traces.clone();
+    let overhead = FixedLengthDefense::default().apply(&mut padded_traces, scale.seed);
+
+    let build = |traces: &[LabeledCapture]| {
+        let mut ds = Dataset::new(max_classes * 2, tensor.channels, tensor.max_steps);
+        for lc in traces {
+            ds.push_capture(lc, &tensor).expect("labels in range");
+        }
+        ds
+    };
+    let plain_ds = build(&corpus.traces);
+    let padded_ds = build(&padded_traces);
+
+    let run_side = |ds: &Dataset, label: &str| -> (Vec<AccuracySeries>, Vec<AccuracySeries>) {
+        let split = ds
+            .figure5(max_classes, scale.test_fraction, scale.seed)
+            .expect("figure 5 split");
+        let adversary =
+            AdaptiveFingerprinter::provision(&split.set_a, &scale.pipeline, scale.seed)
+                .expect("provisioning succeeds");
+        let mut known = Vec::new();
+        let mut unseen = Vec::new();
+        for &classes in &sizes {
+            let ids: Vec<usize> = (0..classes).collect();
+            let mut fp = adversary.clone();
+            fp.set_reference(&split.set_a.subset_classes(&ids).expect("subset"))
+                .expect("reference");
+            let report = fp.evaluate(&split.set_b.subset_classes(&ids).expect("subset"));
+            known.push(AccuracySeries::from_report(
+                format!("{classes} known, {label}"),
+                classes,
+                &report,
+                &FIG_NS,
+            ));
+            let mut fp = adversary.clone();
+            fp.set_reference(&split.set_c.subset_classes(&ids).expect("subset"))
+                .expect("reference");
+            let report = fp.evaluate(&split.set_d.subset_classes(&ids).expect("subset"));
+            unseen.push(AccuracySeries::from_report(
+                format!("{classes} unseen, {label}"),
+                classes,
+                &report,
+                &FIG_NS,
+            ));
+        }
+        (known, unseen)
+    };
+
+    let (plain_known, plain_unseen) = run_side(&plain_ds, "no padding");
+    let (pad_known, pad_unseen) = run_side(&padded_ds, "FL padding");
+
+    let mut fig12 = plain_known;
+    fig12.extend(pad_known);
+    let mut fig13 = plain_unseen;
+    fig13.extend(pad_unseen);
+
+    Fig12And13Result {
+        fig12,
+        fig13,
+        overhead_factor: overhead.factor(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Table III — operational costs, static profiles + measured numbers.
+// ---------------------------------------------------------------------
+
+/// Result of the Table III run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Result {
+    /// Measured costs of the three locally-implemented systems.
+    pub measured: Vec<MeasuredCosts>,
+    /// Analytic lifetime update costs (seconds) per Table III system,
+    /// under the paper's crawl economics.
+    pub lifetime_updates: Vec<(String, f64)>,
+    /// Top-1 accuracies of the three implemented systems on the same
+    /// split, for context.
+    pub accuracies: Vec<(String, f64)>,
+}
+
+/// Runs the cost comparison: provisions/updates each implemented system
+/// on the same corpus and measures wall-clock; then applies the Juarez
+/// cost framework to the full Table III roster.
+pub fn run_table3(scale: &Scale) -> Table3Result {
+    let classes = scale.known_sweep[scale.known_sweep.len() / 2];
+    let ds = wiki_dataset(classes, scale.traces_per_class, scale.seed + 7);
+    let (train, test) = ds.split_per_class(scale.test_fraction, scale.seed);
+
+    let mut measured = Vec::new();
+    let mut accuracies = Vec::new();
+
+    // Ours: adaptive fingerprinting.
+    let t0 = std::time::Instant::now();
+    let mut adaptive = AdaptiveFingerprinter::provision(&train, &scale.pipeline, scale.seed)
+        .expect("provisioning succeeds");
+    let adaptive_train = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let _ = adaptive.evaluate(&test);
+    let adaptive_infer = t1.elapsed().as_secs_f64() / test.len().max(1) as f64;
+    // Update: re-embed the reference corpus (no retraining).
+    let t2 = std::time::Instant::now();
+    adaptive.set_reference(&train).expect("reference");
+    let adaptive_update = t2.elapsed().as_secs_f64();
+    accuracies.push((
+        "Adaptive Fingerprinting".into(),
+        adaptive.evaluate(&test).top_n_accuracy(1),
+    ));
+    measured.push(MeasuredCosts {
+        name: "Adaptive Fingerprinting (ours)".into(),
+        train_seconds: adaptive_train,
+        infer_seconds_per_trace: adaptive_infer,
+        update_compute_seconds: adaptive_update,
+        retrained: false,
+    });
+
+    // k-fingerprinting: forest refit on update (cheap, but a refit).
+    let t0 = std::time::Instant::now();
+    let kfp = KFingerprinting::fit(&train, KfpConfig::default(), scale.seed);
+    let kfp_train = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let _ = kfp.evaluate(&test);
+    let kfp_infer = t1.elapsed().as_secs_f64() / test.len().max(1) as f64;
+    let t2 = std::time::Instant::now();
+    let kfp2 = KFingerprinting::fit(&train, KfpConfig::default(), scale.seed + 1);
+    let kfp_update = t2.elapsed().as_secs_f64();
+    accuracies.push(("k-fingerprinting".into(), kfp2.evaluate(&test).top_n_accuracy(1)));
+    measured.push(MeasuredCosts {
+        name: "k-fingerprinting".into(),
+        train_seconds: kfp_train,
+        infer_seconds_per_trace: kfp_infer,
+        update_compute_seconds: kfp_update,
+        retrained: true,
+    });
+
+    // DF-lite: full CNN retraining on update.
+    let two = TensorConfig::two_seq();
+    let (_, ds2) = Dataset::generate(
+        &CorpusSpec::wiki_like(classes, scale.traces_per_class),
+        &two,
+        scale.seed + 7,
+    )
+    .expect("valid corpus");
+    let (train2, test2) = ds2.split_per_class(scale.test_fraction, scale.seed);
+    let df_config = DfConfig::default();
+    let t0 = std::time::Instant::now();
+    let df = DeepFingerprinting::fit(&train2, df_config.clone(), scale.seed);
+    let df_train = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let _ = df.evaluate(&test2);
+    let df_infer = t1.elapsed().as_secs_f64() / test2.len().max(1) as f64;
+    let t2 = std::time::Instant::now();
+    let df2 = DeepFingerprinting::fit(&train2, df_config, scale.seed + 1);
+    let df_update = t2.elapsed().as_secs_f64();
+    accuracies.push((
+        "Deep Fingerprinting (lite)".into(),
+        df2.evaluate(&test2).top_n_accuracy(1),
+    ));
+    measured.push(MeasuredCosts {
+        name: "Deep Fingerprinting (lite)".into(),
+        train_seconds: df_train,
+        infer_seconds_per_trace: df_infer,
+        update_compute_seconds: df_update,
+        retrained: true,
+    });
+
+    // Analytic lifetime update costs over the Table III roster.
+    let model = CostModel::paper_crawl(classes as u64, 4);
+    let lifetime_updates = table3_systems()
+        .iter()
+        .map(|profile| {
+            // Use our measured numbers as the compute proxies for the
+            // corresponding complexity tier.
+            let (train_s, embed_s) = match profile.complexity {
+                tlsfp_baselines::cost::Complexity::High => (adaptive_train.max(df_train), adaptive_update),
+                tlsfp_baselines::cost::Complexity::Moderate => (kfp_train, kfp_update),
+                tlsfp_baselines::cost::Complexity::Low => (1.0, 1.0),
+            };
+            (
+                profile.name.to_string(),
+                model.lifetime_update_seconds(profile, train_s, embed_s),
+            )
+        })
+        .collect();
+
+    Table3Result {
+        measured,
+        lifetime_updates,
+        accuracies,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Printing helpers.
+// ---------------------------------------------------------------------
+
+/// Prints one accuracy series as a table row block.
+pub fn print_series(series: &AccuracySeries) {
+    print!("  {:<28}", series.label);
+    for (n, acc) in &series.points {
+        print!(" top{n:<2}={acc:.3}");
+    }
+    println!();
+}
+
+/// Prints a CDF curve compactly (every few guesses).
+pub fn print_cdf(curve: &CdfCurve) {
+    print!("  {:<30}", curve.label);
+    for (g, frac) in curve.points.iter().filter(|(g, _)| [1, 2, 3, 5, 10, 20, 25].contains(g)) {
+        print!(" g{g:<2}={frac:.2}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_is_small() {
+        let s = Scale::smoke();
+        assert!(s.known_sweep.iter().max().unwrap() <= &10);
+        assert!(s.traces_per_class <= 12);
+    }
+
+    #[test]
+    fn full_scale_grows_axes() {
+        let d = Scale::default_scale();
+        let f = Scale::full();
+        assert!(f.known_sweep.iter().max() > d.known_sweep.iter().max());
+        assert!(f.unseen_sweep.iter().max() > d.unseen_sweep.iter().max());
+    }
+
+    #[test]
+    fn fig6_smoke_produces_monotone_series() {
+        let result = run_fig6(&Scale::smoke());
+        assert_eq!(result.series.len(), 2);
+        for s in &result.series {
+            // Accuracy is monotone in n.
+            for w in s.points.windows(2) {
+                assert!(w[1].1 >= w[0].1, "{}: {:?}", s.label, s.points);
+            }
+            // Better than chance at top-1.
+            let chance = 1.0 / s.n_classes as f64;
+            assert!(s.points[0].1 > chance, "{}: {:?}", s.label, s.points);
+        }
+        assert!(result.train_seconds > 0.0);
+    }
+
+    #[test]
+    fn table3_smoke_orders_update_costs() {
+        let result = run_table3(&Scale::smoke());
+        assert_eq!(result.measured.len(), 3);
+        let ours = &result.measured[0];
+        let df = &result.measured[2];
+        assert!(!ours.retrained);
+        assert!(df.retrained);
+        // Adaptation must be far cheaper than our own training run.
+        assert!(ours.update_compute_seconds < ours.train_seconds / 5.0);
+        assert_eq!(result.lifetime_updates.len(), 7);
+    }
+}

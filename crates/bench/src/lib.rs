@@ -1,0 +1,19 @@
+//! # tlsfp-bench — reproduction harness
+//!
+//! One runner per table/figure of the paper (see [`experiments`]) plus
+//! ablation studies over the design choices ([`ablations`]). The
+//! `repro` binary drives them:
+//!
+//! ```text
+//! cargo run --release -p tlsfp-bench --bin repro -- all
+//! cargo run --release -p tlsfp-bench --bin repro -- fig6 [--full|--smoke]
+//! cargo run --release -p tlsfp-bench --bin repro -- table2
+//! cargo run --release -p tlsfp-bench --bin repro -- ablations
+//! ```
+//!
+//! Criterion micro/meso benches live under `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod experiments;

@@ -1,0 +1,333 @@
+//! Trace-level padding countermeasures (§VII).
+//!
+//! Per-record padding lives in `tlsfp_net::padding` (it needs no
+//! knowledge beyond one record). The defenses here are *corpus-level*:
+//! they need the whole target set to decide how much cover traffic each
+//! trace receives.
+//!
+//! - [`FixedLengthDefense`] — the paper's FL padding: "given a set of
+//!   target webpages, we padded all the traces to match the length of
+//!   the longest one", with every data segment also rounded up to a
+//!   fixed record quantum so individual sizes leak nothing.
+//! - [`AnonymitySetDefense`] — §VII's relaxation: partition pages into
+//!   groups of `set_size` and equalize only within each group,
+//!   guaranteeing a minimum anonymity set at a fraction of the cost.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use tlsfp_net::capture::{Capture, Packet};
+use tlsfp_web::crawler::LabeledCapture;
+
+/// Bandwidth accounting for a defense application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PaddingOverhead {
+    /// Payload bytes before the defense.
+    pub original_bytes: u64,
+    /// Payload bytes after the defense.
+    pub padded_bytes: u64,
+}
+
+impl PaddingOverhead {
+    /// Multiplicative overhead (1.0 = free).
+    pub fn factor(&self) -> f64 {
+        if self.original_bytes == 0 {
+            1.0
+        } else {
+            self.padded_bytes as f64 / self.original_bytes as f64
+        }
+    }
+
+    /// Percentage overhead (0.0 = free).
+    pub fn percent(&self) -> f64 {
+        (self.factor() - 1.0) * 100.0
+    }
+}
+
+/// Fixed-length (FL) padding, the strongest defense the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixedLengthDefense {
+    /// Every data segment is rounded up to a multiple of this quantum
+    /// (per-record size hiding).
+    pub record_quantum: u32,
+}
+
+impl Default for FixedLengthDefense {
+    fn default() -> Self {
+        // One full TLS record worth of plaintext.
+        FixedLengthDefense {
+            record_quantum: 16_384,
+        }
+    }
+}
+
+impl FixedLengthDefense {
+    /// Applies FL padding in place over a whole trace set:
+    ///
+    /// 1. every non-empty packet payload is rounded up to the quantum;
+    /// 2. every trace is extended with dummy quantum-sized downstream
+    ///    packets (round-robin across its servers) until its total
+    ///    payload matches the longest trace in the set.
+    ///
+    /// Returns the bandwidth overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `record_quantum == 0`.
+    pub fn apply(&self, traces: &mut [LabeledCapture], seed: u64) -> PaddingOverhead {
+        assert!(self.record_quantum > 0, "record quantum must be positive");
+        let original: u64 = traces.iter().map(|t| t.capture.total_payload()).sum();
+
+        // Phase 1: per-record rounding.
+        for t in traces.iter_mut() {
+            round_up_payloads(&mut t.capture, self.record_quantum);
+        }
+        // Phase 2: trace-length equalization.
+        let target = traces
+            .iter()
+            .map(|t| t.capture.total_payload())
+            .max()
+            .unwrap_or(0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for t in traces.iter_mut() {
+            pad_capture_to(&mut t.capture, target, self.record_quantum, &mut rng);
+        }
+
+        let padded: u64 = traces.iter().map(|t| t.capture.total_payload()).sum();
+        PaddingOverhead {
+            original_bytes: original,
+            padded_bytes: padded,
+        }
+    }
+}
+
+/// Anonymity-set padding: FL padding applied within groups of
+/// `set_size` pages instead of across the whole site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnonymitySetDefense {
+    /// Minimum number of mutually-indistinguishable pages.
+    pub set_size: usize,
+    /// Per-record quantum, as in [`FixedLengthDefense`].
+    pub record_quantum: u32,
+}
+
+impl AnonymitySetDefense {
+    /// Applies intra-set FL padding. Pages are grouped by similar
+    /// (unpadded) volume — the cheapest grouping, since pages of similar
+    /// size need little mutual padding. Returns the overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set_size == 0` or `record_quantum == 0`.
+    pub fn apply(&self, traces: &mut [LabeledCapture], seed: u64) -> PaddingOverhead {
+        assert!(self.set_size > 0, "set size must be positive");
+        assert!(self.record_quantum > 0, "record quantum must be positive");
+        let original: u64 = traces.iter().map(|t| t.capture.total_payload()).sum();
+
+        // Order pages by their median trace volume.
+        let mut page_volume: Vec<(usize, u64)> = Vec::new();
+        for t in traces.iter() {
+            match page_volume.iter_mut().find(|(p, _)| *p == t.page) {
+                Some((_, v)) => *v = (*v).max(t.capture.total_payload()),
+                None => page_volume.push((t.page, t.capture.total_payload())),
+            }
+        }
+        page_volume.sort_by_key(|&(_, v)| v);
+
+        // Group consecutive pages into anonymity sets.
+        let mut rng = StdRng::seed_from_u64(seed);
+        for group in page_volume.chunks(self.set_size) {
+            let pages: Vec<usize> = group.iter().map(|&(p, _)| p).collect();
+            // Round then equalize within the group.
+            let mut target = 0u64;
+            for t in traces.iter_mut().filter(|t| pages.contains(&t.page)) {
+                round_up_payloads(&mut t.capture, self.record_quantum);
+                target = target.max(t.capture.total_payload());
+            }
+            for t in traces.iter_mut().filter(|t| pages.contains(&t.page)) {
+                pad_capture_to(&mut t.capture, target, self.record_quantum, &mut rng);
+            }
+        }
+
+        let padded: u64 = traces.iter().map(|t| t.capture.total_payload()).sum();
+        PaddingOverhead {
+            original_bytes: original,
+            padded_bytes: padded,
+        }
+    }
+}
+
+/// Random per-packet padding — the policy Pironti et al. showed to be
+/// insufficient. Each data packet gains a uniformly-random number of
+/// bytes in `0..=max_pad`. No trace-length equalization happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RandomPaddingDefense {
+    /// Maximum padding bytes per packet.
+    pub max_pad: u32,
+}
+
+impl RandomPaddingDefense {
+    /// Applies random padding in place; returns the overhead.
+    pub fn apply(&self, traces: &mut [LabeledCapture], seed: u64) -> PaddingOverhead {
+        let original: u64 = traces.iter().map(|t| t.capture.total_payload()).sum();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for t in traces.iter_mut() {
+            for p in &mut t.capture.packets {
+                if p.payload_len > 0 && self.max_pad > 0 {
+                    p.payload_len += rng.random_range(0..=self.max_pad);
+                }
+            }
+        }
+        let padded: u64 = traces.iter().map(|t| t.capture.total_payload()).sum();
+        PaddingOverhead {
+            original_bytes: original,
+            padded_bytes: padded,
+        }
+    }
+}
+
+fn round_up_payloads(capture: &mut Capture, quantum: u32) {
+    for p in &mut capture.packets {
+        if p.payload_len > 0 {
+            p.payload_len = p.payload_len.div_ceil(quantum) * quantum;
+        }
+    }
+}
+
+/// Appends dummy downstream packets (round-robin over the capture's
+/// servers) until total payload reaches `target`.
+fn pad_capture_to(capture: &mut Capture, target: u64, quantum: u32, rng: &mut StdRng) {
+    let servers = capture.servers();
+    if servers.is_empty() {
+        return;
+    }
+    let client = capture.client;
+    let mut t = capture
+        .packets
+        .last()
+        .map(|p| p.timestamp_us)
+        .unwrap_or(0);
+    let mut idx = rng.random_range(0..servers.len());
+    while capture.total_payload() < target {
+        t += 1_000;
+        capture.push(Packet {
+            timestamp_us: t,
+            src: servers[idx % servers.len()],
+            dst: client,
+            payload_len: quantum,
+        });
+        idx += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::net::Ipv4Addr;
+
+    use tlsfp_web::corpus::{CorpusSpec, SyntheticCorpus};
+
+    use super::*;
+
+    fn corpus() -> Vec<LabeledCapture> {
+        SyntheticCorpus::generate(&CorpusSpec::wiki_like(6, 3), 21)
+            .unwrap()
+            .traces
+    }
+
+    #[test]
+    fn fl_padding_equalizes_total_volume() {
+        let mut traces = corpus();
+        let overhead = FixedLengthDefense::default().apply(&mut traces, 0);
+        let volumes: Vec<u64> = traces.iter().map(|t| t.capture.total_payload()).collect();
+        let max = *volumes.iter().max().unwrap();
+        for &v in &volumes {
+            // Equal up to one quantum (the dummy-packet granularity).
+            assert!(max - v < 16_384, "volume {v} vs max {max}");
+        }
+        assert!(overhead.factor() > 1.0);
+        assert!(overhead.percent() > 0.0);
+    }
+
+    #[test]
+    fn fl_padding_rounds_every_payload() {
+        let mut traces = corpus();
+        let d = FixedLengthDefense {
+            record_quantum: 4_096,
+        };
+        d.apply(&mut traces, 0);
+        for t in &traces {
+            for p in &t.capture.packets {
+                assert_eq!(p.payload_len % 4_096, 0, "payload {}", p.payload_len);
+            }
+        }
+    }
+
+    #[test]
+    fn anonymity_sets_cost_less_than_global_fl() {
+        let base = corpus();
+        let mut fl = base.clone();
+        let mut sets = base.clone();
+        let fl_cost = FixedLengthDefense::default().apply(&mut fl, 0);
+        let set_cost = AnonymitySetDefense {
+            set_size: 2,
+            record_quantum: 16_384,
+        }
+        .apply(&mut sets, 0);
+        assert!(
+            set_cost.factor() <= fl_cost.factor() + 1e-9,
+            "sets {} vs global {}",
+            set_cost.factor(),
+            fl_cost.factor()
+        );
+    }
+
+    #[test]
+    fn anonymity_sets_equalize_within_groups() {
+        let mut traces = corpus();
+        let d = AnonymitySetDefense {
+            set_size: 3,
+            record_quantum: 16_384,
+        };
+        d.apply(&mut traces, 0);
+        // Volumes take at most ceil(6/3)=2 distinct values (up to quantum).
+        let mut volumes: Vec<u64> = traces.iter().map(|t| t.capture.total_payload()).collect();
+        volumes.sort_unstable();
+        volumes.dedup_by(|a, b| a.abs_diff(*b) < 16_384);
+        assert!(volumes.len() <= 2, "distinct volume levels: {volumes:?}");
+    }
+
+    #[test]
+    fn random_padding_is_bounded_and_cheap() {
+        let mut traces = corpus();
+        let before: Vec<u64> = traces.iter().map(|t| t.capture.total_payload()).collect();
+        let overhead = RandomPaddingDefense { max_pad: 512 }.apply(&mut traces, 3);
+        for (t, &b) in traces.iter().zip(&before) {
+            let after = t.capture.total_payload();
+            assert!(after >= b);
+            let data_packets = t.capture.packets.iter().filter(|p| p.payload_len > 0).count();
+            assert!(after - b <= 512 * data_packets as u64);
+        }
+        // Far cheaper than FL padding.
+        assert!(overhead.factor() < 1.5, "factor {}", overhead.factor());
+    }
+
+    #[test]
+    fn overhead_factor_of_empty_set() {
+        let o = PaddingOverhead {
+            original_bytes: 0,
+            padded_bytes: 0,
+        };
+        assert_eq!(o.factor(), 1.0);
+    }
+
+    #[test]
+    fn dummy_packets_come_from_servers() {
+        let mut traces = corpus();
+        FixedLengthDefense::default().apply(&mut traces, 0);
+        for t in &traces {
+            let client: Ipv4Addr = t.capture.client;
+            assert!(t.capture.packets.iter().all(|p| p.dst == client || p.src == client));
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! k-nearest-neighbour classification in the embedding space (step 4 of
+//! Figure 2, k = 250 in the paper).
+//!
+//! For each query the classifier reports a ranked list of candidate
+//! labels: labels of the k nearest reference points, ordered by vote
+//! count (ties broken by the closest member). That ranked list is what
+//! the top-N adversary metric consumes.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use tlsfp_nn::parallel::map_elems;
+use tlsfp_nn::tensor::{cosine_distance, euclidean_sq};
+
+use crate::reference::ReferenceSet;
+
+/// Distance metric between embeddings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Euclidean distance (the paper's choice, Table I).
+    Euclidean,
+    /// Cosine distance.
+    Cosine,
+}
+
+impl Metric {
+    fn eval(self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            // Squared Euclidean preserves ordering and skips the sqrt.
+            Metric::Euclidean => euclidean_sq(a, b),
+            Metric::Cosine => cosine_distance(a, b),
+        }
+    }
+}
+
+/// A ranked classification outcome for one query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedPrediction {
+    /// Candidate labels, most probable first. Only labels that appeared
+    /// among the k nearest neighbours are listed.
+    pub ranked: Vec<usize>,
+    /// Votes received by each ranked label (aligned with `ranked`).
+    pub votes: Vec<usize>,
+}
+
+impl RankedPrediction {
+    /// 1-based rank of `label`, or `None` if it received no votes.
+    pub fn rank_of(&self, label: usize) -> Option<usize> {
+        self.ranked.iter().position(|&l| l == label).map(|p| p + 1)
+    }
+
+    /// Whether `label` is among the top `n` candidates.
+    pub fn hits_within(&self, label: usize, n: usize) -> bool {
+        self.ranked.iter().take(n).any(|&l| l == label)
+    }
+
+    /// The single most probable label (`None` on an empty reference set).
+    pub fn top(&self) -> Option<usize> {
+        self.ranked.first().copied()
+    }
+}
+
+/// kNN classifier configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KnnClassifier {
+    /// Neighbourhood size (250 in the paper; capped to the reference
+    /// set's size at query time).
+    pub k: usize,
+    /// Distance metric.
+    pub metric: Metric,
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f32,
+    label: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on distance so the worst neighbour is evictable.
+        self.dist.total_cmp(&other.dist)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl KnnClassifier {
+    /// The paper's configuration: k = 250, Euclidean.
+    pub fn paper() -> Self {
+        KnnClassifier {
+            k: 250,
+            metric: Metric::Euclidean,
+        }
+    }
+
+    /// A classifier with the given k and Euclidean distance.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        KnnClassifier {
+            k,
+            metric: Metric::Euclidean,
+        }
+    }
+
+    /// Classifies one query embedding against the reference set.
+    pub fn classify(&self, query: &[f32], reference: &ReferenceSet) -> RankedPrediction {
+        let k = self.k.min(reference.len()).max(1);
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        for (emb, &label) in reference.embeddings().iter().zip(reference.labels()) {
+            let dist = self.metric.eval(query, emb);
+            if heap.len() < k {
+                heap.push(HeapEntry { dist, label });
+            } else if let Some(worst) = heap.peek() {
+                if dist < worst.dist {
+                    heap.pop();
+                    heap.push(HeapEntry { dist, label });
+                }
+            }
+        }
+
+        // Vote count and best (smallest) distance per label.
+        let mut votes: Vec<(usize, usize, f32)> = Vec::new(); // (label, votes, best_dist)
+        for e in heap.into_iter() {
+            match votes.iter_mut().find(|(l, _, _)| *l == e.label) {
+                Some((_, v, d)) => {
+                    *v += 1;
+                    if e.dist < *d {
+                        *d = e.dist;
+                    }
+                }
+                None => votes.push((e.label, 1, e.dist)),
+            }
+        }
+        votes.sort_by(|a, b| b.1.cmp(&a.1).then(a.2.total_cmp(&b.2)));
+        RankedPrediction {
+            ranked: votes.iter().map(|(l, _, _)| *l).collect(),
+            votes: votes.iter().map(|(_, v, _)| *v).collect(),
+        }
+    }
+
+    /// Classifies a batch of queries in parallel.
+    pub fn classify_all(
+        &self,
+        queries: &[Vec<f32>],
+        reference: &ReferenceSet,
+        threads: usize,
+    ) -> Vec<RankedPrediction> {
+        map_elems(queries, threads, |q| self.classify(q, reference))
+    }
+
+    /// Distance from `query` to its nearest reference point — the
+    /// outlier score for open-world detection (§VI-C: an unknown page
+    /// load "may be an obvious outlier, i.e. no proximity to any of the
+    /// known labels in embeddings space"). Returns `f32::INFINITY` for
+    /// an empty reference set.
+    ///
+    /// Note: under [`Metric::Euclidean`] this is a *squared* distance,
+    /// consistent with the internal ranking.
+    pub fn outlier_score(&self, query: &[f32], reference: &ReferenceSet) -> f32 {
+        reference
+            .embeddings()
+            .iter()
+            .map(|e| self.metric.eval(query, e))
+            .fold(f32::INFINITY, f32::min)
+    }
+
+    /// Open-world classification: rejects queries whose nearest
+    /// reference point is farther than `threshold` (returns `None` —
+    /// "not one of the monitored pages").
+    pub fn classify_open_world(
+        &self,
+        query: &[f32],
+        reference: &ReferenceSet,
+        threshold: f32,
+    ) -> Option<RankedPrediction> {
+        if self.outlier_score(query, reference) > threshold {
+            None
+        } else {
+            Some(self.classify(query, reference))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference() -> ReferenceSet {
+        let mut r = ReferenceSet::new(1, 3);
+        // Class 0 clustered at 0, class 1 at 10, class 2 at 20.
+        for i in 0..4 {
+            r.add(0, vec![0.0 + i as f32 * 0.1]).unwrap();
+            r.add(1, vec![10.0 + i as f32 * 0.1]).unwrap();
+            r.add(2, vec![20.0 + i as f32 * 0.1]).unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn nearest_cluster_wins() {
+        let r = reference();
+        let knn = KnnClassifier::new(4);
+        let pred = knn.classify(&[0.05], &r);
+        assert_eq!(pred.top(), Some(0));
+        assert_eq!(pred.votes[0], 4);
+        let pred = knn.classify(&[19.0], &r);
+        assert_eq!(pred.top(), Some(2));
+    }
+
+    #[test]
+    fn ranked_order_reflects_proximity() {
+        let r = reference();
+        let knn = KnnClassifier::new(8);
+        // Query between class 0 and 1, nearer 1.
+        let pred = knn.classify(&[7.0], &r);
+        assert_eq!(pred.ranked[0], 1);
+        assert_eq!(pred.rank_of(1), Some(1));
+        assert_eq!(pred.rank_of(0), Some(2));
+        assert!(pred.hits_within(0, 2));
+        assert!(!pred.hits_within(2, 2));
+    }
+
+    #[test]
+    fn k_larger_than_reference_is_capped() {
+        let r = reference();
+        let knn = KnnClassifier::new(10_000);
+        let pred = knn.classify(&[0.0], &r);
+        // All 12 points voted; class 0 has the closest members.
+        assert_eq!(pred.votes.iter().sum::<usize>(), 12);
+        assert_eq!(pred.top(), Some(0));
+    }
+
+    #[test]
+    fn tie_break_prefers_closer_class() {
+        let mut r = ReferenceSet::new(1, 2);
+        r.add(0, vec![1.0]).unwrap();
+        r.add(1, vec![2.0]).unwrap();
+        let knn = KnnClassifier::new(2);
+        // Both classes get 1 vote; class 0 is closer to 1.2.
+        let pred = knn.classify(&[1.2], &r);
+        assert_eq!(pred.ranked, vec![0, 1]);
+    }
+
+    #[test]
+    fn batch_matches_single(){
+        let r = reference();
+        let knn = KnnClassifier::new(4);
+        let queries = vec![vec![0.0], vec![10.0], vec![20.0], vec![15.1]];
+        let batch = knn.classify_all(&queries, &r, 3);
+        for (q, p) in queries.iter().zip(&batch) {
+            assert_eq!(p, &knn.classify(q, &r));
+        }
+    }
+
+    #[test]
+    fn cosine_metric_works() {
+        let mut r = ReferenceSet::new(2, 2);
+        r.add(0, vec![1.0, 0.0]).unwrap();
+        r.add(1, vec![0.0, 1.0]).unwrap();
+        let knn = KnnClassifier {
+            k: 1,
+            metric: Metric::Cosine,
+        };
+        assert_eq!(knn.classify(&[0.9, 0.1], &r).top(), Some(0));
+        assert_eq!(knn.classify(&[0.1, 0.9], &r).top(), Some(1));
+    }
+
+    #[test]
+    fn outlier_scores_separate_known_from_unknown() {
+        let r = reference();
+        let knn = KnnClassifier::new(4);
+        // A query on top of class 0 scores near zero.
+        let near = knn.outlier_score(&[0.05], &r);
+        // A far-away query scores big.
+        let far = knn.outlier_score(&[1000.0], &r);
+        assert!(near < 1.0);
+        assert!(far > 100.0);
+        // Open-world: the near query classifies, the far one is rejected.
+        assert!(knn.classify_open_world(&[0.05], &r, 5.0).is_some());
+        assert!(knn.classify_open_world(&[1000.0], &r, 5.0).is_none());
+    }
+
+    #[test]
+    fn outlier_score_on_empty_reference_is_infinite() {
+        let r = ReferenceSet::new(1, 2);
+        let knn = KnnClassifier::new(3);
+        assert_eq!(knn.outlier_score(&[0.0], &r), f32::INFINITY);
+        assert!(knn.classify_open_world(&[0.0], &r, 1e30).is_none());
+    }
+
+    #[test]
+    fn empty_reference_yields_empty_prediction() {
+        let r = ReferenceSet::new(1, 2);
+        let knn = KnnClassifier::new(3);
+        let pred = knn.classify(&[0.0], &r);
+        assert!(pred.ranked.is_empty());
+        assert_eq!(pred.top(), None);
+    }
+}

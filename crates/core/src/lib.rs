@@ -1,0 +1,51 @@
+//! # tlsfp-core — adaptive webpage fingerprinting
+//!
+//! The paper's primary contribution (*Mavroudis & Hayes, DSN 2023*): a
+//! webpage-fingerprinting adversary that embeds TLS traces with a
+//! siamese LSTM network and classifies them by k-nearest-neighbour
+//! search over a *reference set* of labeled embeddings. Because the
+//! model is class-agnostic, adapting to content drift or brand-new
+//! pages is a reference-set swap — never a retraining run.
+//!
+//! - [`pipeline::AdaptiveFingerprinter`] — provision / fingerprint /
+//!   adapt (Figure 2).
+//! - [`reference::ReferenceSet`] — the labeled embedding store.
+//! - [`knn::KnnClassifier`] — top-N ranked classification (k = 250).
+//! - [`metrics::EvalReport`] — top-N accuracy, per-class guess CDFs,
+//!   the Table II smallest-n search.
+//! - [`defense`] — fixed-length and anonymity-set padding (§VII) with
+//!   bandwidth accounting.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use tlsfp_core::pipeline::{AdaptiveFingerprinter, PipelineConfig};
+//! use tlsfp_trace::dataset::Dataset;
+//! use tlsfp_trace::tensorize::TensorConfig;
+//! use tlsfp_web::corpus::CorpusSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = CorpusSpec::wiki_like(50, 20);
+//! let (_site, ds) = Dataset::generate(&spec, &TensorConfig::wiki(), 7)?;
+//! let (train, test) = ds.split_per_class(0.1, 0);
+//! let adversary = AdaptiveFingerprinter::provision(&train, &PipelineConfig::small(), 7)?;
+//! let report = adversary.evaluate(&test);
+//! println!("top-1: {:.3}  top-3: {:.3}", report.top_n_accuracy(1), report.top_n_accuracy(3));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod defense;
+pub mod error;
+pub mod knn;
+pub mod metrics;
+pub mod pipeline;
+pub mod reference;
+
+pub use error::{CoreError, Result};
+pub use knn::{KnnClassifier, RankedPrediction};
+pub use metrics::EvalReport;
+pub use pipeline::{AdaptiveFingerprinter, PipelineConfig};
+pub use reference::ReferenceSet;

@@ -1,0 +1,194 @@
+//! Evaluation metrics: top-N accuracy (per sample), per-class mean
+//! guesses and their CDF (Figures 9–11), and the smallest-n search of
+//! Table II.
+
+use serde::{Deserialize, Serialize};
+
+use crate::knn::RankedPrediction;
+
+/// Evaluation outcome over a labeled test set.
+///
+/// Stores the rank the true label achieved for every sample (1-based;
+/// a miss — the true label received no votes — is recorded as
+/// `n_classes + 1`, i.e. worse than any real rank).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    n_classes: usize,
+    /// Rank of the true label per test sample.
+    ranks: Vec<usize>,
+    /// True label per test sample.
+    labels: Vec<usize>,
+}
+
+impl EvalReport {
+    /// Builds a report from predictions and ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn from_predictions(
+        predictions: &[RankedPrediction],
+        labels: &[usize],
+        n_classes: usize,
+    ) -> Self {
+        assert_eq!(predictions.len(), labels.len(), "prediction/label count");
+        let ranks = predictions
+            .iter()
+            .zip(labels)
+            .map(|(p, &l)| p.rank_of(l).unwrap_or(n_classes + 1))
+            .collect();
+        EvalReport {
+            n_classes,
+            ranks,
+            labels: labels.to_vec(),
+        }
+    }
+
+    /// Number of evaluated samples.
+    pub fn n_samples(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Label-space size.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Top-n accuracy over samples: fraction whose true label ranked
+    /// within the first `n` guesses.
+    pub fn top_n_accuracy(&self, n: usize) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        let hits = self.ranks.iter().filter(|&&r| r <= n).count();
+        hits as f64 / self.ranks.len() as f64
+    }
+
+    /// The accuracy curve for `n = 1..=max_n`.
+    pub fn accuracy_curve(&self, max_n: usize) -> Vec<(usize, f64)> {
+        (1..=max_n).map(|n| (n, self.top_n_accuracy(n))).collect()
+    }
+
+    /// Smallest `n` achieving at least `target` top-n accuracy
+    /// (Table II's search), or `None` if even `n = n_classes` falls
+    /// short.
+    pub fn smallest_n_for(&self, target: f64) -> Option<usize> {
+        (1..=self.n_classes).find(|&n| self.top_n_accuracy(n) >= target)
+    }
+
+    /// Mean rank ("guesses needed") of the true label, per class.
+    /// Classes with no test samples are omitted. Returned sorted by
+    /// class id.
+    pub fn per_class_mean_guesses(&self) -> Vec<(usize, f64)> {
+        let mut sum = vec![0.0f64; self.n_classes];
+        let mut count = vec![0usize; self.n_classes];
+        for (&rank, &label) in self.ranks.iter().zip(&self.labels) {
+            sum[label] += rank as f64;
+            count[label] += 1;
+        }
+        (0..self.n_classes)
+            .filter(|&c| count[c] > 0)
+            .map(|c| (c, sum[c] / count[c] as f64))
+            .collect()
+    }
+
+    /// Cumulative distribution over classes of the mean guesses needed:
+    /// for each `g` in `1..=max_guesses`, the fraction of (populated)
+    /// classes whose mean guess count is `≤ g`. This is the quantity
+    /// plotted in Figures 9–11.
+    pub fn guess_cdf(&self, max_guesses: usize) -> Vec<(usize, f64)> {
+        let per_class = self.per_class_mean_guesses();
+        let n = per_class.len().max(1) as f64;
+        (1..=max_guesses)
+            .map(|g| {
+                let within = per_class.iter().filter(|(_, m)| *m <= g as f64).count();
+                (g, within as f64 / n)
+            })
+            .collect()
+    }
+
+    /// Mean reciprocal rank (a scalar summary useful in ablations).
+    pub fn mrr(&self) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        self.ranks.iter().map(|&r| 1.0 / r as f64).sum::<f64>() / self.ranks.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(ranked: &[usize]) -> RankedPrediction {
+        RankedPrediction {
+            ranked: ranked.to_vec(),
+            votes: vec![1; ranked.len()],
+        }
+    }
+
+    fn toy_report() -> EvalReport {
+        // 4 samples over 3 classes.
+        let predictions = vec![
+            pred(&[0, 1, 2]), // true 0 → rank 1
+            pred(&[1, 0, 2]), // true 0 → rank 2
+            pred(&[2, 1, 0]), // true 1 → rank 2
+            pred(&[0, 2]),    // true 1 → miss → rank 4
+        ];
+        let labels = vec![0, 0, 1, 1];
+        EvalReport::from_predictions(&predictions, &labels, 3)
+    }
+
+    #[test]
+    fn top_n_accuracy_counts_hits() {
+        let r = toy_report();
+        assert_eq!(r.top_n_accuracy(1), 0.25);
+        assert_eq!(r.top_n_accuracy(2), 0.75);
+        assert_eq!(r.top_n_accuracy(3), 0.75); // the miss never hits
+        assert_eq!(r.n_samples(), 4);
+    }
+
+    #[test]
+    fn accuracy_curve_is_monotone() {
+        let r = toy_report();
+        let curve = r.accuracy_curve(3);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn smallest_n_search() {
+        let r = toy_report();
+        assert_eq!(r.smallest_n_for(0.7), Some(2));
+        assert_eq!(r.smallest_n_for(0.76), None);
+        assert_eq!(r.smallest_n_for(0.1), Some(1));
+    }
+
+    #[test]
+    fn per_class_guesses_and_cdf() {
+        let r = toy_report();
+        let per = r.per_class_mean_guesses();
+        // Class 0: (1+2)/2 = 1.5; class 1: (2+4)/2 = 3; class 2 absent.
+        assert_eq!(per, vec![(0, 1.5), (1, 3.0)]);
+        let cdf = r.guess_cdf(4);
+        assert_eq!(cdf[0], (1, 0.0)); // no class within 1 guess
+        assert_eq!(cdf[1], (2, 0.5)); // class 0 within 2
+        assert_eq!(cdf[3], (4, 1.0)); // both within 4
+    }
+
+    #[test]
+    fn mrr_value() {
+        let r = toy_report();
+        let expect = (1.0 + 0.5 + 0.5 + 0.25) / 4.0;
+        assert!((r.mrr() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = EvalReport::from_predictions(&[], &[], 5);
+        assert_eq!(r.top_n_accuracy(1), 0.0);
+        assert_eq!(r.mrr(), 0.0);
+        assert!(r.per_class_mean_guesses().is_empty());
+    }
+}

@@ -1,0 +1,549 @@
+//! The adaptive-fingerprinting pipeline (Figure 2): provisioning,
+//! fingerprinting and adaptation.
+//!
+//! - **Provisioning** (once, expensive): train the embedding model on
+//!   pairs from a labeled corpus.
+//! - **Fingerprinting** (cheap, repeated): embed a captured trace and
+//!   classify it against the reference set with kNN.
+//! - **Adaptation** (cheap, repeated): when pages change or new pages
+//!   appear, re-embed a handful of fresh traces and swap them into the
+//!   reference set. The model is never retrained.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use tlsfp_nn::embedding::{EmbedderConfig, SequenceEmbedder};
+use tlsfp_nn::optim::Sgd;
+use tlsfp_nn::pairs::{random_pairs, semi_hard_pairs, ClassIndex};
+use tlsfp_nn::parallel::map_elems;
+use tlsfp_nn::seq::SeqInput;
+use tlsfp_nn::siamese::SiameseTrainer;
+use tlsfp_trace::dataset::Dataset;
+
+use crate::error::{CoreError, Result};
+use crate::knn::{KnnClassifier, RankedPrediction};
+use crate::metrics::EvalReport;
+use crate::reference::ReferenceSet;
+
+/// Everything that parameterizes provisioning and classification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Embedding-network architecture.
+    pub embedder: EmbedderConfig,
+    /// Contrastive-loss margin (10 in Table I).
+    pub margin: f32,
+    /// Pairs per SGD step (512 in Table I).
+    pub batch_size: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Pairs sampled per epoch.
+    pub pairs_per_epoch: usize,
+    /// SGD learning rate (0.001 in Table I).
+    pub learning_rate: f32,
+    /// SGD momentum (0 = Table I's plain SGD).
+    pub momentum: f32,
+    /// From this epoch onwards, pairs are mined semi-hard instead of
+    /// uniformly (`None` = always uniform).
+    pub semi_hard_from_epoch: Option<usize>,
+    /// kNN neighbourhood size (250 in the paper).
+    pub k: usize,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+}
+
+impl PipelineConfig {
+    /// Table I's configuration for `channels` IP sequences, at a
+    /// laptop-scale epoch budget.
+    pub fn paper(channels: usize) -> Self {
+        PipelineConfig {
+            embedder: EmbedderConfig::paper(channels),
+            margin: 10.0,
+            batch_size: 512,
+            epochs: 30,
+            pairs_per_epoch: 8_192,
+            learning_rate: 0.001,
+            momentum: 0.0,
+            semi_hard_from_epoch: None,
+            k: 250,
+            threads: 0,
+        }
+    }
+
+    /// A fast configuration for tests, examples and scaled-down
+    /// experiment runs (3-channel Wikipedia encoding). Hyperparameters
+    /// were tuned on a held-out synthetic corpus; see EXPERIMENTS.md.
+    pub fn small() -> Self {
+        PipelineConfig {
+            embedder: EmbedderConfig {
+                input_size: 3,
+                lstm_hidden: 24,
+                hidden_layers: vec![96, 96],
+                output_size: 24,
+                ..EmbedderConfig::small(3)
+            },
+            margin: 4.0,
+            batch_size: 128,
+            epochs: 40,
+            pairs_per_epoch: 2_048,
+            learning_rate: 0.03,
+            momentum: 0.9,
+            semi_hard_from_epoch: Some(6),
+            k: 15,
+            threads: 0,
+        }
+    }
+
+    /// The two-sequence variant of [`PipelineConfig::small`] (§VI-D).
+    pub fn small_two_seq() -> Self {
+        let mut cfg = PipelineConfig::small();
+        cfg.embedder.input_size = 2;
+        cfg
+    }
+}
+
+/// Per-epoch training diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingLog {
+    /// Mean contrastive loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Wall-clock seconds spent training.
+    pub train_seconds: f64,
+}
+
+/// A provisioned adaptive-fingerprinting deployment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaptiveFingerprinter {
+    embedder: SequenceEmbedder,
+    reference: ReferenceSet,
+    knn: KnnClassifier,
+    threads: usize,
+    log: TrainingLog,
+}
+
+impl AdaptiveFingerprinter {
+    /// Provisions a deployment: trains the embedding model on `train`
+    /// and initializes the reference set from the same data (call
+    /// [`AdaptiveFingerprinter::set_reference`] to point it elsewhere,
+    /// as Exp. 2 does with Set C).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadDataset`] for empty/degenerate training
+    /// data and configuration errors from the substrate.
+    pub fn provision(train: &Dataset, config: &PipelineConfig, seed: u64) -> Result<Self> {
+        if train.is_empty() {
+            return Err(CoreError::BadDataset("empty training set".into()));
+        }
+        if train.channels() != config.embedder.input_size {
+            return Err(CoreError::BadDataset(format!(
+                "dataset has {} channels but the embedder expects {}",
+                train.channels(),
+                config.embedder.input_size
+            )));
+        }
+        let mut embedder = SequenceEmbedder::new(config.embedder.clone(), seed)?;
+        let log = train_embedder(&mut embedder, train, config, seed)?;
+
+        let mut fp = AdaptiveFingerprinter {
+            embedder,
+            reference: ReferenceSet::new(config.embedder.output_size, train.n_classes()),
+            knn: KnnClassifier::new(config.k),
+            threads: config.threads,
+            log,
+        };
+        fp.set_reference(train)?;
+        Ok(fp)
+    }
+
+    /// Builds a deployment around an already-trained embedder (model
+    /// reuse across experiments, or a deserialized model).
+    pub fn from_trained(embedder: SequenceEmbedder, k: usize, threads: usize) -> Self {
+        let dim = embedder.output_size();
+        AdaptiveFingerprinter {
+            embedder,
+            reference: ReferenceSet::new(dim, 0),
+            knn: KnnClassifier::new(k),
+            threads,
+            log: TrainingLog {
+                epoch_losses: Vec::new(),
+                train_seconds: 0.0,
+            },
+        }
+    }
+
+    /// The trained embedding model.
+    pub fn embedder(&self) -> &SequenceEmbedder {
+        &self.embedder
+    }
+
+    /// The current reference set.
+    pub fn reference(&self) -> &ReferenceSet {
+        &self.reference
+    }
+
+    /// Training diagnostics from provisioning.
+    pub fn training_log(&self) -> &TrainingLog {
+        &self.log
+    }
+
+    /// kNN neighbourhood size in use.
+    pub fn k(&self) -> usize {
+        self.knn.k
+    }
+
+    /// Replaces the whole reference set with embeddings of `data`
+    /// (initialization, step 2 of Figure 2). The label space becomes
+    /// `data.n_classes()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadDataset`] on shape mismatch.
+    pub fn set_reference(&mut self, data: &Dataset) -> Result<()> {
+        if data.channels() != self.embedder.input_size() {
+            return Err(CoreError::BadDataset(format!(
+                "reference data has {} channels, embedder expects {}",
+                data.channels(),
+                self.embedder.input_size()
+            )));
+        }
+        let embeddings = self.embed_all(data.seqs());
+        let mut reference = ReferenceSet::new(self.embedder.output_size(), data.n_classes());
+        reference.add_all(data.labels(), embeddings)?;
+        self.reference = reference;
+        Ok(())
+    }
+
+    /// Adaptation (§IV-C): replaces one class's reference points with
+    /// embeddings of freshly-crawled traces. No retraining happens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ClassOutOfRange`] for a bad class id.
+    pub fn update_class(&mut self, class: usize, fresh_traces: &[SeqInput]) -> Result<usize> {
+        let embeddings = self.embed_all(fresh_traces);
+        self.reference.swap_class(class, embeddings)
+    }
+
+    /// Adds a brand-new webpage to the monitored set and returns its
+    /// class id — possible without retraining because the embedder is
+    /// class-agnostic.
+    pub fn add_class(&mut self, traces: &[SeqInput]) -> Result<usize> {
+        let class = self.reference.allocate_class();
+        let embeddings = self.embed_all(traces);
+        for e in embeddings {
+            self.reference.add(class, e)?;
+        }
+        Ok(class)
+    }
+
+    /// Embeds and classifies one captured trace (steps 3–4 of Figure 2).
+    pub fn fingerprint(&self, trace: &SeqInput) -> RankedPrediction {
+        let emb = self.embedder.embed(trace);
+        self.knn.classify(&emb, &self.reference)
+    }
+
+    /// Open-world fingerprinting (§VI-C): returns `None` when the trace
+    /// is an outlier — farther from every reference point than
+    /// `threshold` — signalling a page outside the monitored set.
+    /// Calibrate the threshold with
+    /// [`AdaptiveFingerprinter::calibrate_rejection_threshold`].
+    pub fn fingerprint_open_world(
+        &self,
+        trace: &SeqInput,
+        threshold: f32,
+    ) -> Option<RankedPrediction> {
+        let emb = self.embedder.embed(trace);
+        self.knn.classify_open_world(&emb, &self.reference, threshold)
+    }
+
+    /// Calibrates an open-world rejection threshold from held-out
+    /// *known* traces: the `percentile` (0–100) of their nearest-
+    /// reference distances. A 95th-percentile threshold accepts ~95% of
+    /// monitored-page loads while rejecting far-away unknowns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadDataset`] if `known` is empty.
+    pub fn calibrate_rejection_threshold(
+        &self,
+        known: &Dataset,
+        percentile: f64,
+    ) -> Result<f32> {
+        if known.is_empty() {
+            return Err(CoreError::BadDataset(
+                "cannot calibrate on an empty dataset".into(),
+            ));
+        }
+        let embeddings = self.embed_all(known.seqs());
+        let mut scores: Vec<f32> = embeddings
+            .iter()
+            .map(|e| self.knn.outlier_score(e, &self.reference))
+            .collect();
+        scores.sort_by(f32::total_cmp);
+        let idx = ((percentile.clamp(0.0, 100.0) / 100.0) * (scores.len() - 1) as f64).round()
+            as usize;
+        Ok(scores[idx])
+    }
+
+    /// Embeds a batch of traces in parallel.
+    pub fn embed_all(&self, traces: &[SeqInput]) -> Vec<Vec<f32>> {
+        let embedder = &self.embedder;
+        map_elems(traces, self.threads_or_default(), |t| embedder.embed(t))
+    }
+
+    /// Evaluates against a labeled test set, producing the full report
+    /// (top-N curves, per-class guesses, CDFs).
+    pub fn evaluate(&self, test: &Dataset) -> EvalReport {
+        let embeddings = self.embed_all(test.seqs());
+        let predictions =
+            self.knn
+                .classify_all(&embeddings, &self.reference, self.threads_or_default());
+        EvalReport::from_predictions(&predictions, test.labels(), self.reference.n_classes())
+    }
+
+    /// Serializes the whole deployment (model + reference set) to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Serialization`] on failure.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| CoreError::Serialization(e.to_string()))
+    }
+
+    /// Restores a deployment from [`AdaptiveFingerprinter::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Serialization`] on failure.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json).map_err(|e| CoreError::Serialization(e.to_string()))
+    }
+
+    fn threads_or_default(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Trains an embedder on a dataset per the config; returns diagnostics.
+///
+/// # Errors
+///
+/// Returns [`CoreError::BadDataset`] if no positive or negative pairs
+/// can be formed.
+pub fn train_embedder(
+    embedder: &mut SequenceEmbedder,
+    train: &Dataset,
+    config: &PipelineConfig,
+    seed: u64,
+) -> Result<TrainingLog> {
+    let index = ClassIndex::from_labels(train.labels());
+    if index.pairable_classes().is_empty() {
+        return Err(CoreError::BadDataset(
+            "no class has two samples; cannot form positive pairs".into(),
+        ));
+    }
+    if train.n_classes() < 2 {
+        return Err(CoreError::BadDataset(
+            "need at least two classes for negative pairs".into(),
+        ));
+    }
+
+    let trainer = SiameseTrainer {
+        loss: tlsfp_nn::loss::ContrastiveLoss::new(config.margin),
+        batch_size: config.batch_size,
+        threads: config.threads,
+    };
+    let mut opt = Sgd::with_momentum(config.learning_rate, config.momentum).clip(5.0);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0xDEAD_BEEF));
+
+    let start = std::time::Instant::now();
+    let mut epoch_losses = Vec::with_capacity(config.epochs);
+    for epoch in 0..config.epochs {
+        let pairs = match config.semi_hard_from_epoch {
+            Some(from) if epoch >= from => {
+                let frozen: &SequenceEmbedder = embedder;
+                let embeddings = map_elems(train.seqs(), config.threads, |s| frozen.embed(s));
+                semi_hard_pairs(
+                    &embeddings,
+                    &index,
+                    config.margin,
+                    config.pairs_per_epoch / 2,
+                    16,
+                    &mut rng,
+                )
+            }
+            _ => random_pairs(&index, config.pairs_per_epoch, 0.5, &mut rng),
+        };
+        let stats = trainer.train_epoch(embedder, train.seqs(), &pairs, &mut opt, epoch as u64);
+        epoch_losses.push(stats.mean_loss);
+    }
+    Ok(TrainingLog {
+        epoch_losses,
+        train_seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use tlsfp_trace::tensorize::TensorConfig;
+    use tlsfp_web::corpus::CorpusSpec;
+
+    use super::*;
+
+    fn small_corpus(classes: usize, traces: usize, seed: u64) -> Dataset {
+        let (_, ds) = Dataset::generate(
+            &CorpusSpec::wiki_like(classes, traces),
+            &TensorConfig::wiki(),
+            seed,
+        )
+        .unwrap();
+        ds
+    }
+
+    fn tiny_config() -> PipelineConfig {
+        let mut cfg = PipelineConfig::small();
+        cfg.epochs = 30;
+        cfg.pairs_per_epoch = 1_024;
+        cfg.embedder.hidden_layers = vec![48, 48];
+        cfg.embedder.lstm_hidden = 16;
+        cfg.embedder.output_size = 16;
+        cfg.k = 10;
+        cfg
+    }
+
+    #[test]
+    fn provision_and_classify_beats_chance_soundly() {
+        let ds = small_corpus(8, 12, 3);
+        let (train, test) = ds.split_per_class(0.25, 0);
+        let fp = AdaptiveFingerprinter::provision(&train, &tiny_config(), 7).unwrap();
+        let report = fp.evaluate(&test);
+        let top1 = report.top_n_accuracy(1);
+        // Chance is 1/8 = 0.125; the embedder should do much better.
+        assert!(top1 > 0.5, "top-1 accuracy only {top1}");
+        // Loss decreased during training.
+        let log = fp.training_log();
+        assert!(log.epoch_losses.last().unwrap() < log.epoch_losses.first().unwrap());
+    }
+
+    #[test]
+    fn unseen_class_reference_swap_works() {
+        // Train on 6 classes, then point the reference at 4 *different*
+        // classes the model never saw (Exp. 2's structure).
+        let ds = small_corpus(10, 12, 5);
+        let split = ds.figure5(6, 0.25, 1).unwrap();
+        let mut fp = AdaptiveFingerprinter::provision(&split.set_a, &tiny_config(), 7).unwrap();
+        fp.set_reference(&split.set_c).unwrap();
+        let report = fp.evaluate(&split.set_d);
+        let top1 = report.top_n_accuracy(1);
+        assert!(top1 > 0.4, "unseen-class top-1 only {top1} (chance 0.25)");
+    }
+
+    #[test]
+    fn adaptation_updates_single_class() {
+        let ds = small_corpus(5, 10, 9);
+        let (train, test) = ds.split_per_class(0.3, 0);
+        let mut fp = AdaptiveFingerprinter::provision(&train, &tiny_config(), 7).unwrap();
+        let before = fp.reference().class_count(2);
+        assert!(before > 0);
+        // Swap class 2's reference points with some test traces.
+        let fresh: Vec<SeqInput> = test
+            .iter()
+            .filter(|(l, _)| *l == 2)
+            .map(|(_, s)| s.clone())
+            .collect();
+        let removed = fp.update_class(2, &fresh).unwrap();
+        assert_eq!(removed, before);
+        assert_eq!(fp.reference().class_count(2), fresh.len());
+    }
+
+    #[test]
+    fn add_class_extends_label_space() {
+        let ds = small_corpus(4, 8, 11);
+        let mut fp = AdaptiveFingerprinter::provision(&ds, &tiny_config(), 7).unwrap();
+        assert_eq!(fp.reference().n_classes(), 4);
+        let new_traces: Vec<SeqInput> = ds.seqs()[..3].to_vec();
+        let id = fp.add_class(&new_traces).unwrap();
+        assert_eq!(id, 4);
+        assert_eq!(fp.reference().n_classes(), 5);
+        assert_eq!(fp.reference().class_count(4), 3);
+    }
+
+    #[test]
+    fn open_world_rejection_separates_monitored_from_foreign() {
+        // Monitor 5 pages of one site; loads of a *different* site must
+        // mostly be rejected while monitored loads mostly classify.
+        let monitored = small_corpus(5, 12, 17);
+        let (train, test) = monitored.split_per_class(0.3, 0);
+        let fp = AdaptiveFingerprinter::provision(&train, &tiny_config(), 7).unwrap();
+        let threshold = fp.calibrate_rejection_threshold(&test, 95.0).unwrap();
+        assert!(threshold.is_finite() && threshold > 0.0);
+
+        let accepted_known = test
+            .seqs()
+            .iter()
+            .filter(|t| fp.fingerprint_open_world(t, threshold).is_some())
+            .count();
+        assert!(
+            accepted_known as f64 >= 0.7 * test.len() as f64,
+            "only {accepted_known}/{} known traces accepted",
+            test.len()
+        );
+
+        // A foreign site (github-like: different theme, protocol,
+        // hosting) should trip the outlier detector far more often.
+        let (_, foreign) = Dataset::generate(
+            &CorpusSpec::github_like(5, 6),
+            &TensorConfig::wiki(),
+            99,
+        )
+        .unwrap();
+        let accepted_foreign = foreign
+            .seqs()
+            .iter()
+            .filter(|t| fp.fingerprint_open_world(t, threshold).is_some())
+            .count();
+        assert!(
+            accepted_foreign < foreign.len(),
+            "every foreign trace was accepted"
+        );
+    }
+
+    #[test]
+    fn provision_rejects_bad_inputs() {
+        let empty = Dataset::new(3, 3, 60);
+        assert!(matches!(
+            AdaptiveFingerprinter::provision(&empty, &tiny_config(), 0),
+            Err(CoreError::BadDataset(_))
+        ));
+        // Channel mismatch.
+        let ds = small_corpus(3, 4, 0);
+        let mut cfg = tiny_config();
+        cfg.embedder.input_size = 2;
+        assert!(matches!(
+            AdaptiveFingerprinter::provision(&ds, &cfg, 0),
+            Err(CoreError::BadDataset(_))
+        ));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_behaviour() {
+        let ds = small_corpus(4, 8, 13);
+        let fp = AdaptiveFingerprinter::provision(&ds, &tiny_config(), 7).unwrap();
+        let json = fp.to_json().unwrap();
+        let back = AdaptiveFingerprinter::from_json(&json).unwrap();
+        let trace = &ds.seqs()[0];
+        assert_eq!(fp.fingerprint(trace), back.fingerprint(trace));
+    }
+
+    #[test]
+    fn paper_config_matches_table_one() {
+        let cfg = PipelineConfig::paper(3);
+        assert_eq!(cfg.margin, 10.0);
+        assert_eq!(cfg.batch_size, 512);
+        assert_eq!(cfg.learning_rate, 0.001);
+        assert_eq!(cfg.k, 250);
+        assert_eq!(cfg.embedder.lstm_hidden, 30);
+        assert_eq!(cfg.embedder.output_size, 32);
+    }
+}

@@ -1,0 +1,234 @@
+//! The adversary's reference set: labeled embeddings that anchor the
+//! kNN classifier (steps 1–2 of Figure 2).
+//!
+//! The whole point of the paper's design is that this set — not the
+//! model — is what gets updated when webpages change: swapping a class's
+//! reference samples is a handful of embeddings, not a retraining run.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CoreError, Result};
+
+/// A store of labeled reference embeddings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReferenceSet {
+    dim: usize,
+    n_classes: usize,
+    embeddings: Vec<Vec<f32>>,
+    labels: Vec<usize>,
+}
+
+impl ReferenceSet {
+    /// An empty reference set for embeddings of dimension `dim` over
+    /// `n_classes` classes.
+    pub fn new(dim: usize, n_classes: usize) -> Self {
+        ReferenceSet {
+            dim,
+            n_classes,
+            embeddings: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Size of the label space.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Number of stored reference points.
+    pub fn len(&self) -> usize {
+        self.embeddings.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.embeddings.is_empty()
+    }
+
+    /// Stored embeddings (aligned with [`ReferenceSet::labels`]).
+    pub fn embeddings(&self) -> &[Vec<f32>] {
+        &self.embeddings
+    }
+
+    /// Stored labels (aligned with [`ReferenceSet::embeddings`]).
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Adds one reference point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ClassOutOfRange`] or a dimension error.
+    pub fn add(&mut self, class: usize, embedding: Vec<f32>) -> Result<()> {
+        if class >= self.n_classes {
+            return Err(CoreError::ClassOutOfRange {
+                class,
+                n_classes: self.n_classes,
+            });
+        }
+        if embedding.len() != self.dim {
+            return Err(CoreError::BadDataset(format!(
+                "embedding dim {} does not match reference dim {}",
+                embedding.len(),
+                self.dim
+            )));
+        }
+        self.embeddings.push(embedding);
+        self.labels.push(class);
+        Ok(())
+    }
+
+    /// Adds many points with the same interface as [`ReferenceSet::add`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ReferenceSet::add`]; fails fast on the first bad point.
+    pub fn add_all(&mut self, classes: &[usize], embeddings: Vec<Vec<f32>>) -> Result<()> {
+        if classes.len() != embeddings.len() {
+            return Err(CoreError::BadDataset(format!(
+                "{} labels for {} embeddings",
+                classes.len(),
+                embeddings.len()
+            )));
+        }
+        for (&c, e) in classes.iter().zip(embeddings) {
+            self.add(c, e)?;
+        }
+        Ok(())
+    }
+
+    /// Number of reference points for `class`.
+    pub fn class_count(&self, class: usize) -> usize {
+        self.labels.iter().filter(|&&l| l == class).count()
+    }
+
+    /// Classes with at least one reference point.
+    pub fn populated_classes(&self) -> usize {
+        let mut seen = vec![false; self.n_classes];
+        for &l in &self.labels {
+            seen[l] = true;
+        }
+        seen.into_iter().filter(|&s| s).count()
+    }
+
+    /// Removes every reference point of `class` (first half of the §IV-C
+    /// adaptation swap). Returns how many points were dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ClassOutOfRange`] for a bad class.
+    pub fn remove_class(&mut self, class: usize) -> Result<usize> {
+        if class >= self.n_classes {
+            return Err(CoreError::ClassOutOfRange {
+                class,
+                n_classes: self.n_classes,
+            });
+        }
+        let before = self.len();
+        let mut kept_e = Vec::with_capacity(before);
+        let mut kept_l = Vec::with_capacity(before);
+        for (e, &l) in self.embeddings.drain(..).zip(&self.labels) {
+            if l != class {
+                kept_e.push(e);
+                kept_l.push(l);
+            }
+        }
+        self.embeddings = kept_e;
+        self.labels = kept_l;
+        Ok(before - self.len())
+    }
+
+    /// Replaces a class's reference points with fresh ones — the paper's
+    /// adaptation step: no retraining, just new embeddings.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReferenceSet::remove_class`] / [`ReferenceSet::add`].
+    pub fn swap_class(&mut self, class: usize, embeddings: Vec<Vec<f32>>) -> Result<usize> {
+        let removed = self.remove_class(class)?;
+        for e in embeddings {
+            self.add(class, e)?;
+        }
+        Ok(removed)
+    }
+
+    /// Grows the label space to accommodate new webpages and returns the
+    /// freshly-allocated class id.
+    pub fn allocate_class(&mut self) -> usize {
+        self.n_classes += 1;
+        self.n_classes - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled() -> ReferenceSet {
+        let mut r = ReferenceSet::new(2, 3);
+        r.add(0, vec![0.0, 0.0]).unwrap();
+        r.add(0, vec![0.1, 0.0]).unwrap();
+        r.add(1, vec![1.0, 1.0]).unwrap();
+        r.add(2, vec![2.0, 2.0]).unwrap();
+        r
+    }
+
+    #[test]
+    fn add_and_count() {
+        let r = filled();
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.class_count(0), 2);
+        assert_eq!(r.class_count(1), 1);
+        assert_eq!(r.populated_classes(), 3);
+    }
+
+    #[test]
+    fn add_validates() {
+        let mut r = ReferenceSet::new(2, 2);
+        assert!(matches!(
+            r.add(7, vec![0.0, 0.0]),
+            Err(CoreError::ClassOutOfRange { class: 7, .. })
+        ));
+        assert!(r.add(0, vec![0.0]).is_err());
+        assert!(r.add_all(&[0], vec![vec![0.0, 0.0], vec![1.0, 1.0]]).is_err());
+    }
+
+    #[test]
+    fn swap_class_replaces_only_that_class() {
+        let mut r = filled();
+        let removed = r
+            .swap_class(0, vec![vec![9.0, 9.0], vec![8.0, 8.0], vec![7.0, 7.0]])
+            .unwrap();
+        assert_eq!(removed, 2);
+        assert_eq!(r.class_count(0), 3);
+        assert_eq!(r.class_count(1), 1);
+        assert_eq!(r.class_count(2), 1);
+        // New embeddings actually present.
+        assert!(r.embeddings().iter().any(|e| e == &vec![9.0, 9.0]));
+        assert!(!r.embeddings().iter().any(|e| e == &vec![0.1, 0.0]));
+    }
+
+    #[test]
+    fn allocate_class_extends_label_space() {
+        let mut r = filled();
+        let id = r.allocate_class();
+        assert_eq!(id, 3);
+        assert_eq!(r.n_classes(), 4);
+        r.add(3, vec![5.0, 5.0]).unwrap();
+        assert_eq!(r.class_count(3), 1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = filled();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ReferenceSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,317 @@
+//! Packet captures: what the on-path adversary records.
+//!
+//! A [`Capture`] is the paper's unit of raw data — one page load's worth
+//! of packets as tcpdump would see them. Only metadata visible to a
+//! passive eavesdropper is modeled: timestamps, endpoint IPs and wire
+//! lengths. Payloads are encrypted TLS records, so their *content* never
+//! matters — only their sizes and ordering.
+//!
+//! Captures serialize to genuine little-endian pcap (v2.4) with
+//! synthesized Ethernet/IPv4/TCP headers, so external tooling can read
+//! them.
+
+use std::net::Ipv4Addr;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{NetError, Result};
+
+/// Direction of a transmission relative to the browsing client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Client (browser) → server.
+    Upstream,
+    /// Server → client.
+    Downstream,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Self {
+        match self {
+            Direction::Upstream => Direction::Downstream,
+            Direction::Downstream => Direction::Upstream,
+        }
+    }
+}
+
+/// One observed packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Microseconds since the start of the capture.
+    pub timestamp_us: u64,
+    /// Source IP address.
+    pub src: Ipv4Addr,
+    /// Destination IP address.
+    pub dst: Ipv4Addr,
+    /// TCP payload bytes carried (0 for pure ACKs / handshake segments).
+    pub payload_len: u32,
+}
+
+/// A full page-load capture.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Capture {
+    /// The client's IP address (the "first sequence" of Figure 4).
+    pub client: Ipv4Addr,
+    /// Packets ordered by timestamp.
+    pub packets: Vec<Packet>,
+}
+
+impl Capture {
+    /// Creates an empty capture for a client.
+    pub fn new(client: Ipv4Addr) -> Self {
+        Capture {
+            client,
+            packets: Vec::new(),
+        }
+    }
+
+    /// Appends a packet (call [`Capture::sort_by_time`] afterwards if
+    /// insertion order is not chronological).
+    pub fn push(&mut self, packet: Packet) {
+        self.packets.push(packet);
+    }
+
+    /// Restores the chronological invariant (stable, so equal timestamps
+    /// keep insertion order).
+    pub fn sort_by_time(&mut self) {
+        self.packets.sort_by_key(|p| p.timestamp_us);
+    }
+
+    /// Number of packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Whether the capture holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Total payload bytes in both directions.
+    pub fn total_payload(&self) -> u64 {
+        self.packets.iter().map(|p| p.payload_len as u64).sum()
+    }
+
+    /// Payload bytes sent *by* `ip`.
+    pub fn payload_from(&self, ip: Ipv4Addr) -> u64 {
+        self.packets
+            .iter()
+            .filter(|p| p.src == ip)
+            .map(|p| p.payload_len as u64)
+            .sum()
+    }
+
+    /// Distinct server IPs (every endpoint other than the client), in
+    /// order of first transmission.
+    pub fn servers(&self) -> Vec<Ipv4Addr> {
+        let mut seen = Vec::new();
+        for p in &self.packets {
+            for ip in [p.src, p.dst] {
+                if ip != self.client && !seen.contains(&ip) {
+                    seen.push(ip);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Direction of a packet relative to the capture's client.
+    pub fn direction_of(&self, packet: &Packet) -> Direction {
+        if packet.src == self.client {
+            Direction::Upstream
+        } else {
+            Direction::Downstream
+        }
+    }
+
+    /// Capture duration in microseconds (0 if fewer than 2 packets).
+    pub fn duration_us(&self) -> u64 {
+        match (self.packets.first(), self.packets.last()) {
+            (Some(a), Some(b)) => b.timestamp_us.saturating_sub(a.timestamp_us),
+            _ => 0,
+        }
+    }
+
+    /// Serializes to classic little-endian pcap v2.4 with synthesized
+    /// Ethernet/IPv4/TCP headers. Payload bytes are not materialized;
+    /// each record's `orig_len` reports the true wire length while
+    /// `incl_len` covers only the 54 header bytes (like `tcpdump -s 54`).
+    pub fn to_pcap(&self) -> Bytes {
+        const HDRS: usize = 14 + 20 + 20;
+        let mut buf = BytesMut::with_capacity(24 + self.packets.len() * (16 + HDRS));
+        // Global header.
+        buf.put_u32_le(0xa1b2_c3d4); // magic (µs timestamps)
+        buf.put_u16_le(2); // major
+        buf.put_u16_le(4); // minor
+        buf.put_i32_le(0); // thiszone
+        buf.put_u32_le(0); // sigfigs
+        buf.put_u32_le(HDRS as u32); // snaplen
+        buf.put_u32_le(1); // linktype: Ethernet
+
+        for p in &self.packets {
+            buf.put_u32_le((p.timestamp_us / 1_000_000) as u32);
+            buf.put_u32_le((p.timestamp_us % 1_000_000) as u32);
+            buf.put_u32_le(HDRS as u32); // incl_len
+            buf.put_u32_le(HDRS as u32 + p.payload_len); // orig_len
+
+            // Ethernet: zero MACs, ethertype IPv4.
+            buf.put_bytes(0, 12);
+            buf.put_u16(0x0800);
+            // IPv4 header (big-endian fields).
+            buf.put_u8(0x45); // version + IHL
+            buf.put_u8(0); // DSCP
+            buf.put_u16(40 + p.payload_len.min(u32::from(u16::MAX) - 40) as u16); // total length
+            buf.put_u16(0); // id
+            buf.put_u16(0x4000); // don't fragment
+            buf.put_u8(64); // TTL
+            buf.put_u8(6); // protocol: TCP
+            buf.put_u16(0); // checksum (unset)
+            buf.put_slice(&p.src.octets());
+            buf.put_slice(&p.dst.octets());
+            // TCP header.
+            let (sport, dport) = if p.src == self.client {
+                (49152u16, 443u16)
+            } else {
+                (443u16, 49152u16)
+            };
+            buf.put_u16(sport);
+            buf.put_u16(dport);
+            buf.put_u32(0); // seq
+            buf.put_u32(0); // ack
+            buf.put_u8(0x50); // data offset
+            buf.put_u8(0x10); // ACK flag
+            buf.put_u16(0xffff); // window
+            buf.put_u16(0); // checksum
+            buf.put_u16(0); // urgent
+        }
+        buf.freeze()
+    }
+
+    /// Parses a capture produced by [`Capture::to_pcap`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::PcapParse`] on truncated or foreign input.
+    /// The client IP must be supplied because pcap does not record it;
+    /// pass the address used at capture time.
+    pub fn from_pcap(mut data: &[u8], client: Ipv4Addr) -> Result<Self> {
+        const HDRS: usize = 14 + 20 + 20;
+        if data.len() < 24 {
+            return Err(NetError::PcapParse("truncated global header".into()));
+        }
+        let magic = data.get_u32_le();
+        if magic != 0xa1b2_c3d4 {
+            return Err(NetError::PcapParse(format!("bad magic 0x{magic:08x}")));
+        }
+        data.advance(20); // rest of global header
+        let mut capture = Capture::new(client);
+        while !data.is_empty() {
+            if data.len() < 16 {
+                return Err(NetError::PcapParse("truncated record header".into()));
+            }
+            let ts_sec = data.get_u32_le() as u64;
+            let ts_usec = data.get_u32_le() as u64;
+            let incl_len = data.get_u32_le() as usize;
+            let orig_len = data.get_u32_le() as usize;
+            if data.len() < incl_len || incl_len < HDRS {
+                return Err(NetError::PcapParse("truncated packet record".into()));
+            }
+            let frame = &data[..incl_len];
+            let src = Ipv4Addr::new(frame[26], frame[27], frame[28], frame[29]);
+            let dst = Ipv4Addr::new(frame[30], frame[31], frame[32], frame[33]);
+            data.advance(incl_len);
+            capture.push(Packet {
+                timestamp_us: ts_sec * 1_000_000 + ts_usec,
+                src,
+                dst,
+                payload_len: (orig_len - HDRS) as u32,
+            });
+        }
+        Ok(capture)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    fn sample_capture() -> Capture {
+        let mut c = Capture::new(ip(1));
+        c.push(Packet {
+            timestamp_us: 0,
+            src: ip(1),
+            dst: ip(2),
+            payload_len: 300,
+        });
+        c.push(Packet {
+            timestamp_us: 100,
+            src: ip(2),
+            dst: ip(1),
+            payload_len: 1460,
+        });
+        c.push(Packet {
+            timestamp_us: 250,
+            src: ip(3),
+            dst: ip(1),
+            payload_len: 900,
+        });
+        c
+    }
+
+    #[test]
+    fn accounting() {
+        let c = sample_capture();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.total_payload(), 2660);
+        assert_eq!(c.payload_from(ip(2)), 1460);
+        assert_eq!(c.servers(), vec![ip(2), ip(3)]);
+        assert_eq!(c.duration_us(), 250);
+        assert_eq!(c.direction_of(&c.packets[0]), Direction::Upstream);
+        assert_eq!(c.direction_of(&c.packets[1]), Direction::Downstream);
+    }
+
+    #[test]
+    fn sort_restores_chronology() {
+        let mut c = Capture::new(ip(1));
+        c.push(Packet {
+            timestamp_us: 50,
+            src: ip(1),
+            dst: ip(2),
+            payload_len: 1,
+        });
+        c.push(Packet {
+            timestamp_us: 10,
+            src: ip(2),
+            dst: ip(1),
+            payload_len: 2,
+        });
+        c.sort_by_time();
+        assert_eq!(c.packets[0].payload_len, 2);
+    }
+
+    #[test]
+    fn pcap_round_trip() {
+        let c = sample_capture();
+        let bytes = c.to_pcap();
+        let back = Capture::from_pcap(&bytes, ip(1)).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn pcap_rejects_garbage() {
+        assert!(Capture::from_pcap(&[0u8; 10], ip(1)).is_err());
+        assert!(Capture::from_pcap(&[0xff; 64], ip(1)).is_err());
+    }
+
+    #[test]
+    fn direction_flip() {
+        assert_eq!(Direction::Upstream.flip(), Direction::Downstream);
+        assert_eq!(Direction::Downstream.flip(), Direction::Upstream);
+    }
+}

@@ -1,0 +1,39 @@
+//! Error type for the network substrate.
+
+use std::fmt;
+
+/// Errors produced when parsing or validating captures and configs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A pcap buffer was malformed.
+    PcapParse(String),
+    /// A configuration value was invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::PcapParse(msg) => write!(f, "pcap parse error: {msg}"),
+            NetError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(NetError::PcapParse("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+    }
+}

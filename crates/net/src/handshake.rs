@@ -1,0 +1,158 @@
+//! TLS handshake flight modeling.
+//!
+//! The handshake dominates the first round trips of every connection and
+//! its shape differs visibly between protocol versions — one of the
+//! signals the paper's Exp. 3 probes when transferring a model across
+//! versions. Sizes are parameterized around realistic deployments
+//! (certificate chains of a few KB dominate the server's first flight).
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::capture::Direction;
+use crate::record::TlsVersion;
+
+/// Shape parameters for a handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HandshakeProfile {
+    /// Protocol version.
+    pub version: TlsVersion,
+    /// Certificate-chain bytes sent by the server (typically 2–6 KB).
+    pub cert_chain_len: usize,
+    /// Server-name-indication length (the hostname; visible in the
+    /// ClientHello of both versions).
+    pub sni_len: usize,
+    /// Whether an abbreviated / resumed handshake is performed
+    /// (session ticket in 1.2, PSK in 1.3): no certificate flight.
+    pub resumption: bool,
+}
+
+impl HandshakeProfile {
+    /// A typical full handshake for `version` with a ~3 KB chain.
+    pub fn typical(version: TlsVersion) -> Self {
+        HandshakeProfile {
+            version,
+            cert_chain_len: 3_100,
+            sni_len: 16,
+            resumption: false,
+        }
+    }
+
+    /// One handshake flight sequence: `(direction, wire_bytes)` per
+    /// logical segment, in order. Small jitter is applied to extension
+    /// lengths so repeated loads are not byte-identical (as in real
+    /// captures, where ClientHello padding/GREASE vary).
+    pub fn flights<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<(Direction, usize)> {
+        let jitter = |rng: &mut R, base: usize, spread: usize| -> usize {
+            base + rng.random_range(0..=spread)
+        };
+        let mut out = Vec::new();
+        match self.version {
+            TlsVersion::V1_2 => {
+                // ClientHello
+                out.push((
+                    Direction::Upstream,
+                    jitter(rng, 200 + self.sni_len, 32),
+                ));
+                if self.resumption {
+                    // ServerHello + CCS + Finished
+                    out.push((Direction::Downstream, jitter(rng, 150, 16)));
+                    // Client CCS + Finished
+                    out.push((Direction::Upstream, jitter(rng, 57, 8)));
+                } else {
+                    // ServerHello + Certificate + ServerKeyExchange + HelloDone
+                    out.push((
+                        Direction::Downstream,
+                        jitter(rng, 430 + self.cert_chain_len, 48),
+                    ));
+                    // ClientKeyExchange + CCS + Finished
+                    out.push((Direction::Upstream, jitter(rng, 126, 16)));
+                    // Server CCS + Finished
+                    out.push((Direction::Downstream, jitter(rng, 51, 8)));
+                }
+            }
+            TlsVersion::V1_3 => {
+                // ClientHello (key share makes it bigger than 1.2's)
+                out.push((
+                    Direction::Upstream,
+                    jitter(rng, 300 + self.sni_len, 32),
+                ));
+                if self.resumption {
+                    // ServerHello + EncryptedExtensions + Finished
+                    out.push((Direction::Downstream, jitter(rng, 320, 32)));
+                } else {
+                    // ServerHello + EE + Certificate + CertVerify + Finished
+                    out.push((
+                        Direction::Downstream,
+                        jitter(rng, 640 + self.cert_chain_len, 48),
+                    ));
+                }
+                // Client Finished
+                out.push((Direction::Upstream, jitter(rng, 74, 8)));
+            }
+        }
+        out
+    }
+
+    /// Total handshake bytes in both directions (one sample).
+    pub fn total_bytes<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.flights(rng).iter().map(|(_, b)| b).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn full_vs_resumed_sizes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let full = HandshakeProfile::typical(TlsVersion::V1_3);
+        let resumed = HandshakeProfile {
+            resumption: true,
+            ..full
+        };
+        let fb = full.total_bytes(&mut rng);
+        let rb = resumed.total_bytes(&mut rng);
+        assert!(
+            fb > rb + 2000,
+            "full handshake ({fb}) should dwarf resumed ({rb})"
+        );
+    }
+
+    #[test]
+    fn first_flight_is_always_client_hello() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for v in [TlsVersion::V1_2, TlsVersion::V1_3] {
+            let p = HandshakeProfile::typical(v);
+            let flights = p.flights(&mut rng);
+            assert_eq!(flights[0].0, Direction::Upstream);
+            assert!(flights.len() >= 3);
+        }
+    }
+
+    #[test]
+    fn version_shapes_differ() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p12 = HandshakeProfile::typical(TlsVersion::V1_2);
+        let p13 = HandshakeProfile::typical(TlsVersion::V1_3);
+        // 1.2 full handshake has 4 flights; 1.3 has 3.
+        assert_eq!(p12.flights(&mut rng).len(), 4);
+        assert_eq!(p13.flights(&mut rng).len(), 3);
+    }
+
+    #[test]
+    fn jitter_varies_but_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = HandshakeProfile::typical(TlsVersion::V1_2);
+        let sizes: Vec<usize> = (0..50).map(|_| p.flights(&mut rng)[0].1).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max > min, "no jitter observed");
+        assert!(max - min <= 32);
+        assert!(min >= 200 + p.sni_len);
+    }
+}

@@ -1,0 +1,49 @@
+//! # tlsfp-net — TLS and network substrate
+//!
+//! Simulates everything between "the browser wants these bytes" and "the
+//! eavesdropper's pcap": TLS 1.2/1.3 record framing with authentic
+//! per-version overheads, handshake flights, RFC 8446 §5.4 record-padding
+//! policies, TCP segmentation, link timing with jitter and
+//! retransmissions, and pcap-compatible capture serialization.
+//!
+//! The paper collected its datasets with tcpdump on EC2 crawlers; this
+//! crate is the substitution that generates equivalent captures
+//! synthetically (see DESIGN.md §2). Everything an on-path adversary can
+//! observe — packet sizes, order, endpoints, timing — is modeled; nothing
+//! they cannot (plaintext) is.
+//!
+//! ## Example: simulate a page-load connection
+//!
+//! ```
+//! use std::net::Ipv4Addr;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use tlsfp_net::record::TlsVersion;
+//! use tlsfp_net::session::{assemble_capture, SessionConfig, TlsConnection};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let cfg = SessionConfig::typical(TlsVersion::V1_3);
+//! let mut conn = TlsConnection::open(Ipv4Addr::new(93, 184, 216, 34), cfg, 0, &mut rng);
+//! conn.request_response(400, 120_000, 3, 2_000, &mut rng);
+//! let capture = assemble_capture(Ipv4Addr::new(10, 0, 0, 1), vec![conn]);
+//! assert!(capture.total_payload() > 120_000);
+//! let pcap = capture.to_pcap(); // readable by external tooling
+//! assert!(!pcap.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod error;
+pub mod handshake;
+pub mod link;
+pub mod padding;
+pub mod record;
+pub mod session;
+pub mod tcp;
+
+pub use capture::{Capture, Direction, Packet};
+pub use error::{NetError, Result};
+pub use padding::PaddingPolicy;
+pub use record::{RecordLayer, TlsVersion};
+pub use session::{assemble_capture, SessionConfig, TlsConnection};

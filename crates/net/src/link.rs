@@ -1,0 +1,136 @@
+//! A simple link/timing model: latency, bandwidth, jitter and loss.
+//!
+//! Timing is secondary for the paper's attack (the IP sequences encode
+//! ordering, not wall-clock), but the simulator keeps a realistic clock
+//! so interleaving across concurrent connections — which *does* shape
+//! the sequences — emerges naturally, and so retransmissions occur.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Link characteristics between the client and a server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Round-trip time in microseconds.
+    pub rtt_us: u64,
+    /// Throughput in bytes per microsecond (e.g. 12.5 = 100 Mbit/s).
+    pub bytes_per_us: f64,
+    /// Multiplicative jitter bound: each delay is scaled by a uniform
+    /// factor in `[1-jitter, 1+jitter]`.
+    pub jitter: f64,
+    /// Probability that a segment is retransmitted (appears twice).
+    pub retransmit_prob: f64,
+}
+
+impl LinkModel {
+    /// A broadband-ish default: 30 ms RTT, ~100 Mbit/s, 10% jitter,
+    /// 0.5% retransmissions.
+    pub fn broadband() -> Self {
+        LinkModel {
+            rtt_us: 30_000,
+            bytes_per_us: 12.5,
+            jitter: 0.10,
+            retransmit_prob: 0.005,
+        }
+    }
+
+    /// A low-latency datacenter-like link (the EC2 crawlers of §V).
+    pub fn datacenter() -> Self {
+        LinkModel {
+            rtt_us: 2_000,
+            bytes_per_us: 125.0,
+            jitter: 0.05,
+            retransmit_prob: 0.001,
+        }
+    }
+
+    /// One-way propagation delay with jitter applied.
+    pub fn one_way_us<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        self.apply_jitter(self.rtt_us / 2, rng)
+    }
+
+    /// Serialization (transmission) time for `bytes`, with jitter.
+    pub fn transfer_us<R: Rng + ?Sized>(&self, bytes: usize, rng: &mut R) -> u64 {
+        let raw = (bytes as f64 / self.bytes_per_us.max(1e-9)) as u64;
+        self.apply_jitter(raw.max(1), rng)
+    }
+
+    /// Whether the next segment suffers a retransmission.
+    pub fn retransmits<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.retransmit_prob > 0.0 && rng.random::<f64>() < self.retransmit_prob
+    }
+
+    fn apply_jitter<R: Rng + ?Sized>(&self, base_us: u64, rng: &mut R) -> u64 {
+        if self.jitter <= 0.0 {
+            return base_us;
+        }
+        let factor = 1.0 + rng.random_range(-self.jitter..self.jitter);
+        ((base_us as f64) * factor).max(1.0) as u64
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel::broadband()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let link = LinkModel {
+            jitter: 0.0,
+            ..LinkModel::broadband()
+        };
+        let t1 = link.transfer_us(1_000, &mut rng);
+        let t2 = link.transfer_us(100_000, &mut rng);
+        assert!(t2 > t1 * 50, "transfer time should scale: {t1} vs {t2}");
+    }
+
+    #[test]
+    fn jitter_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let link = LinkModel::broadband();
+        for _ in 0..200 {
+            let owd = link.one_way_us(&mut rng);
+            let base = link.rtt_us / 2;
+            assert!(owd >= ((base as f64) * 0.89) as u64);
+            assert!(owd <= ((base as f64) * 1.11) as u64);
+        }
+    }
+
+    #[test]
+    fn retransmission_rate_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let link = LinkModel {
+            retransmit_prob: 0.2,
+            ..LinkModel::broadband()
+        };
+        let hits = (0..2000).filter(|_| link.retransmits(&mut rng)).count();
+        assert!((250..550).contains(&hits), "{hits} retransmissions");
+        let never = LinkModel {
+            retransmit_prob: 0.0,
+            ..LinkModel::broadband()
+        };
+        assert!(!(0..100).any(|_| never.retransmits(&mut rng)));
+    }
+
+    #[test]
+    fn zero_jitter_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let link = LinkModel {
+            jitter: 0.0,
+            ..LinkModel::datacenter()
+        };
+        let a = link.transfer_us(5_000, &mut rng);
+        let b = link.transfer_us(5_000, &mut rng);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,146 @@
+//! TLS 1.3 record-padding policies (RFC 8446 §5.4).
+//!
+//! TLS 1.3 lets the sender append an arbitrary run of zero bytes to each
+//! plaintext before encryption; the spec deliberately leaves the *policy*
+//! open ("Selecting a padding policy … is beyond the scope of this
+//! specification"). This module implements the policies evaluated in the
+//! paper's countermeasure discussion (Section VII):
+//!
+//! - per-record padding: block alignment, pad-to-maximum, random;
+//! - trace-level fixed-length (FL) padding is a corpus-level transform
+//!   and lives in `tlsfp-core::defense` (it needs the whole target set to
+//!   know the longest trace).
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::record::MAX_PLAINTEXT_LEN;
+
+/// A per-record padding policy for TLS 1.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum PaddingPolicy {
+    /// No padding (the overwhelmingly common deployment default).
+    None,
+    /// Pad the plaintext up to the next multiple of `block` bytes.
+    ///
+    /// Cheap and deterministic; hides lengths modulo the block size.
+    BlockAlign {
+        /// Alignment granularity in bytes (e.g. 128, 512).
+        block: usize,
+    },
+    /// Pad every record to the maximum plaintext size (2^14 bytes).
+    ///
+    /// The strongest per-record policy and the most expensive: every
+    /// record looks identical in size.
+    MaxRecord,
+    /// Append a uniformly random number of bytes in `0..=max`.
+    ///
+    /// Included because Pironti et al. showed random-length padding is
+    /// *not* sufficiently effective; the benches reproduce that ordering.
+    RandomPerRecord {
+        /// Maximum padding bytes per record.
+        max: usize,
+    },
+}
+
+impl PaddingPolicy {
+    /// Padding bytes to append to a plaintext of `len` bytes.
+    ///
+    /// The result never pushes `len + padding` beyond
+    /// [`MAX_PLAINTEXT_LEN`].
+    pub fn padding_for<R: Rng + ?Sized>(&self, len: usize, rng: &mut R) -> usize {
+        let room = MAX_PLAINTEXT_LEN.saturating_sub(len);
+        let raw = match self {
+            PaddingPolicy::None => 0,
+            PaddingPolicy::BlockAlign { block } => {
+                if *block == 0 {
+                    0
+                } else {
+                    (block - (len % block)) % block
+                }
+            }
+            PaddingPolicy::MaxRecord => room,
+            PaddingPolicy::RandomPerRecord { max } => {
+                if *max == 0 {
+                    0
+                } else {
+                    rng.random_range(0..=*max)
+                }
+            }
+        };
+        raw.min(room)
+    }
+
+    /// Whether this policy adds any padding at all.
+    pub fn is_none(&self) -> bool {
+        matches!(self, PaddingPolicy::None)
+    }
+}
+
+impl Default for PaddingPolicy {
+    fn default() -> Self {
+        PaddingPolicy::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn none_adds_nothing() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(PaddingPolicy::None.padding_for(1000, &mut rng), 0);
+        assert!(PaddingPolicy::None.is_none());
+    }
+
+    #[test]
+    fn block_align_rounds_up() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = PaddingPolicy::BlockAlign { block: 512 };
+        assert_eq!(p.padding_for(1, &mut rng), 511);
+        assert_eq!(p.padding_for(512, &mut rng), 0);
+        assert_eq!(p.padding_for(513, &mut rng), 511);
+        // Degenerate zero block.
+        assert_eq!(
+            PaddingPolicy::BlockAlign { block: 0 }.padding_for(100, &mut rng),
+            0
+        );
+    }
+
+    #[test]
+    fn max_record_fills_to_max() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = PaddingPolicy::MaxRecord;
+        assert_eq!(p.padding_for(1000, &mut rng), MAX_PLAINTEXT_LEN - 1000);
+        assert_eq!(p.padding_for(MAX_PLAINTEXT_LEN, &mut rng), 0);
+    }
+
+    #[test]
+    fn random_is_bounded_and_varies() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = PaddingPolicy::RandomPerRecord { max: 100 };
+        let draws: Vec<usize> = (0..100).map(|_| p.padding_for(500, &mut rng)).collect();
+        assert!(draws.iter().all(|&d| d <= 100));
+        assert!(draws.iter().any(|&d| d != draws[0]), "padding never varied");
+    }
+
+    #[test]
+    fn padding_never_exceeds_plaintext_budget() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for p in [
+            PaddingPolicy::BlockAlign { block: 4096 },
+            PaddingPolicy::MaxRecord,
+            PaddingPolicy::RandomPerRecord { max: 50_000 },
+        ] {
+            for len in [0usize, 1, 16_000, MAX_PLAINTEXT_LEN] {
+                let pad = p.padding_for(len, &mut rng);
+                assert!(len + pad <= MAX_PLAINTEXT_LEN, "{p:?} at {len}: pad {pad}");
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! TLS record-layer framing for versions 1.2 and 1.3.
+//!
+//! The eavesdropper never sees plaintext — only record boundaries and
+//! wire lengths. This module converts application byte counts into the
+//! wire byte counts an observer measures, modeling the per-version
+//! overheads:
+//!
+//! | | TLS 1.2 (AES-128-GCM) | TLS 1.3 (AES-128-GCM) |
+//! |---|---|---|
+//! | record header | 5 | 5 |
+//! | explicit nonce | 8 | — |
+//! | inner content type | — | 1 |
+//! | record padding | — | 0+ (policy) |
+//! | AEAD tag | 16 | 16 |
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::padding::PaddingPolicy;
+
+/// Maximum TLS plaintext fragment length (2^14, RFC 8446 §5.1).
+pub const MAX_PLAINTEXT_LEN: usize = 16_384;
+
+/// TLS record header length on the wire.
+pub const RECORD_HEADER_LEN: usize = 5;
+
+/// AEAD authentication tag length for the GCM suites.
+pub const AEAD_TAG_LEN: usize = 16;
+
+/// TLS 1.2 explicit AEAD nonce length.
+pub const TLS12_EXPLICIT_NONCE_LEN: usize = 8;
+
+/// TLS 1.3 inner content-type byte.
+pub const TLS13_INNER_TYPE_LEN: usize = 1;
+
+/// Protocol version, the paper's two targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TlsVersion {
+    /// TLS 1.2 (RFC 5246) — the Wikipedia dataset.
+    V1_2,
+    /// TLS 1.3 (RFC 8446) — the Github dataset.
+    V1_3,
+}
+
+impl TlsVersion {
+    /// Fixed per-record overhead beyond the plaintext (excluding any
+    /// TLS 1.3 padding).
+    pub fn per_record_overhead(self) -> usize {
+        match self {
+            TlsVersion::V1_2 => RECORD_HEADER_LEN + TLS12_EXPLICIT_NONCE_LEN + AEAD_TAG_LEN,
+            TlsVersion::V1_3 => RECORD_HEADER_LEN + TLS13_INNER_TYPE_LEN + AEAD_TAG_LEN,
+        }
+    }
+
+    /// Whether record padding is available (TLS 1.3 only).
+    pub fn supports_record_padding(self) -> bool {
+        matches!(self, TlsVersion::V1_3)
+    }
+}
+
+/// One sealed record as seen on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordInfo {
+    /// Application plaintext bytes carried.
+    pub plaintext_len: usize,
+    /// Padding bytes added (always 0 for TLS 1.2).
+    pub padding_len: usize,
+    /// Total bytes on the wire (header + protected payload).
+    pub wire_len: usize,
+}
+
+/// The record layer: fragments application data into sealed records.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecordLayer {
+    /// Protocol version in use.
+    pub version: TlsVersion,
+    /// Padding policy (ignored under TLS 1.2, which has no record
+    /// padding for AEAD suites).
+    pub padding: PaddingPolicy,
+}
+
+impl RecordLayer {
+    /// A record layer with no padding.
+    pub fn new(version: TlsVersion) -> Self {
+        RecordLayer {
+            version,
+            padding: PaddingPolicy::None,
+        }
+    }
+
+    /// A TLS 1.3 record layer with the given padding policy.
+    pub fn v13_with_padding(padding: PaddingPolicy) -> Self {
+        RecordLayer {
+            version: TlsVersion::V1_3,
+            padding,
+        }
+    }
+
+    /// Seals `app_bytes` of application data, fragmenting at the 2^14
+    /// plaintext boundary. Returns one [`RecordInfo`] per record.
+    ///
+    /// Zero-length input produces no records.
+    pub fn seal<R: Rng + ?Sized>(&self, app_bytes: usize, rng: &mut R) -> Vec<RecordInfo> {
+        let mut records = Vec::new();
+        let mut remaining = app_bytes;
+        while remaining > 0 {
+            let chunk = remaining.min(MAX_PLAINTEXT_LEN);
+            remaining -= chunk;
+            records.push(self.seal_fragment(chunk, rng));
+        }
+        records
+    }
+
+    /// Seals a single plaintext fragment (must fit one record).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plaintext_len > MAX_PLAINTEXT_LEN`.
+    pub fn seal_fragment<R: Rng + ?Sized>(&self, plaintext_len: usize, rng: &mut R) -> RecordInfo {
+        assert!(
+            plaintext_len <= MAX_PLAINTEXT_LEN,
+            "fragment of {plaintext_len} exceeds the 2^14 plaintext limit"
+        );
+        let padding_len = if self.version.supports_record_padding() {
+            self.padding.padding_for(plaintext_len, rng)
+        } else {
+            0
+        };
+        RecordInfo {
+            plaintext_len,
+            padding_len,
+            wire_len: plaintext_len + padding_len + self.version.per_record_overhead(),
+        }
+    }
+
+    /// Total wire bytes for `app_bytes` of application data.
+    pub fn wire_bytes<R: Rng + ?Sized>(&self, app_bytes: usize, rng: &mut R) -> usize {
+        self.seal(app_bytes, rng).iter().map(|r| r.wire_len).sum()
+    }
+
+    /// Bandwidth overhead factor relative to raw application bytes
+    /// (e.g. 1.05 = 5% overhead). Returns 1.0 for zero input.
+    pub fn overhead_factor<R: Rng + ?Sized>(&self, app_bytes: usize, rng: &mut R) -> f64 {
+        if app_bytes == 0 {
+            return 1.0;
+        }
+        self.wire_bytes(app_bytes, rng) as f64 / app_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn per_version_overheads() {
+        assert_eq!(TlsVersion::V1_2.per_record_overhead(), 29);
+        assert_eq!(TlsVersion::V1_3.per_record_overhead(), 22);
+        assert!(!TlsVersion::V1_2.supports_record_padding());
+        assert!(TlsVersion::V1_3.supports_record_padding());
+    }
+
+    #[test]
+    fn small_transfer_is_one_record() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let rl = RecordLayer::new(TlsVersion::V1_2);
+        let recs = rl.seal(1000, &mut rng);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].wire_len, 1029);
+        assert_eq!(recs[0].padding_len, 0);
+    }
+
+    #[test]
+    fn fragmentation_at_max_plaintext() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let rl = RecordLayer::new(TlsVersion::V1_3);
+        let recs = rl.seal(MAX_PLAINTEXT_LEN * 2 + 5, &mut rng);
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].plaintext_len, MAX_PLAINTEXT_LEN);
+        assert_eq!(recs[1].plaintext_len, MAX_PLAINTEXT_LEN);
+        assert_eq!(recs[2].plaintext_len, 5);
+        // Plaintext is conserved.
+        let total: usize = recs.iter().map(|r| r.plaintext_len).sum();
+        assert_eq!(total, MAX_PLAINTEXT_LEN * 2 + 5);
+    }
+
+    #[test]
+    fn zero_bytes_zero_records() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let rl = RecordLayer::new(TlsVersion::V1_2);
+        assert!(rl.seal(0, &mut rng).is_empty());
+        assert_eq!(rl.overhead_factor(0, &mut rng), 1.0);
+    }
+
+    #[test]
+    fn tls12_ignores_padding_policy() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let rl = RecordLayer {
+            version: TlsVersion::V1_2,
+            padding: PaddingPolicy::MaxRecord,
+        };
+        let recs = rl.seal(100, &mut rng);
+        assert_eq!(recs[0].padding_len, 0);
+    }
+
+    #[test]
+    fn tls13_max_record_padding_uniformizes_wire_lengths() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let rl = RecordLayer::v13_with_padding(PaddingPolicy::MaxRecord);
+        let a = rl.seal_fragment(10, &mut rng);
+        let b = rl.seal_fragment(9000, &mut rng);
+        assert_eq!(a.wire_len, b.wire_len);
+        assert_eq!(a.wire_len, MAX_PLAINTEXT_LEN + 22);
+    }
+
+    #[test]
+    fn overhead_factor_reflects_padding_cost() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let none = RecordLayer::new(TlsVersion::V1_3);
+        let padded = RecordLayer::v13_with_padding(PaddingPolicy::MaxRecord);
+        let f_none = none.overhead_factor(8_192, &mut rng);
+        let f_pad = padded.overhead_factor(8_192, &mut rng);
+        assert!(f_none < 1.01);
+        assert!(f_pad > 1.9, "max-record padding should ~2x an 8KiB transfer");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 2^14")]
+    fn oversized_fragment_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let rl = RecordLayer::new(TlsVersion::V1_3);
+        let _ = rl.seal_fragment(MAX_PLAINTEXT_LEN + 1, &mut rng);
+    }
+}

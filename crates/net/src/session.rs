@@ -1,0 +1,318 @@
+//! End-to-end TLS connection simulation: TCP establishment, handshake
+//! flights, record framing, segmentation and timing — producing the
+//! packet stream one connection contributes to a capture.
+//!
+//! The browser model (`tlsfp-web`) opens one [`TlsConnection`] per
+//! server, issues requests/responses through it, and finally merges all
+//! connections' packets into a [`Capture`] with [`assemble_capture`].
+
+use std::net::Ipv4Addr;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::capture::{Capture, Direction, Packet};
+use crate::handshake::HandshakeProfile;
+use crate::link::LinkModel;
+use crate::record::RecordLayer;
+use crate::tcp::TcpConfig;
+
+/// Everything that parameterizes one TLS connection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Record layer (version + padding policy).
+    pub record_layer: RecordLayer,
+    /// TCP segmentation.
+    pub tcp: TcpConfig,
+    /// Link timing/loss model.
+    pub link: LinkModel,
+    /// Handshake shape.
+    pub handshake: HandshakeProfile,
+}
+
+impl SessionConfig {
+    /// A typical configuration for `version` over a broadband link.
+    pub fn typical(version: crate::record::TlsVersion) -> Self {
+        SessionConfig {
+            record_layer: RecordLayer::new(version),
+            tcp: TcpConfig::ethernet(),
+            link: LinkModel::broadband(),
+            handshake: HandshakeProfile::typical(version),
+        }
+    }
+}
+
+/// One simulated TLS-over-TCP connection between the client and a server.
+#[derive(Debug, Clone)]
+pub struct TlsConnection {
+    server: Ipv4Addr,
+    config: SessionConfig,
+    clock_us: u64,
+    packets: Vec<(u64, Direction, u32)>,
+}
+
+impl TlsConnection {
+    /// Opens a connection at time `t0_us`: TCP three-way handshake
+    /// followed by the TLS handshake flights.
+    pub fn open<R: Rng + ?Sized>(
+        server: Ipv4Addr,
+        config: SessionConfig,
+        t0_us: u64,
+        rng: &mut R,
+    ) -> Self {
+        let mut conn = TlsConnection {
+            server,
+            config,
+            clock_us: t0_us,
+            packets: Vec::new(),
+        };
+        // TCP SYN / SYN-ACK / ACK: zero-payload packets, one RTT total.
+        conn.emit_raw(Direction::Upstream, 0, rng);
+        conn.wait_one_way(rng);
+        conn.emit_raw(Direction::Downstream, 0, rng);
+        conn.wait_one_way(rng);
+        conn.emit_raw(Direction::Upstream, 0, rng);
+
+        // TLS handshake flights.
+        let flights = conn.config.handshake.flights(rng);
+        for (dir, bytes) in flights {
+            conn.send_wire_bytes(dir, bytes, rng);
+            conn.wait_one_way(rng);
+        }
+        conn
+    }
+
+    /// The server endpoint.
+    pub fn server(&self) -> Ipv4Addr {
+        self.server
+    }
+
+    /// Connection-local clock (µs since capture start).
+    pub fn now_us(&self) -> u64 {
+        self.clock_us
+    }
+
+    /// Advances the connection clock to at least `t_us` (used to model
+    /// the browser issuing a request later than the handshake finished).
+    pub fn advance_to(&mut self, t_us: u64) {
+        self.clock_us = self.clock_us.max(t_us);
+    }
+
+    /// Sends `app_bytes` of application data in `direction`, through the
+    /// record layer and TCP segmentation, with retransmissions.
+    pub fn send_application_data<R: Rng + ?Sized>(
+        &mut self,
+        direction: Direction,
+        app_bytes: usize,
+        rng: &mut R,
+    ) {
+        if app_bytes == 0 {
+            return;
+        }
+        let records = self.config.record_layer.seal(app_bytes, rng);
+        for rec in records {
+            self.send_wire_bytes(direction, rec.wire_len, rng);
+        }
+    }
+
+    /// Models one HTTP-over-TLS exchange: an upstream request followed
+    /// (after a propagation + server think delay) by a downstream
+    /// response, optionally delivered in `chunks` separate bursts (as
+    /// chunked transfer encoding / streamed bodies appear on the wire).
+    pub fn request_response<R: Rng + ?Sized>(
+        &mut self,
+        request_bytes: usize,
+        response_bytes: usize,
+        chunks: usize,
+        server_think_us: u64,
+        rng: &mut R,
+    ) {
+        self.send_application_data(Direction::Upstream, request_bytes, rng);
+        self.wait_one_way(rng);
+        self.clock_us += server_think_us;
+        let chunks = chunks.max(1);
+        let per = response_bytes / chunks;
+        let rem = response_bytes % chunks;
+        for i in 0..chunks {
+            let bytes = per + if i == chunks - 1 { rem } else { 0 };
+            self.send_application_data(Direction::Downstream, bytes, rng);
+            if chunks > 1 && i + 1 < chunks {
+                // Inter-chunk gap lets other connections interleave.
+                self.clock_us += self.config.link.rtt_us / 4;
+            }
+        }
+        self.wait_one_way(rng);
+    }
+
+    fn wait_one_way<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.clock_us += self.config.link.one_way_us(rng);
+    }
+
+    /// Emits wire bytes as MSS-sized TCP segments, advancing the clock
+    /// and modeling occasional retransmissions as duplicate segments.
+    fn send_wire_bytes<R: Rng + ?Sized>(
+        &mut self,
+        direction: Direction,
+        wire_bytes: usize,
+        rng: &mut R,
+    ) {
+        for seg in self.config.tcp.segment(wire_bytes) {
+            self.clock_us += self.config.link.transfer_us(seg, rng);
+            self.packets.push((self.clock_us, direction, seg as u32));
+            if self.config.link.retransmits(rng) {
+                self.clock_us += self.config.link.rtt_us; // RTO-ish delay
+                self.packets.push((self.clock_us, direction, seg as u32));
+            }
+        }
+    }
+
+    fn emit_raw<R: Rng + ?Sized>(&mut self, direction: Direction, payload: u32, rng: &mut R) {
+        let _ = rng;
+        self.packets.push((self.clock_us, direction, payload));
+    }
+
+    /// Consumes the connection, yielding its timestamped packets.
+    pub fn into_packets(self, client: Ipv4Addr) -> Vec<Packet> {
+        let server = self.server;
+        self.packets
+            .into_iter()
+            .map(|(t, dir, len)| {
+                let (src, dst) = match dir {
+                    Direction::Upstream => (client, server),
+                    Direction::Downstream => (server, client),
+                };
+                Packet {
+                    timestamp_us: t,
+                    src,
+                    dst,
+                    payload_len: len,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Merges the packets of several connections into one chronological
+/// capture — the pcap the adversary records for a page load.
+pub fn assemble_capture(client: Ipv4Addr, connections: Vec<TlsConnection>) -> Capture {
+    let mut capture = Capture::new(client);
+    for conn in connections {
+        capture.packets.extend(conn.into_packets(client));
+    }
+    capture.sort_by_time();
+    capture
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+    use crate::record::TlsVersion;
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(192, 0, 2, last)
+    }
+
+    #[test]
+    fn open_produces_tcp_and_tls_handshake() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let conn = TlsConnection::open(ip(10), SessionConfig::typical(TlsVersion::V1_2), 0, &mut rng);
+        let pkts = conn.into_packets(ip(1));
+        // 3 TCP handshake packets with zero payload first.
+        assert!(pkts.len() > 5);
+        assert_eq!(pkts[0].payload_len, 0);
+        assert_eq!(pkts[1].payload_len, 0);
+        assert_eq!(pkts[2].payload_len, 0);
+        // Some downstream payload (certificate flight).
+        assert!(pkts
+            .iter()
+            .any(|p| p.src == ip(10) && p.payload_len > 1000));
+    }
+
+    #[test]
+    fn request_response_transfers_expected_volume() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cfg = SessionConfig::typical(TlsVersion::V1_3);
+        cfg.link.retransmit_prob = 0.0;
+        let mut conn = TlsConnection::open(ip(10), cfg, 0, &mut rng);
+        let hs_down: u64 = conn
+            .packets
+            .iter()
+            .filter(|(_, d, _)| *d == Direction::Downstream)
+            .map(|(_, _, l)| *l as u64)
+            .sum();
+        conn.request_response(500, 60_000, 1, 1_000, &mut rng);
+        let total_down: u64 = conn
+            .packets
+            .iter()
+            .filter(|(_, d, _)| *d == Direction::Downstream)
+            .map(|(_, _, l)| *l as u64)
+            .sum();
+        let body = total_down - hs_down;
+        // 60 KB + record overhead (4 records × 22 B).
+        assert!(body >= 60_000, "body {body}");
+        assert!(body < 61_000, "body {body}");
+    }
+
+    #[test]
+    fn chunked_responses_split_bursts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cfg = SessionConfig::typical(TlsVersion::V1_3);
+        cfg.link.retransmit_prob = 0.0;
+        let mut a = TlsConnection::open(ip(10), cfg, 0, &mut rng);
+        let mut b = TlsConnection::open(ip(11), cfg, 0, &mut rng);
+        a.request_response(100, 30_000, 1, 0, &mut rng);
+        b.request_response(100, 30_000, 6, 0, &mut rng);
+        // Same bytes either way.
+        let down = |c: &TlsConnection| {
+            c.packets
+                .iter()
+                .filter(|(_, d, _)| *d == Direction::Downstream)
+                .map(|(_, _, l)| *l as u64)
+                .sum::<u64>()
+        };
+        // Chunking adds a few extra record overheads but similar total.
+        let da = down(&a);
+        let db = down(&b);
+        assert!(db >= da, "chunked should be >= unchunked ({da} vs {db})");
+        assert!(db - da < 200);
+        // Chunked transfer takes longer (inter-chunk gaps).
+        assert!(b.now_us() > a.now_us());
+    }
+
+    #[test]
+    fn assemble_capture_is_chronological_and_multi_server() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = SessionConfig::typical(TlsVersion::V1_2);
+        let mut c1 = TlsConnection::open(ip(10), cfg, 0, &mut rng);
+        let mut c2 = TlsConnection::open(ip(11), cfg, 500, &mut rng);
+        c1.request_response(200, 10_000, 1, 100, &mut rng);
+        c2.request_response(200, 20_000, 2, 100, &mut rng);
+        let cap = assemble_capture(ip(1), vec![c1, c2]);
+        assert_eq!(cap.servers().len(), 2);
+        assert!(cap
+            .packets
+            .windows(2)
+            .all(|w| w[0].timestamp_us <= w[1].timestamp_us));
+    }
+
+    #[test]
+    fn retransmissions_duplicate_segments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut cfg = SessionConfig::typical(TlsVersion::V1_2);
+        cfg.link.retransmit_prob = 0.5;
+        let mut noisy = TlsConnection::open(ip(10), cfg, 0, &mut rng);
+        noisy.request_response(100, 50_000, 1, 0, &mut rng);
+        cfg.link.retransmit_prob = 0.0;
+        let mut clean = TlsConnection::open(ip(10), cfg, 0, &mut rng);
+        clean.request_response(100, 50_000, 1, 0, &mut rng);
+        assert!(
+            noisy.packets.len() > clean.packets.len() + 5,
+            "retransmissions should add packets ({} vs {})",
+            noisy.packets.len(),
+            clean.packets.len()
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! TCP-level behaviour: MSS segmentation and connection establishment.
+//!
+//! The adversary observes *packets*, not TLS records; a 16 KB record
+//! crosses the wire as ~11 MSS-sized segments. Segmentation (plus
+//! kernel/NIC coalescing modeled upstream) is what gives real traces
+//! their characteristic run-of-1460s texture.
+
+use serde::{Deserialize, Serialize};
+
+/// TCP configuration for a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TcpConfig {
+    /// Maximum segment size (1460 for Ethernet-sized MTUs).
+    pub mss: usize,
+}
+
+impl TcpConfig {
+    /// Standard Ethernet MSS.
+    pub fn ethernet() -> Self {
+        TcpConfig { mss: 1460 }
+    }
+
+    /// Splits a byte run into per-segment payload sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mss == 0`.
+    pub fn segment(&self, bytes: usize) -> Vec<usize> {
+        assert!(self.mss > 0, "mss must be positive");
+        if bytes == 0 {
+            return Vec::new();
+        }
+        let full = bytes / self.mss;
+        let rem = bytes % self.mss;
+        let mut out = vec![self.mss; full];
+        if rem > 0 {
+            out.push(rem);
+        }
+        out
+    }
+
+    /// Number of segments a byte run needs.
+    pub fn segment_count(&self, bytes: usize) -> usize {
+        bytes.div_ceil(self.mss)
+    }
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig::ethernet()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segmentation_conserves_bytes() {
+        let tcp = TcpConfig::ethernet();
+        for bytes in [0usize, 1, 1460, 1461, 16_384, 100_000] {
+            let segs = tcp.segment(bytes);
+            assert_eq!(segs.iter().sum::<usize>(), bytes);
+            assert!(segs.iter().all(|&s| s > 0 && s <= 1460));
+            assert_eq!(segs.len(), tcp.segment_count(bytes));
+        }
+    }
+
+    #[test]
+    fn exact_multiple_has_no_runt() {
+        let tcp = TcpConfig { mss: 100 };
+        let segs = tcp.segment(300);
+        assert_eq!(segs, vec![100, 100, 100]);
+    }
+
+    #[test]
+    fn zero_bytes_zero_segments() {
+        assert!(TcpConfig::ethernet().segment(0).is_empty());
+        assert_eq!(TcpConfig::ethernet().segment_count(0), 0);
+    }
+}

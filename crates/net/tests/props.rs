@@ -1,0 +1,92 @@
+//! Property tests for the TLS/network substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tlsfp_net::handshake::HandshakeProfile;
+use tlsfp_net::padding::PaddingPolicy;
+use tlsfp_net::record::{RecordLayer, TlsVersion, MAX_PLAINTEXT_LEN};
+use tlsfp_net::tcp::TcpConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// TCP segmentation conserves bytes and respects the MSS for any
+    /// transfer size and MSS.
+    #[test]
+    fn tcp_segmentation_invariants(bytes in 0usize..1_000_000, mss in 1usize..9000) {
+        let tcp = TcpConfig { mss };
+        let segs = tcp.segment(bytes);
+        prop_assert_eq!(segs.iter().sum::<usize>(), bytes);
+        prop_assert!(segs.iter().all(|&s| s > 0 && s <= mss));
+        prop_assert_eq!(segs.len(), tcp.segment_count(bytes));
+    }
+
+    /// Record framing: wire length strictly dominates plaintext, and
+    /// per-record overhead is exactly the version constant when no
+    /// padding is configured.
+    #[test]
+    fn record_overhead_is_exact(bytes in 1usize..100_000) {
+        let mut rng = StdRng::seed_from_u64(0);
+        for version in [TlsVersion::V1_2, TlsVersion::V1_3] {
+            let rl = RecordLayer::new(version);
+            let records = rl.seal(bytes, &mut rng);
+            for r in &records {
+                prop_assert_eq!(
+                    r.wire_len,
+                    r.plaintext_len + version.per_record_overhead()
+                );
+            }
+        }
+    }
+
+    /// Block-aligned padding always produces multiples of the block (up
+    /// to the plaintext cap) and never pads more than block-1 bytes.
+    #[test]
+    fn block_align_padding_bounds(len in 0usize..MAX_PLAINTEXT_LEN, block in 1usize..4096) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = PaddingPolicy::BlockAlign { block };
+        let pad = p.padding_for(len, &mut rng);
+        prop_assert!(pad < block);
+        let padded = len + pad;
+        prop_assert!(padded % block == 0 || padded == MAX_PLAINTEXT_LEN);
+    }
+
+    /// Handshake flights always start with a ClientHello, alternate
+    /// plausibly, and resumption strictly shrinks the byte total.
+    #[test]
+    fn handshake_shape(seed in 0u64..500, version in prop::sample::select(
+        vec![TlsVersion::V1_2, TlsVersion::V1_3])) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let full = HandshakeProfile::typical(version);
+        let flights = full.flights(&mut rng);
+        prop_assert_eq!(flights[0].0, tlsfp_net::capture::Direction::Upstream);
+        prop_assert!(flights.iter().all(|(_, b)| *b > 0));
+
+        let resumed = HandshakeProfile { resumption: true, ..full };
+        let fb = full.total_bytes(&mut rng);
+        let rb = resumed.total_bytes(&mut rng);
+        prop_assert!(rb < fb);
+    }
+
+    /// Padding policies never exceed the plaintext budget.
+    #[test]
+    fn padding_respects_plaintext_budget(
+        len in 0usize..=MAX_PLAINTEXT_LEN,
+        seed in 0u64..100,
+        max in 0usize..100_000,
+        block in 0usize..100_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for policy in [
+            PaddingPolicy::None,
+            PaddingPolicy::BlockAlign { block },
+            PaddingPolicy::MaxRecord,
+            PaddingPolicy::RandomPerRecord { max },
+        ] {
+            let pad = policy.padding_for(len, &mut rng);
+            prop_assert!(len + pad <= MAX_PLAINTEXT_LEN, "{policy:?}");
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Element-wise activation functions and their derivatives.
+
+use serde::{Deserialize, Serialize};
+
+/// Slope used for the negative side of [`Activation::LeakyRelu`] when the
+/// paper configuration is requested (Keras' default).
+pub const LEAKY_RELU_DEFAULT_ALPHA: f32 = 0.01;
+
+/// An element-wise activation function.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Activation {
+    /// `max(0, x)` — used for the hidden dense layers (Table I).
+    Relu,
+    /// `x` for `x ≥ 0`, `alpha·x` otherwise — used for the embedding
+    /// output layer (Table I).
+    LeakyRelu {
+        /// Negative-side slope.
+        alpha: f32,
+    },
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Identity (no-op), useful for logits.
+    Identity,
+}
+
+impl Activation {
+    /// The paper's output activation: LeakyReLU with the default slope.
+    pub fn leaky_relu_default() -> Self {
+        Activation::LeakyRelu {
+            alpha: LEAKY_RELU_DEFAULT_ALPHA,
+        }
+    }
+
+    /// Applies the function to a single value.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::LeakyRelu { alpha } => {
+                if x >= 0.0 {
+                    x
+                } else {
+                    alpha * x
+                }
+            }
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => sigmoid(x),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the *pre-activation* input `x`.
+    #[inline]
+    pub fn derivative(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu { alpha } => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    alpha
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Sigmoid => {
+                let s = sigmoid(x);
+                s * (1.0 - s)
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Applies the function in place over a slice.
+    pub fn apply_slice(self, xs: &mut [f32]) {
+        for x in xs {
+            *x = self.apply(*x);
+        }
+    }
+
+    /// Multiplies `grad` element-wise by the derivative evaluated at the
+    /// pre-activation values `pre`.
+    pub fn backprop_slice(self, pre: &[f32], grad: &mut [f32]) {
+        debug_assert_eq!(pre.len(), grad.len());
+        for (g, p) in grad.iter_mut().zip(pre) {
+            *g *= self.derivative(*p);
+        }
+    }
+}
+
+/// Numerically-stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let z = (-x).exp();
+        1.0 / (1.0 + z)
+    } else {
+        let z = x.exp();
+        z / (1.0 + z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_family() {
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        let lr = Activation::LeakyRelu { alpha: 0.1 };
+        assert_eq!(lr.apply(-2.0), -0.2);
+        assert_eq!(lr.apply(3.0), 3.0);
+        assert_eq!(lr.derivative(-1.0), 0.1);
+        assert_eq!(lr.derivative(1.0), 1.0);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!(sigmoid(100.0) <= 1.0);
+        assert!(sigmoid(-100.0) >= 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(-100.0) < 1e-20);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-3f32;
+        for act in [
+            Activation::Relu,
+            Activation::leaky_relu_default(),
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::Identity,
+        ] {
+            // Stay away from the ReLU kink at 0.
+            for &x in &[-1.7f32, -0.4, 0.3, 1.9] {
+                let num = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let ana = act.derivative(x);
+                assert!(
+                    (num - ana).abs() < 1e-2,
+                    "{act:?} at {x}: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let mut xs = vec![-1.0, 2.0];
+        Activation::Relu.apply_slice(&mut xs);
+        assert_eq!(xs, vec![0.0, 2.0]);
+        let mut grad = vec![1.0, 1.0];
+        Activation::Relu.backprop_slice(&[-1.0, 2.0], &mut grad);
+        assert_eq!(grad, vec![0.0, 1.0]);
+    }
+}

@@ -1,0 +1,375 @@
+//! 1-D convolution and max-pooling layers.
+//!
+//! These power the Deep-Fingerprinting-style CNN baseline
+//! (`tlsfp-baselines::df`), which — unlike the paper's embedding model —
+//! couples feature extraction to a fixed label set and therefore must be
+//! retrained whenever the target pages change.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::init::Init;
+use crate::tensor::{add_assign_slice, scale_slice};
+
+/// A 1-D convolution over `(channels, length)` inputs stored row-major
+/// (channel-major): element `(c, t)` lives at `c * length + t`.
+///
+/// "Valid" convolution: `out_len = (len - kernel) / stride + 1`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conv1d {
+    /// Kernel weights, flat `[out_ch][in_ch][kernel]`.
+    w: Vec<f32>,
+    b: Vec<f32>,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+}
+
+/// Gradients matching a [`Conv1d`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conv1dGrad {
+    /// Kernel gradient, same layout as the weights.
+    pub w: Vec<f32>,
+    /// Bias gradient.
+    pub b: Vec<f32>,
+}
+
+impl Conv1d {
+    /// Creates a convolution with He-initialized kernels and zero biases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel == 0` or `stride == 0`.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(kernel > 0, "kernel must be positive");
+        assert!(stride > 0, "stride must be positive");
+        let fan_in = in_channels * kernel;
+        let limit = (6.0 / fan_in as f32).sqrt();
+        let w = (0..out_channels * in_channels * kernel)
+            .map(|_| rng.random_range(-limit..limit))
+            .collect();
+        let _ = Init::HeUniform; // same scheme, expressed inline for the flat buffer
+        Conv1d {
+            w,
+            b: vec![0.0; out_channels],
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+        }
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Output length for an input of length `len` (valid convolution);
+    /// zero if the input is shorter than the kernel.
+    pub fn output_len(&self, len: usize) -> usize {
+        if len < self.kernel {
+            0
+        } else {
+            (len - self.kernel) / self.stride + 1
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    fn kernel_slice(&self, oc: usize, ic: usize) -> &[f32] {
+        let base = (oc * self.in_channels + ic) * self.kernel;
+        &self.w[base..base + self.kernel]
+    }
+
+    /// Forward pass: `x` is `(in_channels, len)` flat; returns
+    /// `(out_channels, out_len)` flat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` is not `in_channels * len` for some `len`.
+    pub fn forward(&self, x: &[f32], len: usize) -> Vec<f32> {
+        assert_eq!(x.len(), self.in_channels * len, "conv1d input size");
+        let out_len = self.output_len(len);
+        let mut out = vec![0.0f32; self.out_channels * out_len];
+        for oc in 0..self.out_channels {
+            let orow = &mut out[oc * out_len..(oc + 1) * out_len];
+            for ic in 0..self.in_channels {
+                let krow = self.kernel_slice(oc, ic);
+                let xrow = &x[ic * len..(ic + 1) * len];
+                for (t, o) in orow.iter_mut().enumerate() {
+                    let start = t * self.stride;
+                    *o += crate::tensor::dot(krow, &xrow[start..start + self.kernel]);
+                }
+            }
+            let bias = self.b[oc];
+            for o in orow {
+                *o += bias;
+            }
+        }
+        out
+    }
+
+    /// Backward pass.
+    ///
+    /// `dz` is the gradient w.r.t. this layer's output (`out_channels ×
+    /// out_len`), `x`/`len` the forward input. Accumulates parameter
+    /// gradients into `grad` and returns the gradient w.r.t. `x`.
+    pub fn backward(&self, x: &[f32], len: usize, dz: &[f32], grad: &mut Conv1dGrad) -> Vec<f32> {
+        let out_len = self.output_len(len);
+        debug_assert_eq!(dz.len(), self.out_channels * out_len, "conv1d dz size");
+        let mut dx = vec![0.0f32; x.len()];
+        for oc in 0..self.out_channels {
+            let dzrow = &dz[oc * out_len..(oc + 1) * out_len];
+            grad.b[oc] += dzrow.iter().sum::<f32>();
+            for ic in 0..self.in_channels {
+                let base = (oc * self.in_channels + ic) * self.kernel;
+                let krow = &self.w[base..base + self.kernel];
+                let xrow = &x[ic * len..(ic + 1) * len];
+                let dxrow = &mut dx[ic * len..(ic + 1) * len];
+                for (t, &g) in dzrow.iter().enumerate() {
+                    if g == 0.0 {
+                        continue;
+                    }
+                    let start = t * self.stride;
+                    // dK += g * x_window ; dx_window += g * K
+                    for k in 0..self.kernel {
+                        grad.w[base + k] += g * xrow[start + k];
+                        dxrow[start + k] += g * krow[k];
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    /// Mutable parameter views (kernels then biases).
+    pub fn param_slices_mut(&mut self) -> [&mut [f32]; 2] {
+        [&mut self.w, &mut self.b]
+    }
+
+    /// Immutable parameter views (kernels then biases).
+    pub fn param_slices(&self) -> [&[f32]; 2] {
+        [&self.w, &self.b]
+    }
+}
+
+impl Conv1dGrad {
+    /// Zeroed gradients shaped like `conv`.
+    pub fn zeros_like(conv: &Conv1d) -> Self {
+        Conv1dGrad {
+            w: vec![0.0; conv.w.len()],
+            b: vec![0.0; conv.b.len()],
+        }
+    }
+
+    /// Accumulates another gradient.
+    pub fn add_assign(&mut self, other: &Conv1dGrad) {
+        add_assign_slice(&mut self.w, &other.w);
+        add_assign_slice(&mut self.b, &other.b);
+    }
+
+    /// Scales all gradients.
+    pub fn scale(&mut self, s: f32) {
+        scale_slice(&mut self.w, s);
+        scale_slice(&mut self.b, s);
+    }
+
+    /// Resets to zero.
+    pub fn zero(&mut self) {
+        self.w.iter_mut().for_each(|v| *v = 0.0);
+        self.b.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Gradient views aligned with [`Conv1d::param_slices_mut`].
+    pub fn grad_slices(&self) -> [&[f32]; 2] {
+        [&self.w, &self.b]
+    }
+}
+
+/// Non-overlapping 1-D max pooling applied per channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MaxPool1d {
+    /// Pooling window (also the stride).
+    pub window: usize,
+}
+
+impl MaxPool1d {
+    /// Creates a pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "pooling window must be positive");
+        MaxPool1d { window }
+    }
+
+    /// Output length per channel (floor division — trailing remainder
+    /// elements are dropped, matching common framework behaviour).
+    pub fn output_len(&self, len: usize) -> usize {
+        len / self.window
+    }
+
+    /// Forward pass over a `(channels, len)` buffer. Returns the pooled
+    /// buffer and the argmax indices (flat into `x`) needed for backward.
+    pub fn forward(&self, x: &[f32], channels: usize, len: usize) -> (Vec<f32>, Vec<usize>) {
+        debug_assert_eq!(x.len(), channels * len);
+        let out_len = self.output_len(len);
+        let mut out = Vec::with_capacity(channels * out_len);
+        let mut argmax = Vec::with_capacity(channels * out_len);
+        for c in 0..channels {
+            let row = &x[c * len..(c + 1) * len];
+            for t in 0..out_len {
+                let start = t * self.window;
+                let window = &row[start..start + self.window];
+                let (best_k, best_v) = window
+                    .iter()
+                    .enumerate()
+                    .fold((0usize, f32::NEG_INFINITY), |(bk, bv), (k, &v)| {
+                        if v > bv {
+                            (k, v)
+                        } else {
+                            (bk, bv)
+                        }
+                    });
+                out.push(best_v);
+                argmax.push(c * len + start + best_k);
+            }
+        }
+        (out, argmax)
+    }
+
+    /// Backward pass: routes `dz` to the argmax positions.
+    pub fn backward(&self, dz: &[f32], argmax: &[usize], input_len_total: usize) -> Vec<f32> {
+        debug_assert_eq!(dz.len(), argmax.len());
+        let mut dx = vec![0.0f32; input_len_total];
+        for (&g, &idx) in dz.iter().zip(argmax) {
+            dx[idx] += g;
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn conv_identity_kernel() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv1d::new(1, 1, 1, 1, &mut rng);
+        conv.w = vec![1.0];
+        conv.b = vec![0.0];
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(conv.forward(&x, 3), x);
+    }
+
+    #[test]
+    fn conv_output_len() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = Conv1d::new(1, 1, 3, 2, &mut rng);
+        assert_eq!(conv.output_len(7), 3);
+        assert_eq!(conv.output_len(2), 0);
+        assert_eq!(conv.output_len(3), 1);
+    }
+
+    #[test]
+    fn conv_known_values() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv1d::new(2, 1, 2, 1, &mut rng);
+        // kernel for (oc=0, ic=0) = [1, 0]; (oc=0, ic=1) = [0, 1]; bias 0.5
+        conv.w = vec![1.0, 0.0, 0.0, 1.0];
+        conv.b = vec![0.5];
+        // x: ch0 = [1,2,3], ch1 = [10,20,30]
+        let x = vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0];
+        // out[t] = ch0[t]*1 + ch1[t+1]*1 + 0.5
+        let y = conv.forward(&x, 3);
+        assert_eq!(y, vec![1.0 + 20.0 + 0.5, 2.0 + 30.0 + 0.5]);
+    }
+
+    #[test]
+    fn conv_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut conv = Conv1d::new(2, 3, 3, 2, &mut rng);
+        let len = 9;
+        let x: Vec<f32> = (0..2 * len).map(|i| ((i * 13 % 7) as f32 - 3.0) * 0.1).collect();
+        let out = conv.forward(&x, len);
+        let dz = vec![1.0f32; out.len()];
+        let mut grad = Conv1dGrad::zeros_like(&conv);
+        let dx = conv.backward(&x, len, &dz, &mut grad);
+
+        let eps = 1e-3f32;
+        for idx in 0..conv.w.len() {
+            let orig = conv.w[idx];
+            conv.w[idx] = orig + eps;
+            let plus: f32 = conv.forward(&x, len).iter().sum();
+            conv.w[idx] = orig - eps;
+            let minus: f32 = conv.forward(&x, len).iter().sum();
+            conv.w[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!(
+                (numeric - grad.w[idx]).abs() < 1e-2,
+                "dK[{idx}]: numeric {numeric} vs analytic {}",
+                grad.w[idx]
+            );
+        }
+        // Input gradient check.
+        let mut x2 = x.clone();
+        for idx in 0..x2.len() {
+            let orig = x2[idx];
+            x2[idx] = orig + eps;
+            let plus: f32 = conv.forward(&x2, len).iter().sum();
+            x2[idx] = orig - eps;
+            let minus: f32 = conv.forward(&x2, len).iter().sum();
+            x2[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!(
+                (numeric - dx[idx]).abs() < 1e-2,
+                "dx[{idx}]: numeric {numeric} vs analytic {}",
+                dx[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn maxpool_forward_and_routing() {
+        let pool = MaxPool1d::new(2);
+        // 1 channel, len 5 (last element dropped).
+        let x = vec![1.0, 3.0, 2.0, 2.0, 9.0];
+        let (y, idx) = pool.forward(&x, 1, 5);
+        assert_eq!(y, vec![3.0, 2.0]);
+        assert_eq!(idx, vec![1, 2]);
+        let dx = pool.backward(&[1.0, 1.0], &idx, 5);
+        assert_eq!(dx, vec![0.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_multi_channel() {
+        let pool = MaxPool1d::new(2);
+        let x = vec![
+            1.0, 2.0, 3.0, 4.0, // ch0
+            8.0, 7.0, 6.0, 5.0, // ch1
+        ];
+        let (y, idx) = pool.forward(&x, 2, 4);
+        assert_eq!(y, vec![2.0, 4.0, 8.0, 6.0]);
+        assert_eq!(idx, vec![1, 3, 4, 6]);
+    }
+}

@@ -1,0 +1,528 @@
+//! The paper's embedding network (Table I): an LSTM front-end over the
+//! IP sequences followed by a stack of fully-connected layers producing a
+//! low-dimensional embedding.
+//!
+//! | Hyperparameter | Table I value |
+//! |---|---|
+//! | Input layer | 30 LSTM units |
+//! | Hidden fully-connected layers | 4 |
+//! | Hidden layer size | 100–2000 neurons (grid-searched) |
+//! | Hidden activation | ReLU |
+//! | Output size | 32 |
+//! | Output activation | Leaky ReLU |
+//! | Dropout | 0.1 |
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+use crate::dropout::Dropout;
+use crate::error::{NnError, Result};
+use crate::init::Init;
+use crate::linear::{Dense, DenseGrad};
+use crate::lstm::{Lstm, LstmCache, LstmGrad};
+use crate::seq::SeqInput;
+
+/// Architecture description for a [`SequenceEmbedder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmbedderConfig {
+    /// Channels per timestep (number of IP sequences; 3 or 2 in the paper).
+    pub input_size: usize,
+    /// LSTM hidden units (30 in Table I).
+    pub lstm_hidden: usize,
+    /// Sizes of the hidden fully-connected layers (Table I: 4 layers,
+    /// 100–2000 neurons each).
+    pub hidden_layers: Vec<usize>,
+    /// Embedding dimensionality (32 in Table I).
+    pub output_size: usize,
+    /// Hidden activation (ReLU in Table I).
+    pub hidden_activation: Activation,
+    /// Output activation (Leaky ReLU in Table I).
+    pub output_activation: Activation,
+    /// Dropout probability applied after each hidden layer (0.1 in Table I).
+    pub dropout: f32,
+}
+
+impl EmbedderConfig {
+    /// The paper's architecture for `input_size` IP sequences, using
+    /// 200-unit hidden layers (within Table I's grid-search range and
+    /// large enough for the synthetic corpora in this repo).
+    pub fn paper(input_size: usize) -> Self {
+        EmbedderConfig {
+            input_size,
+            lstm_hidden: 30,
+            hidden_layers: vec![200, 200, 200, 200],
+            output_size: 32,
+            hidden_activation: Activation::Relu,
+            output_activation: Activation::leaky_relu_default(),
+            dropout: 0.1,
+        }
+    }
+
+    /// A small architecture for unit tests and quick examples.
+    pub fn small(input_size: usize) -> Self {
+        EmbedderConfig {
+            input_size,
+            lstm_hidden: 16,
+            hidden_layers: vec![48, 48],
+            output_size: 16,
+            hidden_activation: Activation::Relu,
+            output_activation: Activation::leaky_relu_default(),
+            dropout: 0.1,
+        }
+    }
+
+    /// Validates structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] when any size is zero or the
+    /// dropout probability is out of range.
+    pub fn validate(&self) -> Result<()> {
+        if self.input_size == 0 {
+            return Err(NnError::InvalidConfig("input_size must be > 0".into()));
+        }
+        if self.lstm_hidden == 0 {
+            return Err(NnError::InvalidConfig("lstm_hidden must be > 0".into()));
+        }
+        if self.output_size == 0 {
+            return Err(NnError::InvalidConfig("output_size must be > 0".into()));
+        }
+        if self.hidden_layers.iter().any(|&h| h == 0) {
+            return Err(NnError::InvalidConfig(
+                "hidden layer sizes must be > 0".into(),
+            ));
+        }
+        if !(0.0..1.0).contains(&self.dropout) {
+            return Err(NnError::InvalidConfig(format!(
+                "dropout must be in [0,1), got {}",
+                self.dropout
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The siamese embedding network: LSTM → dense stack → embedding.
+///
+/// The same instance embeds both sides of a training pair (shared
+/// weights), and at attack time maps captured traces into the embedding
+/// space where a kNN classifier operates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SequenceEmbedder {
+    config: EmbedderConfig,
+    lstm: Lstm,
+    hidden: Vec<Dense>,
+    output: Dense,
+}
+
+/// Forward-pass cache for [`SequenceEmbedder::forward_train`].
+#[derive(Debug, Clone)]
+pub struct EmbedCache {
+    lstm: LstmCache,
+    /// LSTM final hidden state (input to the first dense layer).
+    lstm_out: Vec<f32>,
+    /// Per hidden layer: pre-activation values.
+    pre: Vec<Vec<f32>>,
+    /// Per hidden layer: post-activation, post-dropout values (the input
+    /// to the next layer).
+    post: Vec<Vec<f32>>,
+    /// Per hidden layer: the dropout mask that was applied.
+    masks: Vec<Vec<f32>>,
+    /// Output layer pre-activation.
+    out_pre: Vec<f32>,
+}
+
+/// Gradient accumulator matching a [`SequenceEmbedder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbedderGrads {
+    /// LSTM gradients.
+    pub lstm: LstmGrad,
+    /// Hidden dense-layer gradients.
+    pub hidden: Vec<DenseGrad>,
+    /// Output layer gradients.
+    pub output: DenseGrad,
+}
+
+impl SequenceEmbedder {
+    /// Builds a freshly-initialized network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the configuration is invalid.
+    pub fn new(config: EmbedderConfig, seed: u64) -> Result<Self> {
+        config.validate()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lstm = Lstm::new(config.input_size, config.lstm_hidden, &mut rng);
+        let mut hidden = Vec::with_capacity(config.hidden_layers.len());
+        let mut prev = config.lstm_hidden;
+        for &h in &config.hidden_layers {
+            hidden.push(Dense::new(prev, h, Init::HeUniform, &mut rng));
+            prev = h;
+        }
+        let output = Dense::new(prev, config.output_size, Init::XavierUniform, &mut rng);
+        Ok(SequenceEmbedder {
+            config,
+            lstm,
+            hidden,
+            output,
+        })
+    }
+
+    /// The architecture this network was built with.
+    pub fn config(&self) -> &EmbedderConfig {
+        &self.config
+    }
+
+    /// Embedding dimensionality.
+    pub fn output_size(&self) -> usize {
+        self.config.output_size
+    }
+
+    /// Expected channels per timestep.
+    pub fn input_size(&self) -> usize {
+        self.config.input_size
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.lstm.param_count()
+            + self.hidden.iter().map(Dense::param_count).sum::<usize>()
+            + self.output.param_count()
+    }
+
+    /// Maps a trace to its embedding (evaluation mode: no dropout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.channels() != input_size`.
+    pub fn embed(&self, x: &SeqInput) -> Vec<f32> {
+        assert_eq!(
+            x.channels(),
+            self.config.input_size,
+            "embedder expects {} channels, trace has {}",
+            self.config.input_size,
+            x.channels()
+        );
+        let mut cur = self.lstm.forward(x.as_slice());
+        for layer in &self.hidden {
+            let mut next = layer.forward_alloc(&cur);
+            self.config.hidden_activation.apply_slice(&mut next);
+            cur = next;
+        }
+        let mut out = self.output.forward_alloc(&cur);
+        self.config.output_activation.apply_slice(&mut out);
+        out
+    }
+
+    /// Embeds a batch of traces (evaluation mode).
+    pub fn embed_all(&self, xs: &[SeqInput]) -> Vec<Vec<f32>> {
+        xs.iter().map(|x| self.embed(x)).collect()
+    }
+
+    /// Forward pass with dropout, caching everything needed for
+    /// [`SequenceEmbedder::backward`]. `rng` drives dropout masks.
+    pub fn forward_train<R: Rng + ?Sized>(
+        &self,
+        x: &SeqInput,
+        rng: &mut R,
+    ) -> (Vec<f32>, EmbedCache) {
+        debug_assert_eq!(x.channels(), self.config.input_size);
+        let dropout = Dropout::new(self.config.dropout);
+        let (lstm_out, lstm_cache) = self.lstm.forward_train(x.as_slice());
+
+        let n = self.hidden.len();
+        let mut pre = Vec::with_capacity(n);
+        let mut post = Vec::with_capacity(n);
+        let mut masks = Vec::with_capacity(n);
+        let mut cur = lstm_out.clone();
+        for layer in &self.hidden {
+            let p = layer.forward_alloc(&cur);
+            let mut a = p.clone();
+            self.config.hidden_activation.apply_slice(&mut a);
+            let mask = dropout.apply_train(&mut a, rng);
+            pre.push(p);
+            masks.push(mask);
+            cur = a.clone();
+            post.push(a);
+        }
+        let out_pre = self.output.forward_alloc(&cur);
+        let mut emb = out_pre.clone();
+        self.config.output_activation.apply_slice(&mut emb);
+        (
+            emb,
+            EmbedCache {
+                lstm: lstm_cache,
+                lstm_out,
+                pre,
+                post,
+                masks,
+                out_pre,
+            },
+        )
+    }
+
+    /// Backward pass: accumulates parameter gradients for one sample.
+    ///
+    /// `grad_emb` is `dL/d(embedding)`.
+    pub fn backward(&self, grad_emb: &[f32], cache: &EmbedCache, grads: &mut EmbedderGrads) {
+        debug_assert_eq!(grad_emb.len(), self.config.output_size);
+        // Output layer.
+        let mut g = grad_emb.to_vec();
+        self.config
+            .output_activation
+            .backprop_slice(&cache.out_pre, &mut g);
+        let out_input = cache
+            .post
+            .last()
+            .map(Vec::as_slice)
+            .unwrap_or(&cache.lstm_out);
+        let mut d_prev = vec![0.0f32; out_input.len()];
+        self.output
+            .backward(out_input, &g, &mut grads.output, &mut d_prev);
+
+        // Hidden stack, in reverse.
+        for i in (0..self.hidden.len()).rev() {
+            let mut g = d_prev;
+            Dropout::backprop(&cache.masks[i], &mut g);
+            self.config
+                .hidden_activation
+                .backprop_slice(&cache.pre[i], &mut g);
+            let input: &[f32] = if i == 0 {
+                &cache.lstm_out
+            } else {
+                &cache.post[i - 1]
+            };
+            d_prev = vec![0.0f32; input.len()];
+            self.hidden[i].backward(input, &g, &mut grads.hidden[i], &mut d_prev);
+        }
+
+        // LSTM.
+        self.lstm.backward(&d_prev, &cache.lstm, &mut grads.lstm);
+    }
+
+    /// Mutable parameter groups in a stable order (for [`crate::optim::Sgd`]).
+    pub fn param_slices_mut(&mut self) -> Vec<&mut [f32]> {
+        let mut out = Vec::new();
+        out.extend(self.lstm.param_slices_mut());
+        for layer in &mut self.hidden {
+            out.extend(layer.param_slices_mut());
+        }
+        out.extend(self.output.param_slices_mut());
+        out
+    }
+
+    /// Serializes the model to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Serialization`] if encoding fails.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self).map_err(|e| NnError::Serialization(e.to_string()))
+    }
+
+    /// Restores a model from [`SequenceEmbedder::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Serialization`] if decoding fails.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json).map_err(|e| NnError::Serialization(e.to_string()))
+    }
+}
+
+impl EmbedderGrads {
+    /// Zeroed gradients shaped like `net`.
+    pub fn zeros_like(net: &SequenceEmbedder) -> Self {
+        EmbedderGrads {
+            lstm: LstmGrad::zeros_like(&net.lstm),
+            hidden: net.hidden.iter().map(DenseGrad::zeros_like).collect(),
+            output: DenseGrad::zeros_like(&net.output),
+        }
+    }
+
+    /// Accumulates another gradient set (merging per-thread results).
+    pub fn add_assign(&mut self, other: &EmbedderGrads) {
+        self.lstm.add_assign(&other.lstm);
+        for (a, b) in self.hidden.iter_mut().zip(&other.hidden) {
+            a.add_assign(b);
+        }
+        self.output.add_assign(&other.output);
+    }
+
+    /// Scales all gradients (e.g. by `1/batch_size`).
+    pub fn scale(&mut self, s: f32) {
+        self.lstm.scale(s);
+        for g in &mut self.hidden {
+            g.scale(s);
+        }
+        self.output.scale(s);
+    }
+
+    /// Resets all gradients to zero, keeping allocations.
+    pub fn zero(&mut self) {
+        self.lstm.zero();
+        for g in &mut self.hidden {
+            g.zero();
+        }
+        self.output.zero();
+    }
+
+    /// Gradient groups aligned with [`SequenceEmbedder::param_slices_mut`].
+    pub fn grad_slices(&self) -> Vec<&[f32]> {
+        let mut out = Vec::new();
+        out.extend(self.lstm.grad_slices());
+        for g in &self.hidden {
+            out.extend(g.grad_slices());
+        }
+        out.extend(self.output.grad_slices());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_net() -> SequenceEmbedder {
+        let cfg = EmbedderConfig {
+            input_size: 2,
+            lstm_hidden: 4,
+            hidden_layers: vec![5, 5],
+            output_size: 3,
+            hidden_activation: Activation::Relu,
+            output_activation: Activation::leaky_relu_default(),
+            dropout: 0.0, // deterministic for gradient checks
+        };
+        SequenceEmbedder::new(cfg, 42).unwrap()
+    }
+
+    fn tiny_input() -> SeqInput {
+        let data: Vec<f32> = (0..10).map(|i| ((i * 7 % 5) as f32 - 2.0) * 0.2).collect();
+        SeqInput::new(5, 2, data).unwrap()
+    }
+
+    #[test]
+    fn embed_shape_and_determinism() {
+        let net = tiny_net();
+        let x = tiny_input();
+        let e1 = net.embed(&x);
+        let e2 = net.embed(&x);
+        assert_eq!(e1.len(), 3);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn forward_train_without_dropout_matches_embed() {
+        let net = tiny_net();
+        let x = tiny_input();
+        let mut rng = StdRng::seed_from_u64(0);
+        let (e, _) = net.forward_train(&x, &mut rng);
+        assert_eq!(e, net.embed(&x));
+    }
+
+    #[test]
+    fn param_and_grad_groups_align() {
+        let mut net = tiny_net();
+        let grads = EmbedderGrads::zeros_like(&net);
+        let gs = grads.grad_slices();
+        let ps = net.param_slices_mut();
+        assert_eq!(gs.len(), ps.len());
+        for (g, p) in gs.iter().zip(&ps) {
+            assert_eq!(g.len(), p.len());
+        }
+    }
+
+    /// End-to-end finite-difference check through LSTM + MLP.
+    ///
+    /// Uses smooth activations (tanh/identity) so finite differences are
+    /// valid everywhere; the ReLU-family derivatives have their own kink
+    /// tests in `activation`.
+    #[test]
+    fn gradient_check_full_network() {
+        let cfg = EmbedderConfig {
+            input_size: 2,
+            lstm_hidden: 4,
+            hidden_layers: vec![5, 5],
+            output_size: 3,
+            hidden_activation: Activation::Tanh,
+            output_activation: Activation::Identity,
+            dropout: 0.0,
+        };
+        let net = SequenceEmbedder::new(cfg, 42).unwrap();
+        let x = tiny_input();
+        let mut rng = StdRng::seed_from_u64(0);
+
+        // Loss = sum(embedding).
+        let (emb, cache) = net.forward_train(&x, &mut rng);
+        let mut grads = EmbedderGrads::zeros_like(&net);
+        net.backward(&vec![1.0; emb.len()], &cache, &mut grads);
+
+        let eps = 1e-2f32;
+        let mut net2 = net.clone();
+        let analytic: Vec<f32> = grads.grad_slices().concat();
+        // Perturb a deterministic spread of parameters across all groups.
+        let total = analytic.len();
+        let mut flat_idx = 0usize;
+        let mut checked = 0usize;
+        let groups = net2.param_slices_mut().len();
+        for gi in 0..groups {
+            let glen = net2.param_slices_mut()[gi].len();
+            for k in (0..glen).step_by((glen / 6).max(1)) {
+                let orig = net2.param_slices_mut()[gi][k];
+                net2.param_slices_mut()[gi][k] = orig + eps;
+                let plus: f32 = net2.embed(&x).iter().sum();
+                net2.param_slices_mut()[gi][k] = orig - eps;
+                let minus: f32 = net2.embed(&x).iter().sum();
+                net2.param_slices_mut()[gi][k] = orig;
+                let numeric = (plus - minus) / (2.0 * eps);
+                let ana = analytic[flat_idx + k];
+                assert!(
+                    (numeric - ana).abs() < 5e-2,
+                    "group {gi} param {k}: numeric {numeric} vs analytic {ana}"
+                );
+                checked += 1;
+            }
+            flat_idx += glen;
+        }
+        assert_eq!(flat_idx, total);
+        assert!(checked > 20, "checked too few parameters: {checked}");
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_outputs() {
+        let net = tiny_net();
+        let x = tiny_input();
+        let json = net.to_json().unwrap();
+        let back = SequenceEmbedder::from_json(&json).unwrap();
+        assert_eq!(net.embed(&x), back.embed(&x));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = EmbedderConfig::small(2);
+        cfg.output_size = 0;
+        assert!(SequenceEmbedder::new(cfg, 0).is_err());
+        let mut cfg = EmbedderConfig::small(2);
+        cfg.dropout = 1.5;
+        assert!(SequenceEmbedder::new(cfg, 0).is_err());
+        let mut cfg = EmbedderConfig::small(2);
+        cfg.hidden_layers = vec![8, 0];
+        assert!(SequenceEmbedder::new(cfg, 0).is_err());
+    }
+
+    #[test]
+    fn paper_config_matches_table_one() {
+        let cfg = EmbedderConfig::paper(3);
+        assert_eq!(cfg.lstm_hidden, 30);
+        assert_eq!(cfg.hidden_layers.len(), 4);
+        assert!(cfg
+            .hidden_layers
+            .iter()
+            .all(|&h| (100..=2000).contains(&h)));
+        assert_eq!(cfg.output_size, 32);
+        assert_eq!(cfg.dropout, 0.1);
+        assert_eq!(cfg.hidden_activation, Activation::Relu);
+    }
+}

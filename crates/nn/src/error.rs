@@ -1,0 +1,70 @@
+//! Error type for the neural-network substrate.
+
+use std::fmt;
+
+/// Errors produced by model construction, training and (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// Two tensors/slices had incompatible shapes for the requested op.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        context: String,
+        /// Shape (or length) that was expected.
+        expected: String,
+        /// Shape (or length) that was provided.
+        actual: String,
+    },
+    /// A configuration value was invalid (empty layer list, zero sizes, …).
+    InvalidConfig(String),
+    /// Model (de)serialization failed.
+    Serialization(String),
+    /// The input collection was empty where at least one element is needed.
+    EmptyInput(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "shape mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            NnError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+            NnError::EmptyInput(what) => write!(f, "empty input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, NnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NnError::ShapeMismatch {
+            context: "matvec".into(),
+            expected: "3".into(),
+            actual: "4".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matvec"));
+        assert!(s.contains("expected 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,92 @@
+//! Weight initialization schemes.
+
+use rand::{Rng, RngExt};
+
+use crate::tensor::Matrix;
+
+/// Initialization scheme for weight matrices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// Glorot/Xavier uniform: `U(-l, l)` with `l = sqrt(6 / (fan_in + fan_out))`.
+    ///
+    /// Suited to tanh/sigmoid units (the LSTM gates).
+    XavierUniform,
+    /// He/Kaiming uniform: `U(-l, l)` with `l = sqrt(6 / fan_in)`.
+    ///
+    /// Suited to ReLU-family units (the dense stack).
+    HeUniform,
+    /// Uniform in a fixed range `U(-scale, scale)`.
+    Uniform {
+        /// Half-width of the sampling interval.
+        scale: f32,
+    },
+    /// All zeros (used for biases and tests).
+    Zeros,
+}
+
+impl Init {
+    /// Samples a `rows × cols` matrix where `cols` is treated as `fan_in`
+    /// and `rows` as `fan_out`.
+    pub fn matrix<R: Rng + ?Sized>(self, rows: usize, cols: usize, rng: &mut R) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        let limit = self.limit(cols, rows);
+        if limit > 0.0 {
+            for v in m.as_mut_slice() {
+                *v = rng.random_range(-limit..limit);
+            }
+        }
+        m
+    }
+
+    /// Samples a vector of length `n` with `fan_in = n` (used rarely;
+    /// biases normally start at zero).
+    pub fn vector<R: Rng + ?Sized>(self, n: usize, rng: &mut R) -> Vec<f32> {
+        let limit = self.limit(n, n);
+        if limit == 0.0 {
+            return vec![0.0; n];
+        }
+        (0..n).map(|_| rng.random_range(-limit..limit)).collect()
+    }
+
+    fn limit(self, fan_in: usize, fan_out: usize) -> f32 {
+        match self {
+            Init::XavierUniform => (6.0 / (fan_in + fan_out) as f32).sqrt(),
+            Init::HeUniform => (6.0 / fan_in.max(1) as f32).sqrt(),
+            Init::Uniform { scale } => scale,
+            Init::Zeros => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Init::XavierUniform.matrix(64, 64, &mut rng);
+        let limit = (6.0f32 / 128.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= limit));
+        // Not all zero.
+        assert!(m.as_slice().iter().any(|v| v.abs() > 1e-4));
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Init::Zeros.matrix(3, 3, &mut rng);
+        assert!(m.as_slice().iter().all(|v| *v == 0.0));
+        assert_eq!(Init::Zeros.vector(4, &mut rng), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = Init::HeUniform.matrix(8, 8, &mut StdRng::seed_from_u64(42));
+        let b = Init::HeUniform.matrix(8, 8, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

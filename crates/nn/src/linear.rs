@@ -1,0 +1,202 @@
+//! Fully-connected (dense) layer with manual forward/backward passes.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::init::Init;
+use crate::tensor::{add_assign_slice, Matrix};
+
+/// A dense layer computing `y = W·x + b` (no activation — activations are
+/// applied by the caller so pre-activations can be cached for backprop).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    w: Matrix,
+    b: Vec<f32>,
+}
+
+/// Gradient accumulator matching a [`Dense`] layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseGrad {
+    /// Gradient of the weight matrix.
+    pub w: Matrix,
+    /// Gradient of the bias vector.
+    pub b: Vec<f32>,
+}
+
+impl Dense {
+    /// Creates a dense layer with `out × in` weights drawn from `init` and
+    /// zero biases.
+    pub fn new<R: Rng + ?Sized>(input: usize, output: usize, init: Init, rng: &mut R) -> Self {
+        Dense {
+            w: init.matrix(output, input, rng),
+            b: vec![0.0; output],
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_size(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Output dimensionality.
+    pub fn output_size(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    /// Forward pass: writes `W·x + b` into `out`.
+    pub fn forward(&self, x: &[f32], out: &mut [f32]) {
+        self.w.matvec(x, out);
+        add_assign_slice(out, &self.b);
+    }
+
+    /// Forward pass allocating the output vector.
+    pub fn forward_alloc(&self, x: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0; self.output_size()];
+        self.forward(x, &mut out);
+        out
+    }
+
+    /// Backward pass.
+    ///
+    /// Given the gradient `dz` w.r.t. this layer's *pre-activation* output
+    /// and the input `x` that produced it, accumulates parameter gradients
+    /// into `grad` and adds `Wᵀ·dz` into `dx` (gradient w.r.t. the input).
+    pub fn backward(&self, x: &[f32], dz: &[f32], grad: &mut DenseGrad, dx: &mut [f32]) {
+        grad.w.outer_add(dz, x);
+        add_assign_slice(&mut grad.b, dz);
+        self.w.matvec_t_add(dz, dx);
+    }
+
+    /// Backward pass when the input gradient is not needed (first layer).
+    pub fn backward_params_only(&self, x: &[f32], dz: &[f32], grad: &mut DenseGrad) {
+        grad.w.outer_add(dz, x);
+        add_assign_slice(&mut grad.b, dz);
+    }
+
+    /// Mutable views of all parameter buffers (weights then biases),
+    /// used by optimizers.
+    pub fn param_slices_mut(&mut self) -> [&mut [f32]; 2] {
+        [self.w.as_mut_slice(), &mut self.b]
+    }
+
+    /// Immutable views of all parameter buffers (weights then biases).
+    pub fn param_slices(&self) -> [&[f32]; 2] {
+        [self.w.as_slice(), &self.b]
+    }
+}
+
+impl DenseGrad {
+    /// Zeroed gradients shaped like `layer`.
+    pub fn zeros_like(layer: &Dense) -> Self {
+        DenseGrad {
+            w: Matrix::zeros(layer.output_size(), layer.input_size()),
+            b: vec![0.0; layer.output_size()],
+        }
+    }
+
+    /// Accumulates another gradient (used when merging per-thread grads).
+    pub fn add_assign(&mut self, other: &DenseGrad) {
+        self.w.add_assign(&other.w);
+        add_assign_slice(&mut self.b, &other.b);
+    }
+
+    /// Scales all gradients (e.g. by `1/batch`).
+    pub fn scale(&mut self, s: f32) {
+        self.w.scale(s);
+        crate::tensor::scale_slice(&mut self.b, s);
+    }
+
+    /// Resets to zero, keeping allocations.
+    pub fn zero(&mut self) {
+        self.w.fill_zero();
+        self.b.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Gradient views aligned with [`Dense::param_slices_mut`].
+    pub fn grad_slices(&self) -> [&[f32]; 2] {
+        [self.w.as_slice(), &self.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    fn tiny_layer() -> Dense {
+        let mut l = Dense::new(2, 2, Init::Zeros, &mut StdRng::seed_from_u64(0));
+        l.w = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        l.b = vec![0.5, -0.5];
+        l
+    }
+
+    #[test]
+    fn forward_matches_hand_computation() {
+        let l = tiny_layer();
+        let y = l.forward_alloc(&[1.0, 1.0]);
+        assert_eq!(y, vec![3.5, 6.5]);
+    }
+
+    #[test]
+    fn backward_accumulates_expected_grads() {
+        let l = tiny_layer();
+        let mut g = DenseGrad::zeros_like(&l);
+        let mut dx = vec![0.0; 2];
+        l.backward(&[1.0, 2.0], &[1.0, 1.0], &mut g, &mut dx);
+        // dW = dz ⊗ x = [[1,2],[1,2]]
+        assert_eq!(g.w.as_slice(), &[1.0, 2.0, 1.0, 2.0]);
+        assert_eq!(g.b, vec![1.0, 1.0]);
+        // dx = Wᵀ dz = [1+3, 2+4]
+        assert_eq!(dx, vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn gradient_check_weights() {
+        // Loss = sum(y); dL/dz = 1 → compare dW against finite differences.
+        let mut rng = StdRng::seed_from_u64(3);
+        let l = Dense::new(4, 3, Init::XavierUniform, &mut rng);
+        let x: Vec<f32> = (0..4).map(|i| 0.1 * i as f32 - 0.2).collect();
+        let mut g = DenseGrad::zeros_like(&l);
+        let mut dx = vec![0.0; 4];
+        l.backward(&x, &[1.0, 1.0, 1.0], &mut g, &mut dx);
+
+        let eps = 1e-3f32;
+        let mut l2 = l.clone();
+        for idx in 0..l2.w.len() {
+            let orig = l2.w.as_slice()[idx];
+            l2.w.as_mut_slice()[idx] = orig + eps;
+            let plus: f32 = l2.forward_alloc(&x).iter().sum();
+            l2.w.as_mut_slice()[idx] = orig - eps;
+            let minus: f32 = l2.forward_alloc(&x).iter().sum();
+            l2.w.as_mut_slice()[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            let analytic = g.w.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "dW[{idx}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_merge_and_scale() {
+        let l = tiny_layer();
+        let mut a = DenseGrad::zeros_like(&l);
+        let mut b = DenseGrad::zeros_like(&l);
+        let mut dx = vec![0.0; 2];
+        l.backward(&[1.0, 0.0], &[1.0, 0.0], &mut a, &mut dx);
+        l.backward(&[0.0, 1.0], &[0.0, 1.0], &mut b, &mut dx);
+        a.add_assign(&b);
+        a.scale(0.5);
+        assert_eq!(a.w.as_slice(), &[0.5, 0.0, 0.0, 0.5]);
+        a.zero();
+        assert_eq!(a.w.as_slice(), &[0.0; 4]);
+    }
+}

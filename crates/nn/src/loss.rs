@@ -1,0 +1,134 @@
+//! Loss functions: the paper's contrastive loss (Eq. 1) and softmax
+//! cross-entropy for the CNN baseline.
+
+/// Contrastive loss (Hadsell/Chopra/LeCun, as used in the paper's Eq. 1):
+///
+/// ```text
+/// L(d, y) = y·d² + (1 − y)·max(margin − d, 0)²
+/// ```
+///
+/// where `d` is the Euclidean distance between the two embeddings and
+/// `y ∈ {0, 1}` is the pair label (1 = same webpage).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContrastiveLoss {
+    /// Minimum distance dissimilar pairs are pushed towards (10 in Table I).
+    pub margin: f32,
+}
+
+impl ContrastiveLoss {
+    /// Creates the loss with the given margin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin <= 0`.
+    pub fn new(margin: f32) -> Self {
+        assert!(margin > 0.0, "contrastive margin must be positive, got {margin}");
+        ContrastiveLoss { margin }
+    }
+
+    /// Loss value for a pair at distance `d` with label `y`.
+    pub fn value(&self, d: f32, y: f32) -> f32 {
+        let hinge = (self.margin - d).max(0.0);
+        y * d * d + (1.0 - y) * hinge * hinge
+    }
+
+    /// `dL/dd` for a pair at distance `d` with label `y`.
+    pub fn grad_wrt_distance(&self, d: f32, y: f32) -> f32 {
+        let hinge = (self.margin - d).max(0.0);
+        2.0 * y * d - 2.0 * (1.0 - y) * hinge
+    }
+}
+
+/// Numerically-stable softmax over logits.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Softmax cross-entropy loss for a single sample.
+///
+/// Returns `(loss, dL/dlogits)`; the gradient is the classic
+/// `softmax(logits) − one_hot(label)`.
+///
+/// # Panics
+///
+/// Panics if `label >= logits.len()` or `logits` is empty.
+pub fn cross_entropy(logits: &[f32], label: usize) -> (f32, Vec<f32>) {
+    assert!(!logits.is_empty(), "cross_entropy on empty logits");
+    assert!(
+        label < logits.len(),
+        "label {label} out of range for {} classes",
+        logits.len()
+    );
+    let probs = softmax(logits);
+    let loss = -(probs[label].max(1e-12)).ln();
+    let mut grad = probs;
+    grad[label] -= 1.0;
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contrastive_positive_pair_pulls_together() {
+        let l = ContrastiveLoss::new(10.0);
+        assert_eq!(l.value(0.0, 1.0), 0.0);
+        assert_eq!(l.value(3.0, 1.0), 9.0);
+        // Gradient positive (distance should shrink).
+        assert!(l.grad_wrt_distance(3.0, 1.0) > 0.0);
+    }
+
+    #[test]
+    fn contrastive_negative_pair_pushes_apart_until_margin() {
+        let l = ContrastiveLoss::new(10.0);
+        assert_eq!(l.value(3.0, 0.0), 49.0);
+        assert!(l.grad_wrt_distance(3.0, 0.0) < 0.0);
+        // Beyond the margin, no force.
+        assert_eq!(l.value(11.0, 0.0), 0.0);
+        assert_eq!(l.grad_wrt_distance(11.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn contrastive_grad_matches_finite_difference() {
+        let l = ContrastiveLoss::new(10.0);
+        let eps = 1e-3;
+        for &(d, y) in &[(0.5f32, 1.0f32), (4.0, 1.0), (2.0, 0.0), (9.5, 0.0)] {
+            let num = (l.value(d + eps, y) - l.value(d - eps, y)) / (2.0 * eps);
+            let ana = l.grad_wrt_distance(d, y);
+            assert!((num - ana).abs() < 1e-2, "d={d}, y={y}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let p = softmax(&[1000.0, 1000.0, 1000.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p.iter().all(|v| (v - 1.0 / 3.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn cross_entropy_gradient_structure() {
+        let (loss, grad) = cross_entropy(&[2.0, 0.0, -1.0], 0);
+        assert!(loss > 0.0);
+        // Gradient sums to zero and is negative for the true class.
+        assert!((grad.iter().sum::<f32>()).abs() < 1e-6);
+        assert!(grad[0] < 0.0);
+        assert!(grad[1] > 0.0 && grad[2] > 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_has_small_loss() {
+        let (loss, _) = cross_entropy(&[50.0, 0.0], 0);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_entropy_rejects_bad_label() {
+        let _ = cross_entropy(&[0.0, 0.0], 5);
+    }
+}

@@ -1,0 +1,361 @@
+//! A single-layer LSTM with full backpropagation through time (BPTT).
+//!
+//! The paper's embedding network (Table I) consumes each traffic trace —
+//! a `T × S` matrix of per-step byte counts over `S` IP sequences — with a
+//! 30-unit LSTM front-end and feeds the final hidden state to a dense
+//! stack. This module implements exactly that front-end.
+//!
+//! Gate layout follows the common `[i, f, g, o]` convention:
+//!
+//! ```text
+//! z_t = W·[x_t ; h_{t-1}] + b          (z ∈ R^{4H})
+//! i = σ(z_i)   f = σ(z_f)   g = tanh(z_g)   o = σ(z_o)
+//! c_t = f ⊙ c_{t-1} + i ⊙ g
+//! h_t = o ⊙ tanh(c_t)
+//! ```
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::sigmoid;
+use crate::init::Init;
+use crate::tensor::{add_assign_slice, scale_slice, Matrix};
+
+/// Single-layer LSTM. Weights are stored as one `(4H) × (I+H)` matrix so
+/// all four gates are computed with a single matrix–vector product.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lstm {
+    w: Matrix,
+    b: Vec<f32>,
+    input_size: usize,
+    hidden_size: usize,
+}
+
+/// Gradients matching an [`Lstm`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LstmGrad {
+    /// Gradient of the packed gate weight matrix.
+    pub w: Matrix,
+    /// Gradient of the packed gate bias.
+    pub b: Vec<f32>,
+}
+
+/// Per-step values cached during the forward pass, needed for BPTT.
+#[derive(Debug, Clone)]
+struct StepCache {
+    /// Concatenated `[x_t ; h_{t-1}]`.
+    xh: Vec<f32>,
+    /// Previous cell state `c_{t-1}`.
+    c_prev: Vec<f32>,
+    /// Gate activations `i, f, g, o` (each length `H`).
+    i: Vec<f32>,
+    f: Vec<f32>,
+    g: Vec<f32>,
+    o: Vec<f32>,
+    /// `tanh(c_t)`.
+    tanh_c: Vec<f32>,
+}
+
+/// Forward-pass cache for a whole sequence.
+#[derive(Debug, Clone)]
+pub struct LstmCache {
+    steps: Vec<StepCache>,
+}
+
+impl LstmCache {
+    /// Number of timesteps that were processed.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the cached sequence was empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+impl Lstm {
+    /// Creates an LSTM with Xavier-initialized gate weights and the
+    /// customary forget-gate bias of 1 (helps gradient flow early on).
+    pub fn new<R: Rng + ?Sized>(input_size: usize, hidden_size: usize, rng: &mut R) -> Self {
+        let w = Init::XavierUniform.matrix(4 * hidden_size, input_size + hidden_size, rng);
+        let mut b = vec![0.0; 4 * hidden_size];
+        // Forget-gate block is the second H-sized chunk.
+        for v in &mut b[hidden_size..2 * hidden_size] {
+            *v = 1.0;
+        }
+        Lstm {
+            w,
+            b,
+            input_size,
+            hidden_size,
+        }
+    }
+
+    /// Input dimensionality (one element per IP sequence).
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Hidden-state dimensionality (30 in the paper).
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    /// Runs the sequence and returns the final hidden state.
+    ///
+    /// `xs` is a flat row-major `T × input_size` buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len()` is not a multiple of `input_size`.
+    pub fn forward(&self, xs: &[f32]) -> Vec<f32> {
+        self.run(xs, None)
+    }
+
+    /// Runs the sequence, caching every step for [`Lstm::backward`].
+    pub fn forward_train(&self, xs: &[f32]) -> (Vec<f32>, LstmCache) {
+        let mut cache = LstmCache { steps: Vec::new() };
+        let h = self.run(xs, Some(&mut cache));
+        (h, cache)
+    }
+
+    fn run(&self, xs: &[f32], mut cache: Option<&mut LstmCache>) -> Vec<f32> {
+        assert_eq!(
+            xs.len() % self.input_size.max(1),
+            0,
+            "sequence buffer length {} is not a multiple of input size {}",
+            xs.len(),
+            self.input_size
+        );
+        let hs = self.hidden_size;
+        let mut h = vec![0.0f32; hs];
+        let mut c = vec![0.0f32; hs];
+        let mut z = vec![0.0f32; 4 * hs];
+        let mut xh = vec![0.0f32; self.input_size + hs];
+
+        for x_t in xs.chunks_exact(self.input_size) {
+            xh[..self.input_size].copy_from_slice(x_t);
+            xh[self.input_size..].copy_from_slice(&h);
+            self.w.matvec(&xh, &mut z);
+            add_assign_slice(&mut z, &self.b);
+
+            let c_prev = c.clone();
+            let mut i = vec![0.0f32; hs];
+            let mut f = vec![0.0f32; hs];
+            let mut g = vec![0.0f32; hs];
+            let mut o = vec![0.0f32; hs];
+            for k in 0..hs {
+                i[k] = sigmoid(z[k]);
+                f[k] = sigmoid(z[hs + k]);
+                g[k] = z[2 * hs + k].tanh();
+                o[k] = sigmoid(z[3 * hs + k]);
+                c[k] = f[k] * c_prev[k] + i[k] * g[k];
+            }
+            let tanh_c: Vec<f32> = c.iter().map(|v| v.tanh()).collect();
+            for k in 0..hs {
+                h[k] = o[k] * tanh_c[k];
+            }
+
+            if let Some(cache) = cache.as_deref_mut() {
+                cache.steps.push(StepCache {
+                    xh: xh.clone(),
+                    c_prev,
+                    i,
+                    f,
+                    g,
+                    o,
+                    tanh_c,
+                });
+            }
+        }
+        h
+    }
+
+    /// BPTT given the gradient of the loss w.r.t. the *final* hidden state.
+    ///
+    /// Accumulates parameter gradients into `grad`. Gradients w.r.t. the
+    /// inputs are not produced (the sequences are data, not parameters).
+    pub fn backward(&self, dh_final: &[f32], cache: &LstmCache, grad: &mut LstmGrad) {
+        let hs = self.hidden_size;
+        debug_assert_eq!(dh_final.len(), hs);
+
+        let mut dh = dh_final.to_vec();
+        let mut dc = vec![0.0f32; hs];
+        let mut dz = vec![0.0f32; 4 * hs];
+        let mut dxh = vec![0.0f32; self.input_size + hs];
+
+        for step in cache.steps.iter().rev() {
+            for k in 0..hs {
+                let tanh_c = step.tanh_c[k];
+                let d_o = dh[k] * tanh_c;
+                let d_c = dh[k] * step.o[k] * (1.0 - tanh_c * tanh_c) + dc[k];
+                let d_i = d_c * step.g[k];
+                let d_f = d_c * step.c_prev[k];
+                let d_g = d_c * step.i[k];
+
+                dz[k] = d_i * step.i[k] * (1.0 - step.i[k]);
+                dz[hs + k] = d_f * step.f[k] * (1.0 - step.f[k]);
+                dz[2 * hs + k] = d_g * (1.0 - step.g[k] * step.g[k]);
+                dz[3 * hs + k] = d_o * step.o[k] * (1.0 - step.o[k]);
+
+                dc[k] = d_c * step.f[k];
+            }
+
+            grad.w.outer_add(&dz, &step.xh);
+            add_assign_slice(&mut grad.b, &dz);
+
+            dxh.iter_mut().for_each(|v| *v = 0.0);
+            self.w.matvec_t_add(&dz, &mut dxh);
+            dh.copy_from_slice(&dxh[self.input_size..]);
+        }
+    }
+
+    /// Mutable parameter views (weights then biases) for optimizers.
+    pub fn param_slices_mut(&mut self) -> [&mut [f32]; 2] {
+        [self.w.as_mut_slice(), &mut self.b]
+    }
+
+    /// Immutable parameter views (weights then biases).
+    pub fn param_slices(&self) -> [&[f32]; 2] {
+        [self.w.as_slice(), &self.b]
+    }
+}
+
+impl LstmGrad {
+    /// Zeroed gradients shaped like `lstm`.
+    pub fn zeros_like(lstm: &Lstm) -> Self {
+        LstmGrad {
+            w: Matrix::zeros(4 * lstm.hidden_size, lstm.input_size + lstm.hidden_size),
+            b: vec![0.0; 4 * lstm.hidden_size],
+        }
+    }
+
+    /// Accumulates another gradient.
+    pub fn add_assign(&mut self, other: &LstmGrad) {
+        self.w.add_assign(&other.w);
+        add_assign_slice(&mut self.b, &other.b);
+    }
+
+    /// Scales all gradients.
+    pub fn scale(&mut self, s: f32) {
+        self.w.scale(s);
+        scale_slice(&mut self.b, s);
+    }
+
+    /// Resets to zero, keeping allocations.
+    pub fn zero(&mut self) {
+        self.w.fill_zero();
+        self.b.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Gradient views aligned with [`Lstm::param_slices_mut`].
+    pub fn grad_slices(&self) -> [&[f32]; 2] {
+        [self.w.as_slice(), &self.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn output_shape_and_determinism() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let lstm = Lstm::new(3, 5, &mut rng);
+        let xs: Vec<f32> = (0..12).map(|i| (i as f32) * 0.1).collect(); // T=4, I=3
+        let h1 = lstm.forward(&xs);
+        let h2 = lstm.forward(&xs);
+        assert_eq!(h1.len(), 5);
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn empty_sequence_yields_zero_state() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let lstm = Lstm::new(3, 4, &mut rng);
+        let h = lstm.forward(&[]);
+        assert_eq!(h, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn cache_records_every_step() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let lstm = Lstm::new(2, 3, &mut rng);
+        let xs = vec![0.1; 10]; // T=5
+        let (h, cache) = lstm.forward_train(&xs);
+        assert_eq!(cache.len(), 5);
+        assert!(!cache.is_empty());
+        assert_eq!(h, lstm.forward(&xs));
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let lstm = Lstm::new(2, 3, &mut rng);
+        let [_, b] = lstm.param_slices();
+        assert_eq!(&b[3..6], &[1.0, 1.0, 1.0]);
+        assert_eq!(&b[0..3], &[0.0, 0.0, 0.0]);
+    }
+
+    /// Full finite-difference gradient check of BPTT: loss = sum(h_T).
+    #[test]
+    fn gradient_check_bptt() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut lstm = Lstm::new(2, 3, &mut rng);
+        let xs: Vec<f32> = (0..8).map(|i| ((i * 37 % 11) as f32 - 5.0) * 0.1).collect(); // T=4
+
+        let (h, cache) = lstm.forward_train(&xs);
+        assert_eq!(h.len(), 3);
+        let mut grad = LstmGrad::zeros_like(&lstm);
+        lstm.backward(&[1.0, 1.0, 1.0], &cache, &mut grad);
+
+        let eps = 1e-3f32;
+        // Check every weight (the matrix is tiny: 12 × 5).
+        for idx in 0..lstm.w.len() {
+            let orig = lstm.w.as_slice()[idx];
+            lstm.w.as_mut_slice()[idx] = orig + eps;
+            let plus: f32 = lstm.forward(&xs).iter().sum();
+            lstm.w.as_mut_slice()[idx] = orig - eps;
+            let minus: f32 = lstm.forward(&xs).iter().sum();
+            lstm.w.as_mut_slice()[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            let analytic = grad.w.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "dW[{idx}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // And every bias.
+        for idx in 0..lstm.b.len() {
+            let orig = lstm.b[idx];
+            lstm.b[idx] = orig + eps;
+            let plus: f32 = lstm.forward(&xs).iter().sum();
+            lstm.b[idx] = orig - eps;
+            let minus: f32 = lstm.forward(&xs).iter().sum();
+            lstm.b[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            let analytic = grad.b[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "db[{idx}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn rejects_misaligned_sequence() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let lstm = Lstm::new(3, 4, &mut rng);
+        let _ = lstm.forward(&[1.0, 2.0]);
+    }
+}

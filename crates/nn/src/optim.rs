@@ -1,0 +1,178 @@
+//! Stochastic gradient descent (Table I's optimizer), with optional
+//! classical momentum and weight decay.
+//!
+//! The optimizer is structure-agnostic: networks expose their parameters
+//! as ordered lists of mutable slices and gradients as matching immutable
+//! slices; velocity buffers are allocated lazily to match.
+
+use serde::{Deserialize, Serialize};
+
+/// SGD configuration and state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate (0.001 in Table I).
+    pub learning_rate: f32,
+    /// Classical momentum coefficient; 0 disables momentum.
+    pub momentum: f32,
+    /// L2 weight decay coefficient; 0 disables decay.
+    pub weight_decay: f32,
+    /// Gradient-norm clip applied per parameter group; `None` disables.
+    pub clip_norm: Option<f32>,
+    velocities: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate (no momentum/decay).
+    pub fn new(learning_rate: f32) -> Self {
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        Sgd {
+            learning_rate,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            clip_norm: None,
+            velocities: Vec::new(),
+        }
+    }
+
+    /// SGD with classical momentum.
+    pub fn with_momentum(learning_rate: f32, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        Sgd {
+            momentum,
+            ..Sgd::new(learning_rate)
+        }
+    }
+
+    /// Sets a per-group gradient-norm clip (builder style).
+    pub fn clip(mut self, max_norm: f32) -> Self {
+        assert!(max_norm > 0.0, "clip norm must be positive");
+        self.clip_norm = Some(max_norm);
+        self
+    }
+
+    /// Sets L2 weight decay (builder style).
+    pub fn decay(mut self, weight_decay: f32) -> Self {
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Applies one update step.
+    ///
+    /// `params` and `grads` must be the same parameter groups in the same
+    /// order on every call (velocity buffers are keyed by position).
+    ///
+    /// # Panics
+    ///
+    /// Panics if group counts or lengths diverge between calls.
+    pub fn step(&mut self, params: &mut [&mut [f32]], grads: &[&[f32]]) {
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "parameter / gradient group count mismatch"
+        );
+        if self.velocities.is_empty() && self.momentum > 0.0 {
+            self.velocities = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        }
+        for (gi, (p, g)) in params.iter_mut().zip(grads).enumerate() {
+            assert_eq!(p.len(), g.len(), "parameter / gradient length mismatch");
+            let clip_scale = match self.clip_norm {
+                Some(max) => {
+                    let norm = g.iter().map(|v| v * v).sum::<f32>().sqrt();
+                    if norm > max {
+                        max / norm
+                    } else {
+                        1.0
+                    }
+                }
+                None => 1.0,
+            };
+            if self.momentum > 0.0 {
+                let vel = &mut self.velocities[gi];
+                assert_eq!(vel.len(), p.len(), "velocity shape drift");
+                for ((pv, gv), vv) in p.iter_mut().zip(g.iter()).zip(vel.iter_mut()) {
+                    let grad = gv * clip_scale + self.weight_decay * *pv;
+                    *vv = self.momentum * *vv + grad;
+                    *pv -= self.learning_rate * *vv;
+                }
+            } else {
+                for (pv, gv) in p.iter_mut().zip(g.iter()) {
+                    let grad = gv * clip_scale + self.weight_decay * *pv;
+                    *pv -= self.learning_rate * grad;
+                }
+            }
+        }
+    }
+
+    /// Discards momentum state (e.g. between training phases).
+    pub fn reset(&mut self) {
+        self.velocities.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_sgd_moves_against_gradient() {
+        let mut opt = Sgd::new(0.1);
+        let mut p = vec![1.0f32, -1.0];
+        let g = vec![1.0f32, -1.0];
+        opt.step(&mut [&mut p], &[&g]);
+        assert_eq!(p, vec![0.9, -0.9]);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut opt = Sgd::with_momentum(0.1, 0.9);
+        let mut p = vec![0.0f32];
+        let g = vec![1.0f32];
+        opt.step(&mut [&mut p], &[&g]);
+        let after_one = p[0];
+        opt.step(&mut [&mut p], &[&g]);
+        let delta_two = p[0] - after_one;
+        // Second step moves further than the first (velocity built up).
+        assert!(delta_two < after_one - 0.0);
+        assert!(delta_two.abs() > after_one.abs());
+    }
+
+    #[test]
+    fn clipping_limits_update_magnitude() {
+        let mut opt = Sgd::new(1.0).clip(1.0);
+        let mut p = vec![0.0f32, 0.0];
+        let g = vec![30.0f32, 40.0]; // norm 50 → scaled to 1
+        opt.step(&mut [&mut p], &[&g]);
+        let norm = (p[0] * p[0] + p[1] * p[1]).sqrt();
+        assert!((norm - 1.0).abs() < 1e-5, "update norm {norm}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let mut opt = Sgd::new(0.1).decay(1.0);
+        let mut p = vec![1.0f32];
+        let g = vec![0.0f32];
+        opt.step(&mut [&mut p], &[&g]);
+        assert!((p[0] - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        // minimize f(p) = (p-3)², grad = 2(p-3)
+        let mut opt = Sgd::with_momentum(0.05, 0.5);
+        let mut p = vec![0.0f32];
+        for _ in 0..200 {
+            let g = vec![2.0 * (p[0] - 3.0)];
+            opt.step(&mut [&mut p], &[&g]);
+        }
+        assert!((p[0] - 3.0).abs() < 1e-3, "p = {}", p[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "group count mismatch")]
+    fn rejects_mismatched_groups() {
+        let mut opt = Sgd::new(0.1);
+        let mut p = vec![0.0f32];
+        opt.step(&mut [&mut p], &[]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Training-pair generation for the siamese network (Section IV-A.2 of
+//! the paper): positive pairs join two traces of the same webpage,
+//! negative pairs traces of different webpages. Both uniform-random
+//! sampling and semi-hard negative mining (FaceNet-style) are provided.
+
+use rand::seq::IndexedRandom;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::euclidean;
+
+/// A training pair referencing samples in an external pool by index.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainPair {
+    /// Index of the first trace.
+    pub a: usize,
+    /// Index of the second trace.
+    pub b: usize,
+    /// Similarity label: 1.0 = same webpage, 0.0 = different.
+    pub label: f32,
+}
+
+/// Per-class index over a flat sample pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassIndex {
+    classes: Vec<Vec<usize>>,
+}
+
+impl ClassIndex {
+    /// Builds the index from per-sample class labels (labels must be
+    /// `0..n_classes`, not necessarily contiguous in the slice).
+    pub fn from_labels(labels: &[usize]) -> Self {
+        let n_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+        let mut classes = vec![Vec::new(); n_classes];
+        for (i, &c) in labels.iter().enumerate() {
+            classes[c].push(i);
+        }
+        ClassIndex { classes }
+    }
+
+    /// Number of classes (including any empty ones).
+    pub fn n_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Sample indices belonging to class `c`.
+    pub fn members(&self, c: usize) -> &[usize] {
+        &self.classes[c]
+    }
+
+    /// Classes that have at least two samples (can form positive pairs).
+    pub fn pairable_classes(&self) -> Vec<usize> {
+        (0..self.classes.len())
+            .filter(|&c| self.classes[c].len() >= 2)
+            .collect()
+    }
+
+    /// Total number of indexed samples.
+    pub fn n_samples(&self) -> usize {
+        self.classes.iter().map(Vec::len).sum()
+    }
+}
+
+/// Uniform-random pair sampling: draws `n` pairs of which roughly
+/// `pos_fraction` are positive.
+///
+/// # Panics
+///
+/// Panics if no class has two samples (no positive pair possible) or
+/// fewer than two classes are non-empty (no negative pair possible).
+pub fn random_pairs<R: Rng + ?Sized>(
+    index: &ClassIndex,
+    n: usize,
+    pos_fraction: f32,
+    rng: &mut R,
+) -> Vec<TrainPair> {
+    let pairable = index.pairable_classes();
+    assert!(
+        !pairable.is_empty(),
+        "cannot form positive pairs: no class has >= 2 samples"
+    );
+    let nonempty: Vec<usize> = (0..index.n_classes())
+        .filter(|&c| !index.members(c).is_empty())
+        .collect();
+    assert!(
+        nonempty.len() >= 2,
+        "cannot form negative pairs: fewer than 2 non-empty classes"
+    );
+
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        if rng.random::<f32>() < pos_fraction {
+            let &c = pairable.choose(rng).expect("pairable class");
+            let members = index.members(c);
+            let a = *members.choose(rng).expect("member");
+            let mut b = *members.choose(rng).expect("member");
+            while b == a {
+                b = *members.choose(rng).expect("member");
+            }
+            out.push(TrainPair { a, b, label: 1.0 });
+        } else {
+            let &ca = nonempty.choose(rng).expect("class");
+            let mut cb = *nonempty.choose(rng).expect("class");
+            while cb == ca {
+                cb = *nonempty.choose(rng).expect("class");
+            }
+            let a = *index.members(ca).choose(rng).expect("member");
+            let b = *index.members(cb).choose(rng).expect("member");
+            out.push(TrainPair { a, b, label: 0.0 });
+        }
+    }
+    out
+}
+
+/// Semi-hard negative mining over precomputed embeddings.
+///
+/// For each of `n_anchors` anchors the miner emits one positive pair and
+/// one negative pair whose distance falls (when possible) inside the
+/// semi-hard band `[d_pos, d_pos + margin)` — negatives that are already
+/// farther than `d_pos + margin` contribute no gradient under the
+/// contrastive loss, and ones closer than `d_pos` can destabilize early
+/// training.
+///
+/// `candidates_per_anchor` controls how many random negatives are
+/// examined per anchor.
+pub fn semi_hard_pairs<R: Rng + ?Sized>(
+    embeddings: &[Vec<f32>],
+    index: &ClassIndex,
+    margin: f32,
+    n_anchors: usize,
+    candidates_per_anchor: usize,
+    rng: &mut R,
+) -> Vec<TrainPair> {
+    let pairable = index.pairable_classes();
+    assert!(!pairable.is_empty(), "no class with >= 2 samples");
+    let nonempty: Vec<usize> = (0..index.n_classes())
+        .filter(|&c| !index.members(c).is_empty())
+        .collect();
+    assert!(nonempty.len() >= 2, "need >= 2 non-empty classes");
+
+    let mut out = Vec::with_capacity(2 * n_anchors);
+    for _ in 0..n_anchors {
+        let &c = pairable.choose(rng).expect("class");
+        let members = index.members(c);
+        let anchor = *members.choose(rng).expect("member");
+        let mut pos = *members.choose(rng).expect("member");
+        while pos == anchor {
+            pos = *members.choose(rng).expect("member");
+        }
+        let d_pos = euclidean(&embeddings[anchor], &embeddings[pos]);
+        out.push(TrainPair {
+            a: anchor,
+            b: pos,
+            label: 1.0,
+        });
+
+        // Scan random negatives for one inside the semi-hard band;
+        // fall back to the hardest (closest) candidate seen.
+        let mut best: Option<(usize, f32)> = None;
+        let mut chosen: Option<usize> = None;
+        for _ in 0..candidates_per_anchor.max(1) {
+            let mut cn = *nonempty.choose(rng).expect("class");
+            while cn == c {
+                cn = *nonempty.choose(rng).expect("class");
+            }
+            let neg = *index.members(cn).choose(rng).expect("member");
+            let d = euclidean(&embeddings[anchor], &embeddings[neg]);
+            if d >= d_pos && d < d_pos + margin {
+                chosen = Some(neg);
+                break;
+            }
+            if best.map_or(true, |(_, bd)| d < bd) {
+                best = Some((neg, d));
+            }
+        }
+        let neg = chosen.unwrap_or_else(|| best.expect("at least one candidate").0);
+        out.push(TrainPair {
+            a: anchor,
+            b: neg,
+            label: 0.0,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    fn labels() -> Vec<usize> {
+        // 3 classes with 3 samples each.
+        vec![0, 0, 0, 1, 1, 1, 2, 2, 2]
+    }
+
+    #[test]
+    fn class_index_groups_by_label() {
+        let idx = ClassIndex::from_labels(&labels());
+        assert_eq!(idx.n_classes(), 3);
+        assert_eq!(idx.members(1), &[3, 4, 5]);
+        assert_eq!(idx.n_samples(), 9);
+        assert_eq!(idx.pairable_classes(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn random_pairs_labels_are_consistent() {
+        let idx = ClassIndex::from_labels(&labels());
+        let lab = labels();
+        let mut rng = StdRng::seed_from_u64(1);
+        let pairs = random_pairs(&idx, 500, 0.5, &mut rng);
+        assert_eq!(pairs.len(), 500);
+        let mut pos = 0;
+        for p in &pairs {
+            assert_ne!(p.a, p.b, "pair must join distinct samples");
+            if p.label == 1.0 {
+                assert_eq!(lab[p.a], lab[p.b]);
+                pos += 1;
+            } else {
+                assert_ne!(lab[p.a], lab[p.b]);
+            }
+        }
+        // Roughly half positive.
+        assert!((150..350).contains(&pos), "{pos} positives");
+    }
+
+    #[test]
+    fn semi_hard_prefers_band_negatives() {
+        // Embeddings placed on a line: class 0 at 0, class 1 at 2, class 2 at 100.
+        // With margin 5, the semi-hard negative for a class-0 anchor must be
+        // from class 1 (distance 2 is inside [d_pos, d_pos+5)), never class 2.
+        let emb = vec![
+            vec![0.0],
+            vec![0.1],
+            vec![0.2],
+            vec![2.0],
+            vec![2.1],
+            vec![2.2],
+            vec![100.0],
+            vec![100.1],
+            vec![100.2],
+        ];
+        let idx = ClassIndex::from_labels(&labels());
+        let mut rng = StdRng::seed_from_u64(3);
+        let pairs = semi_hard_pairs(&emb, &idx, 5.0, 200, 16, &mut rng);
+        let lab = labels();
+        for p in pairs.iter().filter(|p| p.label == 0.0) {
+            // Negative must be semi-hard whenever the anchor is in class 0 or 1:
+            // class 2 is 100 away, far outside any band, and a same-side
+            // candidate at distance ~2 always exists among 16 draws.
+            if lab[p.a] != 2 && lab[p.b] != 2 {
+                let d = euclidean(&emb[p.a], &emb[p.b]);
+                assert!(d < 10.0, "non-semi-hard negative at distance {d}");
+            }
+        }
+        // Positives and negatives alternate 1:1.
+        let pos = pairs.iter().filter(|p| p.label == 1.0).count();
+        assert_eq!(pos, 200);
+        assert_eq!(pairs.len(), 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "no class has >= 2 samples")]
+    fn random_pairs_rejects_singleton_classes() {
+        let idx = ClassIndex::from_labels(&[0, 1, 2]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = random_pairs(&idx, 1, 0.5, &mut rng);
+    }
+}

@@ -1,0 +1,105 @@
+//! Data-parallel helpers built on crossbeam's scoped threads.
+//!
+//! Training is embarrassingly parallel across a batch: each worker
+//! accumulates gradients for its chunk into a private buffer, and the
+//! buffers are merged before the optimizer step. The same splitter is
+//! reused for parallel inference (embedding corpora, kNN queries).
+
+/// Number of worker threads to use: the machine's available parallelism,
+/// capped so tiny workloads don't pay spawn overhead.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `items` into at most `threads` contiguous chunks and runs `f`
+/// on each chunk in parallel, returning per-chunk results in order.
+///
+/// `f` receives `(chunk_index, chunk_start_offset, chunk)`.
+///
+/// Falls back to a single inline call when `threads <= 1` or the input
+/// is small.
+pub fn map_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, usize, &[T]) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 || items.len() < 2 {
+        return vec![f(0, 0, items)];
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for (ci, chunk) in items.chunks(chunk_size).enumerate() {
+            let f = &f;
+            let offset = ci * chunk_size;
+            handles.push(scope.spawn(move |_| f(ci, offset, chunk)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed")
+}
+
+/// Parallel element-wise map preserving order.
+pub fn map_elems<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let chunks = map_chunks(items, threads, |_, _, chunk| {
+        chunk.iter().map(&f).collect::<Vec<R>>()
+    });
+    chunks.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_chunks_covers_all_items_in_order() {
+        let items: Vec<usize> = (0..103).collect();
+        let sums = map_chunks(&items, 4, |_, _, chunk| chunk.iter().sum::<usize>());
+        assert_eq!(sums.iter().sum::<usize>(), 103 * 102 / 2);
+    }
+
+    #[test]
+    fn map_chunks_offsets_are_correct() {
+        let items: Vec<usize> = (0..50).collect();
+        let checks = map_chunks(&items, 3, |_, offset, chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .all(|(i, &v)| v == offset + i)
+        });
+        assert!(checks.into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    fn map_elems_preserves_order() {
+        let items: Vec<i32> = (0..200).collect();
+        let doubled = map_elems(&items, 8, |x| x * 2);
+        assert_eq!(doubled, (0..200).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_and_empty_inputs() {
+        let items: Vec<i32> = vec![];
+        let out = map_elems(&items, 4, |x| *x);
+        assert!(out.is_empty());
+        let one = map_elems(&[7], 4, |x| *x);
+        assert_eq!(one, vec![7]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Fixed-shape sequence inputs for the embedding network.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{NnError, Result};
+
+/// A `steps × channels` input sequence, row-major (one row per timestep).
+///
+/// For the paper's attack, `channels` is the number of IP sequences (3
+/// for the Wikipedia encoding: client + text server + media server; 2 for
+/// the up/down encoding) and each row holds the byte counts emitted by
+/// each party at that transmission step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeqInput {
+    steps: usize,
+    channels: usize,
+    data: Vec<f32>,
+}
+
+impl SeqInput {
+    /// Creates a sequence from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `data.len() != steps * channels`.
+    pub fn new(steps: usize, channels: usize, data: Vec<f32>) -> Result<Self> {
+        if data.len() != steps * channels {
+            return Err(NnError::ShapeMismatch {
+                context: "SeqInput::new".into(),
+                expected: format!("{steps}×{channels} = {}", steps * channels),
+                actual: data.len().to_string(),
+            });
+        }
+        Ok(SeqInput {
+            steps,
+            channels,
+            data,
+        })
+    }
+
+    /// An all-zero sequence.
+    pub fn zeros(steps: usize, channels: usize) -> Self {
+        SeqInput {
+            steps,
+            channels,
+            data: vec![0.0; steps * channels],
+        }
+    }
+
+    /// Number of timesteps.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Number of channels (IP sequences).
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Flat row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Row (timestep) accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= steps`.
+    pub fn step(&self, t: usize) -> &[f32] {
+        assert!(t < self.steps, "step {t} out of range ({})", self.steps);
+        &self.data[t * self.channels..(t + 1) * self.channels]
+    }
+
+    /// Channel-major copy `(channels, steps)` as needed by [`crate::conv::Conv1d`].
+    pub fn to_channel_major(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.data.len()];
+        for t in 0..self.steps {
+            for c in 0..self.channels {
+                out[c * self.steps + t] = self.data[t * self.channels + c];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_shape() {
+        assert!(SeqInput::new(2, 3, vec![0.0; 6]).is_ok());
+        assert!(SeqInput::new(2, 3, vec![0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn step_accessor() {
+        let s = SeqInput::new(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.step(0), &[1.0, 2.0]);
+        assert_eq!(s.step(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn channel_major_transpose() {
+        let s = SeqInput::new(3, 2, vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0]).unwrap();
+        assert_eq!(s.to_channel_major(), vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn zeros_shape() {
+        let s = SeqInput::zeros(4, 3);
+        assert_eq!(s.steps(), 4);
+        assert_eq!(s.channels(), 3);
+        assert!(s.as_slice().iter().all(|v| *v == 0.0));
+    }
+}

@@ -1,0 +1,361 @@
+//! Dense row-major `f32` matrices and the vector kernels used by every
+//! layer in this crate.
+//!
+//! The networks in this workspace are small (tens of thousands of
+//! parameters), so a straightforward cache-friendly implementation over
+//! `Vec<f32>` outperforms anything fancier at these sizes and keeps the
+//! backward passes auditable.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f32`.
+///
+/// Rows are stored contiguously: element `(r, c)` lives at `r * cols + c`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the flat row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Borrow row `r` mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `out = self · x` (matrix–vector product).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `x.len() != cols` or `out.len() != rows`.
+    pub fn matvec(&self, x: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.cols, "matvec input length");
+        debug_assert_eq!(out.len(), self.rows, "matvec output length");
+        for (o, row) in out.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+            *o = dot(row, x);
+        }
+    }
+
+    /// `out += self · x` (accumulating matrix–vector product).
+    pub fn matvec_add(&self, x: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.cols, "matvec_add input length");
+        debug_assert_eq!(out.len(), self.rows, "matvec_add output length");
+        for (o, row) in out.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+            *o += dot(row, x);
+        }
+    }
+
+    /// `out += selfᵀ · x` (transposed matrix–vector product, accumulating).
+    ///
+    /// Used in backward passes to push gradients through a linear map.
+    pub fn matvec_t_add(&self, x: &[f32], out: &mut [f32]) {
+        debug_assert_eq!(x.len(), self.rows, "matvec_t_add input length");
+        debug_assert_eq!(out.len(), self.cols, "matvec_t_add output length");
+        for (xi, row) in x.iter().zip(self.data.chunks_exact(self.cols)) {
+            if *xi != 0.0 {
+                axpy(*xi, row, out);
+            }
+        }
+    }
+
+    /// Rank-1 update: `self += a ⊗ b` (outer product accumulate).
+    ///
+    /// Used to accumulate weight gradients: `dW += dz ⊗ x`.
+    pub fn outer_add(&mut self, a: &[f32], b: &[f32]) {
+        debug_assert_eq!(a.len(), self.rows, "outer_add lhs length");
+        debug_assert_eq!(b.len(), self.cols, "outer_add rhs length");
+        for (ai, row) in a.iter().zip(self.data.chunks_exact_mut(self.cols)) {
+            if *ai != 0.0 {
+                axpy(*ai, b, row);
+            }
+        }
+    }
+
+    /// Adds another matrix element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on shape mismatch.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        debug_assert_eq!(self.rows, other.rows);
+        debug_assert_eq!(self.cols, other.cols);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Frobenius norm (root of sum of squares).
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics (debug) if lengths differ.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot length");
+    // Chunked accumulation: faster and more numerically stable than a
+    // naive single accumulator.
+    let mut acc = [0.0f32; 4];
+    let mut ai = a.chunks_exact(4);
+    let mut bi = b.chunks_exact(4);
+    for (ca, cb) in ai.by_ref().zip(bi.by_ref()) {
+        acc[0] += ca[0] * cb[0];
+        acc[1] += ca[1] * cb[1];
+        acc[2] += ca[2] * cb[2];
+        acc[3] += ca[3] * cb[3];
+    }
+    let tail: f32 = ai
+        .remainder()
+        .iter()
+        .zip(bi.remainder())
+        .map(|(x, y)| x * y)
+        .sum();
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics (debug) if lengths differ.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy length");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Element-wise addition: `y += x`.
+#[inline]
+pub fn add_assign_slice(y: &mut [f32], x: &[f32]) {
+    debug_assert_eq!(x.len(), y.len(), "add_assign_slice length");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += xi;
+    }
+}
+
+/// Scales a slice in place.
+#[inline]
+pub fn scale_slice(y: &mut [f32], s: f32) {
+    for v in y {
+        *v *= s;
+    }
+}
+
+/// Squared Euclidean distance between two equal-length vectors.
+#[inline]
+pub fn euclidean_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "euclidean_sq length");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance between two equal-length vectors.
+#[inline]
+pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    euclidean_sq(a, b).sqrt()
+}
+
+/// Cosine distance (`1 − cosine similarity`); returns 1.0 when either
+/// vector is all-zero.
+#[inline]
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
+    let na = dot(a, a).sqrt();
+    let nb = dot(b, b).sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    1.0 - dot(a, b) / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        // [1 2; 3 4; 5 6] · [1, -1] = [-1, -1, -1]
+        let m = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut out = vec![0.0; 3];
+        m.matvec(&[1.0, -1.0], &mut out);
+        assert_eq!(out, vec![-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn matvec_t_is_transpose_of_matvec() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        // mᵀ · [1, 1] = [5, 7, 9]
+        let mut out = vec![0.0; 3];
+        m.matvec_t_add(&[1.0, 1.0], &mut out);
+        assert_eq!(out, vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn outer_add_accumulates_rank_one() {
+        let mut m = Matrix::zeros(2, 2);
+        m.outer_add(&[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(m.as_slice(), &[3.0, 4.0, 6.0, 8.0]);
+        m.outer_add(&[1.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(m.as_slice(), &[4.0, 5.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn dot_handles_non_multiple_of_four_lengths() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let b = [1.0; 7];
+        assert_eq!(dot(&a, &b), 28.0);
+    }
+
+    #[test]
+    fn euclidean_distance_basic() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean_sq(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_distance_bounds() {
+        assert!((cosine_distance(&[1.0, 0.0], &[1.0, 0.0])).abs() < 1e-6);
+        assert!((cosine_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine_distance(&[1.0, 0.0], &[-1.0, 0.0]) - 2.0).abs() < 1e-6);
+        // Degenerate zero vector.
+        assert_eq!(cosine_distance(&[0.0, 0.0], &[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn row_accessors_round_trip() {
+        let mut m = Matrix::zeros(2, 3);
+        m.row_mut(1).copy_from_slice(&[7.0, 8.0, 9.0]);
+        assert_eq!(m.row(1), &[7.0, 8.0, 9.0]);
+        assert_eq!(m.row(0), &[0.0, 0.0, 0.0]);
+        assert_eq!(m.get(1, 2), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix buffer length")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn scale_and_zero() {
+        let mut m = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        m.scale(2.0);
+        assert_eq!(m.as_slice(), &[2.0, 4.0, 6.0]);
+        m.fill_zero();
+        assert_eq!(m.as_slice(), &[0.0, 0.0, 0.0]);
+        assert_eq!(m.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Matrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based gradient checks: for randomly-drawn small networks and
+//! inputs, analytic gradients must match central finite differences.
+//!
+//! Smooth activations (tanh / sigmoid / identity) are used so the finite
+//! differences are valid everywhere; kink behaviour of the ReLU family is
+//! covered by deterministic unit tests inside the crate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tlsfp_nn::activation::Activation;
+use tlsfp_nn::embedding::{EmbedderConfig, EmbedderGrads, SequenceEmbedder};
+use tlsfp_nn::init::Init;
+use tlsfp_nn::linear::{Dense, DenseGrad};
+use tlsfp_nn::loss::ContrastiveLoss;
+use tlsfp_nn::lstm::{Lstm, LstmGrad};
+use tlsfp_nn::seq::SeqInput;
+use tlsfp_nn::tensor::euclidean;
+
+const EPS: f32 = 1e-2;
+const TOL: f32 = 6e-2;
+
+fn seq_strategy(steps: usize, channels: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-1.0f32..1.0, steps * channels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Dense-layer gradients match finite differences for random inputs.
+    #[test]
+    fn dense_gradcheck(seed in 0u64..1000, xs in proptest::collection::vec(-1.0f32..1.0, 4)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layer = Dense::new(4, 3, Init::XavierUniform, &mut rng);
+        let mut grad = DenseGrad::zeros_like(&layer);
+        let mut dx = vec![0.0; 4];
+        layer.backward(&xs, &[1.0, 1.0, 1.0], &mut grad, &mut dx);
+
+        // Input gradient via finite differences.
+        for i in 0..xs.len() {
+            let mut xp = xs.clone();
+            xp[i] += EPS;
+            let plus: f32 = layer.forward_alloc(&xp).iter().sum();
+            xp[i] -= 2.0 * EPS;
+            let minus: f32 = layer.forward_alloc(&xp).iter().sum();
+            let numeric = (plus - minus) / (2.0 * EPS);
+            prop_assert!((numeric - dx[i]).abs() < TOL,
+                "dx[{}]: numeric {} vs analytic {}", i, numeric, dx[i]);
+        }
+    }
+
+    /// LSTM BPTT gradients match finite differences on random sequences.
+    #[test]
+    fn lstm_gradcheck(seed in 0u64..1000, xs in seq_strategy(4, 2)) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lstm = Lstm::new(2, 3, &mut rng);
+        let (_, cache) = lstm.forward_train(&xs);
+        let mut grad = LstmGrad::zeros_like(&lstm);
+        lstm.backward(&[1.0, 1.0, 1.0], &cache, &mut grad);
+
+        let analytic_w = grad.w.as_slice().to_vec();
+        let [w, _] = lstm.param_slices_mut();
+        let n = w.len();
+        // Spot-check a spread of weights.
+        for idx in (0..n).step_by((n / 8).max(1)) {
+            let [w, _] = lstm.param_slices_mut();
+            let orig = w[idx];
+            w[idx] = orig + EPS;
+            let plus: f32 = lstm.forward(&xs).iter().sum();
+            let [w, _] = lstm.param_slices_mut();
+            w[idx] = orig - EPS;
+            let minus: f32 = lstm.forward(&xs).iter().sum();
+            let [w, _] = lstm.param_slices_mut();
+            w[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * EPS);
+            prop_assert!((numeric - analytic_w[idx]).abs() < TOL,
+                "dW[{}]: numeric {} vs analytic {}", idx, numeric, analytic_w[idx]);
+        }
+    }
+
+    /// Full siamese contrastive gradient matches finite differences:
+    /// perturbing any parameter changes the pair loss consistently with
+    /// the accumulated analytic gradient.
+    #[test]
+    fn siamese_contrastive_gradcheck(
+        seed in 0u64..500,
+        xa in seq_strategy(3, 2),
+        xb in seq_strategy(3, 2),
+        label in prop::sample::select(vec![0.0f32, 1.0]),
+    ) {
+        let cfg = EmbedderConfig {
+            input_size: 2,
+            lstm_hidden: 3,
+            hidden_layers: vec![4],
+            output_size: 2,
+            hidden_activation: Activation::Tanh,
+            output_activation: Activation::Identity,
+            dropout: 0.0,
+        };
+        let net = SequenceEmbedder::new(cfg, seed).unwrap();
+        let a = SeqInput::new(3, 2, xa).unwrap();
+        let b = SeqInput::new(3, 2, xb).unwrap();
+        let loss = ContrastiveLoss::new(2.0);
+
+        let pair_loss = |net: &SequenceEmbedder| -> f32 {
+            let d = euclidean(&net.embed(&a), &net.embed(&b));
+            loss.value(d, label)
+        };
+
+        let mut rng = StdRng::seed_from_u64(0);
+        let (ea, ca) = net.forward_train(&a, &mut rng);
+        let (eb, cb) = net.forward_train(&b, &mut rng);
+        let d = euclidean(&ea, &eb);
+        // Skip degenerate coincident embeddings (loss not differentiable at d=0).
+        prop_assume!(d > 1e-3);
+        let dl_dd = loss.grad_wrt_distance(d, label);
+        let coef = dl_dd / d;
+        let ga: Vec<f32> = ea.iter().zip(&eb).map(|(x, y)| coef * (x - y)).collect();
+        let gb: Vec<f32> = ga.iter().map(|g| -g).collect();
+        let mut grads = EmbedderGrads::zeros_like(&net);
+        net.backward(&ga, &ca, &mut grads);
+        net.backward(&gb, &cb, &mut grads);
+
+        let analytic: Vec<f32> = grads.grad_slices().concat();
+        let mut net2 = net.clone();
+        let groups = net2.param_slices_mut().len();
+        let mut flat = 0usize;
+        for gi in 0..groups {
+            let glen = net2.param_slices_mut()[gi].len();
+            for k in (0..glen).step_by((glen / 4).max(1)) {
+                let orig = net2.param_slices_mut()[gi][k];
+                net2.param_slices_mut()[gi][k] = orig + EPS;
+                let plus = pair_loss(&net2);
+                net2.param_slices_mut()[gi][k] = orig - EPS;
+                let minus = pair_loss(&net2);
+                net2.param_slices_mut()[gi][k] = orig;
+                let numeric = (plus - minus) / (2.0 * EPS);
+                let ana = analytic[flat + k];
+                // Hinge kink of the negative branch can bite when d is
+                // within EPS of the margin; widen tolerance there.
+                let near_kink = label == 0.0 && (d - loss.margin).abs() < 0.3;
+                let tol = if near_kink { 0.5 } else { TOL };
+                prop_assert!((numeric - ana).abs() < tol,
+                    "group {} param {}: numeric {} vs analytic {} (d={})",
+                    gi, k, numeric, ana, d);
+            }
+            flat += glen;
+        }
+    }
+}

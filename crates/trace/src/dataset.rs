@@ -1,0 +1,408 @@
+//! Labeled trace datasets and the paper's experiment splits.
+//!
+//! Figure 5 of the paper splits the Wikipedia corpus two ways at once —
+//! by class and by sample:
+//!
+//! ```text
+//!                 samples →  90%          10%
+//! train classes   (Set A: train)   (Set B: known-class test)
+//! other classes   (Set C: reference)(Set D: unseen-class test)
+//! ```
+//!
+//! Experiment 1 trains on A and classifies B against A as reference.
+//! Experiment 2 reuses the model, referencing C and classifying D —
+//! classes the model never saw.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use tlsfp_nn::seq::SeqInput;
+use tlsfp_web::corpus::{CorpusSpec, SyntheticCorpus};
+use tlsfp_web::crawler::LabeledCapture;
+use tlsfp_web::site::Website;
+
+use crate::error::{Result, TraceError};
+use crate::sequence::IpSequences;
+use crate::tensorize::TensorConfig;
+
+/// A labeled, tensorized trace dataset with uniform shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    n_classes: usize,
+    channels: usize,
+    steps: usize,
+    seqs: Vec<SeqInput>,
+    labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// An empty dataset expecting traces of the given shape.
+    pub fn new(n_classes: usize, channels: usize, steps: usize) -> Self {
+        Dataset {
+            n_classes,
+            channels,
+            steps,
+            seqs: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Converts an in-memory corpus.
+    pub fn from_corpus(corpus: &SyntheticCorpus, cfg: &TensorConfig) -> Self {
+        let mut ds = Dataset::new(corpus.n_classes(), cfg.channels, cfg.max_steps);
+        for lc in &corpus.traces {
+            ds.push_capture(lc, cfg).expect("corpus labels are in range");
+        }
+        ds
+    }
+
+    /// Generates a corpus *streaming*: captures are tensorized and
+    /// dropped one at a time, so arbitrarily large corpora fit in
+    /// memory. Returns the website alongside the dataset (needed for
+    /// drift experiments).
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid corpus specifications.
+    pub fn generate(spec: &CorpusSpec, cfg: &TensorConfig, seed: u64) -> Result<(Website, Self)> {
+        let mut ds = Dataset::new(spec.site.n_pages, cfg.channels, cfg.max_steps);
+        let website = SyntheticCorpus::generate_streaming(spec, seed, |lc| {
+            ds.push_capture(&lc, cfg).expect("labels in range");
+        })
+        .map_err(|e| TraceError::Corpus(e.to_string()))?;
+        Ok((website, ds))
+    }
+
+    /// Tensorizes and appends one labeled capture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::ClassOutOfRange`] for a bad label.
+    pub fn push_capture(&mut self, lc: &LabeledCapture, cfg: &TensorConfig) -> Result<()> {
+        let seq = cfg.tensorize(&IpSequences::extract(&lc.capture));
+        self.push(lc.page, seq)
+    }
+
+    /// Appends a tensorized trace.
+    ///
+    /// Traces are variable-length: the dataset's `steps` is an upper
+    /// bound (the tensorizer's truncation limit), not an exact shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::ClassOutOfRange`] or
+    /// [`TraceError::ShapeMismatch`] (wrong channel count, zero-length
+    /// or over-long trace).
+    pub fn push(&mut self, class: usize, seq: SeqInput) -> Result<()> {
+        if class >= self.n_classes {
+            return Err(TraceError::ClassOutOfRange {
+                class,
+                n_classes: self.n_classes,
+            });
+        }
+        if seq.channels() != self.channels || seq.steps() > self.steps || seq.steps() == 0 {
+            return Err(TraceError::ShapeMismatch {
+                expected: (self.steps, self.channels),
+                actual: (seq.steps(), seq.channels()),
+            });
+        }
+        self.seqs.push(seq);
+        self.labels.push(class);
+        Ok(())
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    /// Number of classes the label space covers.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Channels per trace.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Maximum steps per trace (the tensorizer's truncation bound).
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// The trace pool (aligned with [`Dataset::labels`]).
+    pub fn seqs(&self) -> &[SeqInput] {
+        &self.seqs
+    }
+
+    /// Ground-truth labels (aligned with [`Dataset::seqs`]).
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Iterates `(label, trace)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &SeqInput)> + '_ {
+        self.labels.iter().copied().zip(self.seqs.iter())
+    }
+
+    /// Splits each class's samples into (rest, test) with `test_fraction`
+    /// of samples (at least one if the class has ≥ 2) going to test.
+    /// Deterministic in `seed`.
+    pub fn split_per_class(&self, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            (0.0..1.0).contains(&test_fraction),
+            "test fraction must be in [0,1)"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes];
+        for (i, &c) in self.labels.iter().enumerate() {
+            by_class[c].push(i);
+        }
+        let mut train = Dataset::new(self.n_classes, self.channels, self.steps);
+        let mut test = Dataset::new(self.n_classes, self.channels, self.steps);
+        for members in &mut by_class {
+            members.shuffle(&mut rng);
+            let n_test = if members.len() >= 2 {
+                ((members.len() as f64 * test_fraction).round() as usize).clamp(1, members.len() - 1)
+            } else {
+                0
+            };
+            for (k, &idx) in members.iter().enumerate() {
+                let target = if k < n_test { &mut test } else { &mut train };
+                target
+                    .push(self.labels[idx], self.seqs[idx].clone())
+                    .expect("shape preserved");
+            }
+        }
+        (train, test)
+    }
+
+    /// Keeps only the given classes, relabeling them `0..classes.len()`
+    /// in the order given.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::ClassOutOfRange`] if any id is invalid.
+    pub fn subset_classes(&self, classes: &[usize]) -> Result<Dataset> {
+        for &c in classes {
+            if c >= self.n_classes {
+                return Err(TraceError::ClassOutOfRange {
+                    class: c,
+                    n_classes: self.n_classes,
+                });
+            }
+        }
+        let mut relabel = vec![usize::MAX; self.n_classes];
+        for (new, &old) in classes.iter().enumerate() {
+            relabel[old] = new;
+        }
+        let mut out = Dataset::new(classes.len(), self.channels, self.steps);
+        for (i, &c) in self.labels.iter().enumerate() {
+            if relabel[c] != usize::MAX {
+                out.push(relabel[c], self.seqs[i].clone())
+                    .expect("shape preserved");
+            }
+        }
+        Ok(out)
+    }
+
+    /// Truncates the per-class sample count to at most `n` (keeps the
+    /// first `n` in insertion order).
+    pub fn cap_samples_per_class(&self, n: usize) -> Dataset {
+        let mut counts = vec![0usize; self.n_classes];
+        let mut out = Dataset::new(self.n_classes, self.channels, self.steps);
+        for (i, &c) in self.labels.iter().enumerate() {
+            if counts[c] < n {
+                counts[c] += 1;
+                out.push(c, self.seqs[i].clone()).expect("shape preserved");
+            }
+        }
+        out
+    }
+}
+
+/// The four sets of Figure 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure5Split {
+    /// Training set: train classes × ~90% of samples.
+    pub set_a: Dataset,
+    /// Known-class test set: train classes × ~10% of samples.
+    pub set_b: Dataset,
+    /// Unseen-class reference set: held-out classes × ~90%.
+    pub set_c: Dataset,
+    /// Unseen-class test set: held-out classes × ~10%.
+    pub set_d: Dataset,
+}
+
+impl Dataset {
+    /// Produces the Figure 5 split: the first `n_train_classes` feed
+    /// Sets A/B, the remaining classes feed Sets C/D (relabeled from 0
+    /// in both partitions); within each partition, `test_fraction` of
+    /// every class's samples go to the B/D side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::ClassOutOfRange`] if `n_train_classes` is 0
+    /// or ≥ the total class count.
+    pub fn figure5(
+        &self,
+        n_train_classes: usize,
+        test_fraction: f64,
+        seed: u64,
+    ) -> Result<Figure5Split> {
+        if n_train_classes == 0 || n_train_classes >= self.n_classes {
+            return Err(TraceError::ClassOutOfRange {
+                class: n_train_classes,
+                n_classes: self.n_classes,
+            });
+        }
+        let train_classes: Vec<usize> = (0..n_train_classes).collect();
+        let other_classes: Vec<usize> = (n_train_classes..self.n_classes).collect();
+        let train_part = self.subset_classes(&train_classes)?;
+        let other_part = self.subset_classes(&other_classes)?;
+        let (set_a, set_b) = train_part.split_per_class(test_fraction, seed);
+        let (set_c, set_d) = other_part.split_per_class(test_fraction, seed.wrapping_add(1));
+        Ok(Figure5Split {
+            set_a,
+            set_b,
+            set_c,
+            set_d,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset(n_classes: usize, per_class: usize) -> Dataset {
+        let mut ds = Dataset::new(n_classes, 2, 4);
+        for c in 0..n_classes {
+            for s in 0..per_class {
+                let v = c as f32 + s as f32 * 0.01;
+                ds.push(c, SeqInput::new(4, 2, vec![v; 8]).unwrap()).unwrap();
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn push_validates_shape_and_label() {
+        let mut ds = Dataset::new(2, 2, 4);
+        assert!(ds.push(0, SeqInput::zeros(4, 2)).is_ok());
+        // Shorter traces are fine (variable length).
+        assert!(ds.push(0, SeqInput::zeros(2, 2)).is_ok());
+        assert!(matches!(
+            ds.push(5, SeqInput::zeros(4, 2)),
+            Err(TraceError::ClassOutOfRange { class: 5, .. })
+        ));
+        // Over-long, zero-length and channel-mismatched traces are not.
+        assert!(matches!(
+            ds.push(0, SeqInput::zeros(5, 2)),
+            Err(TraceError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            ds.push(0, SeqInput::zeros(0, 2)),
+            Err(TraceError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            ds.push(0, SeqInput::zeros(4, 3)),
+            Err(TraceError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn per_class_split_is_disjoint_and_complete() {
+        let ds = toy_dataset(5, 10);
+        let (train, test) = ds.split_per_class(0.1, 7);
+        assert_eq!(train.len() + test.len(), ds.len());
+        // Every class keeps 9/1.
+        for c in 0..5 {
+            assert_eq!(train.labels().iter().filter(|&&l| l == c).count(), 9);
+            assert_eq!(test.labels().iter().filter(|&&l| l == c).count(), 1);
+        }
+    }
+
+    #[test]
+    fn subset_classes_relabels() {
+        let ds = toy_dataset(6, 3);
+        let sub = ds.subset_classes(&[4, 2]).unwrap();
+        assert_eq!(sub.n_classes(), 2);
+        assert_eq!(sub.len(), 6);
+        // Class 4 became 0, class 2 became 1.
+        let zeros = sub.labels().iter().filter(|&&l| l == 0).count();
+        assert_eq!(zeros, 3);
+        // Out-of-range is an error.
+        assert!(ds.subset_classes(&[9]).is_err());
+    }
+
+    #[test]
+    fn figure5_partitions_are_disjoint() {
+        let ds = toy_dataset(10, 10);
+        let split = ds.figure5(6, 0.1, 3).unwrap();
+        assert_eq!(split.set_a.n_classes(), 6);
+        assert_eq!(split.set_b.n_classes(), 6);
+        assert_eq!(split.set_c.n_classes(), 4);
+        assert_eq!(split.set_d.n_classes(), 4);
+        assert_eq!(
+            split.set_a.len() + split.set_b.len() + split.set_c.len() + split.set_d.len(),
+            ds.len()
+        );
+        // No sequence appears in two sets.
+        let mut all: Vec<&SeqInput> = Vec::new();
+        for set in [&split.set_a, &split.set_b, &split.set_c, &split.set_d] {
+            all.extend(set.seqs());
+        }
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                assert_ne!(all[i], all[j], "duplicate trace across sets");
+            }
+        }
+    }
+
+    #[test]
+    fn figure5_rejects_degenerate_splits() {
+        let ds = toy_dataset(4, 2);
+        assert!(ds.figure5(0, 0.1, 0).is_err());
+        assert!(ds.figure5(4, 0.1, 0).is_err());
+    }
+
+    #[test]
+    fn cap_samples_limits_per_class() {
+        let ds = toy_dataset(3, 10);
+        let capped = ds.cap_samples_per_class(4);
+        assert_eq!(capped.len(), 12);
+        for c in 0..3 {
+            assert_eq!(capped.labels().iter().filter(|&&l| l == c).count(), 4);
+        }
+    }
+
+    #[test]
+    fn generate_streaming_matches_from_corpus() {
+        let spec = CorpusSpec::wiki_like(3, 2);
+        let cfg = TensorConfig::wiki();
+        let corpus = SyntheticCorpus::generate(&spec, 11).unwrap();
+        let from_mem = Dataset::from_corpus(&corpus, &cfg);
+        let (website, streamed) = Dataset::generate(&spec, &cfg, 11).unwrap();
+        assert_eq!(from_mem, streamed);
+        assert_eq!(website, corpus.website);
+        assert_eq!(streamed.len(), 6);
+        assert_eq!(streamed.channels(), 3);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let ds = toy_dataset(2, 2);
+        let json = serde_json::to_string(&ds).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(ds, back);
+    }
+}

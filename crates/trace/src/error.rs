@@ -1,0 +1,59 @@
+//! Error type for trace processing.
+
+use std::fmt;
+
+/// Errors produced by dataset construction and splitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// A class label was outside the dataset's label space.
+    ClassOutOfRange {
+        /// The offending label.
+        class: usize,
+        /// The dataset's class count.
+        n_classes: usize,
+    },
+    /// A trace did not match the dataset's `(steps, channels)` shape.
+    ShapeMismatch {
+        /// Expected `(steps, channels)`.
+        expected: (usize, usize),
+        /// Provided `(steps, channels)`.
+        actual: (usize, usize),
+    },
+    /// Corpus generation failed.
+    Corpus(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::ClassOutOfRange { class, n_classes } => {
+                write!(f, "class {class} out of range ({n_classes} classes)")
+            }
+            TraceError::ShapeMismatch { expected, actual } => write!(
+                f,
+                "trace shape {actual:?} does not match dataset shape {expected:?}"
+            ),
+            TraceError::Corpus(msg) => write!(f, "corpus generation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TraceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = TraceError::ShapeMismatch {
+            expected: (60, 3),
+            actual: (60, 2),
+        };
+        assert!(e.to_string().contains("(60, 2)"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # tlsfp-trace — trace processing and datasets
+//!
+//! The bridge between raw captures and the models: implements the
+//! paper's Figure 4 preprocessing (per-IP byte-count sequences with
+//! zero-fill alignment and consecutive-packet aggregation), optional
+//! quantization, tensorization to fixed-shape model inputs, labeled
+//! dataset containers and the Figure 5 experiment splits (Sets A–D).
+//!
+//! ## Example: corpus → dataset → Figure 5 split
+//!
+//! ```
+//! use tlsfp_trace::dataset::Dataset;
+//! use tlsfp_trace::tensorize::TensorConfig;
+//! use tlsfp_web::corpus::CorpusSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = CorpusSpec::wiki_like(10, 4);
+//! let (_site, ds) = Dataset::generate(&spec, &TensorConfig::wiki(), 7)?;
+//! let split = ds.figure5(6, 0.25, 0)?;
+//! assert_eq!(split.set_a.n_classes(), 6); // training classes
+//! assert_eq!(split.set_d.n_classes(), 4); // never-seen classes
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod error;
+pub mod sequence;
+pub mod stats;
+pub mod tensorize;
+
+pub use dataset::{Dataset, Figure5Split};
+pub use error::{Result, TraceError};
+pub use sequence::IpSequences;
+pub use tensorize::{ScaleMode, TensorConfig};

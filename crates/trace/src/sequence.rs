@@ -1,0 +1,250 @@
+//! The paper's Figure 4 preprocessing: a capture becomes a set of
+//! aligned per-IP byte-count sequences.
+//!
+//! > "Each sequence corresponds to one of the IP addresses that
+//! > transmitted data during the pageload and contains the byte-counts
+//! > sent by that IP address over time. … each time an IP address sends
+//! > out traffic, the new byte-count is appended to the corresponding
+//! > sequence while the rest of the sequences are appended with a
+//! > zero-count element. … When an IP address sends more than one
+//! > consecutive packets, the byte-counts of those packets are
+//! > aggregated and only their sum is appended."
+//!
+//! The first sequence always corresponds to the user (client).
+
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use tlsfp_net::capture::Capture;
+
+/// Aligned per-IP byte-count sequences for one page load.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IpSequences {
+    /// Transmitting IPs: `ips[0]` is the client; servers follow in
+    /// order of first transmission.
+    pub ips: Vec<Ipv4Addr>,
+    /// `rows[i][t]`: bytes sent by `ips[i]` at transmission step `t`.
+    /// All rows have equal length and exactly one row is non-zero at
+    /// each step.
+    pub rows: Vec<Vec<u32>>,
+}
+
+impl IpSequences {
+    /// Extracts sequences from a capture per the Figure 4 algorithm.
+    ///
+    /// Zero-payload packets (TCP handshakes, pure ACKs) carry no
+    /// byte-count signal and are skipped. Consecutive packets from the
+    /// same IP aggregate into one step.
+    pub fn extract(capture: &Capture) -> Self {
+        let mut ips: Vec<Ipv4Addr> = vec![capture.client];
+        let mut rows: Vec<Vec<u32>> = vec![Vec::new()];
+        let mut last_sender: Option<usize> = None;
+
+        for packet in &capture.packets {
+            if packet.payload_len == 0 {
+                continue;
+            }
+            let sender_idx = match ips.iter().position(|&ip| ip == packet.src) {
+                Some(i) => i,
+                None => {
+                    ips.push(packet.src);
+                    rows.push(vec![0u32; rows[0].len()]);
+                    ips.len() - 1
+                }
+            };
+            if last_sender == Some(sender_idx) {
+                // Aggregate consecutive transmissions.
+                let t = rows[sender_idx].len() - 1;
+                rows[sender_idx][t] = rows[sender_idx][t].saturating_add(packet.payload_len);
+            } else {
+                for (i, row) in rows.iter_mut().enumerate() {
+                    row.push(if i == sender_idx {
+                        packet.payload_len
+                    } else {
+                        0
+                    });
+                }
+                last_sender = Some(sender_idx);
+            }
+        }
+        IpSequences { ips, rows }
+    }
+
+    /// Number of transmission steps.
+    pub fn steps(&self) -> usize {
+        self.rows.first().map_or(0, Vec::len)
+    }
+
+    /// Number of sequences (transmitting IPs, client included even if
+    /// it never sent payload).
+    pub fn n_sequences(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Total bytes attributed to `ips[i]`.
+    pub fn bytes_of(&self, i: usize) -> u64 {
+        self.rows[i].iter().map(|&b| b as u64).sum()
+    }
+
+    /// Collapses into a fixed number of channels:
+    ///
+    /// - channel 0: the client;
+    /// - channels `1..n-1`: servers in first-transmission order;
+    /// - channel `n-1`: the (n-1)-th server *plus every later server*
+    ///   (merged), so no traffic is dropped;
+    /// - missing channels are zero-filled.
+    ///
+    /// This is how the 3-sequence Wikipedia encoding and the 2-sequence
+    /// up/down encoding (§VI-D) are both expressed: `channels = 3` and
+    /// `channels = 2` respectively.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn to_channels(&self, channels: usize) -> Vec<Vec<u32>> {
+        assert!(channels > 0, "need at least one channel");
+        let steps = self.steps();
+        let mut out = vec![vec![0u32; steps]; channels];
+        for (i, row) in self.rows.iter().enumerate() {
+            let ch = i.min(channels - 1);
+            for (t, &b) in row.iter().enumerate() {
+                out[ch][t] = out[ch][t].saturating_add(b);
+            }
+        }
+        out
+    }
+
+    /// The two-sequence (upstream/downstream) representation used for
+    /// Tor-style baselines and the Github experiment.
+    pub fn to_two_sequences(&self) -> Vec<Vec<u32>> {
+        self.to_channels(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tlsfp_net::capture::Packet;
+
+    use super::*;
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    fn pkt(t: u64, src: u8, dst: u8, len: u32) -> Packet {
+        Packet {
+            timestamp_us: t,
+            src: ip(src),
+            dst: ip(dst),
+            payload_len: len,
+        }
+    }
+
+    /// The worked example of Figure 4: client (1), two servers (2, 3).
+    fn figure4_capture() -> Capture {
+        let mut c = Capture::new(ip(1));
+        c.push(pkt(0, 1, 2, 100)); // client request
+        c.push(pkt(1, 2, 1, 500)); // server A
+        c.push(pkt(2, 2, 1, 700)); // server A again (aggregates)
+        c.push(pkt(3, 3, 1, 300)); // server B
+        c.push(pkt(4, 1, 3, 80)); // client
+        c.push(pkt(5, 3, 1, 250)); // server B
+        c
+    }
+
+    #[test]
+    fn extraction_matches_figure_four() {
+        let seqs = IpSequences::extract(&figure4_capture());
+        assert_eq!(seqs.ips, vec![ip(1), ip(2), ip(3)]);
+        // Steps: client 100 | A 1200 (500+700 aggregated) | B 300 | client 80 | B 250.
+        assert_eq!(seqs.steps(), 5);
+        assert_eq!(seqs.rows[0], vec![100, 0, 0, 80, 0]);
+        assert_eq!(seqs.rows[1], vec![0, 1200, 0, 0, 0]);
+        assert_eq!(seqs.rows[2], vec![0, 0, 300, 0, 250]);
+    }
+
+    #[test]
+    fn exactly_one_nonzero_per_step() {
+        let seqs = IpSequences::extract(&figure4_capture());
+        for t in 0..seqs.steps() {
+            let nonzero = seqs.rows.iter().filter(|r| r[t] != 0).count();
+            assert_eq!(nonzero, 1, "step {t}");
+        }
+    }
+
+    #[test]
+    fn byte_conservation() {
+        let cap = figure4_capture();
+        let seqs = IpSequences::extract(&cap);
+        for (i, &ipaddr) in seqs.ips.iter().enumerate() {
+            assert_eq!(seqs.bytes_of(i), cap.payload_from(ipaddr), "ip {ipaddr}");
+        }
+    }
+
+    #[test]
+    fn zero_payload_packets_are_ignored() {
+        let mut cap = figure4_capture();
+        cap.packets.insert(0, pkt(0, 1, 2, 0)); // SYN
+        cap.packets.push(pkt(10, 2, 1, 0)); // ACK
+        let with = IpSequences::extract(&cap);
+        let without = IpSequences::extract(&figure4_capture());
+        assert_eq!(with.rows, without.rows);
+    }
+
+    #[test]
+    fn client_is_always_first_even_if_server_sends_first() {
+        let mut c = Capture::new(ip(1));
+        c.push(pkt(0, 2, 1, 400)); // server speaks first (e.g. early data)
+        c.push(pkt(1, 1, 2, 100));
+        let seqs = IpSequences::extract(&c);
+        assert_eq!(seqs.ips[0], ip(1));
+        assert_eq!(seqs.rows[0], vec![0, 100]);
+        assert_eq!(seqs.rows[1], vec![400, 0]);
+    }
+
+    #[test]
+    fn empty_capture_yields_client_only_empty_rows() {
+        let c = Capture::new(ip(1));
+        let seqs = IpSequences::extract(&c);
+        assert_eq!(seqs.n_sequences(), 1);
+        assert_eq!(seqs.steps(), 0);
+    }
+
+    #[test]
+    fn channel_collapse_merges_overflow_servers() {
+        let mut c = Capture::new(ip(1));
+        c.push(pkt(0, 1, 2, 10));
+        c.push(pkt(1, 2, 1, 20));
+        c.push(pkt(2, 3, 1, 30));
+        c.push(pkt(3, 4, 1, 40));
+        let seqs = IpSequences::extract(&c);
+        assert_eq!(seqs.n_sequences(), 4);
+        let three = seqs.to_channels(3);
+        // Channel 2 holds servers 3 and 4 merged.
+        assert_eq!(three[0], vec![10, 0, 0, 0]);
+        assert_eq!(three[1], vec![0, 20, 0, 0]);
+        assert_eq!(three[2], vec![0, 0, 30, 40]);
+        // Byte totals preserved under collapse.
+        let total: u64 = three.iter().flatten().map(|&b| b as u64).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn two_sequence_representation_is_up_down() {
+        let seqs = IpSequences::extract(&figure4_capture());
+        let two = seqs.to_two_sequences();
+        assert_eq!(two[0], vec![100, 0, 0, 80, 0]); // upstream
+        assert_eq!(two[1], vec![0, 1200, 300, 0, 250]); // all servers
+    }
+
+    #[test]
+    fn missing_channels_are_zero_filled() {
+        let mut c = Capture::new(ip(1));
+        c.push(pkt(0, 1, 2, 10));
+        c.push(pkt(1, 2, 1, 20));
+        let seqs = IpSequences::extract(&c);
+        let three = seqs.to_channels(3);
+        assert_eq!(three[2], vec![0, 0]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Summary statistics over datasets — used in reports and by the
+//! feature extractors of the baselines.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// Aggregate statistics of a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of traces.
+    pub n_traces: usize,
+    /// Number of classes in the label space.
+    pub n_classes: usize,
+    /// Classes that actually have at least one sample.
+    pub populated_classes: usize,
+    /// Minimum samples over populated classes.
+    pub min_samples_per_class: usize,
+    /// Maximum samples over any class.
+    pub max_samples_per_class: usize,
+    /// Mean number of non-zero steps per trace.
+    pub mean_active_steps: f64,
+    /// Mean of per-trace total activation (sum of scaled byte counts).
+    pub mean_activation: f64,
+}
+
+impl DatasetStats {
+    /// Computes statistics for `ds`.
+    pub fn compute(ds: &Dataset) -> Self {
+        let mut per_class = vec![0usize; ds.n_classes()];
+        for &l in ds.labels() {
+            per_class[l] += 1;
+        }
+        let populated: Vec<usize> = per_class.iter().copied().filter(|&c| c > 0).collect();
+
+        let mut active_steps = 0usize;
+        let mut activation = 0.0f64;
+        for seq in ds.seqs() {
+            for t in 0..seq.steps() {
+                let row = seq.step(t);
+                if row.iter().any(|&v| v != 0.0) {
+                    active_steps += 1;
+                }
+                activation += row.iter().map(|&v| v as f64).sum::<f64>();
+            }
+        }
+        let n = ds.len().max(1) as f64;
+        DatasetStats {
+            n_traces: ds.len(),
+            n_classes: ds.n_classes(),
+            populated_classes: populated.len(),
+            min_samples_per_class: populated.iter().copied().min().unwrap_or(0),
+            max_samples_per_class: per_class.iter().copied().max().unwrap_or(0),
+            mean_active_steps: active_steps as f64 / n,
+            mean_activation: activation / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tlsfp_nn::seq::SeqInput;
+
+    use super::*;
+
+    #[test]
+    fn stats_on_toy_dataset() {
+        let mut ds = Dataset::new(3, 2, 4);
+        ds.push(0, SeqInput::new(4, 2, vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap())
+            .unwrap();
+        ds.push(0, SeqInput::new(4, 2, vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap())
+            .unwrap();
+        ds.push(2, SeqInput::zeros(4, 2)).unwrap();
+        let s = DatasetStats::compute(&ds);
+        assert_eq!(s.n_traces, 3);
+        assert_eq!(s.n_classes, 3);
+        assert_eq!(s.populated_classes, 2);
+        assert_eq!(s.min_samples_per_class, 1);
+        assert_eq!(s.max_samples_per_class, 2);
+        // Trace 1 has 1 active step, trace 2 has 2, trace 3 has 0.
+        assert!((s.mean_active_steps - 1.0).abs() < 1e-9);
+        assert!((s.mean_activation - (1.0 + 3.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_dataset_is_safe() {
+        let ds = Dataset::new(2, 2, 4);
+        let s = DatasetStats::compute(&ds);
+        assert_eq!(s.n_traces, 0);
+        assert_eq!(s.populated_classes, 0);
+        assert_eq!(s.min_samples_per_class, 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Turning IP sequences into fixed-shape model inputs: optional
+//! quantization (§IV-A.1's "optionally quantized to eliminate noisy
+//! artifacts"), length normalization and byte-count scaling.
+
+use serde::{Deserialize, Serialize};
+
+use tlsfp_nn::seq::SeqInput;
+
+use crate::sequence::IpSequences;
+
+/// Byte-count scaling applied before the network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScaleMode {
+    /// `ln(1 + bytes) / ln(1 + cap)` — compresses the heavy tail into
+    /// `[0, 1]`; the default.
+    Log {
+        /// Byte count mapped to 1.0.
+        cap: u32,
+    },
+    /// `bytes / cap`, clamped to `[0, 1]`.
+    Linear {
+        /// Byte count mapped to 1.0.
+        cap: u32,
+    },
+}
+
+impl ScaleMode {
+    /// Applies the scaling to one byte count.
+    pub fn scale(&self, bytes: u32) -> f32 {
+        match *self {
+            ScaleMode::Log { cap } => {
+                let denom = (1.0 + cap as f64).ln();
+                ((1.0 + bytes as f64).ln() / denom).min(1.0) as f32
+            }
+            ScaleMode::Linear { cap } => (bytes as f64 / cap.max(1) as f64).min(1.0) as f32,
+        }
+    }
+}
+
+/// Full tensorization configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TensorConfig {
+    /// Number of channels (IP sequences): 3 for the Wikipedia encoding,
+    /// 2 for the up/down encoding.
+    pub channels: usize,
+    /// Sequences are truncated / zero-padded to this many steps.
+    pub max_steps: usize,
+    /// Byte counts are rounded down to a multiple of this bin before
+    /// scaling (1 = no quantization).
+    pub quantize_bin: u32,
+    /// Byte-count scaling.
+    pub scale: ScaleMode,
+    /// Feed steps to the model newest-first. The page's most stable
+    /// discriminator (the document fetch) happens first on the wire;
+    /// reversing places it adjacent to the LSTM's final hidden state.
+    pub reverse: bool,
+}
+
+impl TensorConfig {
+    /// The paper's Wikipedia encoding: 3 sequences.
+    ///
+    /// Log scaling in natural wire order is the default — it won the
+    /// encoding ablation (`benches/ablations.rs`) over linear scaling
+    /// and over reversed step order.
+    pub fn wiki() -> Self {
+        TensorConfig {
+            channels: 3,
+            max_steps: 60,
+            quantize_bin: 64,
+            scale: ScaleMode::Log { cap: 20_000_000 },
+            reverse: false,
+        }
+    }
+
+    /// The two-sequence encoding used for Github (§VI-D) and the
+    /// Tor-style baselines.
+    pub fn two_seq() -> Self {
+        TensorConfig {
+            channels: 2,
+            ..TensorConfig::wiki()
+        }
+    }
+
+    /// Converts extracted sequences into a model input of shape
+    /// `(min(steps, max_steps), channels)`.
+    ///
+    /// Sequences are *truncated* to `max_steps` but never zero-padded:
+    /// the LSTM consumes variable-length inputs, and trailing zero steps
+    /// would decay the final hidden state through the forget gate,
+    /// erasing the trace's signal. An empty capture yields a single
+    /// all-zero step so downstream shapes stay valid.
+    pub fn tensorize(&self, seqs: &IpSequences) -> SeqInput {
+        let steps = seqs.steps().min(self.max_steps).max(1);
+        let rows = seqs.to_channels(self.channels);
+        let mut data = vec![0.0f32; steps * self.channels];
+        let bin = self.quantize_bin.max(1);
+        let real = seqs.steps().min(steps);
+        for t in 0..real {
+            let out_t = if self.reverse { real - 1 - t } else { t };
+            for (c, row) in rows.iter().enumerate() {
+                let q = (row[t] / bin) * bin;
+                data[out_t * self.channels + c] = self.scale.scale(q);
+            }
+        }
+        SeqInput::new(steps, self.channels, data).expect("shape is consistent by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::net::Ipv4Addr;
+
+    use tlsfp_net::capture::{Capture, Packet};
+
+    use super::*;
+    use crate::sequence::IpSequences;
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, last)
+    }
+
+    fn capture(lens: &[(u8, u32)]) -> Capture {
+        let mut c = Capture::new(ip(1));
+        for (i, &(src, len)) in lens.iter().enumerate() {
+            let dst = if src == 1 { 2 } else { 1 };
+            c.push(Packet {
+                timestamp_us: i as u64,
+                src: ip(src),
+                dst: ip(dst),
+                payload_len: len,
+            });
+        }
+        c
+    }
+
+    #[test]
+    fn log_scale_maps_into_unit_interval() {
+        let s = ScaleMode::Log { cap: 1_000_000 };
+        assert_eq!(s.scale(0), 0.0);
+        assert!(s.scale(1_000_000) <= 1.0);
+        assert!(s.scale(500) > 0.0 && s.scale(500) < 1.0);
+        // Monotone.
+        assert!(s.scale(1000) > s.scale(100));
+    }
+
+    #[test]
+    fn linear_scale_clamps() {
+        let s = ScaleMode::Linear { cap: 100 };
+        assert_eq!(s.scale(50), 0.5);
+        assert_eq!(s.scale(1000), 1.0);
+    }
+
+    #[test]
+    fn tensorize_keeps_actual_length() {
+        let cap = capture(&[(1, 200), (2, 5000), (1, 100)]);
+        let seqs = IpSequences::extract(&cap);
+        let cfg = TensorConfig {
+            channels: 3,
+            max_steps: 8,
+            quantize_bin: 1,
+            scale: ScaleMode::Linear { cap: 10_000 },
+            reverse: false,
+        };
+        let t = cfg.tensorize(&seqs);
+        // No tail padding: 3 real steps stay 3 steps.
+        assert_eq!(t.steps(), 3);
+        assert_eq!(t.channels(), 3);
+        // Step 0: client sent 200 → channel 0.
+        assert!((t.step(0)[0] - 0.02).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_capture_yields_one_zero_step() {
+        let cap = Capture::new(ip(1));
+        let t = TensorConfig::wiki().tensorize(&IpSequences::extract(&cap));
+        assert_eq!(t.steps(), 1);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn truncation_drops_tail_steps() {
+        let cap = capture(&[(1, 100), (2, 100), (1, 100), (2, 100), (1, 100)]);
+        let seqs = IpSequences::extract(&cap);
+        let cfg = TensorConfig {
+            channels: 2,
+            max_steps: 2,
+            quantize_bin: 1,
+            scale: ScaleMode::Linear { cap: 100 },
+            reverse: false,
+        };
+        let t = cfg.tensorize(&seqs);
+        assert_eq!(t.steps(), 2);
+        assert_eq!(t.step(0), &[1.0, 0.0]);
+        assert_eq!(t.step(1), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn quantization_collapses_nearby_counts() {
+        // 960 and 1023 both floor to the 960 bin under 64-byte bins.
+        let a = capture(&[(2, 960)]);
+        let b = capture(&[(2, 1023)]);
+        let cfg = TensorConfig {
+            channels: 2,
+            max_steps: 4,
+            quantize_bin: 64,
+            scale: ScaleMode::Linear { cap: 10_000 },
+            reverse: false,
+        };
+        let ta = cfg.tensorize(&IpSequences::extract(&a));
+        let tb = cfg.tensorize(&IpSequences::extract(&b));
+        assert_eq!(ta, tb, "960 and 1023 should land in the same 64-byte bin");
+        // But a genuinely different count does not.
+        let c = capture(&[(2, 2000)]);
+        let tc = cfg.tensorize(&IpSequences::extract(&c));
+        assert_ne!(ta, tc);
+    }
+
+    #[test]
+    fn presets_have_expected_channels() {
+        assert_eq!(TensorConfig::wiki().channels, 3);
+        assert_eq!(TensorConfig::two_seq().channels, 2);
+    }
+}

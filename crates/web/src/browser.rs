@@ -1,0 +1,251 @@
+//! Browser page-load simulation.
+//!
+//! Reproduces the traffic-shaping behaviours the paper observed in real
+//! captures: one TLS connection per server, the document fetched first,
+//! subresources discovered and fetched afterwards in a jittered order,
+//! large media sometimes delivered in chunks ("in one trace the images
+//! were downloaded in multiple consecutive chunks of fixed length, while
+//! in the other they were fetched as a whole" — §VI-C), and strict
+//! incognito semantics (no cache: every load fetches everything).
+
+use std::net::Ipv4Addr;
+
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use tlsfp_net::capture::Capture;
+use tlsfp_net::handshake::HandshakeProfile;
+use tlsfp_net::link::LinkModel;
+use tlsfp_net::padding::PaddingPolicy;
+use tlsfp_net::record::RecordLayer;
+use tlsfp_net::session::{assemble_capture, SessionConfig, TlsConnection};
+use tlsfp_net::tcp::TcpConfig;
+
+use crate::error::{Result, WebError};
+use crate::site::Website;
+
+/// Browser/environment configuration for page loads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BrowserConfig {
+    /// The client's IP address.
+    pub client_ip: Ipv4Addr,
+    /// Link model between client and all servers.
+    pub link: LinkModel,
+    /// TCP segmentation.
+    pub tcp: TcpConfig,
+    /// TLS 1.3 record padding policy applied by the servers (the §VII
+    /// countermeasure knob). Ignored for TLS 1.2 sites.
+    pub padding: PaddingPolicy,
+    /// Probability a media object ≥ `chunk_threshold` is delivered in
+    /// several bursts instead of one.
+    pub chunk_prob: f64,
+    /// Size threshold for chunked delivery.
+    pub chunk_threshold: u64,
+    /// Maximum number of delivery chunks.
+    pub max_chunks: usize,
+    /// Request size bounds (HTTP request head bytes), sampled uniformly.
+    pub request_bytes: (usize, usize),
+    /// Server think-time bounds in µs, sampled uniformly.
+    pub think_us: (u64, u64),
+}
+
+impl BrowserConfig {
+    /// Defaults matching the paper's crawler environment (datacenter
+    /// link, incognito, no padding).
+    pub fn crawler_default() -> Self {
+        BrowserConfig {
+            client_ip: Ipv4Addr::new(10, 0, 0, 1),
+            link: LinkModel::datacenter(),
+            tcp: TcpConfig::ethernet(),
+            padding: PaddingPolicy::None,
+            chunk_prob: 0.35,
+            chunk_threshold: 60_000,
+            max_chunks: 6,
+            request_bytes: (380, 520),
+            think_us: (500, 4_000),
+        }
+    }
+}
+
+/// Simulates one full page load and returns the adversary's capture.
+///
+/// # Errors
+///
+/// Returns [`WebError::PageOutOfRange`] if `page` is not a valid index.
+pub fn load_page<R: Rng + ?Sized>(
+    site: &Website,
+    page: usize,
+    config: &BrowserConfig,
+    rng: &mut R,
+) -> Result<Capture> {
+    if page >= site.n_pages() {
+        return Err(WebError::PageOutOfRange {
+            page,
+            n_pages: site.n_pages(),
+        });
+    }
+
+    let session_for = |server_idx: usize| -> SessionConfig {
+        let _ = server_idx;
+        SessionConfig {
+            record_layer: RecordLayer {
+                version: site.spec.version,
+                padding: config.padding,
+            },
+            tcp: config.tcp,
+            link: config.link,
+            handshake: HandshakeProfile::typical(site.spec.version),
+        }
+    };
+
+    // 1. Fetch the document from server 0.
+    let mut doc_conn = TlsConnection::open(site.servers[0], session_for(0), 0, rng);
+    let request = rng.random_range(config.request_bytes.0..=config.request_bytes.1);
+    let think = rng.random_range(config.think_us.0..=config.think_us.1);
+    let doc_bytes = site.document_size(page) as usize;
+    let doc_chunks = delivery_chunks(doc_bytes as u64, config, rng);
+    doc_conn.request_response(request, doc_bytes, doc_chunks, think, rng);
+    let parse_done = doc_conn.now_us() + rng.random_range(1_000..5_000);
+
+    // 2. Discover subresources; fetch them per server over one
+    //    connection each. The per-object order is jittered (browsers do
+    //    not load deterministically) and connections run on independent
+    //    clocks, so the capture interleaves across servers naturally.
+    let mut objects = site.objects_for(page);
+    objects.shuffle(rng);
+
+    let mut server_order: Vec<usize> = Vec::new();
+    for o in &objects {
+        if !server_order.contains(&o.server) {
+            server_order.push(o.server);
+        }
+    }
+
+    let mut extra_conns: Vec<TlsConnection> = Vec::new();
+    for server in server_order {
+        let conn: &mut TlsConnection = if server == 0 {
+            // Reuse the document connection for same-server objects.
+            doc_conn.advance_to(parse_done);
+            &mut doc_conn
+        } else {
+            let t0 = parse_done + rng.random_range(0..2_000);
+            extra_conns.push(TlsConnection::open(
+                site.servers[server],
+                session_for(server),
+                t0,
+                rng,
+            ));
+            extra_conns.last_mut().expect("just pushed")
+        };
+        for object in objects.iter().filter(|o| o.server == server) {
+            let request = rng.random_range(config.request_bytes.0..=config.request_bytes.1);
+            let think = rng.random_range(config.think_us.0..=config.think_us.1);
+            let chunks = delivery_chunks(object.size, config, rng);
+            conn.request_response(request, object.size as usize, chunks, think, rng);
+        }
+    }
+
+    // 3. Assemble the capture.
+    let mut all = vec![doc_conn];
+    all.extend(extra_conns);
+    Ok(assemble_capture(config.client_ip, all))
+}
+
+fn delivery_chunks<R: Rng + ?Sized>(size: u64, config: &BrowserConfig, rng: &mut R) -> usize {
+    if size >= config.chunk_threshold && rng.random::<f64>() < config.chunk_prob {
+        rng.random_range(2..=config.max_chunks.max(2))
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+    use crate::site::SiteSpec;
+
+    #[test]
+    fn wiki_load_involves_at_most_two_servers() {
+        let site = Website::generate(SiteSpec::wiki_like(10), 1).unwrap();
+        let cfg = BrowserConfig::crawler_default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let cap = load_page(&site, 0, &cfg, &mut rng).unwrap();
+        assert!(cap.servers().len() <= 2);
+        assert!(cap.len() > 20);
+        // Transfers at least the document + theme bytes.
+        let expected_min = site.document_size(0);
+        assert!(cap.total_payload() > expected_min);
+    }
+
+    #[test]
+    fn repeated_loads_differ_but_correlate() {
+        let site = Website::generate(SiteSpec::wiki_like(10), 1).unwrap();
+        let cfg = BrowserConfig::crawler_default();
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = load_page(&site, 3, &cfg, &mut rng).unwrap();
+        let b = load_page(&site, 3, &cfg, &mut rng).unwrap();
+        // Not byte-identical (jitter, chunking, handshake variance)…
+        assert_ne!(a, b);
+        // …but same ballpark of total volume (same content).
+        let (ta, tb) = (a.total_payload() as f64, b.total_payload() as f64);
+        assert!((ta / tb - 1.0).abs() < 0.2, "{ta} vs {tb}");
+    }
+
+    #[test]
+    fn different_pages_move_different_volumes() {
+        let site = Website::generate(SiteSpec::wiki_like(30), 2).unwrap();
+        let cfg = BrowserConfig::crawler_default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let volumes: Vec<u64> = (0..30)
+            .map(|p| load_page(&site, p, &cfg, &mut rng).unwrap().total_payload())
+            .collect();
+        let distinct: std::collections::HashSet<u64> = volumes.iter().copied().collect();
+        assert!(distinct.len() > 25);
+    }
+
+    #[test]
+    fn github_loads_touch_variable_server_sets() {
+        let site = Website::generate(SiteSpec::github_like(30), 3).unwrap();
+        let cfg = BrowserConfig::crawler_default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let counts: Vec<usize> = (0..30)
+            .map(|p| load_page(&site, p, &cfg, &mut rng).unwrap().servers().len())
+            .collect();
+        assert!(counts.iter().max() > counts.iter().min());
+    }
+
+    #[test]
+    fn out_of_range_page_is_an_error() {
+        let site = Website::generate(SiteSpec::wiki_like(3), 1).unwrap();
+        let cfg = BrowserConfig::crawler_default();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            load_page(&site, 99, &cfg, &mut rng),
+            Err(WebError::PageOutOfRange { page: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn padding_increases_volume_on_tls13() {
+        let site = Website::generate(SiteSpec::github_like(5), 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut plain_cfg = BrowserConfig::crawler_default();
+        plain_cfg.padding = PaddingPolicy::None;
+        let mut padded_cfg = BrowserConfig::crawler_default();
+        padded_cfg.padding = PaddingPolicy::MaxRecord;
+        let plain = load_page(&site, 0, &plain_cfg, &mut rng).unwrap();
+        let padded = load_page(&site, 0, &padded_cfg, &mut rng).unwrap();
+        // Full records can't be padded further, so inflation comes from
+        // requests and trailing partial records; >15% is the realistic floor.
+        assert!(
+            padded.total_payload() * 100 > plain.total_payload() * 115,
+            "padding should inflate volume: {} vs {}",
+            padded.total_payload(),
+            plain.total_payload()
+        );
+    }
+}

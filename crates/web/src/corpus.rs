@@ -1,0 +1,123 @@
+//! Corpus presets: one-call generation of the paper's two dataset
+//! shapes (§V) at any scale.
+
+use serde::{Deserialize, Serialize};
+
+use crate::browser::BrowserConfig;
+use crate::crawler::{Crawler, LabeledCapture};
+use crate::error::Result;
+use crate::site::{SiteSpec, Website};
+
+/// A full corpus specification: the site to synthesize and how much of
+/// it to crawl.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusSpec {
+    /// The website to generate.
+    pub site: SiteSpec,
+    /// Traces collected per page.
+    pub traces_per_class: usize,
+    /// Browser/crawler environment.
+    pub browser: BrowserConfig,
+}
+
+impl CorpusSpec {
+    /// A Wikipedia-like corpus (TLS 1.2, three-IP page loads) —
+    /// the shape of the paper's Wiki19000.
+    pub fn wiki_like(n_classes: usize, traces_per_class: usize) -> Self {
+        CorpusSpec {
+            site: SiteSpec::wiki_like(n_classes),
+            traces_per_class,
+            browser: BrowserConfig::crawler_default(),
+        }
+    }
+
+    /// A Github-like corpus (TLS 1.3, variable server sets) — the shape
+    /// of the paper's Github500.
+    pub fn github_like(n_classes: usize, traces_per_class: usize) -> Self {
+        CorpusSpec {
+            site: SiteSpec::github_like(n_classes),
+            traces_per_class,
+            browser: BrowserConfig::crawler_default(),
+        }
+    }
+}
+
+/// A generated corpus: the website plus every labeled capture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticCorpus {
+    /// The site the captures were collected from.
+    pub website: Website,
+    /// All labeled captures.
+    pub traces: Vec<LabeledCapture>,
+}
+
+impl SyntheticCorpus {
+    /// Generates the website and crawls it. Fully deterministic in
+    /// `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::error::WebError`] if the spec is invalid.
+    pub fn generate(spec: &CorpusSpec, seed: u64) -> Result<Self> {
+        let website = Website::generate(spec.site.clone(), seed)?;
+        let crawler = Crawler {
+            visits_per_page: spec.traces_per_class,
+            browser: spec.browser,
+        };
+        let traces = crawler.crawl(&website, seed.wrapping_add(1))?;
+        Ok(SyntheticCorpus { website, traces })
+    }
+
+    /// Streaming variant of [`SyntheticCorpus::generate`]: yields each
+    /// labeled capture to `sink` without retaining it. Returns the
+    /// website.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::error::WebError`] if the spec is invalid.
+    pub fn generate_streaming<F>(spec: &CorpusSpec, seed: u64, sink: F) -> Result<Website>
+    where
+        F: FnMut(LabeledCapture),
+    {
+        let website = Website::generate(spec.site.clone(), seed)?;
+        let crawler = Crawler {
+            visits_per_page: spec.traces_per_class,
+            browser: spec.browser,
+        };
+        crawler.crawl_with(&website, seed.wrapping_add(1), sink)?;
+        Ok(website)
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.website.n_pages()
+    }
+
+    /// Number of traces.
+    pub fn n_traces(&self) -> usize {
+        self.traces.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wiki_corpus_shape() {
+        let corpus = SyntheticCorpus::generate(&CorpusSpec::wiki_like(4, 3), 1).unwrap();
+        assert_eq!(corpus.n_classes(), 4);
+        assert_eq!(corpus.n_traces(), 12);
+    }
+
+    #[test]
+    fn streaming_equals_collected() {
+        let spec = CorpusSpec::github_like(3, 2);
+        let collected = SyntheticCorpus::generate(&spec, 5).unwrap();
+        let mut streamed = Vec::new();
+        let website =
+            SyntheticCorpus::generate_streaming(&spec, 5, |lc| streamed.push(lc)).unwrap();
+        assert_eq!(website, collected.website);
+        assert_eq!(streamed, collected.traces);
+    }
+}

@@ -1,0 +1,114 @@
+//! Size distributions for synthetic web content.
+//!
+//! Web object sizes are famously heavy-tailed; a log-normal is the
+//! standard first-order model. Implemented from scratch (Box–Muller)
+//! since `rand` core ships no continuous distributions.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// A log-normal size distribution clamped to `[min, max]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizeDist {
+    /// Mean of the underlying normal (of `ln(size)`).
+    pub mu: f64,
+    /// Standard deviation of the underlying normal.
+    pub sigma: f64,
+    /// Lower clamp in bytes.
+    pub min: u64,
+    /// Upper clamp in bytes.
+    pub max: u64,
+}
+
+impl SizeDist {
+    /// A log-normal whose *median* is `median_bytes`, with shape `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `median_bytes == 0`, `sigma < 0`, or `min > max`.
+    pub fn log_normal(median_bytes: u64, sigma: f64, min: u64, max: u64) -> Self {
+        assert!(median_bytes > 0, "median must be positive");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        assert!(min <= max, "min {min} > max {max}");
+        SizeDist {
+            mu: (median_bytes as f64).ln(),
+            sigma,
+            min,
+            max,
+        }
+    }
+
+    /// A degenerate distribution that always returns `bytes`.
+    pub fn fixed(bytes: u64) -> Self {
+        SizeDist {
+            mu: (bytes.max(1) as f64).ln(),
+            sigma: 0.0,
+            min: bytes,
+            max: bytes,
+        }
+    }
+
+    /// Draws one size.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let z = standard_normal(rng);
+        let v = (self.mu + self.sigma * z).exp();
+        (v as u64).clamp(self.min, self.max)
+    }
+}
+
+/// A standard-normal draw via Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    use super::*;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 20_000;
+        let draws: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn log_normal_median_is_roughly_right() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = SizeDist::log_normal(40_000, 0.5, 1, u64::MAX);
+        let mut draws: Vec<u64> = (0..5001).map(|_| d.sample(&mut rng)).collect();
+        draws.sort_unstable();
+        let median = draws[2500];
+        assert!(
+            (20_000..80_000).contains(&median),
+            "median {median} far from 40k"
+        );
+    }
+
+    #[test]
+    fn clamping_holds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = SizeDist::log_normal(1_000, 2.0, 500, 2_000);
+        for _ in 0..1000 {
+            let s = d.sample(&mut rng);
+            assert!((500..=2_000).contains(&s));
+        }
+    }
+
+    #[test]
+    fn fixed_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = SizeDist::fixed(1234);
+        assert!((0..50).all(|_| d.sample(&mut rng) == 1234));
+    }
+}

@@ -1,0 +1,186 @@
+//! Content-drift model: how webpages change over time (§III-B.2).
+//!
+//! The paper's adaptation story hinges on distributional shift: article
+//! text gets rewritten, images swapped, media added or removed. Drift is
+//! modeled as partial re-sampling of each page's unique content from the
+//! site's own distributions — the theme (shared resources, template)
+//! stays fixed, exactly as a real site update behaves.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::resource::{Resource, ResourceKind};
+use crate::site::{Page, Website};
+
+/// How aggressively content changes between observations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Fraction of each page's unique document bytes replaced
+    /// (0 = untouched, 1 = fully rewritten).
+    pub content_churn: f64,
+    /// Probability that each unique media resource is replaced by a
+    /// freshly-sampled one.
+    pub resource_churn: f64,
+    /// Probability that a page gains or loses one media resource.
+    pub add_remove_prob: f64,
+}
+
+impl DriftConfig {
+    /// Mild drift: small edits (Wikipedia between crawl days).
+    pub fn mild() -> Self {
+        DriftConfig {
+            content_churn: 0.1,
+            resource_churn: 0.05,
+            add_remove_prob: 0.05,
+        }
+    }
+
+    /// Heavy drift: most content gradually replaced (§III-C.2's
+    /// "large distributional shift" scenario).
+    pub fn heavy() -> Self {
+        DriftConfig {
+            content_churn: 0.7,
+            resource_churn: 0.6,
+            add_remove_prob: 0.4,
+        }
+    }
+
+    /// Complete rewrite — the worst case for a stale model.
+    pub fn full_rewrite() -> Self {
+        DriftConfig {
+            content_churn: 1.0,
+            resource_churn: 1.0,
+            add_remove_prob: 0.5,
+        }
+    }
+
+    /// Validates ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    pub fn assert_valid(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.content_churn)
+                && (0.0..=1.0).contains(&self.resource_churn)
+                && (0.0..=1.0).contains(&self.add_remove_prob),
+            "drift probabilities must be in [0,1]: {self:?}"
+        );
+    }
+}
+
+impl Website {
+    /// Returns a copy of this site after one round of content drift.
+    ///
+    /// Deterministic in `seed`. The server list and theme are preserved;
+    /// only per-page unique content changes.
+    pub fn drifted(&self, config: DriftConfig, seed: u64) -> Website {
+        config.assert_valid();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = self.clone();
+        for page in &mut out.pages {
+            drift_page(&self.spec, page, config, &mut rng);
+        }
+        out
+    }
+}
+
+fn drift_page<R: Rng + ?Sized>(
+    spec: &crate::site::SiteSpec,
+    page: &mut Page,
+    config: DriftConfig,
+    rng: &mut R,
+) {
+    // Blend old and freshly-sampled document sizes.
+    if config.content_churn > 0.0 {
+        let fresh = spec.unique_html.sample(rng) as f64;
+        let old = page.unique_html as f64;
+        page.unique_html =
+            (old * (1.0 - config.content_churn) + fresh * config.content_churn) as u64;
+    }
+    // Replace individual media objects.
+    for r in &mut page.resources {
+        if !r.shared && rng.random::<f64>() < config.resource_churn {
+            r.size = spec.image_size.sample(rng);
+        }
+    }
+    // Occasionally add or remove one.
+    if rng.random::<f64>() < config.add_remove_prob {
+        if page.resources.is_empty() || rng.random::<f64>() < 0.5 {
+            let media_server = if spec.n_core_servers > 1 { 1 } else { 0 };
+            page.resources.push(Resource::unique(
+                ResourceKind::Image,
+                spec.image_size.sample(rng),
+                media_server,
+            ));
+        } else {
+            let idx = rng.random_range(0..page.resources.len());
+            page.resources.remove(idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::SiteSpec;
+
+    #[test]
+    fn drift_preserves_structure() {
+        let site = Website::generate(SiteSpec::wiki_like(20), 1).unwrap();
+        let drifted = site.drifted(DriftConfig::heavy(), 99);
+        assert_eq!(drifted.servers, site.servers);
+        assert_eq!(drifted.theme, site.theme);
+        assert_eq!(drifted.n_pages(), site.n_pages());
+    }
+
+    #[test]
+    fn heavy_drift_changes_most_pages() {
+        let site = Website::generate(SiteSpec::wiki_like(50), 1).unwrap();
+        let drifted = site.drifted(DriftConfig::heavy(), 99);
+        let changed = site
+            .pages
+            .iter()
+            .zip(&drifted.pages)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(changed > 40, "only {changed}/50 pages changed");
+    }
+
+    #[test]
+    fn zero_drift_is_identity() {
+        let site = Website::generate(SiteSpec::wiki_like(10), 1).unwrap();
+        let same = site.drifted(
+            DriftConfig {
+                content_churn: 0.0,
+                resource_churn: 0.0,
+                add_remove_prob: 0.0,
+            },
+            99,
+        );
+        assert_eq!(site, same);
+    }
+
+    #[test]
+    fn drift_is_deterministic_in_seed() {
+        let site = Website::generate(SiteSpec::github_like(10), 1).unwrap();
+        let a = site.drifted(DriftConfig::mild(), 5);
+        let b = site.drifted(DriftConfig::mild(), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn invalid_drift_probabilities_panic() {
+        let site = Website::generate(SiteSpec::wiki_like(5), 1).unwrap();
+        let _ = site.drifted(
+            DriftConfig {
+                content_churn: 2.0,
+                resource_churn: 0.0,
+                add_remove_prob: 0.0,
+            },
+            0,
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Error type for the web substrate.
+
+use std::fmt;
+
+/// Errors produced when generating websites, corpora or page loads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WebError {
+    /// A site/corpus specification was invalid.
+    InvalidSpec(String),
+    /// A page index was out of range.
+    PageOutOfRange {
+        /// Requested page id.
+        page: usize,
+        /// Number of pages the site has.
+        n_pages: usize,
+    },
+}
+
+impl fmt::Display for WebError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WebError::InvalidSpec(msg) => write!(f, "invalid specification: {msg}"),
+            WebError::PageOutOfRange { page, n_pages } => {
+                write!(f, "page {page} out of range (site has {n_pages} pages)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WebError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, WebError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = WebError::PageOutOfRange { page: 9, n_pages: 5 };
+        assert!(e.to_string().contains("page 9"));
+    }
+}

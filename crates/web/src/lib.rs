@@ -1,0 +1,48 @@
+//! # tlsfp-web — synthetic websites, browsers and crawlers
+//!
+//! The data-collection substrate standing in for the paper's EC2 +
+//! Selenium + tcpdump pipeline (§V): generates websites whose pages
+//! share a theme but differ in unique content, simulates incognito
+//! browser page loads over `tlsfp-net` TLS connections, models content
+//! drift over time, and crawls sites into labeled capture corpora.
+//!
+//! Presets reproduce the paper's two dataset shapes:
+//!
+//! - [`site::SiteSpec::wiki_like`] — TLS 1.2, exactly two servers, so
+//!   every page load involves three IPs (client, text, media).
+//! - [`site::SiteSpec::github_like`] — TLS 1.3, distributed hosting
+//!   with a page-dependent server set.
+//!
+//! ## Example: crawl a small Wikipedia-like site
+//!
+//! ```
+//! use tlsfp_web::corpus::{CorpusSpec, SyntheticCorpus};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let corpus = SyntheticCorpus::generate(&CorpusSpec::wiki_like(5, 4), 7)?;
+//! assert_eq!(corpus.n_traces(), 20);
+//! // Each capture is a normal pcap-convertible observation.
+//! let pcap = corpus.traces[0].capture.to_pcap();
+//! assert!(!pcap.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod browser;
+pub mod corpus;
+pub mod crawler;
+pub mod dist;
+pub mod drift;
+pub mod error;
+pub mod linkgraph;
+pub mod resource;
+pub mod site;
+
+pub use browser::{load_page, BrowserConfig};
+pub use corpus::{CorpusSpec, SyntheticCorpus};
+pub use crawler::{Crawler, LabeledCapture};
+pub use drift::DriftConfig;
+pub use error::{Result, WebError};
+pub use site::{SiteSpec, Website};

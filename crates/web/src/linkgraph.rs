@@ -1,0 +1,140 @@
+//! Website link graphs and user journeys.
+//!
+//! Miller et al. (the paper's [1]) showed that consecutive page loads
+//! are not independent — the site's hyperlink structure guides browsing.
+//! This module generates link graphs and samples random-walk "user
+//! journeys" over them, feeding the HMM baseline in `tlsfp-baselines`.
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A directed hyperlink graph over a site's pages.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkGraph {
+    adj: Vec<Vec<usize>>,
+}
+
+impl LinkGraph {
+    /// Generates a graph with `out_degree` links per page, biased
+    /// towards low-id pages (hub-like, as real sites link to landing
+    /// pages far more often than to leaves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_pages < 2` or `out_degree == 0`.
+    pub fn generate(n_pages: usize, out_degree: usize, seed: u64) -> Self {
+        assert!(n_pages >= 2, "need at least two pages");
+        assert!(out_degree > 0, "need at least one outgoing link");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let adj = (0..n_pages)
+            .map(|page| {
+                let mut links = Vec::with_capacity(out_degree);
+                while links.len() < out_degree.min(n_pages - 1) {
+                    // Square the uniform draw: density ∝ hub-ness.
+                    let u: f64 = rng.random::<f64>();
+                    let target = ((u * u) * n_pages as f64) as usize % n_pages;
+                    if target != page && !links.contains(&target) {
+                        links.push(target);
+                    }
+                }
+                links
+            })
+            .collect();
+        LinkGraph { adj }
+    }
+
+    /// Number of pages.
+    pub fn n_pages(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Outgoing links of `page`.
+    pub fn links_from(&self, page: usize) -> &[usize] {
+        &self.adj[page]
+    }
+
+    /// Transition probability `page → next` under a uniform-over-links
+    /// click model with `restart_prob` probability of jumping anywhere.
+    pub fn transition_prob(&self, page: usize, next: usize, restart_prob: f64) -> f64 {
+        let n = self.n_pages() as f64;
+        let restart = restart_prob / n;
+        let links = &self.adj[page];
+        if links.contains(&next) {
+            restart + (1.0 - restart_prob) / links.len() as f64
+        } else {
+            restart
+        }
+    }
+
+    /// Samples a user journey of `len` page visits starting at `start`.
+    pub fn random_walk<R: Rng + ?Sized>(
+        &self,
+        start: usize,
+        len: usize,
+        restart_prob: f64,
+        rng: &mut R,
+    ) -> Vec<usize> {
+        assert!(start < self.n_pages(), "start page out of range");
+        let mut walk = Vec::with_capacity(len);
+        let mut cur = start;
+        for _ in 0..len {
+            walk.push(cur);
+            cur = if rng.random::<f64>() < restart_prob || self.adj[cur].is_empty() {
+                rng.random_range(0..self.n_pages())
+            } else {
+                *self.adj[cur].choose(rng).expect("non-empty links")
+            };
+        }
+        walk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_shape() {
+        let g = LinkGraph::generate(50, 5, 1);
+        assert_eq!(g.n_pages(), 50);
+        for p in 0..50 {
+            let links = g.links_from(p);
+            assert_eq!(links.len(), 5);
+            assert!(!links.contains(&p), "self-link on {p}");
+        }
+    }
+
+    #[test]
+    fn walks_follow_links_mostly() {
+        let g = LinkGraph::generate(30, 4, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let walk = g.random_walk(0, 200, 0.05, &mut rng);
+        assert_eq!(walk.len(), 200);
+        let mut followed = 0;
+        for w in walk.windows(2) {
+            if g.links_from(w[0]).contains(&w[1]) {
+                followed += 1;
+            }
+        }
+        assert!(followed > 150, "only {followed}/199 transitions follow links");
+    }
+
+    #[test]
+    fn transition_probs_normalize() {
+        let g = LinkGraph::generate(10, 3, 3);
+        for page in 0..10 {
+            let total: f64 = (0..10)
+                .map(|next| g.transition_prob(page, next, 0.1))
+                .sum();
+            assert!((total - 1.0).abs() < 1e-9, "page {page} sums to {total}");
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        assert_eq!(LinkGraph::generate(20, 3, 5), LinkGraph::generate(20, 3, 5));
+        assert_ne!(LinkGraph::generate(20, 3, 5), LinkGraph::generate(20, 3, 6));
+    }
+}

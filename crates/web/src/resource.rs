@@ -1,0 +1,70 @@
+//! Web resources: the objects a page load fetches.
+
+use serde::{Deserialize, Serialize};
+
+/// Kind of a fetched object. The kind influences which server hosts it
+/// and how it is delivered (media is often chunked).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// The HTML document itself.
+    Document,
+    /// A stylesheet (usually part of the shared theme).
+    Stylesheet,
+    /// A script (usually part of the shared theme).
+    Script,
+    /// An image (page-specific media).
+    Image,
+    /// Audio/video media (large, page-specific).
+    Media,
+}
+
+/// One fetchable object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Resource {
+    /// What the object is.
+    pub kind: ResourceKind,
+    /// Transfer size in bytes (compressed, as sent on the wire).
+    pub size: u64,
+    /// Index into the website's server list that hosts this object.
+    pub server: usize,
+    /// Whether the object belongs to the site-wide theme (shared across
+    /// all pages) rather than to one page's unique content.
+    pub shared: bool,
+}
+
+impl Resource {
+    /// A page-specific resource.
+    pub fn unique(kind: ResourceKind, size: u64, server: usize) -> Self {
+        Resource {
+            kind,
+            size,
+            server,
+            shared: false,
+        }
+    }
+
+    /// A theme resource shared by every page of the site.
+    pub fn shared(kind: ResourceKind, size: u64, server: usize) -> Self {
+        Resource {
+            kind,
+            size,
+            server,
+            shared: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_shared_flag() {
+        let u = Resource::unique(ResourceKind::Image, 1000, 1);
+        let s = Resource::shared(ResourceKind::Stylesheet, 500, 0);
+        assert!(!u.shared);
+        assert!(s.shared);
+        assert_eq!(u.kind, ResourceKind::Image);
+        assert_eq!(s.server, 0);
+    }
+}

@@ -1,0 +1,359 @@
+//! Synthetic website model: a shared theme plus per-page unique content
+//! hosted across several servers.
+//!
+//! Mirrors the structure the paper exploits and the difficulty it
+//! highlights (§II-B): pages of one site share a template — stylesheets,
+//! scripts, logos, the HTML skeleton — so only the *unique* part of each
+//! page (article text, images) separates the classes.
+
+use std::net::Ipv4Addr;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use tlsfp_net::record::TlsVersion;
+
+use crate::dist::SizeDist;
+use crate::error::{Result, WebError};
+use crate::resource::{Resource, ResourceKind};
+
+/// Distribution parameters from which a [`Website`] is generated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteSpec {
+    /// Human-readable site name (for reports).
+    pub name: String,
+    /// Protocol version the site speaks.
+    pub version: TlsVersion,
+    /// Number of pages (classes).
+    pub n_pages: usize,
+    /// Core servers: index 0 serves documents, 1.. serve media. Must be
+    /// at least 1.
+    pub n_core_servers: usize,
+    /// Extra third-party/CDN servers a page *may* additionally pull from
+    /// (0 for Wikipedia-like sites, >0 for Github-like ones).
+    pub n_cdn_servers: usize,
+    /// Probability that any given unique resource is hosted on a CDN
+    /// server instead of a core media server.
+    pub cdn_prob: f64,
+    /// Shared HTML template bytes present in every document.
+    pub template_bytes: u64,
+    /// Sizes of the shared theme resources (stylesheets/scripts/logo).
+    pub theme_resource_sizes: Vec<(ResourceKind, SizeDist)>,
+    /// Per-page unique document bytes (article text).
+    pub unique_html: SizeDist,
+    /// Number of unique media resources per page, inclusive range.
+    pub images_per_page: (usize, usize),
+    /// Size of each unique media resource.
+    pub image_size: SizeDist,
+    /// Probability that a page embeds one large media object (video).
+    pub large_media_prob: f64,
+    /// Size of such large media.
+    pub large_media_size: SizeDist,
+}
+
+impl SiteSpec {
+    /// A Wikipedia-like site (paper §V-B): TLS 1.2, exactly two servers
+    /// (text + media) so page loads always involve three IPs including
+    /// the client, same theme everywhere, text-dominated unique content.
+    pub fn wiki_like(n_pages: usize) -> Self {
+        SiteSpec {
+            name: "wiki-like".into(),
+            version: TlsVersion::V1_2,
+            n_pages,
+            n_core_servers: 2,
+            n_cdn_servers: 0,
+            cdn_prob: 0.0,
+            template_bytes: 18_000,
+            theme_resource_sizes: vec![
+                (ResourceKind::Stylesheet, SizeDist::fixed(31_000)),
+                (ResourceKind::Script, SizeDist::fixed(48_000)),
+                (ResourceKind::Script, SizeDist::fixed(12_500)),
+                (ResourceKind::Image, SizeDist::fixed(13_500)), // logo
+            ],
+            unique_html: SizeDist::log_normal(26_000, 0.9, 2_000, 400_000),
+            images_per_page: (0, 6),
+            image_size: SizeDist::log_normal(22_000, 1.0, 1_500, 600_000),
+            large_media_prob: 0.0,
+            large_media_size: SizeDist::fixed(0),
+        }
+    }
+
+    /// A Github-README-like site (paper §V-C): TLS 1.3, distributed
+    /// infrastructure with a variable per-page server set and higher
+    /// load-to-load variability.
+    pub fn github_like(n_pages: usize) -> Self {
+        SiteSpec {
+            name: "github-like".into(),
+            version: TlsVersion::V1_3,
+            n_pages,
+            n_core_servers: 3, // main, raw/media, avatars
+            n_cdn_servers: 3,  // external image hosts, badges, video
+            cdn_prob: 0.35,
+            template_bytes: 42_000,
+            theme_resource_sizes: vec![
+                (ResourceKind::Stylesheet, SizeDist::fixed(58_000)),
+                (ResourceKind::Script, SizeDist::fixed(92_000)),
+                (ResourceKind::Script, SizeDist::fixed(27_000)),
+            ],
+            unique_html: SizeDist::log_normal(14_000, 1.1, 1_000, 300_000),
+            images_per_page: (0, 10),
+            image_size: SizeDist::log_normal(30_000, 1.2, 1_000, 900_000),
+            large_media_prob: 0.08,
+            large_media_size: SizeDist::log_normal(900_000, 0.6, 200_000, 4_000_000),
+        }
+    }
+
+    /// Validates the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WebError::InvalidSpec`] for empty sites, zero servers or
+    /// inconsistent ranges.
+    pub fn validate(&self) -> Result<()> {
+        if self.n_pages == 0 {
+            return Err(WebError::InvalidSpec("site needs at least one page".into()));
+        }
+        if self.n_core_servers == 0 {
+            return Err(WebError::InvalidSpec("site needs at least one server".into()));
+        }
+        if self.images_per_page.0 > self.images_per_page.1 {
+            return Err(WebError::InvalidSpec(format!(
+                "images_per_page range inverted: {:?}",
+                self.images_per_page
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.cdn_prob) || !(0.0..=1.0).contains(&self.large_media_prob) {
+            return Err(WebError::InvalidSpec("probabilities must be in [0,1]".into()));
+        }
+        Ok(())
+    }
+}
+
+/// One generated page: a class the adversary wants to identify.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Page {
+    /// Class id (index into [`Website::pages`]).
+    pub id: usize,
+    /// Page-specific document bytes (added to the site template).
+    pub unique_html: u64,
+    /// Page-specific media resources.
+    pub resources: Vec<Resource>,
+}
+
+/// A fully-materialized website.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Website {
+    /// The generating specification (kept for drift re-sampling).
+    pub spec: SiteSpec,
+    /// Server IPs: `servers[0]` is the document server.
+    pub servers: Vec<Ipv4Addr>,
+    /// Theme resources shared by every page.
+    pub theme: Vec<Resource>,
+    /// The pages (classes).
+    pub pages: Vec<Page>,
+}
+
+impl Website {
+    /// Generates a website from `spec`, deterministically from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WebError::InvalidSpec`] if the spec fails validation.
+    pub fn generate(spec: SiteSpec, seed: u64) -> Result<Self> {
+        spec.validate()?;
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let n_servers = spec.n_core_servers + spec.n_cdn_servers;
+        let servers: Vec<Ipv4Addr> = (0..n_servers)
+            .map(|i| {
+                Ipv4Addr::new(
+                    198,
+                    18,
+                    (seed % 250) as u8,
+                    10 + i as u8,
+                )
+            })
+            .collect();
+
+        // Theme: documents server hosts CSS/JS, media server (1 if it
+        // exists, else 0) hosts the logo/images.
+        let media_server = if spec.n_core_servers > 1 { 1 } else { 0 };
+        let theme: Vec<Resource> = spec
+            .theme_resource_sizes
+            .iter()
+            .map(|(kind, dist)| {
+                let server = match kind {
+                    ResourceKind::Stylesheet | ResourceKind::Script => 0,
+                    _ => media_server,
+                };
+                Resource::shared(*kind, dist.sample(&mut rng), server)
+            })
+            .collect();
+
+        let pages = (0..spec.n_pages)
+            .map(|id| Self::generate_page(&spec, id, media_server, &mut rng))
+            .collect();
+
+        Ok(Website {
+            spec,
+            servers,
+            theme,
+            pages,
+        })
+    }
+
+    fn generate_page<R: Rng + ?Sized>(
+        spec: &SiteSpec,
+        id: usize,
+        media_server: usize,
+        rng: &mut R,
+    ) -> Page {
+        let unique_html = spec.unique_html.sample(rng);
+        let n_images = rng.random_range(spec.images_per_page.0..=spec.images_per_page.1);
+        let mut resources = Vec::with_capacity(n_images + 1);
+        for _ in 0..n_images {
+            let server = Self::pick_media_server(spec, media_server, rng);
+            resources.push(Resource::unique(
+                ResourceKind::Image,
+                spec.image_size.sample(rng),
+                server,
+            ));
+        }
+        if spec.large_media_prob > 0.0 && rng.random::<f64>() < spec.large_media_prob {
+            let server = Self::pick_media_server(spec, media_server, rng);
+            resources.push(Resource::unique(
+                ResourceKind::Media,
+                spec.large_media_size.sample(rng),
+                server,
+            ));
+        }
+        Page {
+            id,
+            unique_html,
+            resources,
+        }
+    }
+
+    fn pick_media_server<R: Rng + ?Sized>(
+        spec: &SiteSpec,
+        media_server: usize,
+        rng: &mut R,
+    ) -> usize {
+        if spec.n_cdn_servers > 0 && rng.random::<f64>() < spec.cdn_prob {
+            spec.n_core_servers + rng.random_range(0..spec.n_cdn_servers)
+        } else if spec.n_core_servers > 1 {
+            // Spread across core media servers (1..n_core).
+            if spec.n_core_servers == 2 {
+                media_server
+            } else {
+                1 + rng.random_range(0..spec.n_core_servers - 1)
+            }
+        } else {
+            0
+        }
+    }
+
+    /// Number of pages (classes).
+    pub fn n_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Full document transfer size for a page: template + unique bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn document_size(&self, page: usize) -> u64 {
+        self.spec.template_bytes + self.pages[page].unique_html
+    }
+
+    /// All objects a load of `page` fetches: the theme plus the page's
+    /// unique resources.
+    pub fn objects_for(&self, page: usize) -> Vec<Resource> {
+        let mut out = self.theme.clone();
+        out.extend(self.pages[page].resources.iter().copied());
+        out
+    }
+
+    /// Set of distinct server indices a load of `page` contacts
+    /// (always includes the document server 0).
+    pub fn servers_for(&self, page: usize) -> Vec<usize> {
+        let mut out = vec![0usize];
+        for r in self.objects_for(page) {
+            if !out.contains(&r.server) {
+                out.push(r.server);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wiki_like_has_three_ip_structure() {
+        let site = Website::generate(SiteSpec::wiki_like(20), 7).unwrap();
+        assert_eq!(site.servers.len(), 2);
+        assert_eq!(site.n_pages(), 20);
+        // Every page touches at most the two core servers.
+        for p in 0..20 {
+            let servers = site.servers_for(p);
+            assert!(servers.len() <= 2, "page {p} uses {servers:?}");
+        }
+    }
+
+    #[test]
+    fn github_like_has_variable_server_sets() {
+        let site = Website::generate(SiteSpec::github_like(60), 11).unwrap();
+        assert_eq!(site.servers.len(), 6);
+        let counts: Vec<usize> = (0..60).map(|p| site.servers_for(p).len()).collect();
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        assert!(max > min, "server-set size never varied: {counts:?}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Website::generate(SiteSpec::wiki_like(10), 3).unwrap();
+        let b = Website::generate(SiteSpec::wiki_like(10), 3).unwrap();
+        assert_eq!(a, b);
+        let c = Website::generate(SiteSpec::wiki_like(10), 4).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pages_differ_in_unique_content() {
+        let site = Website::generate(SiteSpec::wiki_like(50), 5).unwrap();
+        let sizes: Vec<u64> = (0..50).map(|p| site.document_size(p)).collect();
+        let distinct: std::collections::HashSet<u64> = sizes.iter().copied().collect();
+        assert!(distinct.len() > 40, "unique sizes: {}", distinct.len());
+    }
+
+    #[test]
+    fn theme_is_shared_across_pages() {
+        let site = Website::generate(SiteSpec::wiki_like(5), 5).unwrap();
+        let o0 = site.objects_for(0);
+        let o1 = site.objects_for(1);
+        let shared0: Vec<_> = o0.iter().filter(|r| r.shared).collect();
+        let shared1: Vec<_> = o1.iter().filter(|r| r.shared).collect();
+        assert_eq!(shared0, shared1);
+        assert_eq!(shared0.len(), 4);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        assert!(Website::generate(SiteSpec::wiki_like(0), 0).is_err());
+        let mut s = SiteSpec::wiki_like(5);
+        s.n_core_servers = 0;
+        assert!(Website::generate(s, 0).is_err());
+        let mut s = SiteSpec::wiki_like(5);
+        s.images_per_page = (5, 2);
+        assert!(Website::generate(s, 0).is_err());
+        let mut s = SiteSpec::wiki_like(5);
+        s.cdn_prob = 1.5;
+        assert!(Website::generate(s, 0).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the website/browser/crawler substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tlsfp_web::browser::{load_page, BrowserConfig};
+use tlsfp_web::drift::DriftConfig;
+use tlsfp_web::linkgraph::LinkGraph;
+use tlsfp_web::site::{SiteSpec, Website};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generated sites respect their spec: page count, server indices
+    /// in range, shared theme on every page.
+    #[test]
+    fn website_generation_invariants(
+        n_pages in 1usize..40,
+        seed in 0u64..1000,
+        github in proptest::bool::ANY,
+    ) {
+        let spec = if github {
+            SiteSpec::github_like(n_pages)
+        } else {
+            SiteSpec::wiki_like(n_pages)
+        };
+        let n_servers = spec.n_core_servers + spec.n_cdn_servers;
+        let site = Website::generate(spec, seed).unwrap();
+        prop_assert_eq!(site.n_pages(), n_pages);
+        prop_assert_eq!(site.servers.len(), n_servers);
+        for page in 0..n_pages {
+            for r in site.objects_for(page) {
+                prop_assert!(r.server < n_servers, "server index out of range");
+                prop_assert!(r.size > 0);
+            }
+            // Theme resources appear in every page's object list.
+            let objects = site.objects_for(page);
+            for theme in &site.theme {
+                prop_assert!(objects.contains(theme));
+            }
+        }
+    }
+
+    /// Page loads transfer at least the page's content volume and touch
+    /// only the site's servers.
+    #[test]
+    fn page_load_volume_and_endpoints(seed in 0u64..500, page in 0usize..8) {
+        let site = Website::generate(SiteSpec::wiki_like(8), 11).unwrap();
+        let cfg = BrowserConfig::crawler_default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let capture = load_page(&site, page, &cfg, &mut rng).unwrap();
+
+        let content: u64 = site.document_size(page)
+            + site.objects_for(page).iter().map(|r| r.size).sum::<u64>();
+        prop_assert!(capture.total_payload() >= content);
+
+        for observed in capture.servers() {
+            prop_assert!(site.servers.contains(&observed));
+        }
+        // Chronological order.
+        prop_assert!(capture
+            .packets
+            .windows(2)
+            .all(|w| w[0].timestamp_us <= w[1].timestamp_us));
+    }
+
+    /// Drift never changes the class structure, and zero drift is the
+    /// identity.
+    #[test]
+    fn drift_structure_preservation(seed in 0u64..500, churn in 0.0f64..1.0) {
+        let site = Website::generate(SiteSpec::wiki_like(10), 13).unwrap();
+        let cfg = DriftConfig {
+            content_churn: churn,
+            resource_churn: churn,
+            add_remove_prob: churn / 2.0,
+        };
+        let drifted = site.drifted(cfg, seed);
+        prop_assert_eq!(drifted.n_pages(), site.n_pages());
+        prop_assert_eq!(&drifted.servers, &site.servers);
+        prop_assert_eq!(&drifted.theme, &site.theme);
+        for p in &drifted.pages {
+            prop_assert!(p.unique_html > 0);
+        }
+    }
+
+    /// Link-graph walks stay in range and respect the length contract.
+    #[test]
+    fn link_graph_walks(
+        n in 2usize..30,
+        degree in 1usize..5,
+        len in 0usize..50,
+        seed in 0u64..200,
+    ) {
+        let graph = LinkGraph::generate(n, degree, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let walk = graph.random_walk(0, len, 0.1, &mut rng);
+        prop_assert_eq!(walk.len(), len);
+        prop_assert!(walk.iter().all(|&p| p < n));
+    }
+}

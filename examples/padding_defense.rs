@@ -1,0 +1,96 @@
+//! Evaluating TLS padding countermeasures (§VII): fixed-length padding,
+//! anonymity-set padding, and TLS 1.3 per-record policies — accuracy
+//! impact vs bandwidth cost.
+//!
+//! ```text
+//! cargo run --release --example padding_defense
+//! ```
+
+use tlsfp::core::defense::{AnonymitySetDefense, FixedLengthDefense, RandomPaddingDefense};
+use tlsfp::core::pipeline::{AdaptiveFingerprinter, PipelineConfig};
+use tlsfp::trace::dataset::Dataset;
+use tlsfp::trace::tensorize::TensorConfig;
+use tlsfp::web::corpus::{CorpusSpec, SyntheticCorpus};
+use tlsfp::web::crawler::LabeledCapture;
+
+fn dataset_from(traces: &[LabeledCapture], classes: usize, t: &TensorConfig) -> Dataset {
+    let mut ds = Dataset::new(classes, t.channels, t.max_steps);
+    for lc in traces {
+        ds.push_capture(lc, t).expect("labels in range");
+    }
+    ds
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const CLASSES: usize = 12;
+    const TRACES: usize = 18;
+    const SEED: u64 = 23;
+    let tensor = TensorConfig::wiki();
+
+    println!("== padding countermeasures vs the adaptive adversary ==\n");
+
+    // Baseline: unprotected traffic.
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::wiki_like(CLASSES, TRACES), SEED)?;
+    let plain = dataset_from(&corpus.traces, CLASSES, &tensor);
+    let (train, test) = plain.split_per_class(0.25, 0);
+    let adversary = AdaptiveFingerprinter::provision(&train, &PipelineConfig::small(), SEED)?;
+    let base_top1 = adversary.evaluate(&test).top_n_accuracy(1);
+    let base_top3 = adversary.evaluate(&test).top_n_accuracy(3);
+    println!("no defense:            top-1 {base_top1:.3}  top-3 {base_top3:.3}  overhead  +0.0%");
+
+    // Fixed-length padding over the whole target set.
+    let mut fl_traces = corpus.traces.clone();
+    let fl_cost = FixedLengthDefense::default().apply(&mut fl_traces, SEED);
+    let fl = dataset_from(&fl_traces, CLASSES, &tensor);
+    let (fl_train, fl_test) = fl.split_per_class(0.25, 0);
+    // The defender padded everything, so the adversary re-provisions on
+    // padded traffic — the strongest (most favourable to the attacker)
+    // assumption, matching the paper's setup.
+    let fl_adversary = AdaptiveFingerprinter::provision(&fl_train, &PipelineConfig::small(), SEED)?;
+    let fl_report = fl_adversary.evaluate(&fl_test);
+    println!(
+        "fixed-length padding:  top-1 {:.3}  top-3 {:.3}  overhead +{:.1}%",
+        fl_report.top_n_accuracy(1),
+        fl_report.top_n_accuracy(3),
+        fl_cost.percent()
+    );
+
+    // Anonymity sets: indistinguishability within groups of 4.
+    let mut set_traces = corpus.traces.clone();
+    let set_cost = AnonymitySetDefense {
+        set_size: 4,
+        record_quantum: 16_384,
+    }
+    .apply(&mut set_traces, SEED);
+    let sets = dataset_from(&set_traces, CLASSES, &tensor);
+    let (s_train, s_test) = sets.split_per_class(0.25, 0);
+    let s_adversary = AdaptiveFingerprinter::provision(&s_train, &PipelineConfig::small(), SEED)?;
+    let s_report = s_adversary.evaluate(&s_test);
+    println!(
+        "anonymity sets (k=4):  top-1 {:.3}  top-3 {:.3}  overhead +{:.1}%",
+        s_report.top_n_accuracy(1),
+        s_report.top_n_accuracy(3),
+        set_cost.percent()
+    );
+
+    // Random per-packet padding on the same corpus (Pironti et al.:
+    // random-length padding is not sufficiently effective).
+    let mut rnd_traces = corpus.traces.clone();
+    let rnd_cost = RandomPaddingDefense { max_pad: 1024 }.apply(&mut rnd_traces, SEED);
+    let rnd = dataset_from(&rnd_traces, CLASSES, &tensor);
+    let (r_train, r_test) = rnd.split_per_class(0.25, 0);
+    let r_adversary = AdaptiveFingerprinter::provision(&r_train, &PipelineConfig::small(), SEED)?;
+    let r_report = r_adversary.evaluate(&r_test);
+    println!(
+        "random padding:        top-1 {:.3}  top-3 {:.3}  overhead +{:.1}%",
+        r_report.top_n_accuracy(1),
+        r_report.top_n_accuracy(3),
+        rnd_cost.percent()
+    );
+
+    println!(
+        "\nexpected ordering (§VII): fixed-length strongest, anonymity sets close at lower\n\
+         cost, random padding cheap but weak."
+    );
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! User-journey fingerprinting (Miller et al., referenced in Exp. 1):
+//! consecutive page loads are correlated through the site's link graph,
+//! so a hidden Markov model over the graph boosts a per-page
+//! classifier's session accuracy.
+//!
+//! ```text
+//! cargo run --release --example user_journey
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tlsfp::baselines::hmm::JourneyHmm;
+use tlsfp::core::pipeline::{AdaptiveFingerprinter, PipelineConfig};
+use tlsfp::trace::dataset::Dataset;
+use tlsfp::trace::tensorize::TensorConfig;
+use tlsfp::trace::IpSequences;
+use tlsfp::web::browser::{load_page, BrowserConfig};
+use tlsfp::web::corpus::CorpusSpec;
+use tlsfp::web::linkgraph::LinkGraph;
+use tlsfp::web::site::{SiteSpec, Website};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const CLASSES: usize = 12;
+    const TRACES: usize = 18;
+    const JOURNEY_LEN: usize = 30;
+    const SEED: u64 = 47;
+    let tensor = TensorConfig::wiki();
+
+    println!("== user-journey decoding with an HMM over the link graph ==\n");
+
+    // Provision a per-page classifier.
+    let (_, ds) = Dataset::generate(&CorpusSpec::wiki_like(CLASSES, TRACES), &tensor, SEED)?;
+    let adversary = AdaptiveFingerprinter::provision(&ds, &PipelineConfig::small(), SEED)?;
+
+    // The victim browses: a random walk over the site's hyperlinks.
+    let site = Website::generate(SiteSpec::wiki_like(CLASSES), SEED)?;
+    let graph = LinkGraph::generate(CLASSES, 3, SEED);
+    let mut rng = StdRng::seed_from_u64(SEED + 1);
+    let journey = graph.random_walk(0, JOURNEY_LEN, 0.1, &mut rng);
+
+    // The adversary captures each load and classifies it.
+    let browser = BrowserConfig::crawler_default();
+    let mut per_load_predictions = Vec::new();
+    let mut emissions = Vec::new();
+    for &page in &journey {
+        let capture = load_page(&site, page, &browser, &mut rng)?;
+        let trace = tensor.tensorize(&IpSequences::extract(&capture));
+        let pred = adversary.fingerprint(&trace);
+        per_load_predictions.push(pred.top().unwrap_or(0));
+        // Emission vector: vote shares, smoothed so the HMM can recover
+        // from pages the kNN missed entirely.
+        let mut emission = vec![0.02f64; CLASSES];
+        let total: usize = pred.votes.iter().sum();
+        for (label, votes) in pred.ranked.iter().zip(&pred.votes) {
+            emission[*label] += *votes as f64 / total.max(1) as f64;
+        }
+        emissions.push(emission);
+    }
+
+    let independent_acc = journey
+        .iter()
+        .zip(&per_load_predictions)
+        .filter(|(t, p)| t == p)
+        .count() as f64
+        / journey.len() as f64;
+    println!("per-load (independent) accuracy over the journey: {independent_acc:.3}");
+
+    // Decode with the HMM: the link graph constrains the sequence.
+    let hmm = JourneyHmm::from_link_graph(&graph, 0.1);
+    let decoded = hmm.viterbi(&emissions);
+    let hmm_acc = JourneyHmm::journey_accuracy(&decoded, &journey);
+    println!("HMM-decoded journey accuracy:                     {hmm_acc:.3}");
+
+    println!(
+        "\nthe link structure {} the adversary (Miller et al. reported 70-90% on 500 pages).",
+        if hmm_acc >= independent_acc {
+            "helps"
+        } else {
+            "did not help"
+        }
+    );
+    Ok(())
+}

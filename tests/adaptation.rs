@@ -1,0 +1,131 @@
+//! Integration tests of the paper's core claim: adaptation to
+//! distributional shift via reference-set updates, never retraining.
+
+use tlsfp::core::pipeline::{AdaptiveFingerprinter, PipelineConfig};
+use tlsfp::trace::dataset::Dataset;
+use tlsfp::trace::tensorize::TensorConfig;
+use tlsfp::web::corpus::CorpusSpec;
+use tlsfp::web::crawler::Crawler;
+use tlsfp::web::drift::DriftConfig;
+use tlsfp::web::site::{SiteSpec, Website};
+
+fn fast_config() -> PipelineConfig {
+    let mut cfg = PipelineConfig::small();
+    cfg.epochs = 20;
+    cfg.pairs_per_epoch = 1024;
+    cfg.k = 8;
+    cfg
+}
+
+fn crawl_to_dataset(site: &Website, visits: usize, seed: u64) -> Dataset {
+    let tensor = TensorConfig::wiki();
+    let crawler = Crawler::new(visits);
+    let caps = crawler.crawl(site, seed).unwrap();
+    let mut ds = Dataset::new(site.n_pages(), tensor.channels, tensor.max_steps);
+    for lc in &caps {
+        ds.push_capture(&lc.clone(), &tensor).unwrap();
+    }
+    ds
+}
+
+#[test]
+fn adaptation_recovers_accuracy_after_heavy_drift() {
+    let site = Website::generate(SiteSpec::wiki_like(8), 201).unwrap();
+    let day0 = crawl_to_dataset(&site, 16, 301);
+    let adversary = AdaptiveFingerprinter::provision(&day0, &fast_config(), 5).unwrap();
+
+    // Heavy drift: most content replaced.
+    let drifted_site = site.drifted(DriftConfig::heavy(), 401);
+    let drifted = crawl_to_dataset(&drifted_site, 16, 501);
+    let (fresh_ref, test) = drifted.split_per_class(0.5, 0);
+
+    let stale = adversary.evaluate(&test).top_n_accuracy(1);
+    let mut adapted = adversary.clone();
+    adapted.set_reference(&fresh_ref).unwrap();
+    let recovered = adapted.evaluate(&test).top_n_accuracy(1);
+
+    assert!(
+        recovered > stale + 0.1,
+        "adaptation should recover accuracy: stale {stale}, adapted {recovered}"
+    );
+    // The embedder itself is untouched: same weights object.
+    assert_eq!(
+        adversary.embedder().to_json().unwrap(),
+        adapted.embedder().to_json().unwrap()
+    );
+}
+
+#[test]
+fn unseen_classes_are_classifiable_without_retraining() {
+    // Figure 5 structure: train on one partition, classify a disjoint one.
+    let (_, ds) = Dataset::generate(
+        &CorpusSpec::wiki_like(14, 14),
+        &TensorConfig::wiki(),
+        601,
+    )
+    .unwrap();
+    let split = ds.figure5(8, 0.25, 0).unwrap();
+    let mut adversary = AdaptiveFingerprinter::provision(&split.set_a, &fast_config(), 5).unwrap();
+    adversary.set_reference(&split.set_c).unwrap();
+    let report = adversary.evaluate(&split.set_d);
+    let top3 = report.top_n_accuracy(3);
+    // 6 unseen classes; chance top-3 = 0.5.
+    assert!(top3 > 0.65, "unseen top-3 {top3}");
+}
+
+#[test]
+fn new_pages_can_be_monitored_on_the_fly() {
+    let (_, ds) = Dataset::generate(
+        &CorpusSpec::wiki_like(6, 10),
+        &TensorConfig::wiki(),
+        701,
+    )
+    .unwrap();
+    let mut cfg = fast_config();
+    cfg.epochs = 8;
+    let mut adversary = AdaptiveFingerprinter::provision(&ds, &cfg, 5).unwrap();
+    let n0 = adversary.reference().n_classes();
+
+    // A brand-new page appears; the adversary adds it with a few traces.
+    let (_, extra) = Dataset::generate(
+        &CorpusSpec::wiki_like(1, 8),
+        &TensorConfig::wiki(),
+        999,
+    )
+    .unwrap();
+    let new_id = adversary.add_class(extra.seqs()).unwrap();
+    assert_eq!(new_id, n0);
+
+    // Its traces are now recognized as the new class more than chance.
+    let hits = extra
+        .seqs()
+        .iter()
+        .filter(|t| adversary.fingerprint(t).top() == Some(new_id))
+        .count();
+    assert!(hits >= extra.len() / 2, "{hits}/{} recognized", extra.len());
+}
+
+#[test]
+fn partial_update_touches_only_target_class() {
+    let (_, ds) = Dataset::generate(
+        &CorpusSpec::wiki_like(5, 10),
+        &TensorConfig::wiki(),
+        801,
+    )
+    .unwrap();
+    let mut cfg = fast_config();
+    cfg.epochs = 6;
+    let mut adversary = AdaptiveFingerprinter::provision(&ds, &cfg, 5).unwrap();
+
+    let before: Vec<usize> = (0..5).map(|c| adversary.reference().class_count(c)).collect();
+    let fresh: Vec<_> = ds.seqs()[..3].to_vec();
+    adversary.update_class(2, &fresh).unwrap();
+    for c in 0..5 {
+        let count = adversary.reference().class_count(c);
+        if c == 2 {
+            assert_eq!(count, 3);
+        } else {
+            assert_eq!(count, before[c], "class {c} should be untouched");
+        }
+    }
+}

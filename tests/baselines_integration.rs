@@ -1,0 +1,138 @@
+//! Integration tests of the baseline systems against the same synthetic
+//! corpora the main attack uses.
+
+use tlsfp::baselines::df::{DeepFingerprinting, DfConfig};
+use tlsfp::baselines::hmm::JourneyHmm;
+use tlsfp::baselines::kfp::{KFingerprinting, KfpConfig};
+use tlsfp::trace::dataset::Dataset;
+use tlsfp::trace::tensorize::TensorConfig;
+use tlsfp::web::corpus::CorpusSpec;
+use tlsfp::web::linkgraph::LinkGraph;
+
+#[test]
+fn kfp_and_df_both_beat_chance_on_the_same_corpus() {
+    let (_, three_seq) = Dataset::generate(
+        &CorpusSpec::wiki_like(8, 16),
+        &TensorConfig::wiki(),
+        1001,
+    )
+    .unwrap();
+    let (train3, test3) = three_seq.split_per_class(0.25, 0);
+
+    let kfp = KFingerprinting::fit(&train3, KfpConfig::default(), 3);
+    let kfp_top1 = kfp.evaluate(&test3).top_n_accuracy(1);
+    assert!(kfp_top1 > 0.4, "k-FP top-1 {kfp_top1} (chance 0.125)");
+
+    let (_, two_seq) = Dataset::generate(
+        &CorpusSpec::wiki_like(8, 16),
+        &TensorConfig::two_seq(),
+        1001,
+    )
+    .unwrap();
+    let (train2, test2) = two_seq.split_per_class(0.25, 0);
+    let df = DeepFingerprinting::fit(&train2, DfConfig::default(), 3);
+    let df_top1 = df.evaluate(&test2).top_n_accuracy(1);
+    assert!(df_top1 > 0.3, "DF top-1 {df_top1} (chance 0.125)");
+}
+
+#[test]
+fn df_retraining_is_much_slower_than_reference_swap() {
+    use tlsfp::core::pipeline::{AdaptiveFingerprinter, PipelineConfig};
+
+    let (_, ds) = Dataset::generate(
+        &CorpusSpec::wiki_like(6, 12),
+        &TensorConfig::two_seq(),
+        1002,
+    )
+    .unwrap();
+    let mut cfg = PipelineConfig::small_two_seq();
+    cfg.epochs = 10;
+    let mut adaptive = AdaptiveFingerprinter::provision(&ds, &cfg, 5).unwrap();
+
+    let t0 = std::time::Instant::now();
+    adaptive.set_reference(&ds).unwrap();
+    let swap = t0.elapsed();
+
+    let t1 = std::time::Instant::now();
+    let _ = DeepFingerprinting::fit(&ds, DfConfig::default(), 3);
+    let retrain = t1.elapsed();
+
+    assert!(
+        retrain > swap * 5,
+        "retraining ({retrain:?}) should dwarf adaptation ({swap:?})"
+    );
+}
+
+#[test]
+fn hmm_journeys_exploit_link_structure() {
+    // Synthetic emissions: the per-page classifier is right 60% of the
+    // time; the HMM should lift journey accuracy using the graph.
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    const PAGES: usize = 20;
+    let graph = LinkGraph::generate(PAGES, 3, 1003);
+    let hmm = JourneyHmm::from_link_graph(&graph, 0.1);
+    let mut rng = StdRng::seed_from_u64(1004);
+
+    let mut independent_hits = 0usize;
+    let mut hmm_hits = 0usize;
+    let mut total = 0usize;
+    for walk_seed in 0..5u64 {
+        let mut walk_rng = StdRng::seed_from_u64(walk_seed);
+        let journey = graph.random_walk(0, 40, 0.05, &mut walk_rng);
+        let emissions: Vec<Vec<f64>> = journey
+            .iter()
+            .map(|&page| {
+                let mut e = vec![0.4 / (PAGES - 1) as f64; PAGES];
+                if rng.random::<f64>() < 0.6 {
+                    e[page] = 0.6; // classifier correct
+                } else {
+                    e[rng.random_range(0..PAGES)] = 0.6; // classifier wrong
+                }
+                e
+            })
+            .collect();
+        let independent: Vec<usize> = emissions
+            .iter()
+            .map(|e| {
+                e.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap()
+            })
+            .collect();
+        let decoded = hmm.viterbi(&emissions);
+        independent_hits += independent
+            .iter()
+            .zip(&journey)
+            .filter(|(a, b)| a == b)
+            .count();
+        hmm_hits += decoded.iter().zip(&journey).filter(|(a, b)| a == b).count();
+        total += journey.len();
+    }
+    let ind_acc = independent_hits as f64 / total as f64;
+    let hmm_acc = hmm_hits as f64 / total as f64;
+    assert!(
+        hmm_acc > ind_acc,
+        "HMM ({hmm_acc:.3}) should beat independent decoding ({ind_acc:.3})"
+    );
+}
+
+#[test]
+fn table3_profiles_capture_the_papers_contrasts() {
+    let systems = tlsfp::baselines::cost::table3_systems();
+    let ours = systems.iter().find(|s| s.name == "Adaptive Fingerprinting").unwrap();
+    let df = systems.iter().find(|s| s.name == "Deep Fingerprinting").unwrap();
+    let tf = systems.iter().find(|s| s.name == "Triplet Fingerprinting").unwrap();
+
+    // The paper's two key contrasts:
+    // 1. Ours handles drift without retraining; DF handles neither.
+    assert!(ours.handles_drift && !ours.retraining_on_update);
+    assert!(!df.handles_drift && df.retraining_on_update);
+    // 2. Embedding-based systems share the no-retraining property.
+    assert!(tf.handles_drift && !tf.retraining_on_update);
+    // And ours was evaluated at the largest class count.
+    assert!(ours.classes.contains("13,000"));
+}

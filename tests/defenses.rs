@@ -1,0 +1,128 @@
+//! Integration tests of the §VII countermeasures: effectiveness
+//! ordering and bandwidth accounting.
+
+use tlsfp::core::defense::{AnonymitySetDefense, FixedLengthDefense, RandomPaddingDefense};
+use tlsfp::core::pipeline::{AdaptiveFingerprinter, PipelineConfig};
+use tlsfp::trace::dataset::Dataset;
+use tlsfp::trace::tensorize::TensorConfig;
+use tlsfp::web::corpus::{CorpusSpec, SyntheticCorpus};
+use tlsfp::web::crawler::LabeledCapture;
+
+fn fast_config() -> PipelineConfig {
+    let mut cfg = PipelineConfig::small();
+    cfg.epochs = 18;
+    cfg.pairs_per_epoch = 1024;
+    cfg.k = 8;
+    cfg
+}
+
+fn to_dataset(traces: &[LabeledCapture], classes: usize) -> Dataset {
+    let tensor = TensorConfig::wiki();
+    let mut ds = Dataset::new(classes, tensor.channels, tensor.max_steps);
+    for lc in traces {
+        ds.push_capture(lc, &tensor).unwrap();
+    }
+    ds
+}
+
+fn top1_on(traces: &[LabeledCapture], classes: usize, seed: u64) -> f64 {
+    let ds = to_dataset(traces, classes);
+    let (train, test) = ds.split_per_class(0.25, 0);
+    let fp = AdaptiveFingerprinter::provision(&train, &fast_config(), seed).unwrap();
+    fp.evaluate(&test).top_n_accuracy(1)
+}
+
+#[test]
+fn fl_padding_reduces_accuracy_and_costs_bandwidth() {
+    const CLASSES: usize = 10;
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::wiki_like(CLASSES, 16), 901).unwrap();
+
+    let base = top1_on(&corpus.traces, CLASSES, 5);
+
+    let mut padded = corpus.traces.clone();
+    let overhead = FixedLengthDefense::default().apply(&mut padded, 0);
+    let protected = top1_on(&padded, CLASSES, 5);
+
+    assert!(
+        protected < base - 0.1,
+        "FL padding should cut accuracy: base {base}, padded {protected}"
+    );
+    assert!(overhead.factor() > 1.5, "FL should cost real bandwidth");
+
+    // All padded traces transfer (nearly) the same volume.
+    let volumes: Vec<u64> = padded.iter().map(|t| t.capture.total_payload()).collect();
+    let max = *volumes.iter().max().unwrap();
+    assert!(volumes.iter().all(|&v| max - v < 16_384));
+}
+
+#[test]
+fn anonymity_sets_trade_protection_for_bandwidth() {
+    const CLASSES: usize = 10;
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::wiki_like(CLASSES, 12), 902).unwrap();
+
+    let mut fl = corpus.traces.clone();
+    let fl_cost = FixedLengthDefense::default().apply(&mut fl, 0);
+
+    let mut sets = corpus.traces.clone();
+    let sets_cost = AnonymitySetDefense {
+        set_size: 3,
+        record_quantum: 16_384,
+    }
+    .apply(&mut sets, 0);
+
+    // Intra-set equalization must be cheaper than global equalization.
+    assert!(
+        sets_cost.factor() <= fl_cost.factor(),
+        "sets {} vs FL {}",
+        sets_cost.factor(),
+        fl_cost.factor()
+    );
+}
+
+#[test]
+fn random_padding_is_cheap_but_weak() {
+    const CLASSES: usize = 10;
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::wiki_like(CLASSES, 16), 903).unwrap();
+
+    let base = top1_on(&corpus.traces, CLASSES, 5);
+
+    let mut rnd = corpus.traces.clone();
+    let rnd_cost = RandomPaddingDefense { max_pad: 1024 }.apply(&mut rnd, 0);
+    let rnd_acc = top1_on(&rnd, CLASSES, 5);
+
+    let mut fl = corpus.traces.clone();
+    let fl_cost = FixedLengthDefense::default().apply(&mut fl, 0);
+    let fl_acc = top1_on(&fl, CLASSES, 5);
+
+    // Pironti ordering: random padding much cheaper but much weaker.
+    assert!(rnd_cost.factor() < fl_cost.factor() / 2.0);
+    assert!(
+        rnd_acc > fl_acc,
+        "random padding ({rnd_acc}) should leave more accuracy than FL ({fl_acc})"
+    );
+    // And it should not outperform no defense at all.
+    assert!(rnd_acc <= base + 0.15, "base {base}, random-padded {rnd_acc}");
+}
+
+#[test]
+fn tls13_record_padding_inflates_wire_volume_only_there() {
+    use tlsfp::net::padding::PaddingPolicy;
+    use tlsfp::net::record::{RecordLayer, TlsVersion};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(0);
+    // The same policy applied at both versions: only 1.3 pads.
+    let p12 = RecordLayer {
+        version: TlsVersion::V1_2,
+        padding: PaddingPolicy::BlockAlign { block: 4096 },
+    };
+    let p13 = RecordLayer {
+        version: TlsVersion::V1_3,
+        padding: PaddingPolicy::BlockAlign { block: 4096 },
+    };
+    let w12 = p12.wire_bytes(5_000, &mut rng);
+    let w13 = p13.wire_bytes(5_000, &mut rng);
+    assert!(w13 > w12, "1.3 padded {w13} should exceed 1.2 {w12}");
+    assert_eq!(w12, 5_000 + 29); // one record, fixed 1.2 overhead
+}

@@ -1,0 +1,112 @@
+//! End-to-end integration: website synthesis → crawling → sequence
+//! extraction → provisioning → fingerprinting, across crate boundaries.
+
+use tlsfp::core::pipeline::{AdaptiveFingerprinter, PipelineConfig};
+use tlsfp::trace::dataset::Dataset;
+use tlsfp::trace::sequence::IpSequences;
+use tlsfp::trace::tensorize::TensorConfig;
+use tlsfp::web::corpus::{CorpusSpec, SyntheticCorpus};
+
+fn fast_config() -> PipelineConfig {
+    let mut cfg = PipelineConfig::small();
+    cfg.epochs = 20;
+    cfg.pairs_per_epoch = 1024;
+    cfg.k = 8;
+    cfg
+}
+
+#[test]
+fn full_pipeline_beats_chance_by_a_wide_margin() {
+    let (_, ds) = Dataset::generate(
+        &CorpusSpec::wiki_like(10, 15),
+        &TensorConfig::wiki(),
+        101,
+    )
+    .unwrap();
+    let (train, test) = ds.split_per_class(0.2, 0);
+    let adversary = AdaptiveFingerprinter::provision(&train, &fast_config(), 5).unwrap();
+    let report = adversary.evaluate(&test);
+    let top1 = report.top_n_accuracy(1);
+    let top3 = report.top_n_accuracy(3);
+    // Chance: 0.1 top-1, 0.3 top-3.
+    assert!(top1 > 0.35, "top-1 {top1}");
+    assert!(top3 > 0.6, "top-3 {top3}");
+    // The accuracy curve is monotone in n.
+    let curve = report.accuracy_curve(10);
+    for w in curve.windows(2) {
+        assert!(w[1].1 >= w[0].1);
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_in_seeds() {
+    let spec = CorpusSpec::wiki_like(5, 10);
+    let tensor = TensorConfig::wiki();
+    let (_, ds1) = Dataset::generate(&spec, &tensor, 77).unwrap();
+    let (_, ds2) = Dataset::generate(&spec, &tensor, 77).unwrap();
+    assert_eq!(ds1, ds2, "corpus generation must be deterministic");
+
+    let mut cfg = fast_config();
+    cfg.epochs = 4;
+    cfg.threads = 1; // single-thread for bit-exact training
+    let a = AdaptiveFingerprinter::provision(&ds1, &cfg, 9).unwrap();
+    let b = AdaptiveFingerprinter::provision(&ds2, &cfg, 9).unwrap();
+    let t = &ds1.seqs()[0];
+    assert_eq!(a.fingerprint(t), b.fingerprint(t));
+}
+
+#[test]
+fn deployment_survives_serialization() {
+    let (_, ds) = Dataset::generate(
+        &CorpusSpec::wiki_like(4, 8),
+        &TensorConfig::wiki(),
+        55,
+    )
+    .unwrap();
+    let mut cfg = fast_config();
+    cfg.epochs = 4;
+    let adversary = AdaptiveFingerprinter::provision(&ds, &cfg, 5).unwrap();
+    let json = adversary.to_json().unwrap();
+    let restored = AdaptiveFingerprinter::from_json(&json).unwrap();
+    for t in ds.seqs().iter().take(5) {
+        assert_eq!(adversary.fingerprint(t), restored.fingerprint(t));
+    }
+}
+
+#[test]
+fn pcap_export_feeds_back_into_the_pipeline() {
+    // A capture written to pcap and parsed back yields identical
+    // sequences — the adversary can work from on-disk pcaps.
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::wiki_like(3, 2), 61).unwrap();
+    for lc in &corpus.traces {
+        let bytes = lc.capture.to_pcap();
+        let parsed = tlsfp::net::Capture::from_pcap(&bytes, lc.capture.client).unwrap();
+        assert_eq!(
+            IpSequences::extract(&lc.capture),
+            IpSequences::extract(&parsed)
+        );
+    }
+}
+
+#[test]
+fn github_corpus_flows_through_two_seq_pipeline() {
+    let (_, ds) = Dataset::generate(
+        &CorpusSpec::github_like(6, 12),
+        &TensorConfig::two_seq(),
+        71,
+    )
+    .unwrap();
+    assert_eq!(ds.channels(), 2);
+    let (train, test) = ds.split_per_class(0.25, 0);
+    let mut cfg = PipelineConfig::small_two_seq();
+    cfg.epochs = 20;
+    cfg.k = 8;
+    let adversary = AdaptiveFingerprinter::provision(&train, &cfg, 5).unwrap();
+    let report = adversary.evaluate(&test);
+    // Github-like corpora are intentionally harder; still beat chance.
+    assert!(
+        report.top_n_accuracy(3) > 0.4,
+        "top-3 {}",
+        report.top_n_accuracy(3)
+    );
+}

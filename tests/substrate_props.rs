@@ -1,0 +1,160 @@
+//! Cross-crate property tests: invariants of the substrate hold for
+//! randomly-generated captures, corpora and parameters.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use tlsfp::core::defense::FixedLengthDefense;
+use tlsfp::net::capture::{Capture, Packet};
+use tlsfp::trace::dataset::Dataset;
+use tlsfp::trace::sequence::IpSequences;
+use tlsfp::trace::tensorize::{ScaleMode, TensorConfig};
+use tlsfp::web::crawler::LabeledCapture;
+use tlsfp::web::site::{SiteSpec, Website};
+
+/// Strategy: a random capture with up to 4 servers and 40 packets.
+fn capture_strategy() -> impl Strategy<Value = Capture> {
+    proptest::collection::vec((0u8..5, 0u32..80_000, 0u64..1000), 0..40).prop_map(|pkts| {
+        let client = Ipv4Addr::new(10, 0, 0, 1);
+        let mut capture = Capture::new(client);
+        let mut t = 0u64;
+        for (who, len, dt) in pkts {
+            t += dt;
+            let (src, dst) = if who == 0 {
+                (client, Ipv4Addr::new(10, 0, 0, 2))
+            } else {
+                (Ipv4Addr::new(10, 0, 0, 1 + who), client)
+            };
+            capture.push(Packet {
+                timestamp_us: t,
+                src,
+                dst,
+                payload_len: len,
+            });
+        }
+        capture
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// pcap round trip is lossless for arbitrary captures.
+    #[test]
+    fn pcap_round_trip_is_lossless(capture in capture_strategy()) {
+        let bytes = capture.to_pcap();
+        let parsed = Capture::from_pcap(&bytes, capture.client).unwrap();
+        prop_assert_eq!(capture, parsed);
+    }
+
+    /// Figure 4 invariants: exactly one transmitting IP per step, byte
+    /// conservation per IP, client always first.
+    #[test]
+    fn sequence_extraction_invariants(capture in capture_strategy()) {
+        let seqs = IpSequences::extract(&capture);
+        prop_assert_eq!(seqs.ips[0], capture.client);
+        for t in 0..seqs.steps() {
+            let nonzero = seqs.rows.iter().filter(|r| r[t] != 0).count();
+            prop_assert_eq!(nonzero, 1, "step {} has {} transmitters", t, nonzero);
+        }
+        for (i, &ip) in seqs.ips.iter().enumerate() {
+            prop_assert_eq!(seqs.bytes_of(i), capture.payload_from(ip));
+        }
+    }
+
+    /// Channel collapse conserves bytes for any channel count.
+    #[test]
+    fn channel_collapse_conserves_bytes(capture in capture_strategy(), channels in 1usize..6) {
+        let seqs = IpSequences::extract(&capture);
+        let collapsed = seqs.to_channels(channels);
+        let collapsed_total: u64 = collapsed.iter().flatten().map(|&b| b as u64).sum();
+        prop_assert_eq!(collapsed_total, capture.total_payload());
+    }
+
+    /// Tensorization output is always bounded and of valid shape.
+    #[test]
+    fn tensorize_output_is_bounded(capture in capture_strategy(), bin in 1u32..4096) {
+        let cfg = TensorConfig {
+            channels: 3,
+            max_steps: 30,
+            quantize_bin: bin,
+            scale: ScaleMode::Log { cap: 20_000_000 },
+            reverse: false,
+        };
+        let t = cfg.tensorize(&IpSequences::extract(&capture));
+        prop_assert!(t.steps() >= 1 && t.steps() <= 30);
+        prop_assert_eq!(t.channels(), 3);
+        prop_assert!(t.as_slice().iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    /// FL padding equalizes totals and never shrinks a trace, for
+    /// arbitrary quanta.
+    #[test]
+    fn fl_padding_invariants(
+        seed in 0u64..1000,
+        quantum in prop::sample::select(vec![1024u32, 4096, 16_384]),
+    ) {
+        let site = Website::generate(SiteSpec::wiki_like(4), seed).unwrap();
+        let crawler = tlsfp::web::crawler::Crawler::new(2);
+        let mut traces: Vec<LabeledCapture> = crawler.crawl(&site, seed).unwrap();
+        let before: Vec<u64> = traces.iter().map(|t| t.capture.total_payload()).collect();
+        let overhead = FixedLengthDefense { record_quantum: quantum }.apply(&mut traces, seed);
+        let after: Vec<u64> = traces.iter().map(|t| t.capture.total_payload()).collect();
+        // No trace shrank.
+        for (b, a) in before.iter().zip(&after) {
+            prop_assert!(a >= b);
+        }
+        // Totals equal up to one quantum.
+        let max = *after.iter().max().unwrap();
+        for &a in &after {
+            prop_assert!(max - a < quantum as u64);
+        }
+        prop_assert!(overhead.factor() >= 1.0);
+    }
+
+    /// Dataset per-class splits partition every class's samples.
+    #[test]
+    fn split_partitions_each_class(
+        classes in 2usize..6,
+        per_class in 2usize..8,
+        frac in 0.1f64..0.9,
+        seed in 0u64..100,
+    ) {
+        let mut ds = Dataset::new(classes, 2, 4);
+        for c in 0..classes {
+            for s in 0..per_class {
+                let v = (c * 10 + s) as f32;
+                ds.push(c, tlsfp::nn::SeqInput::new(4, 2, vec![v; 8]).unwrap()).unwrap();
+            }
+        }
+        let (train, test) = ds.split_per_class(frac, seed);
+        prop_assert_eq!(train.len() + test.len(), ds.len());
+        for c in 0..classes {
+            let tr = train.labels().iter().filter(|&&l| l == c).count();
+            let te = test.labels().iter().filter(|&&l| l == c).count();
+            prop_assert_eq!(tr + te, per_class);
+            // Both sides non-empty (test_fraction clamped to [1, n-1]).
+            prop_assert!(tr >= 1);
+            prop_assert!(te >= 1);
+        }
+    }
+
+    /// Record framing conserves plaintext and respects the fragment
+    /// bound for arbitrary transfer sizes.
+    #[test]
+    fn record_framing_conserves_plaintext(bytes in 0usize..200_000) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use tlsfp::net::record::{RecordLayer, TlsVersion, MAX_PLAINTEXT_LEN};
+        let mut rng = StdRng::seed_from_u64(0);
+        for version in [TlsVersion::V1_2, TlsVersion::V1_3] {
+            let rl = RecordLayer::new(version);
+            let records = rl.seal(bytes, &mut rng);
+            let total: usize = records.iter().map(|r| r.plaintext_len).sum();
+            prop_assert_eq!(total, bytes);
+            prop_assert!(records.iter().all(|r| r.plaintext_len <= MAX_PLAINTEXT_LEN));
+            prop_assert!(records.iter().all(|r| r.wire_len > r.plaintext_len || bytes == 0));
+        }
+    }
+}
