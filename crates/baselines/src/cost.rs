@@ -31,7 +31,10 @@ impl std::fmt::Display for Complexity {
 }
 
 /// A row of Table III: one fingerprinting system's operational profile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialize-only: the `&'static str` fields cannot be deserialized
+/// from owned JSON text.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SystemProfile {
     /// System name.
     pub name: &'static str,
@@ -168,9 +171,9 @@ impl CostModel {
         embed_or_fit_seconds: f64,
     ) -> f64 {
         let updates = self.versions_per_class.saturating_sub(1) as f64;
-        let per_update_collection =
-            (self.n_classes * profile.update_instances.1.max(1) as u64) as f64
-                * self.col_one_seconds;
+        let per_update_collection = (self.n_classes * profile.update_instances.1.max(1) as u64)
+            as f64
+            * self.col_one_seconds;
         let per_update_compute = if profile.retraining_on_update {
             train_seconds
         } else {

@@ -127,12 +127,8 @@ mod tests {
 
     #[test]
     fn df_learns_a_small_corpus() {
-        let (_, ds) = Dataset::generate(
-            &CorpusSpec::wiki_like(5, 14),
-            &TensorConfig::two_seq(),
-            31,
-        )
-        .unwrap();
+        let (_, ds) =
+            Dataset::generate(&CorpusSpec::wiki_like(5, 14), &TensorConfig::two_seq(), 31).unwrap();
         let (train, test) = ds.split_per_class(0.25, 0);
         let df = DeepFingerprinting::fit(&train, DfConfig::default(), 3);
         let report = df.evaluate(&test);
@@ -143,12 +139,8 @@ mod tests {
 
     #[test]
     fn ranked_covers_all_classes() {
-        let (_, ds) = Dataset::generate(
-            &CorpusSpec::wiki_like(4, 6),
-            &TensorConfig::two_seq(),
-            37,
-        )
-        .unwrap();
+        let (_, ds) =
+            Dataset::generate(&CorpusSpec::wiki_like(4, 6), &TensorConfig::two_seq(), 37).unwrap();
         let df = DeepFingerprinting::fit(
             &ds,
             DfConfig {

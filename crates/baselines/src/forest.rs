@@ -65,7 +65,11 @@ impl Tree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -273,10 +277,26 @@ fn build_node(
                 .iter()
                 .partition(|&&i| samples[i][feature] <= threshold);
             let left = build_node(
-                samples, labels, n_classes, &left_idx, config, mtry, depth + 1, n_leaves, rng,
+                samples,
+                labels,
+                n_classes,
+                &left_idx,
+                config,
+                mtry,
+                depth + 1,
+                n_leaves,
+                rng,
             );
             let right = build_node(
-                samples, labels, n_classes, &right_idx, config, mtry, depth + 1, n_leaves, rng,
+                samples,
+                labels,
+                n_classes,
+                &right_idx,
+                config,
+                mtry,
+                depth + 1,
+                n_leaves,
+                rng,
             );
             Node::Split {
                 feature,

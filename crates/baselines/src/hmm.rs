@@ -168,7 +168,10 @@ mod tests {
 
     #[test]
     fn journey_accuracy_counts_positions() {
-        assert_eq!(JourneyHmm::journey_accuracy(&[1, 2, 3], &[1, 9, 3]), 2.0 / 3.0);
+        assert_eq!(
+            JourneyHmm::journey_accuracy(&[1, 2, 3], &[1, 9, 3]),
+            2.0 / 3.0
+        );
         assert_eq!(JourneyHmm::journey_accuracy(&[], &[]), 0.0);
     }
 

@@ -58,8 +58,7 @@ impl KFingerprinting {
     /// Panics if the dataset is empty.
     pub fn fit(train: &Dataset, config: KfpConfig, seed: u64) -> Self {
         assert!(!train.is_empty(), "cannot fit on an empty dataset");
-        let samples: Vec<Vec<f32>> =
-            map_elems(train.seqs(), config.threads, features::extract);
+        let samples: Vec<Vec<f32>> = map_elems(train.seqs(), config.threads, features::extract);
         let forest = RandomForest::fit(
             &samples,
             train.labels(),
@@ -137,12 +136,8 @@ mod tests {
 
     #[test]
     fn kfp_learns_a_small_corpus() {
-        let (_, ds) = Dataset::generate(
-            &CorpusSpec::wiki_like(6, 14),
-            &TensorConfig::wiki(),
-            19,
-        )
-        .unwrap();
+        let (_, ds) =
+            Dataset::generate(&CorpusSpec::wiki_like(6, 14), &TensorConfig::wiki(), 19).unwrap();
         let (train, test) = ds.split_per_class(0.25, 0);
         let kfp = KFingerprinting::fit(&train, KfpConfig::default(), 3);
         let report = kfp.evaluate(&test);
@@ -153,12 +148,8 @@ mod tests {
 
     #[test]
     fn classify_returns_ranked_votes() {
-        let (_, ds) = Dataset::generate(
-            &CorpusSpec::wiki_like(4, 8),
-            &TensorConfig::wiki(),
-            23,
-        )
-        .unwrap();
+        let (_, ds) =
+            Dataset::generate(&CorpusSpec::wiki_like(4, 8), &TensorConfig::wiki(), 23).unwrap();
         let kfp = KFingerprinting::fit(&ds, KfpConfig::default(), 3);
         let pred = kfp.classify(&ds.seqs()[0]);
         assert!(!pred.ranked.is_empty());

@@ -12,7 +12,10 @@ use tlsfp_web::corpus::CorpusSpec;
 fn bench_fig7(c: &mut Criterion) {
     let scale = Scale::smoke();
     let result = run_fig7(&scale);
-    println!("\n[fig7 @ smoke scale] (trained on {} classes)", result.train_classes);
+    println!(
+        "\n[fig7 @ smoke scale] (trained on {} classes)",
+        result.train_classes
+    );
     for s in &result.series {
         print_series(s);
     }

@@ -25,8 +25,7 @@ fn bench_fig8(c: &mut Criterion) {
         scale.seed,
     )
     .unwrap();
-    let fp =
-        AdaptiveFingerprinter::provision(&wiki, &scale.pipeline_two_seq, scale.seed).unwrap();
+    let fp = AdaptiveFingerprinter::provision(&wiki, &scale.pipeline_two_seq, scale.seed).unwrap();
     let (_, github) = Dataset::generate(
         &CorpusSpec::github_like(6, 6),
         &TensorConfig::two_seq(),

@@ -61,7 +61,13 @@ pub fn run_ablations(scale: &Scale) -> Vec<AblationRow> {
 
     // 1. Encoding: multi-IP sequences vs collapsed up/down.
     rows.push(eval_variant(
-        "encoding", "3-seq (per-IP)", &corpus, &base_tensor, &base_pipeline, tf, seed,
+        "encoding",
+        "3-seq (per-IP)",
+        &corpus,
+        &base_tensor,
+        &base_pipeline,
+        tf,
+        seed,
     ));
     let two = TensorConfig::two_seq();
     rows.push(eval_variant(
@@ -83,7 +89,15 @@ pub fn run_ablations(scale: &Scale) -> Vec<AblationRow> {
             scale: scale_mode,
             ..base_tensor
         };
-        rows.push(eval_variant("scaling", label, &corpus, &tensor, &base_pipeline, tf, seed));
+        rows.push(eval_variant(
+            "scaling",
+            label,
+            &corpus,
+            &tensor,
+            &base_pipeline,
+            tf,
+            seed,
+        ));
     }
 
     // 3. Step order.
@@ -92,7 +106,15 @@ pub fn run_ablations(scale: &Scale) -> Vec<AblationRow> {
             reverse,
             ..base_tensor
         };
-        rows.push(eval_variant("order", label, &corpus, &tensor, &base_pipeline, tf, seed));
+        rows.push(eval_variant(
+            "order",
+            label,
+            &corpus,
+            &tensor,
+            &base_pipeline,
+            tf,
+            seed,
+        ));
     }
 
     // 4. Quantization bin.
@@ -206,7 +228,10 @@ pub fn print_ablations(rows: &[AblationRow]) {
             println!("\n[{}]", row.study);
             last_study = &row.study;
         }
-        println!("  {:<24} top-1 {:.3}  top-3 {:.3}", row.variant, row.top1, row.top3);
+        println!(
+            "  {:<24} top-1 {:.3}  top-3 {:.3}",
+            row.variant, row.top1, row.top3
+        );
     }
 }
 

@@ -87,15 +87,17 @@ fn main() {
     if run_all || target == "table2" {
         let result = fig7_cache.expect("fig7 ran");
         println!("\n=== Table II — smallest n reaching ~89-92% top-n accuracy ===");
-        println!("  {:<10} {:<6} {:<12} {}", "#classes", "n", "top-n acc", "n/#classes %");
+        println!(
+            "  {:<10} {:<6} {:<12} n/#classes %",
+            "#classes", "n", "top-n acc"
+        );
         for (classes, n, acc, pct) in &result.table2 {
             println!("  {classes:<10} {n:<6} {acc:<12.3} {pct:.2}%");
         }
         if result.table2.len() >= 2 {
             let first = &result.table2[0];
             let last = &result.table2[result.table2.len() - 1];
-            let sublinear = (last.1 as f64 / first.1 as f64)
-                < (last.0 as f64 / first.0 as f64);
+            let sublinear = (last.1 as f64 / first.1 as f64) < (last.0 as f64 / first.0 as f64);
             println!(
                 "  n grew {}x while classes grew {}x -> sublinear: {}",
                 last.1 as f64 / first.1 as f64,
@@ -210,7 +212,10 @@ fn main() {
         write_json("ablations", &rows);
     }
 
-    println!("\ntotal wall-clock: {:.1}s", started.elapsed().as_secs_f64());
+    println!(
+        "\ntotal wall-clock: {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
 }
 
 /// Tiny type-erasure helper so every result struct can be dumped to

@@ -13,7 +13,10 @@ fn main() {
 
     let mut tc = TensorConfig::wiki();
     if let Ok(s) = std::env::var("SCALE") {
-        let cap: u32 = std::env::var("CAP").ok().and_then(|c| c.parse().ok()).unwrap_or(1_000_000);
+        let cap: u32 = std::env::var("CAP")
+            .ok()
+            .and_then(|c| c.parse().ok())
+            .unwrap_or(1_000_000);
         tc.scale = match s.as_str() {
             "log" => tlsfp_trace::tensorize::ScaleMode::Log { cap },
             _ => tlsfp_trace::tensorize::ScaleMode::Linear { cap },
@@ -26,7 +29,11 @@ fn main() {
 
     let t0 = std::time::Instant::now();
     let (_, ds) = Dataset::generate(&CorpusSpec::wiki_like(classes, traces), &tc, 3).unwrap();
-    println!("corpus: {} traces in {:.1}s", ds.len(), t0.elapsed().as_secs_f64());
+    println!(
+        "corpus: {} traces in {:.1}s",
+        ds.len(),
+        t0.elapsed().as_secs_f64()
+    );
 
     let lr: f32 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(0.02);
     let margin: f32 = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(6.0);

@@ -111,10 +111,7 @@ impl AccuracySeries {
         AccuracySeries {
             label,
             n_classes,
-            points: ns
-                .iter()
-                .map(|&n| (n, report.top_n_accuracy(n)))
-                .collect(),
+            points: ns.iter().map(|&n| (n, report.top_n_accuracy(n))).collect(),
         }
     }
 }
@@ -404,7 +401,9 @@ pub fn run_fig9_to_11(scale: &Scale) -> Fig9To11Result {
     let tensor = TensorConfig::wiki();
     let mut padded_ds = Dataset::new(classes * 2, tensor.channels, tensor.max_steps);
     for lc in &padded {
-        padded_ds.push_capture(lc, &tensor).expect("labels in range");
+        padded_ds
+            .push_capture(lc, &tensor)
+            .expect("labels in range");
     }
     let psplit = padded_ds
         .figure5(classes, scale.test_fraction, scale.seed)
@@ -477,9 +476,8 @@ pub fn run_fig12_13(scale: &Scale) -> Fig12And13Result {
         let split = ds
             .figure5(max_classes, scale.test_fraction, scale.seed)
             .expect("figure 5 split");
-        let adversary =
-            AdaptiveFingerprinter::provision(&split.set_a, &scale.pipeline, scale.seed)
-                .expect("provisioning succeeds");
+        let adversary = AdaptiveFingerprinter::provision(&split.set_a, &scale.pipeline, scale.seed)
+            .expect("provisioning succeeds");
         let mut known = Vec::new();
         let mut unseen = Vec::new();
         for &classes in &sizes {
@@ -585,7 +583,10 @@ pub fn run_table3(scale: &Scale) -> Table3Result {
     let t2 = std::time::Instant::now();
     let kfp2 = KFingerprinting::fit(&train, KfpConfig::default(), scale.seed + 1);
     let kfp_update = t2.elapsed().as_secs_f64();
-    accuracies.push(("k-fingerprinting".into(), kfp2.evaluate(&test).top_n_accuracy(1)));
+    accuracies.push((
+        "k-fingerprinting".into(),
+        kfp2.evaluate(&test).top_n_accuracy(1),
+    ));
     measured.push(MeasuredCosts {
         name: "k-fingerprinting".into(),
         train_seconds: kfp_train,
@@ -633,7 +634,9 @@ pub fn run_table3(scale: &Scale) -> Table3Result {
             // Use our measured numbers as the compute proxies for the
             // corresponding complexity tier.
             let (train_s, embed_s) = match profile.complexity {
-                tlsfp_baselines::cost::Complexity::High => (adaptive_train.max(df_train), adaptive_update),
+                tlsfp_baselines::cost::Complexity::High => {
+                    (adaptive_train.max(df_train), adaptive_update)
+                }
                 tlsfp_baselines::cost::Complexity::Moderate => (kfp_train, kfp_update),
                 tlsfp_baselines::cost::Complexity::Low => (1.0, 1.0),
             };
@@ -667,7 +670,11 @@ pub fn print_series(series: &AccuracySeries) {
 /// Prints a CDF curve compactly (every few guesses).
 pub fn print_cdf(curve: &CdfCurve) {
     print!("  {:<30}", curve.label);
-    for (g, frac) in curve.points.iter().filter(|(g, _)| [1, 2, 3, 5, 10, 20, 25].contains(g)) {
+    for (g, frac) in curve
+        .points
+        .iter()
+        .filter(|(g, _)| [1, 2, 3, 5, 10, 20, 25].contains(g))
+    {
         print!(" g{g:<2}={frac:.2}");
     }
     println!();

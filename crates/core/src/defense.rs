@@ -203,11 +203,7 @@ fn pad_capture_to(capture: &mut Capture, target: u64, quantum: u32, rng: &mut St
         return;
     }
     let client = capture.client;
-    let mut t = capture
-        .packets
-        .last()
-        .map(|p| p.timestamp_us)
-        .unwrap_or(0);
+    let mut t = capture.packets.last().map(|p| p.timestamp_us).unwrap_or(0);
     let mut idx = rng.random_range(0..servers.len());
     while capture.total_payload() < target {
         t += 1_000;
@@ -305,7 +301,12 @@ mod tests {
         for (t, &b) in traces.iter().zip(&before) {
             let after = t.capture.total_payload();
             assert!(after >= b);
-            let data_packets = t.capture.packets.iter().filter(|p| p.payload_len > 0).count();
+            let data_packets = t
+                .capture
+                .packets
+                .iter()
+                .filter(|p| p.payload_len > 0)
+                .count();
             assert!(after - b <= 512 * data_packets as u64);
         }
         // Far cheaper than FL padding.
@@ -327,7 +328,11 @@ mod tests {
         FixedLengthDefense::default().apply(&mut traces, 0);
         for t in &traces {
             let client: Ipv4Addr = t.capture.client;
-            assert!(t.capture.packets.iter().all(|p| p.dst == client || p.src == client));
+            assert!(t
+                .capture
+                .packets
+                .iter()
+                .all(|p| p.dst == client || p.src == client));
         }
     }
 }

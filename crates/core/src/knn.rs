@@ -251,7 +251,7 @@ mod tests {
     }
 
     #[test]
-    fn batch_matches_single(){
+    fn batch_matches_single() {
         let r = reference();
         let knn = KnnClassifier::new(4);
         let queries = vec![vec![0.0], vec![10.0], vec![20.0], vec![15.1]];

@@ -192,6 +192,13 @@ impl AdaptiveFingerprinter {
         self.knn.k
     }
 
+    /// Sets the worker-thread count used by batch operations
+    /// (`0` = all cores). Results are identical for every value; only
+    /// wall-clock time changes.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
     /// Replaces the whole reference set with embeddings of `data`
     /// (initialization, step 2 of Figure 2). The label space becomes
     /// `data.n_classes()`.
@@ -254,7 +261,8 @@ impl AdaptiveFingerprinter {
         threshold: f32,
     ) -> Option<RankedPrediction> {
         let emb = self.embedder.embed(trace);
-        self.knn.classify_open_world(&emb, &self.reference, threshold)
+        self.knn
+            .classify_open_world(&emb, &self.reference, threshold)
     }
 
     /// Calibrates an open-world rejection threshold from held-out
@@ -265,11 +273,7 @@ impl AdaptiveFingerprinter {
     /// # Errors
     ///
     /// Returns [`CoreError::BadDataset`] if `known` is empty.
-    pub fn calibrate_rejection_threshold(
-        &self,
-        known: &Dataset,
-        percentile: f64,
-    ) -> Result<f32> {
+    pub fn calibrate_rejection_threshold(&self, known: &Dataset, percentile: f64) -> Result<f32> {
         if known.is_empty() {
             return Err(CoreError::BadDataset(
                 "cannot calibrate on an empty dataset".into(),
@@ -281,8 +285,8 @@ impl AdaptiveFingerprinter {
             .map(|e| self.knn.outlier_score(e, &self.reference))
             .collect();
         scores.sort_by(f32::total_cmp);
-        let idx = ((percentile.clamp(0.0, 100.0) / 100.0) * (scores.len() - 1) as f64).round()
-            as usize;
+        let idx =
+            ((percentile.clamp(0.0, 100.0) / 100.0) * (scores.len() - 1) as f64).round() as usize;
         Ok(scores[idx])
     }
 
@@ -321,7 +325,11 @@ impl AdaptiveFingerprinter {
     }
 
     fn threads_or_default(&self) -> usize {
-        self.threads
+        if self.threads == 0 {
+            tlsfp_nn::parallel::default_threads()
+        } else {
+            self.threads
+        }
     }
 }
 
@@ -492,12 +500,8 @@ mod tests {
 
         // A foreign site (github-like: different theme, protocol,
         // hosting) should trip the outlier detector far more often.
-        let (_, foreign) = Dataset::generate(
-            &CorpusSpec::github_like(5, 6),
-            &TensorConfig::wiki(),
-            99,
-        )
-        .unwrap();
+        let (_, foreign) =
+            Dataset::generate(&CorpusSpec::github_like(5, 6), &TensorConfig::wiki(), 99).unwrap();
         let accepted_foreign = foreign
             .seqs()
             .iter()

@@ -196,7 +196,9 @@ mod tests {
             Err(CoreError::ClassOutOfRange { class: 7, .. })
         ));
         assert!(r.add(0, vec![0.0]).is_err());
-        assert!(r.add_all(&[0], vec![vec![0.0, 0.0], vec![1.0, 1.0]]).is_err());
+        assert!(r
+            .add_all(&[0], vec![vec![0.0, 0.0], vec![1.0, 1.0]])
+            .is_err());
     }
 
     #[test]

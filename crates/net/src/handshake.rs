@@ -50,10 +50,7 @@ impl HandshakeProfile {
         match self.version {
             TlsVersion::V1_2 => {
                 // ClientHello
-                out.push((
-                    Direction::Upstream,
-                    jitter(rng, 200 + self.sni_len, 32),
-                ));
+                out.push((Direction::Upstream, jitter(rng, 200 + self.sni_len, 32)));
                 if self.resumption {
                     // ServerHello + CCS + Finished
                     out.push((Direction::Downstream, jitter(rng, 150, 16)));
@@ -73,10 +70,7 @@ impl HandshakeProfile {
             }
             TlsVersion::V1_3 => {
                 // ClientHello (key share makes it bigger than 1.2's)
-                out.push((
-                    Direction::Upstream,
-                    jitter(rng, 300 + self.sni_len, 32),
-                ));
+                out.push((Direction::Upstream, jitter(rng, 300 + self.sni_len, 32)));
                 if self.resumption {
                     // ServerHello + EncryptedExtensions + Finished
                     out.push((Direction::Downstream, jitter(rng, 320, 32)));

@@ -17,10 +17,11 @@ use serde::{Deserialize, Serialize};
 use crate::record::MAX_PLAINTEXT_LEN;
 
 /// A per-record padding policy for TLS 1.3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum PaddingPolicy {
     /// No padding (the overwhelmingly common deployment default).
+    #[default]
     None,
     /// Pad the plaintext up to the next multiple of `block` bytes.
     ///
@@ -75,12 +76,6 @@ impl PaddingPolicy {
     /// Whether this policy adds any padding at all.
     pub fn is_none(&self) -> bool {
         matches!(self, PaddingPolicy::None)
-    }
-}
-
-impl Default for PaddingPolicy {
-    fn default() -> Self {
-        PaddingPolicy::None
     }
 }
 

@@ -224,7 +224,10 @@ mod tests {
         let f_none = none.overhead_factor(8_192, &mut rng);
         let f_pad = padded.overhead_factor(8_192, &mut rng);
         assert!(f_none < 1.01);
-        assert!(f_pad > 1.9, "max-record padding should ~2x an 8KiB transfer");
+        assert!(
+            f_pad > 1.9,
+            "max-record padding should ~2x an 8KiB transfer"
+        );
     }
 
     #[test]

@@ -218,7 +218,12 @@ mod tests {
     #[test]
     fn open_produces_tcp_and_tls_handshake() {
         let mut rng = StdRng::seed_from_u64(0);
-        let conn = TlsConnection::open(ip(10), SessionConfig::typical(TlsVersion::V1_2), 0, &mut rng);
+        let conn = TlsConnection::open(
+            ip(10),
+            SessionConfig::typical(TlsVersion::V1_2),
+            0,
+            &mut rng,
+        );
         let pkts = conn.into_packets(ip(1));
         // 3 TCP handshake packets with zero payload first.
         assert!(pkts.len() > 5);
@@ -226,9 +231,7 @@ mod tests {
         assert_eq!(pkts[1].payload_len, 0);
         assert_eq!(pkts[2].payload_len, 0);
         // Some downstream payload (certificate flight).
-        assert!(pkts
-            .iter()
-            .any(|p| p.src == ip(10) && p.payload_len > 1000));
+        assert!(pkts.iter().any(|p| p.src == ip(10) && p.payload_len > 1000));
     }
 
     #[test]

@@ -89,4 +89,47 @@ proptest! {
             prop_assert!(len + pad <= MAX_PLAINTEXT_LEN, "{policy:?}");
         }
     }
+
+    /// Padded records never shrink, and every policy lands on its
+    /// bucket boundary: block-aligned plaintexts hit a multiple of the
+    /// block (unless capped at 2^14), MaxRecord always fills to 2^14,
+    /// and random padding stays within its per-record budget.
+    #[test]
+    fn padded_records_never_shrink_and_respect_buckets(
+        len in 1usize..=MAX_PLAINTEXT_LEN,
+        seed in 0u64..100,
+        max in 1usize..50_000,
+        block in 1usize..16_384,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let unpadded = RecordLayer::new(TlsVersion::V1_3).seal_fragment(len, &mut rng);
+        for policy in [
+            PaddingPolicy::BlockAlign { block },
+            PaddingPolicy::MaxRecord,
+            PaddingPolicy::RandomPerRecord { max },
+        ] {
+            let record = RecordLayer::v13_with_padding(policy).seal_fragment(len, &mut rng);
+            // Never shrink: padding can only add wire bytes, and the
+            // carried plaintext is untouched.
+            prop_assert!(record.wire_len >= unpadded.wire_len, "{policy:?}");
+            prop_assert_eq!(record.plaintext_len, len);
+
+            let padded = record.plaintext_len + record.padding_len;
+            match policy {
+                PaddingPolicy::BlockAlign { block } => prop_assert!(
+                    padded % block == 0 || padded == MAX_PLAINTEXT_LEN,
+                    "block {block}: padded {padded} misses its bucket"
+                ),
+                PaddingPolicy::MaxRecord => {
+                    prop_assert_eq!(padded, MAX_PLAINTEXT_LEN)
+                }
+                PaddingPolicy::RandomPerRecord { max } => prop_assert!(
+                    record.padding_len <= max,
+                    "random pad {} exceeds budget {max}",
+                    record.padding_len
+                ),
+                _ => unreachable!("only padding policies are exercised"),
+            }
+        }
+    }
 }

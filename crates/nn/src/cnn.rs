@@ -97,7 +97,9 @@ impl CnnConfig {
         let mut len = self.input_len;
         for (i, b) in self.blocks.iter().enumerate() {
             if b.out_channels == 0 || b.kernel == 0 || b.stride == 0 || b.pool == 0 {
-                return Err(NnError::InvalidConfig(format!("block {i} has a zero field")));
+                return Err(NnError::InvalidConfig(format!(
+                    "block {i} has a zero field"
+                )));
             }
             if len < b.kernel {
                 return Err(NnError::InvalidConfig(format!(
@@ -166,12 +168,23 @@ impl Cnn1dClassifier {
         let mut pools = Vec::with_capacity(config.blocks.len());
         let mut in_ch = config.input_channels;
         for b in &config.blocks {
-            convs.push(Conv1d::new(in_ch, b.out_channels, b.kernel, b.stride, &mut rng));
+            convs.push(Conv1d::new(
+                in_ch,
+                b.out_channels,
+                b.kernel,
+                b.stride,
+                &mut rng,
+            ));
             pools.push(MaxPool1d::new(b.pool));
             in_ch = b.out_channels;
         }
         let fc = Dense::new(flat_len, config.fc_size, Init::HeUniform, &mut rng);
-        let out = Dense::new(config.fc_size, config.n_classes, Init::XavierUniform, &mut rng);
+        let out = Dense::new(
+            config.fc_size,
+            config.n_classes,
+            Init::XavierUniform,
+            &mut rng,
+        );
         Ok(Cnn1dClassifier {
             config,
             convs,
@@ -336,7 +349,11 @@ impl Cnn1dClassifier {
         seed: u64,
     ) -> f32 {
         assert!(!samples.is_empty(), "empty batch");
-        let threads = if threads == 0 { default_threads() } else { threads };
+        let threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
         let net: &Cnn1dClassifier = self;
         let results = map_chunks(samples, threads, |ci, _, chunk| {
             let mut rng = StdRng::seed_from_u64(seed.wrapping_add(ci as u64 * 0x9E37_79B9));
@@ -440,8 +457,8 @@ impl CnnGrads {
 
 #[cfg(test)]
 mod tests {
-    use rand::RngExt;
     use super::*;
+    use rand::RngExt;
 
     fn toy_samples(per_class: usize, len: usize) -> (Vec<SeqInput>, Vec<usize>) {
         let mut rng = StdRng::seed_from_u64(17);

@@ -237,16 +237,16 @@ impl MaxPool1d {
             for t in 0..out_len {
                 let start = t * self.window;
                 let window = &row[start..start + self.window];
-                let (best_k, best_v) = window
-                    .iter()
-                    .enumerate()
-                    .fold((0usize, f32::NEG_INFINITY), |(bk, bv), (k, &v)| {
+                let (best_k, best_v) = window.iter().enumerate().fold(
+                    (0usize, f32::NEG_INFINITY),
+                    |(bk, bv), (k, &v)| {
                         if v > bv {
                             (k, v)
                         } else {
                             (bk, bv)
                         }
-                    });
+                    },
+                );
                 out.push(best_v);
                 argmax.push(c * len + start + best_k);
             }
@@ -310,7 +310,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut conv = Conv1d::new(2, 3, 3, 2, &mut rng);
         let len = 9;
-        let x: Vec<f32> = (0..2 * len).map(|i| ((i * 13 % 7) as f32 - 3.0) * 0.1).collect();
+        let x: Vec<f32> = (0..2 * len)
+            .map(|i| ((i * 13 % 7) as f32 - 3.0) * 0.1)
+            .collect();
         let out = conv.forward(&x, len);
         let dz = vec![1.0f32; out.len()];
         let mut grad = Conv1dGrad::zeros_like(&conv);

@@ -89,7 +89,7 @@ impl EmbedderConfig {
         if self.output_size == 0 {
             return Err(NnError::InvalidConfig("output_size must be > 0".into()));
         }
-        if self.hidden_layers.iter().any(|&h| h == 0) {
+        if self.hidden_layers.contains(&0) {
             return Err(NnError::InvalidConfig(
                 "hidden layer sizes must be > 0".into(),
             ));
@@ -517,10 +517,7 @@ mod tests {
         let cfg = EmbedderConfig::paper(3);
         assert_eq!(cfg.lstm_hidden, 30);
         assert_eq!(cfg.hidden_layers.len(), 4);
-        assert!(cfg
-            .hidden_layers
-            .iter()
-            .all(|&h| (100..=2000).contains(&h)));
+        assert!(cfg.hidden_layers.iter().all(|&h| (100..=2000).contains(&h)));
         assert_eq!(cfg.output_size, 32);
         assert_eq!(cfg.dropout, 0.1);
         assert_eq!(cfg.hidden_activation, Activation::Relu);

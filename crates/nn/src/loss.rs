@@ -22,7 +22,10 @@ impl ContrastiveLoss {
     ///
     /// Panics if `margin <= 0`.
     pub fn new(margin: f32) -> Self {
-        assert!(margin > 0.0, "contrastive margin must be positive, got {margin}");
+        assert!(
+            margin > 0.0,
+            "contrastive margin must be positive, got {margin}"
+        );
         ContrastiveLoss { margin }
     }
 

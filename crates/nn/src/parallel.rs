@@ -1,4 +1,4 @@
-//! Data-parallel helpers built on crossbeam's scoped threads.
+//! Data-parallel helpers built on `std::thread::scope`.
 //!
 //! Training is embarrassingly parallel across a batch: each worker
 //! accumulates gradients for its chunk into a private buffer, and the
@@ -31,19 +31,18 @@ where
         return vec![f(0, 0, items)];
     }
     let chunk_size = items.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for (ci, chunk) in items.chunks(chunk_size).enumerate() {
             let f = &f;
             let offset = ci * chunk_size;
-            handles.push(scope.spawn(move |_| f(ci, offset, chunk)));
+            handles.push(scope.spawn(move || f(ci, offset, chunk)));
         }
         handles
             .into_iter()
             .map(|h| h.join().expect("worker thread panicked"))
             .collect()
     })
-    .expect("crossbeam scope failed")
 }
 
 /// Parallel element-wise map preserving order.
@@ -74,10 +73,7 @@ mod tests {
     fn map_chunks_offsets_are_correct() {
         let items: Vec<usize> = (0..50).collect();
         let checks = map_chunks(&items, 3, |_, offset, chunk| {
-            chunk
-                .iter()
-                .enumerate()
-                .all(|(i, &v)| v == offset + i)
+            chunk.iter().enumerate().all(|(i, &v)| v == offset + i)
         });
         assert!(checks.into_iter().all(|ok| ok));
     }

@@ -1,0 +1,125 @@
+//! # tlsfp-testkit — shared fixtures for fast, deterministic tests
+//!
+//! Integration tests across the workspace need the same expensive
+//! artifacts: a small synthetic corpus, a tensorized dataset, and a
+//! provisioned [`AdaptiveFingerprinter`]. This crate builds each one
+//! **once per test process** behind a `OnceLock` and hands out clones,
+//! so a test binary with a dozen `#[test]` functions pays the
+//! generation/training cost a single time.
+//!
+//! ## Test tiers
+//!
+//! The workspace runs two tiers (documented in the root README):
+//!
+//! - **Tier 1** — `cargo test` — every un-ignored test. Tests in this
+//!   tier use the `tiny_*` fixtures here and finish in seconds.
+//! - **Tier 2** — `cargo test -- --ignored` — the paper-scale
+//!   experiment tests, marked `#[ignore]` with a reason string. These
+//!   regenerate larger corpora and train for more epochs.
+//!
+//! All fixtures are seeded with [`SEED`]; nothing here depends on time,
+//! thread scheduling or environment.
+
+use std::sync::OnceLock;
+
+use tlsfp_core::pipeline::{AdaptiveFingerprinter, PipelineConfig};
+use tlsfp_trace::dataset::Dataset;
+use tlsfp_trace::tensorize::TensorConfig;
+use tlsfp_web::corpus::CorpusSpec;
+use tlsfp_web::site::Website;
+
+/// The seed every fixture derives from.
+pub const SEED: u64 = 7;
+
+/// Classes in the tiny corpus.
+pub const TINY_CLASSES: usize = 8;
+
+/// Traces per class in the tiny corpus.
+pub const TINY_TRACES_PER_CLASS: usize = 8;
+
+/// The tiny corpus specification: a Wikipedia-like site small enough to
+/// crawl in well under a second.
+pub fn tiny_spec() -> CorpusSpec {
+    CorpusSpec::wiki_like(TINY_CLASSES, TINY_TRACES_PER_CLASS)
+}
+
+/// A pipeline preset sized for tier-1 tests: same architecture family
+/// as [`PipelineConfig::small`] but with a handful of epochs, so
+/// provisioning takes well under a second while still separating the
+/// tiny corpus's classes.
+pub fn tiny_pipeline() -> PipelineConfig {
+    let mut cfg = PipelineConfig::small();
+    cfg.epochs = 10;
+    cfg.pairs_per_epoch = 512;
+    cfg.batch_size = 64;
+    cfg.k = 5;
+    cfg
+}
+
+fn tiny_cell() -> &'static (Website, Dataset) {
+    static CELL: OnceLock<(Website, Dataset)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        Dataset::generate(&tiny_spec(), &TensorConfig::wiki(), SEED).expect("tiny corpus generates")
+    })
+}
+
+/// The tiny website (cached; cloned out).
+pub fn tiny_website() -> Website {
+    tiny_cell().0.clone()
+}
+
+/// The tiny tensorized dataset (cached; cloned out).
+pub fn tiny_dataset() -> Dataset {
+    tiny_cell().1.clone()
+}
+
+/// The tiny dataset split 80/20 per class (reference, test), seeded.
+pub fn tiny_split() -> (Dataset, Dataset) {
+    tiny_dataset().split_per_class(0.2, SEED)
+}
+
+/// A provisioned deployment trained on the tiny reference split
+/// (cached; cloned out). Training runs once per test process.
+pub fn tiny_adversary() -> AdaptiveFingerprinter {
+    static CELL: OnceLock<AdaptiveFingerprinter> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let (reference, _) = tiny_split();
+        AdaptiveFingerprinter::provision(&reference, &tiny_pipeline(), SEED)
+            .expect("tiny corpus provisions")
+    })
+    .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_dataset_has_expected_shape() {
+        let ds = tiny_dataset();
+        assert_eq!(ds.n_classes(), TINY_CLASSES);
+        assert_eq!(ds.len(), TINY_CLASSES * TINY_TRACES_PER_CLASS);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn tiny_split_is_disjoint_and_complete() {
+        let (reference, test) = tiny_split();
+        assert_eq!(reference.len() + test.len(), tiny_dataset().len());
+        assert!(!reference.is_empty());
+        assert!(!test.is_empty());
+    }
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        // Regenerate from scratch (bypassing the cache) to catch any
+        // nondeterminism in corpus generation itself.
+        let fresh = Dataset::generate(&tiny_spec(), &TensorConfig::wiki(), SEED)
+            .expect("tiny corpus regenerates")
+            .1;
+        assert_eq!(fresh, tiny_dataset());
+        let (a, b) = (tiny_split(), tiny_split());
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+}

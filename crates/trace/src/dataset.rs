@@ -53,7 +53,8 @@ impl Dataset {
     pub fn from_corpus(corpus: &SyntheticCorpus, cfg: &TensorConfig) -> Self {
         let mut ds = Dataset::new(corpus.n_classes(), cfg.channels, cfg.max_steps);
         for lc in &corpus.traces {
-            ds.push_capture(lc, cfg).expect("corpus labels are in range");
+            ds.push_capture(lc, cfg)
+                .expect("corpus labels are in range");
         }
         ds
     }
@@ -171,7 +172,8 @@ impl Dataset {
         for members in &mut by_class {
             members.shuffle(&mut rng);
             let n_test = if members.len() >= 2 {
-                ((members.len() as f64 * test_fraction).round() as usize).clamp(1, members.len() - 1)
+                ((members.len() as f64 * test_fraction).round() as usize)
+                    .clamp(1, members.len() - 1)
             } else {
                 0
             };
@@ -288,7 +290,8 @@ mod tests {
         for c in 0..n_classes {
             for s in 0..per_class {
                 let v = c as f32 + s as f32 * 0.01;
-                ds.push(c, SeqInput::new(4, 2, vec![v; 8]).unwrap()).unwrap();
+                ds.push(c, SeqInput::new(4, 2, vec![v; 8]).unwrap())
+                    .unwrap();
             }
         }
         ds

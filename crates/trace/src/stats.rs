@@ -66,10 +66,16 @@ mod tests {
     #[test]
     fn stats_on_toy_dataset() {
         let mut ds = Dataset::new(3, 2, 4);
-        ds.push(0, SeqInput::new(4, 2, vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap())
-            .unwrap();
-        ds.push(0, SeqInput::new(4, 2, vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap())
-            .unwrap();
+        ds.push(
+            0,
+            SeqInput::new(4, 2, vec![1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap(),
+        )
+        .unwrap();
+        ds.push(
+            0,
+            SeqInput::new(4, 2, vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap(),
+        )
+        .unwrap();
         ds.push(2, SeqInput::zeros(4, 2)).unwrap();
         let s = DatasetStats::compute(&ds);
         assert_eq!(s.n_traces, 3);

@@ -138,7 +138,9 @@ mod tests {
         let crawler = Crawler::new(2);
         let collected = crawler.crawl(&site, 7).unwrap();
         let mut streamed = Vec::new();
-        crawler.crawl_with(&site, 7, |lc| streamed.push(lc)).unwrap();
+        crawler
+            .crawl_with(&site, 7, |lc| streamed.push(lc))
+            .unwrap();
         assert_eq!(collected, streamed);
     }
 

@@ -39,7 +39,10 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = WebError::PageOutOfRange { page: 9, n_pages: 5 };
+        let e = WebError::PageOutOfRange {
+            page: 9,
+            n_pages: 5,
+        };
         assert!(e.to_string().contains("page 9"));
     }
 }

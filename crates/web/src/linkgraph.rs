@@ -118,16 +118,17 @@ mod tests {
                 followed += 1;
             }
         }
-        assert!(followed > 150, "only {followed}/199 transitions follow links");
+        assert!(
+            followed > 150,
+            "only {followed}/199 transitions follow links"
+        );
     }
 
     #[test]
     fn transition_probs_normalize() {
         let g = LinkGraph::generate(10, 3, 3);
         for page in 0..10 {
-            let total: f64 = (0..10)
-                .map(|next| g.transition_prob(page, next, 0.1))
-                .sum();
+            let total: f64 = (0..10).map(|next| g.transition_prob(page, next, 0.1)).sum();
             assert!((total - 1.0).abs() < 1e-9, "page {page} sums to {total}");
         }
     }

@@ -115,7 +115,9 @@ impl SiteSpec {
             return Err(WebError::InvalidSpec("site needs at least one page".into()));
         }
         if self.n_core_servers == 0 {
-            return Err(WebError::InvalidSpec("site needs at least one server".into()));
+            return Err(WebError::InvalidSpec(
+                "site needs at least one server".into(),
+            ));
         }
         if self.images_per_page.0 > self.images_per_page.1 {
             return Err(WebError::InvalidSpec(format!(
@@ -124,7 +126,9 @@ impl SiteSpec {
             )));
         }
         if !(0.0..=1.0).contains(&self.cdn_prob) || !(0.0..=1.0).contains(&self.large_media_prob) {
-            return Err(WebError::InvalidSpec("probabilities must be in [0,1]".into()));
+            return Err(WebError::InvalidSpec(
+                "probabilities must be in [0,1]".into(),
+            ));
         }
         Ok(())
     }
@@ -166,14 +170,7 @@ impl Website {
 
         let n_servers = spec.n_core_servers + spec.n_cdn_servers;
         let servers: Vec<Ipv4Addr> = (0..n_servers)
-            .map(|i| {
-                Ipv4Addr::new(
-                    198,
-                    18,
-                    (seed % 250) as u8,
-                    10 + i as u8,
-                )
-            })
+            .map(|i| Ipv4Addr::new(198, 18, (seed % 250) as u8, 10 + i as u8))
             .collect();
 
         // Theme: documents server hosts CSS/JS, media server (1 if it

@@ -73,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         partial.update_class(c, &by_class[c])?;
     }
     let partial_acc = partial.evaluate(&test1).top_n_accuracy(1);
-    println!("updating only the {} changed pages:        {partial_acc:.3}", changed.len());
+    println!(
+        "updating only the {} changed pages:        {partial_acc:.3}",
+        changed.len()
+    );
 
     // Demonstrate extending the monitored set without retraining.
     let extra_corpus = SyntheticCorpus::generate(&CorpusSpec::wiki_like(1, 6), SEED + 9)?;
@@ -84,7 +87,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let mut extended = adapted.clone();
     let new_id = extended.add_class(&new_traces)?;
-    println!("\nnew page added as class {new_id} ({} total) — still no retraining.",
-        extended.reference().n_classes());
+    println!(
+        "\nnew page added as class {new_id} ({} total) — still no retraining.",
+        extended.reference().n_classes()
+    );
     Ok(())
 }

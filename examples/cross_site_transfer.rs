@@ -23,11 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== cross-site / cross-version transfer (Exp. 3) ==\n");
 
     // Train on wiki-like TLS 1.2 traffic, two-sequence encoding.
-    let (_, wiki) = Dataset::generate(
-        &CorpusSpec::wiki_like(CLASSES, TRACES),
-        &tensor,
-        SEED,
-    )?;
+    let (_, wiki) = Dataset::generate(&CorpusSpec::wiki_like(CLASSES, TRACES), &tensor, SEED)?;
     let (wiki_train, wiki_test) = wiki.split_per_class(0.25, 0);
     let adversary =
         AdaptiveFingerprinter::provision(&wiki_train, &PipelineConfig::small_two_seq(), SEED)?;
@@ -42,11 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Transfer: different theme, different hosting, different protocol.
     // The adversary only swaps the reference set — the model is reused.
-    let (_, github) = Dataset::generate(
-        &CorpusSpec::github_like(CLASSES, TRACES),
-        &tensor,
-        SEED + 1,
-    )?;
+    let (_, github) =
+        Dataset::generate(&CorpusSpec::github_like(CLASSES, TRACES), &tensor, SEED + 1)?;
     let (gh_reference, gh_test) = github.split_per_class(0.25, 0);
     let mut transferred = adversary.clone();
     transferred.set_reference(&gh_reference)?;

@@ -1,0 +1,13 @@
+//! The glob-import surface (`use proptest::prelude::*`).
+
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+    Strategy, TestRunner,
+};
+
+/// Alias so `prop::sample::select(..)`-style paths resolve.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::sample;
+}

@@ -1,0 +1,53 @@
+//! Concrete generators.
+
+use crate::{Rng, SeedableRng};
+
+/// The workspace's standard deterministic generator: xoshiro256++.
+///
+/// Unlike upstream `rand`'s ChaCha-based `StdRng`, this generator is
+/// documented to be stable: the same seed yields the same stream on
+/// every platform and in every release of the shim, which the test
+/// suite and the paper-reproduction experiments rely on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ 1.0 (public domain, Blackman & Vigna).
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // An all-zero state would be a fixed point; nudge it.
+        if s == [0; 4] {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0x6A09_E667_F3BC_C909,
+                0xBB67_AE85_84CA_A73B,
+                0x3C6E_F372_FE94_F82B,
+            ];
+        }
+        StdRng { s }
+    }
+}

@@ -1,0 +1,36 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this shim provides
+//! the small serde surface the tlsfp workspace uses: `Serialize` /
+//! `Deserialize` traits (over an in-memory JSON [`json::Value`] model
+//! rather than serde's visitor architecture) plus derive macros from the
+//! sibling `serde_derive` shim. The `serde_json` shim layers string
+//! (de)serialization on top.
+//!
+//! The derive macros support exactly the shapes this workspace derives:
+//! structs with named fields, and enums whose variants are unit, tuple,
+//! or struct-like. Enums use serde's externally-tagged representation
+//! (`"Variant"` for unit variants, `{"Variant": ...}` otherwise).
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Conversion into the JSON value model.
+pub trait Serialize {
+    /// Serializes `self` to a [`json::Value`].
+    fn to_value(&self) -> json::Value;
+}
+
+/// Conversion out of the JSON value model.
+pub trait Deserialize: Sized {
+    /// Deserializes from a [`json::Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`json::Error`] when the value's shape or domain does not
+    /// match `Self`.
+    fn from_value(v: &json::Value) -> Result<Self, json::Error>;
+}
+
+mod impls;

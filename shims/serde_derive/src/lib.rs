@@ -1,0 +1,436 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the serde shim's `Serialize`/`Deserialize` traits (which are
+//! conversions to/from `serde::json::Value`) without `syn`/`quote`: the
+//! input item is tokenized by hand and the impl is emitted as a source
+//! string. Supported shapes — the only ones this workspace derives:
+//!
+//! - structs with named fields,
+//! - enums with unit, tuple, or struct-like variants (externally tagged,
+//!   matching real serde's default representation).
+//!
+//! Generic types, tuple structs, and `#[serde(...)]` attributes are
+//! intentionally unsupported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Struct { fields: Vec<String> },
+    Enum { variants: Vec<Variant> },
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, generate: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate(&item)
+            .parse()
+            .expect("derive shim emitted invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error emission"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match ident_at(&tokens, i).as_deref() {
+        Some(k @ ("struct" | "enum")) => k.to_string(),
+        other => {
+            return Err(format!(
+                "serde shim derive: expected struct/enum, got {other:?}"
+            ))
+        }
+    };
+    i += 1;
+
+    let name = ident_at(&tokens, i)
+        .ok_or("serde shim derive: missing type name")?
+        .to_string();
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive: generic type `{name}` is not supported"
+        ));
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!(
+                "serde shim derive: tuple struct `{name}` is not supported"
+            ));
+        }
+        other => {
+            return Err(format!(
+                "serde shim derive: expected body for `{name}`, got {other:?}"
+            ))
+        }
+    };
+
+    let shape = if kind == "struct" {
+        Shape::Struct {
+            fields: parse_named_fields(body)?,
+        }
+    } else {
+        Shape::Enum {
+            variants: parse_variants(body)?,
+        }
+    };
+    Ok(Item { name, shape })
+}
+
+fn ident_at(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Skips outer attributes (including doc comments) and a visibility
+/// qualifier, advancing `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) / pub(super) / ...
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` named-field bodies; returns field names.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, i).ok_or_else(|| {
+            format!(
+                "serde shim derive: expected field name, got {:?}",
+                tokens[i]
+            )
+        })?;
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected `:` after field `{name}`, got {other:?}"
+                ))
+            }
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Consumes type tokens up to a top-level comma. Tracks `<`/`>` depth so
+/// commas inside `HashMap<K, V>` don't split; parenthesized types are
+/// single `Group` tokens, so their commas are invisible here.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, i)
+            .ok_or_else(|| format!("serde shim derive: expected variant, got {:?}", tokens[i]))?;
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while i < tokens.len()
+                && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0usize;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma would overcount by one; detect it.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct { fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::json::Value::Object(::std::vec![{}])",
+                pairs.join(", ")
+            )
+        }
+        Shape::Enum { variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::json::Value::Str(::std::string::String::from({vn:?}))"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binders: Vec<String> =
+                                (0..*arity).map(|k| format!("__f{k}")).collect();
+                            let inner = if *arity == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let elems: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::json::Value::Array(::std::vec![{}])",
+                                    elems.join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::json::Value::Object(::std::vec![(::std::string::String::from({vn:?}), {inner})])",
+                                binds = binders.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::json::Value::Object(::std::vec![(::std::string::String::from({vn:?}), ::serde::json::Value::Object(::std::vec![{pairs}]))])",
+                                binds = fields.join(", "),
+                                pairs = pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::json::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct { fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::json::field(__pairs, {f:?})?"))
+                .collect();
+            format!(
+                "let __pairs = __v.as_object().ok_or_else(|| ::serde::json::Error::custom(\
+                     \"expected object for struct {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum { variants } => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms
+                            .push(format!("{vn:?} => ::std::result::Result::Ok({name}::{vn})"));
+                        // Also accept the tagged-object spelling.
+                        tagged_arms
+                            .push(format!("{vn:?} => ::std::result::Result::Ok({name}::{vn})"));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let ctor = if *arity == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?))"
+                            )
+                        } else {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|k| format!("::serde::json::element(__items, {k})?"))
+                                .collect();
+                            format!(
+                                "{{ let __items = __inner.as_array().ok_or_else(|| ::serde::json::Error::custom(\"expected array for variant {name}::{vn}\"))?; ::std::result::Result::Ok({name}::{vn}({})) }}",
+                                elems.join(", ")
+                            )
+                        };
+                        tagged_arms.push(format!("{vn:?} => {ctor}"));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::json::field(__vp, {f:?})?"))
+                            .collect();
+                        tagged_arms.push(format!(
+                            "{vn:?} => {{ let __vp = __inner.as_object().ok_or_else(|| ::serde::json::Error::custom(\"expected object for variant {name}::{vn}\"))?; ::std::result::Result::Ok({name}::{vn} {{ {} }}) }}",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            unit_arms.push(format!(
+                "__other => ::std::result::Result::Err(::serde::json::Error::custom(\
+                     ::std::format!(\"unknown variant `{{__other}}` of {name}\")))"
+            ));
+            tagged_arms.push(format!(
+                "__other => ::std::result::Result::Err(::serde::json::Error::custom(\
+                     ::std::format!(\"unknown variant `{{__other}}` of {name}\")))"
+            ));
+            format!(
+                "match __v {{\n\
+                     ::serde::json::Value::Str(__s) => match __s.as_str() {{ {unit} }},\n\
+                     ::serde::json::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__pairs[0];\n\
+                         let _ = __inner;\n\
+                         match __tag.as_str() {{ {tagged} }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::json::Error::custom(\
+                          \"expected variant of {name}\")),\n\
+                 }}",
+                unit = unit_arms.join(", "),
+                tagged = tagged_arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::json::Value) \
+                 -> ::std::result::Result<Self, ::serde::json::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

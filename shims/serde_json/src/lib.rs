@@ -1,0 +1,109 @@
+//! Offline stand-in for `serde_json`: string-level JSON built on the
+//! serde shim's [`Value`] model.
+
+pub use serde::json::{Error, Value};
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Infallible for the shim's value model; the `Result` mirrors the real
+/// crate's signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::json::write_compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Serializes a value to 2-space-indented JSON.
+///
+/// # Errors
+///
+/// Infallible for the shim's value model; the `Result` mirrors the real
+/// crate's signature.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::json::write_pretty(&value.to_value(), &mut out, 0);
+    Ok(out)
+}
+
+/// Deserializes a value from a JSON string.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&serde::json::parse(s)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Inner {
+        id: u32,
+        weight: f32,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Unit,
+        Pair(u8, u8),
+        Config { block: usize },
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Outer {
+        name: String,
+        items: Vec<Inner>,
+        limit: Option<f32>,
+        span: (u64, u64),
+        kind: Kind,
+        boxed: Box<Inner>,
+    }
+
+    #[test]
+    fn derived_round_trip() {
+        let v = Outer {
+            name: "wiki \"quoted\"".into(),
+            items: vec![
+                Inner { id: 1, weight: 0.5 },
+                Inner {
+                    id: u32::MAX,
+                    weight: -3.25,
+                },
+            ],
+            limit: None,
+            span: (0, u64::MAX),
+            kind: Kind::Config { block: 512 },
+            boxed: Box::new(Inner { id: 9, weight: 1.0 }),
+        };
+        let s = crate::to_string(&v).unwrap();
+        let back: Outer = crate::from_str(&s).unwrap();
+        assert_eq!(back, v);
+
+        let pretty = crate::to_string_pretty(&v).unwrap();
+        let back2: Outer = crate::from_str(&pretty).unwrap();
+        assert_eq!(back2, v);
+    }
+
+    #[test]
+    fn enum_variants_round_trip() {
+        for k in [Kind::Unit, Kind::Pair(3, 4), Kind::Config { block: 0 }] {
+            let s = crate::to_string(&k).unwrap();
+            let back: Kind = crate::from_str(&s).unwrap();
+            assert_eq!(back, k);
+        }
+    }
+
+    #[test]
+    fn ipv4_round_trips() {
+        use std::net::Ipv4Addr;
+        let ip = Ipv4Addr::new(10, 0, 0, 7);
+        let s = crate::to_string(&ip).unwrap();
+        assert_eq!(s, "\"10.0.0.7\"");
+        let back: Ipv4Addr = crate::from_str(&s).unwrap();
+        assert_eq!(back, ip);
+    }
+}

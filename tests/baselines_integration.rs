@@ -1,5 +1,10 @@
 //! Integration tests of the baseline systems against the same synthetic
 //! corpora the main attack uses.
+//!
+//! Two tiers (see the root README): the un-ignored tests use the shared
+//! `tlsfp-testkit` fixtures and finish in seconds; the `#[ignore]`d
+//! tests fit the full baseline models — run with
+//! `cargo test -- --ignored`.
 
 use tlsfp::baselines::df::{DeepFingerprinting, DfConfig};
 use tlsfp::baselines::hmm::JourneyHmm;
@@ -9,58 +14,17 @@ use tlsfp::trace::tensorize::TensorConfig;
 use tlsfp::web::corpus::CorpusSpec;
 use tlsfp::web::linkgraph::LinkGraph;
 
-#[test]
-fn kfp_and_df_both_beat_chance_on_the_same_corpus() {
-    let (_, three_seq) = Dataset::generate(
-        &CorpusSpec::wiki_like(8, 16),
-        &TensorConfig::wiki(),
-        1001,
-    )
-    .unwrap();
-    let (train3, test3) = three_seq.split_per_class(0.25, 0);
-
-    let kfp = KFingerprinting::fit(&train3, KfpConfig::default(), 3);
-    let kfp_top1 = kfp.evaluate(&test3).top_n_accuracy(1);
-    assert!(kfp_top1 > 0.4, "k-FP top-1 {kfp_top1} (chance 0.125)");
-
-    let (_, two_seq) = Dataset::generate(
-        &CorpusSpec::wiki_like(8, 16),
-        &TensorConfig::two_seq(),
-        1001,
-    )
-    .unwrap();
-    let (train2, test2) = two_seq.split_per_class(0.25, 0);
-    let df = DeepFingerprinting::fit(&train2, DfConfig::default(), 3);
-    let df_top1 = df.evaluate(&test2).top_n_accuracy(1);
-    assert!(df_top1 > 0.3, "DF top-1 {df_top1} (chance 0.125)");
-}
+// ---------------------------------------------------------------------
+// Tier 1: fast, fixture-backed tests
+// ---------------------------------------------------------------------
 
 #[test]
-fn df_retraining_is_much_slower_than_reference_swap() {
-    use tlsfp::core::pipeline::{AdaptiveFingerprinter, PipelineConfig};
-
-    let (_, ds) = Dataset::generate(
-        &CorpusSpec::wiki_like(6, 12),
-        &TensorConfig::two_seq(),
-        1002,
-    )
-    .unwrap();
-    let mut cfg = PipelineConfig::small_two_seq();
-    cfg.epochs = 10;
-    let mut adaptive = AdaptiveFingerprinter::provision(&ds, &cfg, 5).unwrap();
-
-    let t0 = std::time::Instant::now();
-    adaptive.set_reference(&ds).unwrap();
-    let swap = t0.elapsed();
-
-    let t1 = std::time::Instant::now();
-    let _ = DeepFingerprinting::fit(&ds, DfConfig::default(), 3);
-    let retrain = t1.elapsed();
-
-    assert!(
-        retrain > swap * 5,
-        "retraining ({retrain:?}) should dwarf adaptation ({swap:?})"
-    );
+fn kfp_beats_chance_on_the_tiny_corpus() {
+    let (train, test) = tlsfp_testkit::tiny_split();
+    let kfp = KFingerprinting::fit(&train, KfpConfig::default(), 3);
+    let top1 = kfp.evaluate(&test).top_n_accuracy(1);
+    // 8 classes: chance top-1 is 0.125.
+    assert!(top1 > 0.3, "k-FP top-1 {top1} barely beats chance");
 }
 
 #[test]
@@ -123,9 +87,18 @@ fn hmm_journeys_exploit_link_structure() {
 #[test]
 fn table3_profiles_capture_the_papers_contrasts() {
     let systems = tlsfp::baselines::cost::table3_systems();
-    let ours = systems.iter().find(|s| s.name == "Adaptive Fingerprinting").unwrap();
-    let df = systems.iter().find(|s| s.name == "Deep Fingerprinting").unwrap();
-    let tf = systems.iter().find(|s| s.name == "Triplet Fingerprinting").unwrap();
+    let ours = systems
+        .iter()
+        .find(|s| s.name == "Adaptive Fingerprinting")
+        .unwrap();
+    let df = systems
+        .iter()
+        .find(|s| s.name == "Deep Fingerprinting")
+        .unwrap();
+    let tf = systems
+        .iter()
+        .find(|s| s.name == "Triplet Fingerprinting")
+        .unwrap();
 
     // The paper's two key contrasts:
     // 1. Ours handles drift without retraining; DF handles neither.
@@ -135,4 +108,60 @@ fn table3_profiles_capture_the_papers_contrasts() {
     assert!(tf.handles_drift && !tf.retraining_on_update);
     // And ours was evaluated at the largest class count.
     assert!(ours.classes.contains("13,000"));
+}
+
+// ---------------------------------------------------------------------
+// Tier 2: full baseline fits (cargo test -- --ignored)
+// ---------------------------------------------------------------------
+
+#[test]
+#[ignore = "tier-2: fits k-FP and a DF CNN on 8x16 corpora (~10 s); run with cargo test -- --ignored"]
+fn kfp_and_df_both_beat_chance_on_the_same_corpus() {
+    let (_, three_seq) =
+        Dataset::generate(&CorpusSpec::wiki_like(8, 16), &TensorConfig::wiki(), 1001).unwrap();
+    let (train3, test3) = three_seq.split_per_class(0.25, 0);
+
+    let kfp = KFingerprinting::fit(&train3, KfpConfig::default(), 3);
+    let kfp_top1 = kfp.evaluate(&test3).top_n_accuracy(1);
+    assert!(kfp_top1 > 0.4, "k-FP top-1 {kfp_top1} (chance 0.125)");
+
+    let (_, two_seq) = Dataset::generate(
+        &CorpusSpec::wiki_like(8, 16),
+        &TensorConfig::two_seq(),
+        1001,
+    )
+    .unwrap();
+    let (train2, test2) = two_seq.split_per_class(0.25, 0);
+    let df = DeepFingerprinting::fit(&train2, DfConfig::default(), 3);
+    let df_top1 = df.evaluate(&test2).top_n_accuracy(1);
+    assert!(df_top1 > 0.3, "DF top-1 {df_top1} (chance 0.125)");
+}
+
+#[test]
+#[ignore = "tier-2: compares DF retraining against a reference swap (~20 s); run with cargo test -- --ignored"]
+fn df_retraining_is_much_slower_than_reference_swap() {
+    use tlsfp::core::pipeline::{AdaptiveFingerprinter, PipelineConfig};
+
+    let (_, ds) = Dataset::generate(
+        &CorpusSpec::wiki_like(6, 12),
+        &TensorConfig::two_seq(),
+        1002,
+    )
+    .unwrap();
+    let mut cfg = PipelineConfig::small_two_seq();
+    cfg.epochs = 10;
+    let mut adaptive = AdaptiveFingerprinter::provision(&ds, &cfg, 5).unwrap();
+
+    let t0 = std::time::Instant::now();
+    adaptive.set_reference(&ds).unwrap();
+    let swap = t0.elapsed();
+
+    let t1 = std::time::Instant::now();
+    let _ = DeepFingerprinting::fit(&ds, DfConfig::default(), 3);
+    let retrain = t1.elapsed();
+
+    assert!(
+        retrain > swap * 5,
+        "retraining ({retrain:?}) should dwarf adaptation ({swap:?})"
+    );
 }

@@ -1,0 +1,77 @@
+//! Determinism regression tests: parallelism must never change results,
+//! and fixed seeds must reproduce them exactly.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use tlsfp::core::knn::KnnClassifier;
+use tlsfp::core::pipeline::AdaptiveFingerprinter;
+use tlsfp::core::reference::ReferenceSet;
+
+/// A seeded reference set of `n` embeddings over `classes` classes.
+fn synthetic_reference(n: usize, classes: usize, dim: usize, seed: u64) -> ReferenceSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut reference = ReferenceSet::new(dim, classes);
+    for i in 0..n {
+        let class = i % classes;
+        // Class-dependent mean keeps the problem non-degenerate.
+        let center = class as f32 / classes as f32;
+        let e: Vec<f32> = (0..dim)
+            .map(|_| center + rng.random_range(-0.1f32..0.1))
+            .collect();
+        reference.add(class, e).unwrap();
+    }
+    reference
+}
+
+#[test]
+fn classify_all_is_identical_across_thread_counts() {
+    let reference = synthetic_reference(200, 10, 16, 42);
+    let mut rng = StdRng::seed_from_u64(43);
+    let queries: Vec<Vec<f32>> = (0..64)
+        .map(|_| (0..16).map(|_| rng.random_range(0f32..1.0)).collect())
+        .collect();
+
+    let knn = KnnClassifier::new(7);
+    let single = knn.classify_all(&queries, &reference, 1);
+    let parallel = knn.classify_all(&queries, &reference, 8);
+    assert_eq!(
+        single, parallel,
+        "kNN rankings must not depend on the thread count"
+    );
+}
+
+#[test]
+fn evaluation_is_identical_across_thread_counts() {
+    let adversary = tlsfp_testkit::tiny_adversary();
+    let (_, test) = tlsfp_testkit::tiny_split();
+
+    let mut one = adversary.clone();
+    one.set_threads(1);
+    let mut eight = adversary.clone();
+    eight.set_threads(8);
+
+    let r1 = one.evaluate(&test);
+    let r8 = eight.evaluate(&test);
+    for n in 1..=test.n_classes() {
+        assert_eq!(r1.top_n_accuracy(n), r8.top_n_accuracy(n), "top-{n}");
+    }
+}
+
+#[test]
+fn seeded_provisioning_reproduces_top1_accuracy() {
+    let (reference, test) = tlsfp_testkit::tiny_split();
+    let cfg = tlsfp_testkit::tiny_pipeline();
+
+    let a = AdaptiveFingerprinter::provision(&reference, &cfg, tlsfp_testkit::SEED).unwrap();
+    let b = AdaptiveFingerprinter::provision(&reference, &cfg, tlsfp_testkit::SEED).unwrap();
+    assert_eq!(
+        a.evaluate(&test).top_n_accuracy(1),
+        b.evaluate(&test).top_n_accuracy(1),
+        "same seed, same data => same top-1 accuracy"
+    );
+
+    // The training logs prove two fresh, identical runs happened.
+    assert_eq!(a.training_log().epoch_losses.len(), cfg.epochs);
+    assert_eq!(a.training_log().epoch_losses, b.training_log().epoch_losses);
+}
