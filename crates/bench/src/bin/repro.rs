@@ -4,7 +4,7 @@
 //! repro <target> [--smoke|--full] [--seed N] [--json DIR]
 //!
 //! targets: fig6 fig7 table2 fig8 fig9 fig10 fig11 fig12 fig13 table3
-//!          ablations all
+//!          fig_open_world ablations all
 //! ```
 
 use std::fs;
@@ -12,8 +12,8 @@ use std::path::PathBuf;
 
 use tlsfp_bench::ablations::{print_ablations, run_ablations};
 use tlsfp_bench::experiments::{
-    print_cdf, print_series, run_fig12_13, run_fig6, run_fig7, run_fig8, run_fig9_to_11,
-    run_table3, Scale,
+    print_cdf, print_open_world, print_series, run_fig12_13, run_fig6, run_fig7, run_fig8,
+    run_fig9_to_11, run_fig_open_world, run_table3, Scale,
 };
 
 fn main() {
@@ -203,6 +203,15 @@ fn main() {
             );
         }
         write_json("table3", &result);
+    }
+
+    if run_all || target == "fig_open_world" {
+        println!("\n=== Open world — §VI-C: rejecting unmonitored pages, all profiles ===");
+        let result = run_fig_open_world(&scale);
+        for p in &result.profiles {
+            print_open_world(p);
+        }
+        write_json("fig_open_world", &result);
     }
 
     if run_all || target == "ablations" {

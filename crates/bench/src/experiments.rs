@@ -12,10 +12,11 @@ use tlsfp_baselines::df::{DeepFingerprinting, DfConfig};
 use tlsfp_baselines::kfp::{KFingerprinting, KfpConfig};
 use tlsfp_core::defense::FixedLengthDefense;
 use tlsfp_core::metrics::EvalReport;
+use tlsfp_core::open_world::{roc_auc, RocPoint};
 use tlsfp_core::pipeline::{AdaptiveFingerprinter, PipelineConfig};
 use tlsfp_trace::dataset::Dataset;
 use tlsfp_trace::tensorize::TensorConfig;
-use tlsfp_web::corpus::{CorpusSpec, SyntheticCorpus};
+use tlsfp_web::corpus::{open_world_split, CorpusSpec, SyntheticCorpus};
 use tlsfp_web::crawler::LabeledCapture;
 
 /// Scale knobs shared by all experiments.
@@ -40,6 +41,13 @@ pub struct Scale {
     pub pipeline_two_seq: PipelineConfig,
     /// Github-like class counts for Exp. 3 (paper: 100/250/500).
     pub github_sweep: Vec<usize>,
+    /// Monitored classes per profile in the open-world experiment.
+    pub open_world_monitored: usize,
+    /// Unmonitored classes per profile in the open-world experiment.
+    pub open_world_unmonitored: usize,
+    /// Percentile of held-out monitored scores used to calibrate the
+    /// open-world rejection threshold.
+    pub calibration_percentile: f64,
     /// Master seed.
     pub seed: u64,
 }
@@ -62,6 +70,9 @@ impl Scale {
             pipeline,
             pipeline_two_seq,
             github_sweep: vec![10, 25, 50],
+            open_world_monitored: 12,
+            open_world_unmonitored: 12,
+            calibration_percentile: 95.0,
             seed: 7,
         }
     }
@@ -72,6 +83,8 @@ impl Scale {
         s.known_sweep = vec![50, 100, 300, 600];
         s.unseen_sweep = vec![50, 100, 300, 600, 1300];
         s.github_sweep = vec![100, 250, 500];
+        s.open_world_monitored = 50;
+        s.open_world_unmonitored = 100;
         s.traces_per_class = 40;
         s.pipeline.epochs = 60;
         s.pipeline.pairs_per_epoch = 4096;
@@ -86,6 +99,8 @@ impl Scale {
         s.known_sweep = vec![6, 10];
         s.unseen_sweep = vec![6, 10];
         s.github_sweep = vec![6];
+        s.open_world_monitored = 5;
+        s.open_world_unmonitored = 3;
         s.traces_per_class = 12;
         s.pipeline.epochs = 10;
         s.pipeline.pairs_per_epoch = 1024;
@@ -655,8 +670,148 @@ pub fn run_table3(scale: &Scale) -> Table3Result {
 }
 
 // ---------------------------------------------------------------------
+// fig_open_world — §VI-C: open-world detection across all profiles.
+// ---------------------------------------------------------------------
+
+/// Parameters for one profile's open-world run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenWorldParams {
+    /// Classes the adversary monitors (the rest are unmonitored).
+    pub n_monitored: usize,
+    /// Per-class fraction of monitored samples held out from training.
+    pub test_fraction: f64,
+    /// Percentile of held-out monitored scores used as the threshold.
+    pub calibration_percentile: f64,
+    /// Pipeline preset.
+    pub pipeline: PipelineConfig,
+    /// Seed for the split, provisioning and calibration.
+    pub seed: u64,
+}
+
+impl OpenWorldParams {
+    /// The open-world parameters a [`Scale`] implies.
+    pub fn from_scale(scale: &Scale) -> Self {
+        OpenWorldParams {
+            n_monitored: scale.open_world_monitored,
+            test_fraction: scale.test_fraction,
+            calibration_percentile: scale.calibration_percentile,
+            pipeline: scale.pipeline.clone(),
+            seed: scale.seed,
+        }
+    }
+}
+
+/// Result of one profile's open-world run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenWorldProfileResult {
+    /// Site-profile name.
+    pub profile: String,
+    /// Monitored class count.
+    pub n_monitored: usize,
+    /// Unmonitored class count.
+    pub n_unmonitored: usize,
+    /// Calibrated rejection threshold.
+    pub threshold: f32,
+    /// True-positive rate at the calibrated threshold.
+    pub tpr: f64,
+    /// False-positive rate at the calibrated threshold.
+    pub fpr: f64,
+    /// Precision at the calibrated threshold.
+    pub precision: f64,
+    /// Recall at the calibrated threshold.
+    pub recall: f64,
+    /// Top-1 accuracy among accepted monitored loads.
+    pub accepted_top1: f64,
+    /// Area under the ROC curve.
+    pub auc: f64,
+    /// The full ROC sweep.
+    pub roc: Vec<RocPoint>,
+}
+
+/// Result of the fig_open_world run: one entry per site profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigOpenWorldResult {
+    /// Per-profile open-world evaluations.
+    pub profiles: Vec<OpenWorldProfileResult>,
+}
+
+/// Runs the open-world protocol on one profile's dataset: partition
+/// classes into monitored/unmonitored, train on monitored training
+/// samples only, calibrate the rejection threshold on one half of the
+/// monitored hold-out, and evaluate detection + classification on the
+/// other half against every unmonitored load.
+pub fn run_open_world_profile(
+    name: &str,
+    ds: &Dataset,
+    params: &OpenWorldParams,
+) -> OpenWorldProfileResult {
+    let split =
+        open_world_split(ds.n_classes(), params.n_monitored, params.seed).expect("valid split");
+    let monitored = ds.subset_classes(&split.monitored).expect("subset");
+    let unmonitored = ds.subset_classes(&split.unmonitored).expect("subset");
+    let (train, heldout) = monitored.split_per_class(params.test_fraction, params.seed);
+    // Calibration and evaluation must not share samples: the threshold
+    // comes from one half of the hold-out, the metrics from the other.
+    let (eval, calib) = heldout.split_per_class(0.5, params.seed.wrapping_add(1));
+
+    let adversary = AdaptiveFingerprinter::provision(&train, &params.pipeline, params.seed)
+        .expect("provisioning succeeds");
+    let threshold = adversary
+        .calibrate_rejection_threshold(&calib, params.calibration_percentile)
+        .expect("non-empty calibration set");
+    let report = adversary.evaluate_open_world(&eval, &unmonitored, threshold);
+    OpenWorldProfileResult {
+        profile: name.to_string(),
+        n_monitored: monitored.n_classes(),
+        n_unmonitored: unmonitored.n_classes(),
+        threshold,
+        tpr: report.counts.tpr(),
+        fpr: report.counts.fpr(),
+        precision: report.counts.precision(),
+        recall: report.counts.recall(),
+        accepted_top1: report.accepted_top1,
+        auc: roc_auc(&report.roc),
+        roc: report.roc,
+    }
+}
+
+/// Runs the open-world evaluation over all five site profiles.
+pub fn run_fig_open_world(scale: &Scale) -> FigOpenWorldResult {
+    let total = scale.open_world_monitored + scale.open_world_unmonitored;
+    let params = OpenWorldParams::from_scale(scale);
+    let profiles = CorpusSpec::all_profiles(total, scale.traces_per_class)
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let name = spec.site.name.clone();
+            let (_, ds) =
+                Dataset::generate(&spec, &TensorConfig::wiki(), scale.seed + 8 + i as u64)
+                    .expect("valid corpus");
+            run_open_world_profile(&name, &ds, &params)
+        })
+        .collect();
+    FigOpenWorldResult { profiles }
+}
+
+// ---------------------------------------------------------------------
 // Printing helpers.
 // ---------------------------------------------------------------------
+
+/// Prints one profile's open-world summary row.
+pub fn print_open_world(r: &OpenWorldProfileResult) {
+    println!(
+        "  {:<14} {}+{} classes  thr={:<9.4} TPR={:.3} FPR={:.3} prec={:.3} AUC={:.3} top1|acc={:.3}",
+        r.profile,
+        r.n_monitored,
+        r.n_unmonitored,
+        r.threshold,
+        r.tpr,
+        r.fpr,
+        r.precision,
+        r.auc,
+        r.accepted_top1,
+    );
+}
 
 /// Prints one accuracy series as a table row block.
 pub fn print_series(series: &AccuracySeries) {
@@ -713,6 +868,69 @@ mod tests {
             assert!(s.points[0].1 > chance, "{}: {:?}", s.label, s.points);
         }
         assert!(result.train_seconds > 0.0);
+    }
+
+    /// Tier-1 open-world smoke: the same experiment `repro
+    /// fig_open_world` runs, at reduced scale on the process-cached
+    /// testkit fixtures, across all five site profiles.
+    #[test]
+    fn open_world_smoke_separates_monitored_from_unmonitored() {
+        let params = OpenWorldParams {
+            n_monitored: tlsfp_testkit::OPEN_WORLD_MONITORED,
+            test_fraction: 0.3,
+            calibration_percentile: 90.0,
+            pipeline: tlsfp_testkit::open_world_pipeline(),
+            seed: tlsfp_testkit::SEED,
+        };
+        for profile in tlsfp_testkit::Profile::ALL {
+            let ds = tlsfp_testkit::open_world_profile_dataset(profile);
+            let r = run_open_world_profile(profile.name(), &ds, &params);
+            assert_eq!(r.profile, profile.name());
+            // Detection beats chance at the calibrated threshold.
+            assert!(
+                r.tpr > r.fpr,
+                "{}: TPR {:.3} <= FPR {:.3} at threshold {}",
+                r.profile,
+                r.tpr,
+                r.fpr,
+                r.threshold
+            );
+            // The ROC sweep is monotone and spans reject-all to
+            // accept-all.
+            for w in r.roc.windows(2) {
+                assert!(w[1].fpr >= w[0].fpr, "{}: FPR not monotone", r.profile);
+                assert!(w[1].tpr >= w[0].tpr, "{}: TPR not monotone", r.profile);
+            }
+            assert_eq!(r.roc.first().map(|p| (p.tpr, p.fpr)), Some((0.0, 0.0)));
+            assert_eq!(r.roc.last().map(|p| (p.tpr, p.fpr)), Some((1.0, 1.0)));
+        }
+    }
+
+    #[test]
+    #[ignore = "tier-2: trains one model per site profile (~1 min); run with cargo test -- --ignored"]
+    fn fig_open_world_emits_roc_for_all_profiles() {
+        let result = run_fig_open_world(&Scale::smoke());
+        assert_eq!(result.profiles.len(), 5);
+        let names: Vec<&str> = result.profiles.iter().map(|p| p.profile.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "wiki-like",
+                "github-like",
+                "spa-like",
+                "video-like",
+                "cdn-sharded"
+            ]
+        );
+        for p in &result.profiles {
+            assert!(!p.roc.is_empty(), "{}: empty ROC", p.profile);
+            assert!(p.threshold.is_finite(), "{}", p.profile);
+        }
+        // The repro --json artifact round-trips.
+        let json = serde_json::to_string(&result).expect("serializable");
+        assert!(json.contains("\"roc\""));
+        let back: FigOpenWorldResult = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back, result);
     }
 
     #[test]

@@ -62,6 +62,37 @@ impl RankedPrediction {
     }
 }
 
+/// A ranked prediction paired with the query's outlier score — the
+/// distance to its nearest reference point — produced by a *single*
+/// scan of the reference set. This is the open-world primitive: the
+/// score decides accept/reject, the prediction answers "which page"
+/// for accepted queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoredPrediction {
+    /// The ranked candidate labels (as [`KnnClassifier::classify`]).
+    pub prediction: RankedPrediction,
+    /// Distance to the nearest reference point (`f32::INFINITY` for an
+    /// empty reference set). Squared under [`Metric::Euclidean`].
+    pub score: f32,
+}
+
+impl ScoredPrediction {
+    /// Whether the query clears the open-world rejection threshold.
+    pub fn accepted(&self, threshold: f32) -> bool {
+        self.score <= threshold
+    }
+
+    /// The open-world outcome at `threshold`: the ranked prediction for
+    /// accepted queries, `None` for rejected outliers.
+    pub fn into_open_world(self, threshold: f32) -> Option<RankedPrediction> {
+        if self.score > threshold {
+            None
+        } else {
+            Some(self.prediction)
+        }
+    }
+}
+
 /// kNN classifier configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct KnnClassifier {
@@ -113,10 +144,21 @@ impl KnnClassifier {
 
     /// Classifies one query embedding against the reference set.
     pub fn classify(&self, query: &[f32], reference: &ReferenceSet) -> RankedPrediction {
+        self.classify_with_score(query, reference).prediction
+    }
+
+    /// Classifies one query and reports its outlier score (nearest-
+    /// reference distance) from the same reference scan — the
+    /// single-pass path open-world evaluation uses, at half the cost of
+    /// calling [`KnnClassifier::outlier_score`] and
+    /// [`KnnClassifier::classify`] separately.
+    pub fn classify_with_score(&self, query: &[f32], reference: &ReferenceSet) -> ScoredPrediction {
         let k = self.k.min(reference.len()).max(1);
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        let mut nearest = f32::INFINITY;
         for (emb, &label) in reference.embeddings().iter().zip(reference.labels()) {
             let dist = self.metric.eval(query, emb);
+            nearest = nearest.min(dist);
             if heap.len() < k {
                 heap.push(HeapEntry { dist, label });
             } else if let Some(worst) = heap.peek() {
@@ -141,9 +183,12 @@ impl KnnClassifier {
             }
         }
         votes.sort_by(|a, b| b.1.cmp(&a.1).then(a.2.total_cmp(&b.2)));
-        RankedPrediction {
-            ranked: votes.iter().map(|(l, _, _)| *l).collect(),
-            votes: votes.iter().map(|(_, v, _)| *v).collect(),
+        ScoredPrediction {
+            prediction: RankedPrediction {
+                ranked: votes.iter().map(|(l, _, _)| *l).collect(),
+                votes: votes.iter().map(|(_, v, _)| *v).collect(),
+            },
+            score: nearest,
         }
     }
 
@@ -155,6 +200,16 @@ impl KnnClassifier {
         threads: usize,
     ) -> Vec<RankedPrediction> {
         map_elems(queries, threads, |q| self.classify(q, reference))
+    }
+
+    /// Batch variant of [`KnnClassifier::classify_with_score`].
+    pub fn classify_with_score_all(
+        &self,
+        queries: &[Vec<f32>],
+        reference: &ReferenceSet,
+        threads: usize,
+    ) -> Vec<ScoredPrediction> {
+        map_elems(queries, threads, |q| self.classify_with_score(q, reference))
     }
 
     /// Distance from `query` to its nearest reference point — the
@@ -175,18 +230,17 @@ impl KnnClassifier {
 
     /// Open-world classification: rejects queries whose nearest
     /// reference point is farther than `threshold` (returns `None` —
-    /// "not one of the monitored pages").
+    /// "not one of the monitored pages"). One reference scan: the
+    /// score and the ranking come from the same
+    /// [`KnnClassifier::classify_with_score`] pass.
     pub fn classify_open_world(
         &self,
         query: &[f32],
         reference: &ReferenceSet,
         threshold: f32,
     ) -> Option<RankedPrediction> {
-        if self.outlier_score(query, reference) > threshold {
-            None
-        } else {
-            Some(self.classify(query, reference))
-        }
+        self.classify_with_score(query, reference)
+            .into_open_world(threshold)
     }
 }
 
@@ -295,6 +349,109 @@ mod tests {
         let knn = KnnClassifier::new(3);
         assert_eq!(knn.outlier_score(&[0.0], &r), f32::INFINITY);
         assert!(knn.classify_open_world(&[0.0], &r, 1e30).is_none());
+    }
+
+    /// The pre-single-pass implementation of `classify_open_world`:
+    /// one reference scan for the outlier score, a second for the
+    /// ranking. Kept here as the regression oracle.
+    fn classify_open_world_two_pass(
+        knn: &KnnClassifier,
+        query: &[f32],
+        reference: &ReferenceSet,
+        threshold: f32,
+    ) -> Option<RankedPrediction> {
+        if knn.outlier_score(query, reference) > threshold {
+            None
+        } else {
+            Some(knn.classify(query, reference))
+        }
+    }
+
+    /// A larger seeded fixture: clustered classes plus far-out queries,
+    /// exercising accepts, rejects and the threshold edge.
+    fn seeded_scenario(seed: u64) -> (ReferenceSet, Vec<Vec<f32>>) {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = 8;
+        let classes = 6;
+        let mut reference = ReferenceSet::new(dim, classes);
+        for i in 0..120 {
+            let class = i % classes;
+            let center = class as f32 * 3.0;
+            let e: Vec<f32> = (0..dim)
+                .map(|_| center + rng.random_range(-0.5f32..0.5))
+                .collect();
+            reference.add(class, e).unwrap();
+        }
+        // Queries: near-cluster, between-cluster and far outliers.
+        let queries: Vec<Vec<f32>> = (0..80)
+            .map(|_| {
+                let center = rng.random_range(-5.0f32..25.0);
+                (0..dim)
+                    .map(|_| center + rng.random_range(-0.5f32..0.5))
+                    .collect()
+            })
+            .collect();
+        (reference, queries)
+    }
+
+    #[test]
+    fn single_pass_matches_two_pass_open_world() {
+        let (reference, queries) = seeded_scenario(1234);
+        let knn = KnnClassifier::new(9);
+        // Sweep thresholds from reject-everything to accept-everything.
+        for threshold in [0.0, 0.5, 2.0, 10.0, 100.0, f32::INFINITY] {
+            for q in &queries {
+                let old = classify_open_world_two_pass(&knn, q, &reference, threshold);
+                let new = knn.classify_open_world(q, &reference, threshold);
+                assert_eq!(
+                    old, new,
+                    "accept/reject or ranking diverged at threshold {threshold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn classify_with_score_agrees_with_separate_calls() {
+        let (reference, queries) = seeded_scenario(99);
+        for knn in [
+            KnnClassifier::new(5),
+            KnnClassifier {
+                k: 7,
+                metric: Metric::Cosine,
+            },
+        ] {
+            for q in &queries {
+                let sp = knn.classify_with_score(q, &reference);
+                assert_eq!(sp.score, knn.outlier_score(q, &reference));
+                assert_eq!(sp.prediction, knn.classify(q, &reference));
+            }
+        }
+    }
+
+    #[test]
+    fn scored_batch_matches_single() {
+        let (reference, queries) = seeded_scenario(7);
+        let knn = KnnClassifier::new(4);
+        let batch = knn.classify_with_score_all(&queries, &reference, 3);
+        for (q, sp) in queries.iter().zip(&batch) {
+            assert_eq!(sp, &knn.classify_with_score(q, &reference));
+        }
+    }
+
+    #[test]
+    fn scored_prediction_threshold_semantics() {
+        let r = reference();
+        let knn = KnnClassifier::new(4);
+        let sp = knn.classify_with_score(&[0.05], &r);
+        assert!(sp.accepted(5.0));
+        assert!(!sp.accepted(sp.score - 1e-3));
+        // Exactly-at-threshold queries are accepted (score <= t).
+        assert!(sp.accepted(sp.score));
+        assert_eq!(sp.clone().into_open_world(5.0), Some(sp.prediction.clone()));
+        assert_eq!(sp.into_open_world(0.0), None);
     }
 
     #[test]

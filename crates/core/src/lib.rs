@@ -13,6 +13,8 @@
 //! - [`knn::KnnClassifier`] — top-N ranked classification (k = 250).
 //! - [`metrics::EvalReport`] — top-N accuracy, per-class guess CDFs,
 //!   the Table II smallest-n search.
+//! - [`open_world`] — §VI-C open-world detection metrics: confusion
+//!   counts, ROC sweeps, threshold calibration.
 //! - [`defense`] — fixed-length and anonymity-set padding (§VII) with
 //!   bandwidth accounting.
 //!
@@ -41,11 +43,13 @@ pub mod defense;
 pub mod error;
 pub mod knn;
 pub mod metrics;
+pub mod open_world;
 pub mod pipeline;
 pub mod reference;
 
 pub use error::{CoreError, Result};
-pub use knn::{KnnClassifier, RankedPrediction};
+pub use knn::{KnnClassifier, RankedPrediction, ScoredPrediction};
 pub use metrics::EvalReport;
+pub use open_world::{ConfusionCounts, OpenWorldReport, RocPoint};
 pub use pipeline::{AdaptiveFingerprinter, PipelineConfig};
 pub use reference::ReferenceSet;

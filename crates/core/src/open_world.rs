@@ -1,0 +1,376 @@
+//! Open-world evaluation metrics (§VI-C): detection of page loads
+//! outside the monitored set.
+//!
+//! In the open-world setting the adversary monitors a set of pages and
+//! must *reject* every other load instead of force-matching it to a
+//! monitored class. Rejection is score-based: a query whose nearest
+//! reference point is farther than a threshold is an outlier. This
+//! module turns the resulting score tables into the metrics the
+//! open-world literature reports — TPR/FPR/precision/recall at one
+//! threshold, full ROC sweeps over thresholds, and percentile
+//! calibration from a held-out monitored set (the k-fingerprinting
+//! evaluation protocol).
+//!
+//! Conventions: *positive* means "predicted monitored" (accepted, i.e.
+//! `score <= threshold`); monitored samples are the positive ground
+//! truth. Ratios with an empty denominator are reported as 0.
+
+use serde::{Deserialize, Serialize};
+
+/// Accept/reject confusion counts at one threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ConfusionCounts {
+    /// Monitored samples accepted.
+    pub true_positives: usize,
+    /// Unmonitored samples accepted (the open-world failure mode).
+    pub false_positives: usize,
+    /// Unmonitored samples rejected.
+    pub true_negatives: usize,
+    /// Monitored samples rejected.
+    pub false_negatives: usize,
+}
+
+impl ConfusionCounts {
+    /// Tallies accept/reject outcomes for monitored and unmonitored
+    /// outlier scores at `threshold` (accept = `score <= threshold`).
+    pub fn at_threshold(monitored: &[f32], unmonitored: &[f32], threshold: f32) -> Self {
+        let tp = monitored.iter().filter(|&&s| s <= threshold).count();
+        let fp = unmonitored.iter().filter(|&&s| s <= threshold).count();
+        ConfusionCounts {
+            true_positives: tp,
+            false_positives: fp,
+            true_negatives: unmonitored.len() - fp,
+            false_negatives: monitored.len() - tp,
+        }
+    }
+
+    /// True-positive rate: accepted fraction of monitored samples.
+    pub fn tpr(&self) -> f64 {
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_negatives,
+        )
+    }
+
+    /// False-positive rate: accepted fraction of unmonitored samples.
+    pub fn fpr(&self) -> f64 {
+        ratio(
+            self.false_positives,
+            self.false_positives + self.true_negatives,
+        )
+    }
+
+    /// Precision: fraction of accepted samples that were monitored.
+    pub fn precision(&self) -> f64 {
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_positives,
+        )
+    }
+
+    /// Recall (synonym of [`ConfusionCounts::tpr`]).
+    pub fn recall(&self) -> f64 {
+        self.tpr()
+    }
+
+    /// F1 score (harmonic mean of precision and recall).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Total samples tallied.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+}
+
+fn ratio(num: usize, denom: usize) -> f64 {
+    if denom == 0 {
+        0.0
+    } else {
+        num as f64 / denom as f64
+    }
+}
+
+/// One point of an ROC sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// The rejection threshold this point was evaluated at.
+    pub threshold: f32,
+    /// True-positive rate at this threshold.
+    pub tpr: f64,
+    /// False-positive rate at this threshold.
+    pub fpr: f64,
+    /// Precision at this threshold.
+    pub precision: f64,
+}
+
+/// Sweeps the rejection threshold over every distinct observed score
+/// (plus a reject-everything point below the minimum) and reports
+/// TPR/FPR/precision at each. Points are ordered by ascending
+/// threshold, so TPR and FPR are non-decreasing along the curve.
+pub fn roc_sweep(monitored: &[f32], unmonitored: &[f32]) -> Vec<RocPoint> {
+    let mut thresholds: Vec<f32> = monitored
+        .iter()
+        .chain(unmonitored)
+        .copied()
+        .filter(|s| s.is_finite())
+        .collect();
+    thresholds.sort_by(f32::total_cmp);
+    thresholds.dedup();
+    // A reject-everything anchor so curves always start at (0, 0).
+    let below = thresholds.first().map_or(0.0, |&t| strictly_below(t));
+    thresholds.insert(0, below);
+    thresholds
+        .into_iter()
+        .map(|t| {
+            let c = ConfusionCounts::at_threshold(monitored, unmonitored, t);
+            RocPoint {
+                threshold: t,
+                tpr: c.tpr(),
+                fpr: c.fpr(),
+                precision: c.precision(),
+            }
+        })
+        .collect()
+}
+
+/// The largest finite f32 strictly below `t`. `t - 1.0` alone rounds
+/// back to `t` once |t| outgrows f32's integer precision (~2^24) —
+/// squared-distance scores get there easily — which would duplicate
+/// the anchor threshold and break the (0, 0) curve start.
+fn strictly_below(t: f32) -> f32 {
+    let cand = t - 1.0;
+    if cand < t {
+        cand
+    } else {
+        let bits = t.to_bits();
+        f32::from_bits(if t > 0.0 { bits - 1 } else { bits + 1 })
+    }
+}
+
+/// Area under the ROC curve via trapezoidal integration (0.5 =
+/// chance-level separation, 1.0 = perfect).
+pub fn roc_auc(points: &[RocPoint]) -> f64 {
+    let mut auc = 0.0;
+    for w in points.windows(2) {
+        auc += (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0;
+    }
+    // Close the curve to (1, 1) if the sweep stopped short.
+    if let Some(last) = points.last() {
+        auc += (1.0 - last.fpr) * (1.0 + last.tpr) / 2.0;
+    }
+    auc
+}
+
+/// Calibrates a rejection threshold as the `percentile` (0–100) of
+/// held-out *monitored* outlier scores: a 95th-percentile threshold
+/// accepts ~95% of monitored loads by construction, leaving the FPR to
+/// the evaluation. Returns `None` for an empty score table.
+pub fn calibrate_threshold(monitored_scores: &[f32], percentile: f64) -> Option<f32> {
+    if monitored_scores.is_empty() {
+        return None;
+    }
+    let mut scores = monitored_scores.to_vec();
+    scores.sort_by(f32::total_cmp);
+    let idx = ((percentile.clamp(0.0, 100.0) / 100.0) * (scores.len() - 1) as f64).round() as usize;
+    Some(scores[idx])
+}
+
+/// The full open-world evaluation at one calibrated threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenWorldReport {
+    /// The rejection threshold evaluated.
+    pub threshold: f32,
+    /// Accept/reject confusion counts at that threshold.
+    pub counts: ConfusionCounts,
+    /// Top-1 accuracy among *accepted monitored* samples (the
+    /// closed-world question, asked only where the detector said
+    /// "monitored"). 0 when nothing was accepted.
+    pub accepted_top1: f64,
+    /// The ROC sweep over all observed scores.
+    pub roc: Vec<RocPoint>,
+}
+
+impl OpenWorldReport {
+    /// Builds a report from monitored scores (paired with whether the
+    /// top-ranked prediction was correct) and unmonitored scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `monitored` scores and `monitored_top1_correct`
+    /// lengths differ.
+    pub fn evaluate(
+        monitored_scores: &[f32],
+        monitored_top1_correct: &[bool],
+        unmonitored_scores: &[f32],
+        threshold: f32,
+    ) -> Self {
+        assert_eq!(
+            monitored_scores.len(),
+            monitored_top1_correct.len(),
+            "score/correctness count"
+        );
+        let counts = ConfusionCounts::at_threshold(monitored_scores, unmonitored_scores, threshold);
+        // Accepted monitored count is exactly `counts.true_positives`.
+        let correct = monitored_scores
+            .iter()
+            .zip(monitored_top1_correct)
+            .filter(|(&s, &c)| s <= threshold && c)
+            .count();
+        OpenWorldReport {
+            threshold,
+            counts,
+            accepted_top1: ratio(correct, counts.true_positives),
+            roc: roc_sweep(monitored_scores, unmonitored_scores),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Hand-computed table: monitored scores {1, 2, 3, 10}, unmonitored
+    // {4, 5, 20}. At threshold 4: TP = 3 (1,2,3), FN = 1 (10),
+    // FP = 1 (4), TN = 2 (5,20).
+    const MONITORED: [f32; 4] = [1.0, 2.0, 3.0, 10.0];
+    const UNMONITORED: [f32; 3] = [4.0, 5.0, 20.0];
+
+    #[test]
+    fn confusion_counts_hand_computed() {
+        let c = ConfusionCounts::at_threshold(&MONITORED, &UNMONITORED, 4.0);
+        assert_eq!(c.true_positives, 3);
+        assert_eq!(c.false_negatives, 1);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.true_negatives, 2);
+        assert_eq!(c.total(), 7);
+        assert!((c.tpr() - 0.75).abs() < 1e-12);
+        assert!((c.fpr() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((c.precision() - 0.75).abs() < 1e-12);
+        assert_eq!(c.recall(), c.tpr());
+        let f1 = 2.0 * 0.75 * 0.75 / 1.5;
+        assert!((c.f1() - f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_extremes() {
+        // Below every score: reject everything.
+        let c = ConfusionCounts::at_threshold(&MONITORED, &UNMONITORED, 0.0);
+        assert_eq!((c.true_positives, c.false_positives), (0, 0));
+        assert_eq!(c.tpr(), 0.0);
+        assert_eq!(c.fpr(), 0.0);
+        assert_eq!(c.precision(), 0.0); // 0/0 convention
+                                        // Above every score: accept everything.
+        let c = ConfusionCounts::at_threshold(&MONITORED, &UNMONITORED, 100.0);
+        assert_eq!(c.tpr(), 1.0);
+        assert_eq!(c.fpr(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_all_monitored() {
+        let c = ConfusionCounts::at_threshold(&MONITORED, &[], 4.0);
+        assert_eq!(c.fpr(), 0.0); // no negatives: defined as 0
+        assert!((c.tpr() - 0.75).abs() < 1e-12);
+        assert_eq!(c.precision(), 1.0);
+        let roc = roc_sweep(&MONITORED, &[]);
+        assert!(roc.iter().all(|p| p.fpr == 0.0));
+    }
+
+    #[test]
+    fn degenerate_all_unmonitored() {
+        let c = ConfusionCounts::at_threshold(&[], &UNMONITORED, 4.0);
+        assert_eq!(c.tpr(), 0.0);
+        assert!((c.fpr() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.precision(), 0.0);
+    }
+
+    #[test]
+    fn empty_reference_scores_reject_everything() {
+        // An empty reference set yields infinite outlier scores; no
+        // finite threshold accepts anything.
+        let inf = [f32::INFINITY; 3];
+        let c = ConfusionCounts::at_threshold(&inf, &inf, 1e30);
+        assert_eq!(c.true_positives, 0);
+        assert_eq!(c.false_positives, 0);
+        assert_eq!(c.false_negatives, 3);
+        assert_eq!(c.true_negatives, 3);
+        // And the sweep has no finite-score points beyond the anchor.
+        let roc = roc_sweep(&inf, &inf);
+        assert_eq!(roc.len(), 1);
+        assert_eq!(roc[0].tpr, 0.0);
+    }
+
+    #[test]
+    fn roc_is_monotone_in_threshold() {
+        let roc = roc_sweep(&MONITORED, &UNMONITORED);
+        // One anchor + 7 distinct scores.
+        assert_eq!(roc.len(), 8);
+        for w in roc.windows(2) {
+            assert!(w[1].threshold > w[0].threshold);
+            assert!(w[1].tpr >= w[0].tpr, "TPR decreased: {roc:?}");
+            assert!(w[1].fpr >= w[0].fpr, "FPR decreased: {roc:?}");
+        }
+        // Ends at accept-everything.
+        let last = roc.last().unwrap();
+        assert_eq!(last.tpr, 1.0);
+        assert_eq!(last.fpr, 1.0);
+        assert_eq!(roc[0].tpr, 0.0);
+        assert_eq!(roc[0].fpr, 0.0);
+    }
+
+    #[test]
+    fn roc_anchor_survives_large_score_magnitudes() {
+        // Above ~2^24, `t - 1.0` rounds back to `t` in f32; the anchor
+        // must still sit strictly below the smallest score so the
+        // curve starts at (0, 0) with strictly increasing thresholds.
+        let roc = roc_sweep(&[2.0e7, 6.0e7], &[4.0e7]);
+        assert_eq!(roc.len(), 4);
+        assert_eq!((roc[0].tpr, roc[0].fpr), (0.0, 0.0));
+        for w in roc.windows(2) {
+            assert!(w[1].threshold > w[0].threshold, "{roc:?}");
+        }
+    }
+
+    #[test]
+    fn auc_of_separable_scores_is_one() {
+        // Monitored strictly below unmonitored: perfect separation.
+        let roc = roc_sweep(&[1.0, 2.0], &[5.0, 6.0]);
+        assert!((roc_auc(&roc) - 1.0).abs() < 1e-12);
+        // Identical distributions: chance level.
+        let roc = roc_sweep(&[1.0, 2.0], &[1.0, 2.0]);
+        assert!((roc_auc(&roc) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_percentiles() {
+        let scores = [1.0f32, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(calibrate_threshold(&scores, 0.0), Some(1.0));
+        assert_eq!(calibrate_threshold(&scores, 50.0), Some(3.0));
+        assert_eq!(calibrate_threshold(&scores, 100.0), Some(5.0));
+        // Out-of-range percentiles clamp.
+        assert_eq!(calibrate_threshold(&scores, 150.0), Some(5.0));
+        assert_eq!(calibrate_threshold(&[], 95.0), None);
+        // Unsorted input is handled.
+        assert_eq!(calibrate_threshold(&[5.0, 1.0, 3.0], 100.0), Some(5.0));
+    }
+
+    #[test]
+    fn report_combines_detection_and_classification() {
+        let correct = [true, true, false, true];
+        let report = OpenWorldReport::evaluate(&MONITORED, &correct, &UNMONITORED, 4.0);
+        assert_eq!(report.counts.true_positives, 3);
+        // Accepted monitored: scores 1,2,3 → correct true,true,false.
+        assert!((report.accepted_top1 - 2.0 / 3.0).abs() < 1e-12);
+        assert!(!report.roc.is_empty());
+        // Nothing accepted → accepted_top1 is 0, not NaN.
+        let report = OpenWorldReport::evaluate(&MONITORED, &correct, &UNMONITORED, 0.0);
+        assert_eq!(report.accepted_top1, 0.0);
+    }
+}

@@ -22,8 +22,9 @@ use tlsfp_nn::siamese::SiameseTrainer;
 use tlsfp_trace::dataset::Dataset;
 
 use crate::error::{CoreError, Result};
-use crate::knn::{KnnClassifier, RankedPrediction};
+use crate::knn::{KnnClassifier, RankedPrediction, ScoredPrediction};
 use crate::metrics::EvalReport;
+use crate::open_world::{self, OpenWorldReport};
 use crate::reference::ReferenceSet;
 
 /// Everything that parameterizes provisioning and classification.
@@ -250,6 +251,13 @@ impl AdaptiveFingerprinter {
         self.knn.classify(&emb, &self.reference)
     }
 
+    /// Embeds and classifies one trace, also reporting its outlier
+    /// score — the open-world primitive, one reference scan.
+    pub fn fingerprint_with_score(&self, trace: &SeqInput) -> ScoredPrediction {
+        let emb = self.embedder.embed(trace);
+        self.knn.classify_with_score(&emb, &self.reference)
+    }
+
     /// Open-world fingerprinting (§VI-C): returns `None` when the trace
     /// is an outlier — farther from every reference point than
     /// `threshold` — signalling a page outside the monitored set.
@@ -260,9 +268,51 @@ impl AdaptiveFingerprinter {
         trace: &SeqInput,
         threshold: f32,
     ) -> Option<RankedPrediction> {
-        let emb = self.embedder.embed(trace);
+        self.fingerprint_with_score(trace)
+            .into_open_world(threshold)
+    }
+
+    /// Embeds and score-classifies a whole dataset in parallel (the
+    /// batch open-world path).
+    pub fn fingerprint_with_score_all(&self, data: &Dataset) -> Vec<ScoredPrediction> {
+        let embeddings = self.embed_all(data.seqs());
         self.knn
-            .classify_open_world(&emb, &self.reference, threshold)
+            .classify_with_score_all(&embeddings, &self.reference, self.threads_or_default())
+    }
+
+    /// Nearest-reference outlier scores for a whole dataset.
+    pub fn outlier_scores(&self, data: &Dataset) -> Vec<f32> {
+        self.fingerprint_with_score_all(data)
+            .into_iter()
+            .map(|sp| sp.score)
+            .collect()
+    }
+
+    /// Full open-world evaluation: `monitored` is a labeled test set of
+    /// monitored pages, `unmonitored` holds loads of pages outside the
+    /// monitored set (its labels are ignored). Produces accept/reject
+    /// counts, the accepted-top-1 accuracy and an ROC sweep at
+    /// `threshold`.
+    pub fn evaluate_open_world(
+        &self,
+        monitored: &Dataset,
+        unmonitored: &Dataset,
+        threshold: f32,
+    ) -> OpenWorldReport {
+        let scored = self.fingerprint_with_score_all(monitored);
+        let monitored_scores: Vec<f32> = scored.iter().map(|sp| sp.score).collect();
+        let top1_correct: Vec<bool> = scored
+            .iter()
+            .zip(monitored.labels())
+            .map(|(sp, &label)| sp.prediction.top() == Some(label))
+            .collect();
+        let unmonitored_scores = self.outlier_scores(unmonitored);
+        OpenWorldReport::evaluate(
+            &monitored_scores,
+            &top1_correct,
+            &unmonitored_scores,
+            threshold,
+        )
     }
 
     /// Calibrates an open-world rejection threshold from held-out
@@ -279,15 +329,9 @@ impl AdaptiveFingerprinter {
                 "cannot calibrate on an empty dataset".into(),
             ));
         }
-        let embeddings = self.embed_all(known.seqs());
-        let mut scores: Vec<f32> = embeddings
-            .iter()
-            .map(|e| self.knn.outlier_score(e, &self.reference))
-            .collect();
-        scores.sort_by(f32::total_cmp);
-        let idx =
-            ((percentile.clamp(0.0, 100.0) / 100.0) * (scores.len() - 1) as f64).round() as usize;
-        Ok(scores[idx])
+        let scores = self.outlier_scores(known);
+        open_world::calibrate_threshold(&scores, percentile)
+            .ok_or_else(|| CoreError::BadDataset("cannot calibrate on an empty dataset".into()))
     }
 
     /// Embeds a batch of traces in parallel.
@@ -511,6 +555,35 @@ mod tests {
             accepted_foreign < foreign.len(),
             "every foreign trace was accepted"
         );
+    }
+
+    #[test]
+    fn evaluate_open_world_reports_consistent_metrics() {
+        let monitored = small_corpus(5, 12, 17);
+        let (train, test) = monitored.split_per_class(0.3, 0);
+        let fp = AdaptiveFingerprinter::provision(&train, &tiny_config(), 7).unwrap();
+        let threshold = fp.calibrate_rejection_threshold(&test, 95.0).unwrap();
+        let (_, foreign) =
+            Dataset::generate(&CorpusSpec::github_like(5, 6), &TensorConfig::wiki(), 99).unwrap();
+
+        let report = fp.evaluate_open_world(&test, &foreign, threshold);
+        // Counts cover every sample exactly once.
+        assert_eq!(report.counts.total(), test.len() + foreign.len());
+        // The report's accept counts agree with the per-trace API.
+        let accepted_known = test
+            .seqs()
+            .iter()
+            .filter(|t| fp.fingerprint_open_world(t, threshold).is_some())
+            .count();
+        assert_eq!(report.counts.true_positives, accepted_known);
+        // Calibrated at the 95th percentile, most known traces pass.
+        assert!(report.counts.tpr() > 0.7, "TPR {}", report.counts.tpr());
+        // The ROC ends at accept-everything.
+        let last = report.roc.last().unwrap();
+        assert_eq!((last.tpr, last.fpr), (1.0, 1.0));
+        // Scored fingerprints agree with the unscored path.
+        let sp = fp.fingerprint_with_score(&test.seqs()[0]);
+        assert_eq!(sp.prediction, fp.fingerprint(&test.seqs()[0]));
     }
 
     #[test]

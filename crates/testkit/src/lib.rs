@@ -25,7 +25,7 @@ use std::sync::OnceLock;
 use tlsfp_core::pipeline::{AdaptiveFingerprinter, PipelineConfig};
 use tlsfp_trace::dataset::Dataset;
 use tlsfp_trace::tensorize::TensorConfig;
-use tlsfp_web::corpus::CorpusSpec;
+use tlsfp_web::corpus::{open_world_split, CorpusSpec};
 use tlsfp_web::site::Website;
 
 /// The seed every fixture derives from.
@@ -90,6 +90,153 @@ pub fn tiny_adversary() -> AdaptiveFingerprinter {
     .clone()
 }
 
+/// The five scenario profiles, as fixture keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Wikipedia-like: TLS 1.2, three-IP page loads.
+    Wiki,
+    /// Github-like: TLS 1.3, variable server sets.
+    Github,
+    /// Single-page app: small documents, many XHR fetches.
+    Spa,
+    /// Video platform: large-media-dominated loads.
+    Video,
+    /// CDN-sharded: large edge pool with per-load rotation.
+    Cdn,
+}
+
+impl Profile {
+    /// Every profile, in presentation order.
+    pub const ALL: [Profile; 5] = [
+        Profile::Wiki,
+        Profile::Github,
+        Profile::Spa,
+        Profile::Video,
+        Profile::Cdn,
+    ];
+
+    /// The profile's corpus-spec name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Wiki => "wiki-like",
+            Profile::Github => "github-like",
+            Profile::Spa => "spa-like",
+            Profile::Video => "video-like",
+            Profile::Cdn => "cdn-sharded",
+        }
+    }
+
+    /// This profile's corpus spec at an arbitrary shape.
+    pub fn spec(self, n_classes: usize, traces_per_class: usize) -> CorpusSpec {
+        match self {
+            Profile::Wiki => CorpusSpec::wiki_like(n_classes, traces_per_class),
+            Profile::Github => CorpusSpec::github_like(n_classes, traces_per_class),
+            Profile::Spa => CorpusSpec::spa_like(n_classes, traces_per_class),
+            Profile::Video => CorpusSpec::video_like(n_classes, traces_per_class),
+            Profile::Cdn => CorpusSpec::cdn_sharded(n_classes, traces_per_class),
+        }
+    }
+
+    /// The open-world corpus spec for this profile
+    /// ([`OPEN_WORLD_CLASSES`] × [`OPEN_WORLD_TRACES_PER_CLASS`]).
+    pub fn open_world_spec(self) -> CorpusSpec {
+        self.spec(OPEN_WORLD_CLASSES, OPEN_WORLD_TRACES_PER_CLASS)
+    }
+}
+
+/// Classes in each per-profile open-world fixture corpus.
+pub const OPEN_WORLD_CLASSES: usize = 10;
+
+/// Traces per class in each per-profile open-world fixture corpus.
+pub const OPEN_WORLD_TRACES_PER_CLASS: usize = 12;
+
+/// Monitored classes in the per-profile open-world protocol; the
+/// remaining [`OPEN_WORLD_CLASSES`]` - OPEN_WORLD_MONITORED` classes
+/// play the unmonitored world.
+pub const OPEN_WORLD_MONITORED: usize = 6;
+
+/// The pipeline preset for open-world smoke runs: [`tiny_pipeline`]
+/// with enough epochs that outlier scores separate monitored from
+/// unmonitored loads on the fixture corpora.
+pub fn open_world_pipeline() -> PipelineConfig {
+    let mut cfg = tiny_pipeline();
+    cfg.epochs = 20;
+    cfg
+}
+
+/// The tensorized open-world dataset for a scenario profile (cached
+/// per profile; cloned out).
+pub fn open_world_profile_dataset(profile: Profile) -> Dataset {
+    static CELLS: [OnceLock<Dataset>; 5] = [
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+    ];
+    let idx = Profile::ALL
+        .iter()
+        .position(|p| *p == profile)
+        .expect("profile listed in ALL");
+    CELLS[idx]
+        .get_or_init(|| {
+            Dataset::generate(&profile.open_world_spec(), &TensorConfig::wiki(), SEED)
+                .expect("open-world profile corpus generates")
+                .1
+        })
+        .clone()
+}
+
+/// Monitored classes in the tiny open-world fixture.
+pub const TINY_MONITORED: usize = 5;
+
+/// A tiny open-world scenario built from the wiki fixtures: a
+/// deployment provisioned on the monitored classes only, the held-out
+/// monitored test side, the unmonitored loads, and a threshold
+/// calibrated at the 95th percentile of held-out monitored scores.
+#[derive(Debug, Clone)]
+pub struct OpenWorldFixture {
+    /// Deployment trained and referenced on monitored classes only.
+    pub fingerprinter: AdaptiveFingerprinter,
+    /// Held-out loads of monitored pages (relabeled `0..TINY_MONITORED`).
+    pub monitored_test: Dataset,
+    /// Loads of pages outside the monitored set (never seen in
+    /// training).
+    pub unmonitored: Dataset,
+    /// Calibrated rejection threshold.
+    pub threshold: f32,
+}
+
+/// The tiny open-world fixture (cached; cloned out). Provisioning runs
+/// once per test process.
+pub fn tiny_open_world() -> OpenWorldFixture {
+    static CELL: OnceLock<OpenWorldFixture> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let ds = tiny_dataset();
+        let split =
+            open_world_split(ds.n_classes(), TINY_MONITORED, SEED).expect("valid split shape");
+        let monitored = ds
+            .subset_classes(&split.monitored)
+            .expect("monitored ids in range");
+        let unmonitored = ds
+            .subset_classes(&split.unmonitored)
+            .expect("unmonitored ids in range");
+        let (train, monitored_test) = monitored.split_per_class(0.25, SEED);
+        let fingerprinter = AdaptiveFingerprinter::provision(&train, &tiny_pipeline(), SEED)
+            .expect("tiny open-world corpus provisions");
+        let threshold = fingerprinter
+            .calibrate_rejection_threshold(&monitored_test, 95.0)
+            .expect("non-empty calibration set");
+        OpenWorldFixture {
+            fingerprinter,
+            monitored_test,
+            unmonitored,
+            threshold,
+        }
+    })
+    .clone()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +255,34 @@ mod tests {
         assert_eq!(reference.len() + test.len(), tiny_dataset().len());
         assert!(!reference.is_empty());
         assert!(!test.is_empty());
+    }
+
+    #[test]
+    fn profile_fixtures_have_expected_shape() {
+        for profile in Profile::ALL {
+            let ds = open_world_profile_dataset(profile);
+            assert_eq!(ds.n_classes(), OPEN_WORLD_CLASSES, "{}", profile.name());
+            assert_eq!(
+                ds.len(),
+                OPEN_WORLD_CLASSES * OPEN_WORLD_TRACES_PER_CLASS,
+                "{}",
+                profile.name()
+            );
+            assert_eq!(profile.open_world_spec().site.name, profile.name());
+        }
+    }
+
+    #[test]
+    fn open_world_fixture_is_consistent() {
+        let fx = tiny_open_world();
+        assert_eq!(fx.monitored_test.n_classes(), TINY_MONITORED);
+        assert_eq!(fx.unmonitored.n_classes(), TINY_CLASSES - TINY_MONITORED);
+        assert!(fx.threshold.is_finite() && fx.threshold > 0.0);
+        assert_eq!(
+            fx.fingerprinter.reference().n_classes(),
+            TINY_MONITORED,
+            "reference must cover only monitored classes"
+        );
     }
 
     #[test]

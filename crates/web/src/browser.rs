@@ -115,6 +115,18 @@ pub fn load_page<R: Rng + ?Sized>(
     let mut objects = site.objects_for(page);
     objects.shuffle(rng);
 
+    // Sharded CDNs resolve to a different edge per load (DNS
+    // round-robin), so the observed server set churns between loads of
+    // the same page.
+    let n_core = site.spec.n_core_servers;
+    if site.spec.cdn_reassign_prob > 0.0 && site.spec.n_cdn_servers > 0 {
+        for o in &mut objects {
+            if o.server >= n_core && rng.random::<f64>() < site.spec.cdn_reassign_prob {
+                o.server = n_core + rng.random_range(0..site.spec.n_cdn_servers);
+            }
+        }
+    }
+
     let mut server_order: Vec<usize> = Vec::new();
     for o in &objects {
         if !server_order.contains(&o.server) {
@@ -216,6 +228,28 @@ mod tests {
             .map(|p| load_page(&site, p, &cfg, &mut rng).unwrap().servers().len())
             .collect();
         assert!(counts.iter().max() > counts.iter().min());
+    }
+
+    #[test]
+    fn cdn_sharded_loads_churn_server_sets_per_load() {
+        let site = Website::generate(SiteSpec::cdn_sharded(5), 6).unwrap();
+        let cfg = BrowserConfig::crawler_default();
+        let mut rng = StdRng::seed_from_u64(7);
+        // Repeated loads of the *same* page should not always contact
+        // the same server set: CDN edges rotate per load.
+        let sets: Vec<std::collections::BTreeSet<std::net::Ipv4Addr>> = (0..6)
+            .map(|_| {
+                load_page(&site, 0, &cfg, &mut rng)
+                    .unwrap()
+                    .servers()
+                    .into_iter()
+                    .collect()
+            })
+            .collect();
+        assert!(
+            sets.iter().any(|s| s != &sets[0]),
+            "server set never churned: {sets:?}"
+        );
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Corpus presets: one-call generation of the paper's two dataset
 //! shapes (§V) at any scale.
 
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::browser::BrowserConfig;
@@ -40,6 +43,93 @@ impl CorpusSpec {
             browser: BrowserConfig::crawler_default(),
         }
     }
+
+    /// A single-page-application corpus: small documents, many
+    /// XHR-sized fetches over few connections.
+    pub fn spa_like(n_classes: usize, traces_per_class: usize) -> Self {
+        CorpusSpec {
+            site: SiteSpec::spa_like(n_classes),
+            traces_per_class,
+            browser: BrowserConfig::crawler_default(),
+        }
+    }
+
+    /// A video-platform corpus: page loads dominated by one large
+    /// media transfer.
+    pub fn video_like(n_classes: usize, traces_per_class: usize) -> Self {
+        CorpusSpec {
+            site: SiteSpec::video_like(n_classes),
+            traces_per_class,
+            browser: BrowserConfig::crawler_default(),
+        }
+    }
+
+    /// A CDN-sharded corpus: content spread over a large CDN pool with
+    /// per-load edge rotation.
+    pub fn cdn_sharded(n_classes: usize, traces_per_class: usize) -> Self {
+        CorpusSpec {
+            site: SiteSpec::cdn_sharded(n_classes),
+            traces_per_class,
+            browser: BrowserConfig::crawler_default(),
+        }
+    }
+
+    /// All five corpus profiles at the same shape, in presentation
+    /// order: wiki, github, spa, video, cdn-sharded.
+    pub fn all_profiles(n_classes: usize, traces_per_class: usize) -> Vec<CorpusSpec> {
+        SiteSpec::all_profiles(n_classes)
+            .into_iter()
+            .map(|site| CorpusSpec {
+                site,
+                traces_per_class,
+                browser: BrowserConfig::crawler_default(),
+            })
+            .collect()
+    }
+
+    /// Partitions this corpus's class space for open-world evaluation;
+    /// see [`open_world_split`].
+    ///
+    /// # Errors
+    ///
+    /// As [`open_world_split`].
+    pub fn open_world_split(&self, n_monitored: usize, seed: u64) -> Result<OpenWorldSplit> {
+        open_world_split(self.site.n_pages, n_monitored, seed)
+    }
+}
+
+/// An open-world partition of a class space: the adversary monitors
+/// `monitored` and must reject loads of `unmonitored` (§VI-C).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenWorldSplit {
+    /// Class ids the adversary monitors (trains on and references).
+    pub monitored: Vec<usize>,
+    /// Class ids outside the monitored set (never seen in training;
+    /// every load of one must be rejected).
+    pub unmonitored: Vec<usize>,
+}
+
+/// Partitions `0..n_classes` into `n_monitored` monitored classes and
+/// the rest unmonitored, shuffled deterministically in `seed` so the
+/// monitored set is not biased by generation order.
+///
+/// # Errors
+///
+/// Returns [`WebError::InvalidSpec`] unless `0 < n_monitored <
+/// n_classes` (an open world needs classes on both sides).
+pub fn open_world_split(n_classes: usize, n_monitored: usize, seed: u64) -> Result<OpenWorldSplit> {
+    if n_monitored == 0 || n_monitored >= n_classes {
+        return Err(crate::error::WebError::InvalidSpec(format!(
+            "open-world split needs 0 < n_monitored < n_classes, got {n_monitored}/{n_classes}"
+        )));
+    }
+    let mut ids: Vec<usize> = (0..n_classes).collect();
+    ids.shuffle(&mut StdRng::seed_from_u64(seed));
+    let unmonitored = ids.split_off(n_monitored);
+    Ok(OpenWorldSplit {
+        monitored: ids,
+        unmonitored,
+    })
 }
 
 /// A generated corpus: the website plus every labeled capture.
@@ -108,6 +198,38 @@ mod tests {
         let corpus = SyntheticCorpus::generate(&CorpusSpec::wiki_like(4, 3), 1).unwrap();
         assert_eq!(corpus.n_classes(), 4);
         assert_eq!(corpus.n_traces(), 12);
+    }
+
+    #[test]
+    fn open_world_split_partitions_classes() {
+        let spec = CorpusSpec::spa_like(10, 2);
+        let split = spec.open_world_split(4, 3).unwrap();
+        assert_eq!(split.monitored.len(), 4);
+        assert_eq!(split.unmonitored.len(), 6);
+        let mut all: Vec<usize> = split
+            .monitored
+            .iter()
+            .chain(&split.unmonitored)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        // Deterministic in seed, different across seeds.
+        assert_eq!(split, spec.open_world_split(4, 3).unwrap());
+        assert_ne!(split, spec.open_world_split(4, 4).unwrap());
+        // Degenerate splits are rejected.
+        assert!(open_world_split(10, 0, 0).is_err());
+        assert!(open_world_split(10, 10, 0).is_err());
+    }
+
+    #[test]
+    fn all_profiles_crawl() {
+        for spec in CorpusSpec::all_profiles(2, 2) {
+            let name = spec.site.name.clone();
+            let corpus =
+                SyntheticCorpus::generate(&spec, 5).unwrap_or_else(|e| panic!("{name}: {e:?}"));
+            assert_eq!(corpus.n_traces(), 4, "{name}");
+        }
     }
 
     #[test]

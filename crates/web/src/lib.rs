@@ -6,12 +6,21 @@
 //! browser page loads over `tlsfp-net` TLS connections, models content
 //! drift over time, and crawls sites into labeled capture corpora.
 //!
-//! Presets reproduce the paper's two dataset shapes:
+//! Presets reproduce the paper's two dataset shapes plus three modern
+//! traffic profiles:
 //!
 //! - [`site::SiteSpec::wiki_like`] — TLS 1.2, exactly two servers, so
 //!   every page load involves three IPs (client, text, media).
 //! - [`site::SiteSpec::github_like`] — TLS 1.3, distributed hosting
 //!   with a page-dependent server set.
+//! - [`site::SiteSpec::spa_like`] — single-page application: small
+//!   documents, many XHR-sized fetches over few connections.
+//! - [`site::SiteSpec::video_like`] — large-media-dominated loads.
+//! - [`site::SiteSpec::cdn_sharded`] — a large CDN pool with per-load
+//!   edge rotation, so the observed server set churns between loads.
+//!
+//! For open-world evaluation (§VI-C), [`corpus::open_world_split`]
+//! partitions a corpus's classes into monitored/unmonitored sets.
 //!
 //! ## Example: crawl a small Wikipedia-like site
 //!
@@ -41,7 +50,7 @@ pub mod resource;
 pub mod site;
 
 pub use browser::{load_page, BrowserConfig};
-pub use corpus::{CorpusSpec, SyntheticCorpus};
+pub use corpus::{open_world_split, CorpusSpec, OpenWorldSplit, SyntheticCorpus};
 pub use crawler::{Crawler, LabeledCapture};
 pub use drift::DriftConfig;
 pub use error::{Result, WebError};

@@ -12,6 +12,9 @@ pub enum ResourceKind {
     Stylesheet,
     /// A script (usually part of the shared theme).
     Script,
+    /// An XHR/fetch API response (small, page-specific; the dominant
+    /// unique content of single-page applications).
+    Xhr,
     /// An image (page-specific media).
     Image,
     /// Audio/video media (large, page-specific).

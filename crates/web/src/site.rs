@@ -36,6 +36,11 @@ pub struct SiteSpec {
     /// Probability that any given unique resource is hosted on a CDN
     /// server instead of a core media server.
     pub cdn_prob: f64,
+    /// Probability that a CDN-hosted resource resolves to a *different*
+    /// CDN edge on each page load (DNS round-robin / sharded CDNs), so
+    /// the per-load server set churns even for one page. 0 pins every
+    /// resource to the server chosen at generation time.
+    pub cdn_reassign_prob: f64,
     /// Shared HTML template bytes present in every document.
     pub template_bytes: u64,
     /// Sizes of the shared theme resources (stylesheets/scripts/logo).
@@ -46,6 +51,11 @@ pub struct SiteSpec {
     pub images_per_page: (usize, usize),
     /// Size of each unique media resource.
     pub image_size: SizeDist,
+    /// Number of XHR/fetch responses per page, inclusive range (0 for
+    /// classic document-centric sites, large for SPAs).
+    pub xhr_per_page: (usize, usize),
+    /// Size of each XHR response.
+    pub xhr_size: SizeDist,
     /// Probability that a page embeds one large media object (video).
     pub large_media_prob: f64,
     /// Size of such large media.
@@ -64,6 +74,7 @@ impl SiteSpec {
             n_core_servers: 2,
             n_cdn_servers: 0,
             cdn_prob: 0.0,
+            cdn_reassign_prob: 0.0,
             template_bytes: 18_000,
             theme_resource_sizes: vec![
                 (ResourceKind::Stylesheet, SizeDist::fixed(31_000)),
@@ -74,6 +85,8 @@ impl SiteSpec {
             unique_html: SizeDist::log_normal(26_000, 0.9, 2_000, 400_000),
             images_per_page: (0, 6),
             image_size: SizeDist::log_normal(22_000, 1.0, 1_500, 600_000),
+            xhr_per_page: (0, 0),
+            xhr_size: SizeDist::fixed(0),
             large_media_prob: 0.0,
             large_media_size: SizeDist::fixed(0),
         }
@@ -90,6 +103,7 @@ impl SiteSpec {
             n_core_servers: 3, // main, raw/media, avatars
             n_cdn_servers: 3,  // external image hosts, badges, video
             cdn_prob: 0.35,
+            cdn_reassign_prob: 0.0,
             template_bytes: 42_000,
             theme_resource_sizes: vec![
                 (ResourceKind::Stylesheet, SizeDist::fixed(58_000)),
@@ -99,9 +113,109 @@ impl SiteSpec {
             unique_html: SizeDist::log_normal(14_000, 1.1, 1_000, 300_000),
             images_per_page: (0, 10),
             image_size: SizeDist::log_normal(30_000, 1.2, 1_000, 900_000),
+            xhr_per_page: (0, 0),
+            xhr_size: SizeDist::fixed(0),
             large_media_prob: 0.08,
             large_media_size: SizeDist::log_normal(900_000, 0.6, 200_000, 4_000_000),
         }
+    }
+
+    /// A single-page-application site: a small, nearly-constant HTML
+    /// shell plus a large shared JS bundle, with the unique content of
+    /// each "page" (route) delivered as many small XHR responses from
+    /// an API server over a handful of long-lived connections — the
+    /// traffic shape fine-grained fingerprinting work targets.
+    pub fn spa_like(n_pages: usize) -> Self {
+        SiteSpec {
+            name: "spa-like".into(),
+            version: TlsVersion::V1_3,
+            n_pages,
+            n_core_servers: 2, // app shell + API
+            n_cdn_servers: 1,  // static-asset CDN
+            cdn_prob: 0.2,
+            cdn_reassign_prob: 0.0,
+            template_bytes: 4_000, // tiny shell; the bundle is the theme
+            theme_resource_sizes: vec![
+                (ResourceKind::Script, SizeDist::fixed(240_000)), // app bundle
+                (ResourceKind::Script, SizeDist::fixed(65_000)),  // vendor chunk
+                (ResourceKind::Stylesheet, SizeDist::fixed(22_000)),
+            ],
+            unique_html: SizeDist::log_normal(1_200, 0.4, 300, 8_000),
+            images_per_page: (0, 3),
+            image_size: SizeDist::log_normal(15_000, 0.9, 1_000, 200_000),
+            xhr_per_page: (8, 24),
+            xhr_size: SizeDist::log_normal(3_000, 0.9, 200, 60_000),
+            large_media_prob: 0.0,
+            large_media_size: SizeDist::fixed(0),
+        }
+    }
+
+    /// A video-platform site: page loads dominated by one large media
+    /// object streamed from a video origin or CDN edge, with modest
+    /// document and thumbnail traffic around it.
+    pub fn video_like(n_pages: usize) -> Self {
+        SiteSpec {
+            name: "video-like".into(),
+            version: TlsVersion::V1_3,
+            n_pages,
+            n_core_servers: 2, // site + video origin
+            n_cdn_servers: 2,  // video CDN edges
+            cdn_prob: 0.6,
+            cdn_reassign_prob: 0.0,
+            template_bytes: 30_000,
+            theme_resource_sizes: vec![
+                (ResourceKind::Stylesheet, SizeDist::fixed(40_000)),
+                (ResourceKind::Script, SizeDist::fixed(130_000)), // player
+            ],
+            unique_html: SizeDist::log_normal(9_000, 0.7, 1_500, 80_000),
+            images_per_page: (2, 8), // thumbnails
+            image_size: SizeDist::log_normal(12_000, 0.8, 1_000, 120_000),
+            xhr_per_page: (1, 4), // metadata/analytics beacons
+            xhr_size: SizeDist::log_normal(1_500, 0.6, 200, 12_000),
+            large_media_prob: 1.0,
+            large_media_size: SizeDist::log_normal(2_500_000, 0.5, 400_000, 9_000_000),
+        }
+    }
+
+    /// A CDN-sharded site: most unique content lives on a pool of CDN
+    /// edges, and each load resolves resources to a fresh edge subset
+    /// (`cdn_reassign_prob`), so even repeated loads of one page
+    /// contact different server sets — the hardest hosting shape for
+    /// IP-sequence features.
+    pub fn cdn_sharded(n_pages: usize) -> Self {
+        SiteSpec {
+            name: "cdn-sharded".into(),
+            version: TlsVersion::V1_3,
+            n_pages,
+            n_core_servers: 2,
+            n_cdn_servers: 8,
+            cdn_prob: 0.85,
+            cdn_reassign_prob: 0.5,
+            template_bytes: 24_000,
+            theme_resource_sizes: vec![
+                (ResourceKind::Stylesheet, SizeDist::fixed(34_000)),
+                (ResourceKind::Script, SizeDist::fixed(70_000)),
+            ],
+            unique_html: SizeDist::log_normal(16_000, 0.9, 1_500, 250_000),
+            images_per_page: (4, 14),
+            image_size: SizeDist::log_normal(26_000, 1.0, 1_500, 700_000),
+            xhr_per_page: (0, 2),
+            xhr_size: SizeDist::log_normal(2_000, 0.7, 200, 20_000),
+            large_media_prob: 0.05,
+            large_media_size: SizeDist::log_normal(800_000, 0.6, 150_000, 3_000_000),
+        }
+    }
+
+    /// All five built-in site profiles at the given page count, in
+    /// presentation order: wiki, github, spa, video, cdn-sharded.
+    pub fn all_profiles(n_pages: usize) -> Vec<SiteSpec> {
+        vec![
+            SiteSpec::wiki_like(n_pages),
+            SiteSpec::github_like(n_pages),
+            SiteSpec::spa_like(n_pages),
+            SiteSpec::video_like(n_pages),
+            SiteSpec::cdn_sharded(n_pages),
+        ]
     }
 
     /// Validates the specification.
@@ -125,9 +239,23 @@ impl SiteSpec {
                 self.images_per_page
             )));
         }
-        if !(0.0..=1.0).contains(&self.cdn_prob) || !(0.0..=1.0).contains(&self.large_media_prob) {
+        if self.xhr_per_page.0 > self.xhr_per_page.1 {
+            return Err(WebError::InvalidSpec(format!(
+                "xhr_per_page range inverted: {:?}",
+                self.xhr_per_page
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.cdn_prob)
+            || !(0.0..=1.0).contains(&self.large_media_prob)
+            || !(0.0..=1.0).contains(&self.cdn_reassign_prob)
+        {
             return Err(WebError::InvalidSpec(
                 "probabilities must be in [0,1]".into(),
+            ));
+        }
+        if self.cdn_reassign_prob > 0.0 && self.n_cdn_servers == 0 {
+            return Err(WebError::InvalidSpec(
+                "cdn_reassign_prob needs at least one CDN server".into(),
             ));
         }
         Ok(())
@@ -208,13 +336,32 @@ impl Website {
     ) -> Page {
         let unique_html = spec.unique_html.sample(rng);
         let n_images = rng.random_range(spec.images_per_page.0..=spec.images_per_page.1);
-        let mut resources = Vec::with_capacity(n_images + 1);
+        // Skip the draw entirely for XHR-less profiles so the RNG
+        // stream (and thus every seeded wiki/github corpus) is
+        // unchanged from before XHR support existed.
+        let n_xhr = if spec.xhr_per_page.1 > 0 {
+            rng.random_range(spec.xhr_per_page.0..=spec.xhr_per_page.1)
+        } else {
+            0
+        };
+        let mut resources = Vec::with_capacity(n_images + n_xhr + 1);
         for _ in 0..n_images {
             let server = Self::pick_media_server(spec, media_server, rng);
             resources.push(Resource::unique(
                 ResourceKind::Image,
                 spec.image_size.sample(rng),
                 server,
+            ));
+        }
+        // XHR responses come from the API server (the second core
+        // server where one exists), keeping SPA fetches on few
+        // connections rather than scattering across the CDN pool.
+        let api_server = if spec.n_core_servers > 1 { 1 } else { 0 };
+        for _ in 0..n_xhr {
+            resources.push(Resource::unique(
+                ResourceKind::Xhr,
+                spec.xhr_size.sample(rng),
+                api_server,
             ));
         }
         if spec.large_media_prob > 0.0 && rng.random::<f64>() < spec.large_media_prob {
@@ -341,6 +488,71 @@ mod tests {
     }
 
     #[test]
+    fn spa_like_is_xhr_dominated() {
+        let site = Website::generate(SiteSpec::spa_like(20), 3).unwrap();
+        for p in 0..20 {
+            let objects = site.objects_for(p);
+            let xhrs = objects
+                .iter()
+                .filter(|r| r.kind == ResourceKind::Xhr)
+                .count();
+            assert!(xhrs >= 8, "page {p} has only {xhrs} XHRs");
+            // All XHRs ride the API server: few connections, many fetches.
+            assert!(objects
+                .iter()
+                .filter(|r| r.kind == ResourceKind::Xhr)
+                .all(|r| r.server == 1));
+        }
+    }
+
+    #[test]
+    fn video_like_is_large_media_dominated() {
+        let site = Website::generate(SiteSpec::video_like(20), 4).unwrap();
+        for p in 0..20 {
+            let objects = site.objects_for(p);
+            let media: u64 = objects
+                .iter()
+                .filter(|r| r.kind == ResourceKind::Media)
+                .map(|r| r.size)
+                .sum();
+            let rest: u64 = objects
+                .iter()
+                .filter(|r| r.kind != ResourceKind::Media)
+                .map(|r| r.size)
+                .sum::<u64>()
+                + site.document_size(p);
+            assert!(media > rest, "page {p}: media {media} <= rest {rest}");
+        }
+    }
+
+    #[test]
+    fn cdn_sharded_spreads_content_across_many_servers() {
+        let site = Website::generate(SiteSpec::cdn_sharded(30), 5).unwrap();
+        assert_eq!(site.servers.len(), 10);
+        // Most unique resources live on the CDN pool.
+        let (cdn, total) = site.pages.iter().flat_map(|p| &p.resources).fold(
+            (0usize, 0usize),
+            |(cdn, total), r| {
+                (
+                    cdn + usize::from(r.server >= site.spec.n_core_servers),
+                    total + 1,
+                )
+            },
+        );
+        assert!(cdn * 2 > total, "only {cdn}/{total} resources on CDN");
+    }
+
+    #[test]
+    fn all_profiles_validate_and_generate() {
+        for spec in SiteSpec::all_profiles(6) {
+            let name = spec.name.clone();
+            spec.validate().unwrap_or_else(|e| panic!("{name}: {e:?}"));
+            let site = Website::generate(spec, 9).unwrap();
+            assert_eq!(site.n_pages(), 6, "{name}");
+        }
+    }
+
+    #[test]
     fn invalid_specs_are_rejected() {
         assert!(Website::generate(SiteSpec::wiki_like(0), 0).is_err());
         let mut s = SiteSpec::wiki_like(5);
@@ -351,6 +563,13 @@ mod tests {
         assert!(Website::generate(s, 0).is_err());
         let mut s = SiteSpec::wiki_like(5);
         s.cdn_prob = 1.5;
+        assert!(Website::generate(s, 0).is_err());
+        let mut s = SiteSpec::spa_like(5);
+        s.xhr_per_page = (9, 3);
+        assert!(Website::generate(s, 0).is_err());
+        // Per-load CDN churn without CDN servers is inconsistent.
+        let mut s = SiteSpec::wiki_like(5);
+        s.cdn_reassign_prob = 0.5;
         assert!(Website::generate(s, 0).is_err());
     }
 }

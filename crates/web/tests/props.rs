@@ -42,6 +42,53 @@ proptest! {
         }
     }
 
+    /// The three scenario profiles added for open-world evaluation
+    /// (SPA, video, CDN-sharded) produce valid specs and structurally
+    /// sound pages at any size.
+    #[test]
+    fn new_profile_generation_invariants(
+        n_pages in 1usize..30,
+        seed in 0u64..1000,
+        profile in 0usize..3,
+    ) {
+        let spec = match profile {
+            0 => SiteSpec::spa_like(n_pages),
+            1 => SiteSpec::video_like(n_pages),
+            _ => SiteSpec::cdn_sharded(n_pages),
+        };
+        // validate() accepts every generated spec.
+        prop_assert!(spec.validate().is_ok(), "{} spec invalid", spec.name);
+        let n_core = spec.n_core_servers;
+        let n_cdn = spec.n_cdn_servers;
+        let site = Website::generate(spec, seed).unwrap();
+        for page in 0..n_pages {
+            // Every page carries a non-empty document.
+            prop_assert!(site.document_size(page) > 0);
+            prop_assert!(site.pages[page].unique_html > 0);
+            for r in site.objects_for(page) {
+                prop_assert!(r.size > 0);
+                // CDN-hosted resources only exist alongside CDN servers.
+                if r.server >= n_core {
+                    prop_assert!(n_cdn > 0, "CDN resource on a CDN-less site");
+                    prop_assert!(r.server < n_core + n_cdn);
+                }
+            }
+        }
+    }
+
+    /// Page generation is deterministic per seed for every profile.
+    #[test]
+    fn profile_generation_is_deterministic(
+        n_pages in 1usize..12,
+        seed in 0u64..500,
+        profile in 0usize..5,
+    ) {
+        let spec = SiteSpec::all_profiles(n_pages).swap_remove(profile);
+        let a = Website::generate(spec.clone(), seed).unwrap();
+        let b = Website::generate(spec, seed).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
     /// Page loads transfer at least the page's content volume and touch
     /// only the site's servers.
     #[test]

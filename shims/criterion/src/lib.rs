@@ -9,7 +9,14 @@
 //!
 //! Bench targets must set `harness = false` (as with real criterion);
 //! `criterion_main!` emits `fn main`.
+//!
+//! Machine-readable output: pass `--save-json <dir>` after `--` (or
+//! set `CRITERION_SAVE_JSON=<dir>`) and every benchmark additionally
+//! writes `<dir>/<name>.json` with its raw per-iteration samples and
+//! min/mean/max, for CI artifact upload and cross-run comparison.
 
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -182,6 +189,66 @@ fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) 
         fmt_duration(*max),
         bencher.samples.len()
     );
+    if let Some(dir) = save_json_dir() {
+        if let Err(e) = write_bench_json(dir, name, &bencher.samples) {
+            eprintln!("warning: failed to save bench JSON for {name}: {e}");
+        }
+    }
+}
+
+/// The directory bench JSON goes to: `--save-json <dir>` on the bench
+/// binary's command line, else the `CRITERION_SAVE_JSON` environment
+/// variable, else none. Resolved once per process.
+fn save_json_dir() -> Option<&'static Path> {
+    static DIR: OnceLock<Option<PathBuf>> = OnceLock::new();
+    DIR.get_or_init(|| {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--save-json")
+            .and_then(|pos| args.get(pos + 1))
+            .map(PathBuf::from)
+            .or_else(|| std::env::var_os("CRITERION_SAVE_JSON").map(PathBuf::from))
+    })
+    .as_deref()
+}
+
+/// Writes one benchmark's samples as `<dir>/<sanitized name>.json`:
+/// `{"name": ..., "samples_ns": [...], "min_ns": ..., "mean_ns": ...,
+/// "max_ns": ...}`. JSON is assembled by hand — the shim has no serde
+/// dependency, and the payload is flat numbers plus one escaped string.
+pub fn write_bench_json(dir: &Path, name: &str, samples: &[Duration]) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let ns: Vec<u128> = samples.iter().map(Duration::as_nanos).collect();
+    let min = ns.iter().min().copied().unwrap_or(0);
+    let max = ns.iter().max().copied().unwrap_or(0);
+    let mean = if ns.is_empty() {
+        0
+    } else {
+        ns.iter().sum::<u128>() / ns.len() as u128
+    };
+    let list = ns.iter().map(u128::to_string).collect::<Vec<_>>().join(",");
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let json = format!(
+        "{{\"name\":\"{escaped}\",\"samples_ns\":[{list}],\"min_ns\":{min},\"mean_ns\":{mean},\"max_ns\":{max}}}\n"
+    );
+    let file: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    std::fs::write(dir.join(format!("{file}.json")), json)
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -238,6 +305,39 @@ mod tests {
         c.bench_function("smoke", |b| b.iter(|| runs += 1));
         // 1 warm-up + 3 samples.
         assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn bench_json_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("criterion-shim-test-{}", std::process::id()));
+        let samples = [
+            Duration::from_nanos(100),
+            Duration::from_nanos(300),
+            Duration::from_nanos(200),
+        ];
+        write_bench_json(&dir, "group/bench \"q\"/7", &samples).unwrap();
+        // Name is sanitized for the filename, escaped inside the JSON.
+        let path = dir.join("group_bench__q__7.json");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            body.contains("\"name\":\"group/bench \\\"q\\\"/7\""),
+            "{body}"
+        );
+        assert!(body.contains("\"samples_ns\":[100,300,200]"), "{body}");
+        assert!(body.contains("\"min_ns\":100"), "{body}");
+        assert!(body.contains("\"mean_ns\":200"), "{body}");
+        assert!(body.contains("\"max_ns\":300"), "{body}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_samples_write_zeroes() {
+        let dir = std::env::temp_dir().join(format!("criterion-shim-empty-{}", std::process::id()));
+        write_bench_json(&dir, "none", &[]).unwrap();
+        let body = std::fs::read_to_string(dir.join("none.json")).unwrap();
+        assert!(body.contains("\"samples_ns\":[]"));
+        assert!(body.contains("\"min_ns\":0"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

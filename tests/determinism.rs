@@ -59,6 +59,43 @@ fn evaluation_is_identical_across_thread_counts() {
 }
 
 #[test]
+fn open_world_evaluation_is_identical_across_thread_counts() {
+    let fx = tlsfp_testkit::tiny_open_world();
+    let mut outcomes = Vec::new();
+    for threads in [1usize, 4, 0] {
+        let mut fp = fx.fingerprinter.clone();
+        fp.set_threads(threads);
+        // Batch accept/reject decisions on the scored path.
+        let decisions: Vec<bool> = fp
+            .fingerprint_with_score_all(&fx.monitored_test)
+            .iter()
+            .map(|sp| sp.accepted(fx.threshold))
+            .collect();
+        // Full evaluation: counts, accepted-top-1 and every ROC point.
+        let report = fp.evaluate_open_world(&fx.monitored_test, &fx.unmonitored, fx.threshold);
+        outcomes.push((threads, decisions, report));
+    }
+    for (threads, decisions, report) in &outcomes[1..] {
+        assert_eq!(
+            decisions, &outcomes[0].1,
+            "accept/reject decisions changed with {threads} threads"
+        );
+        assert_eq!(
+            report, &outcomes[0].2,
+            "open-world report (incl. ROC points) changed with {threads} threads"
+        );
+    }
+    // The fixture threshold itself recalibrates identically in parallel.
+    let mut fp = fx.fingerprinter.clone();
+    fp.set_threads(4);
+    assert_eq!(
+        fp.calibrate_rejection_threshold(&fx.monitored_test, 95.0)
+            .unwrap(),
+        fx.threshold
+    );
+}
+
+#[test]
 fn seeded_provisioning_reproduces_top1_accuracy() {
     let (reference, test) = tlsfp_testkit::tiny_split();
     let cfg = tlsfp_testkit::tiny_pipeline();
