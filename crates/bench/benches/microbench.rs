@@ -79,20 +79,46 @@ fn bench_components(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(trainer.train_batch(&mut net, &pool, &pairs, &mut opt, 0)))
     });
 
-    // kNN query across reference-set sizes.
-    let mut group = c.benchmark_group("core/knn_query");
-    for &size in &[100usize, 1_000, 10_000] {
+    // kNN query across reference-set sizes: the exact flat scan, then
+    // the IVF backend pruning candidates over the same data.
+    let sized_reference = |size: usize| {
         let mut reference = ReferenceSet::new(32, 100);
         let mut r = StdRng::seed_from_u64(9);
         use rand::RngExt;
         for i in 0..size {
-            let emb: Vec<f32> = (0..32).map(|_| r.random_range(-1.0..1.0)).collect();
+            // Class-dependent mean keeps the IVF quantizer honest.
+            let center = (i % 100) as f32 / 25.0;
+            let emb: Vec<f32> = (0..32)
+                .map(|_| center + r.random_range(-1.0..1.0))
+                .collect();
             reference.add(i % 100, emb).unwrap();
         }
-        let query: Vec<f32> = (0..32).map(|_| r.random_range(-1.0..1.0)).collect();
+        let query: Vec<f32> = (0..32).map(|_| r.random_range(-1.0..3.0)).collect();
+        (reference, query)
+    };
+
+    let mut group = c.benchmark_group("core/knn_query");
+    for &size in &[100usize, 1_000, 10_000] {
+        let (reference, query) = sized_reference(size);
         let knn = KnnClassifier::new(50);
         group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
             b.iter(|| std::hint::black_box(knn.classify(&query, &reference)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("core/ivf_query");
+    for &size in &[100usize, 1_000, 10_000] {
+        let (reference, query) = sized_reference(size);
+        let index = tlsfp_index::IvfIndex::build(
+            tlsfp_index::IvfParams::auto(),
+            tlsfp_core::knn::Metric::Euclidean,
+            reference.as_rows(),
+            reference.labels(),
+        );
+        let knn = KnnClassifier::new(50);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| std::hint::black_box(knn.classify_indexed(&query, &index)))
         });
     }
     group.finish();

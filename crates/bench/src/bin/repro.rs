@@ -4,7 +4,7 @@
 //! repro <target> [--smoke|--full] [--seed N] [--json DIR]
 //!
 //! targets: fig6 fig7 table2 fig8 fig9 fig10 fig11 fig12 fig13 table3
-//!          fig_open_world ablations all
+//!          fig_open_world fig_index ablations all
 //! ```
 
 use std::fs;
@@ -12,8 +12,8 @@ use std::path::PathBuf;
 
 use tlsfp_bench::ablations::{print_ablations, run_ablations};
 use tlsfp_bench::experiments::{
-    print_cdf, print_open_world, print_series, run_fig12_13, run_fig6, run_fig7, run_fig8,
-    run_fig9_to_11, run_fig_open_world, run_table3, Scale,
+    print_cdf, print_fig_index, print_open_world, print_series, run_fig12_13, run_fig6, run_fig7,
+    run_fig8, run_fig9_to_11, run_fig_index, run_fig_open_world, run_table3, Scale,
 };
 
 fn main() {
@@ -212,6 +212,15 @@ fn main() {
             print_open_world(p);
         }
         write_json("fig_open_world", &result);
+    }
+
+    if run_all || target == "fig_index" {
+        println!("\n=== Index — IVF candidate pruning vs exact flat scan, all profiles ===");
+        let result = run_fig_index(&scale);
+        for p in &result.profiles {
+            print_fig_index(p);
+        }
+        write_json("fig_index", &result);
     }
 
     if run_all || target == "ablations" {

@@ -794,6 +794,179 @@ pub fn run_fig_open_world(scale: &Scale) -> FigOpenWorldResult {
 }
 
 // ---------------------------------------------------------------------
+// fig_index — IVF candidate pruning vs the exact flat scan.
+// ---------------------------------------------------------------------
+
+/// One profile's index comparison: the IVF backend measured against
+/// the exact flat scan on identical embeddings and queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexProfileResult {
+    /// Site-profile name.
+    pub profile: String,
+    /// Reference embeddings indexed.
+    pub n_reference: usize,
+    /// Query embeddings searched.
+    pub n_queries: usize,
+    /// Neighbours retrieved per query.
+    pub k: usize,
+    /// Inverted lists the IVF backend resolved to.
+    pub n_lists: usize,
+    /// Lists probed per query.
+    pub n_probe: usize,
+    /// Fraction of queries whose true (flat) nearest neighbour the IVF
+    /// search retrieved at rank 1.
+    pub recall_at_1: f64,
+    /// Mean fraction of the true k-nearest set the IVF search
+    /// retrieved.
+    pub recall_at_k: f64,
+    /// Fraction of queries where both backends vote the same top-1
+    /// label — the decision-level agreement the serving path cares
+    /// about.
+    pub top1_agreement: f64,
+    /// Total distance evaluations the flat scan spent.
+    pub flat_distance_evals: u64,
+    /// Total distance evaluations the IVF search spent (centroids
+    /// included).
+    pub ivf_distance_evals: u64,
+    /// `ivf_distance_evals / flat_distance_evals`.
+    pub evals_fraction: f64,
+    /// Wall-clock seconds for the flat batch.
+    pub flat_seconds: f64,
+    /// Wall-clock seconds for the IVF batch.
+    pub ivf_seconds: f64,
+    /// `flat_seconds / ivf_seconds`.
+    pub speedup: f64,
+}
+
+/// Result of the fig_index run: one entry per site profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigIndexResult {
+    /// Per-profile comparisons.
+    pub profiles: Vec<IndexProfileResult>,
+}
+
+/// Compares the IVF backend against the exact flat scan on one set of
+/// labeled reference embeddings and queries. Both indexes are built
+/// from the same rows in the same order, so vector ids coincide and
+/// recall is measured by id.
+pub fn run_index_profile(
+    name: &str,
+    reference: &[Vec<f32>],
+    labels: &[usize],
+    queries: &[Vec<f32>],
+    k: usize,
+    params: tlsfp_index::IvfParams,
+    threads: usize,
+) -> IndexProfileResult {
+    use tlsfp_index::{FlatIndex, IvfIndex, Rows, VectorIndex};
+    assert_eq!(reference.len(), labels.len(), "one label per embedding");
+    assert!(!reference.is_empty(), "empty reference");
+    let dim = reference[0].len();
+    let rows_flat: Vec<f32> = reference.iter().flatten().copied().collect();
+    let rows = Rows::new(dim, &rows_flat);
+    let metric = tlsfp_core::knn::Metric::Euclidean;
+
+    let flat = FlatIndex::from_rows(metric, rows, labels);
+    let ivf = IvfIndex::build(params, metric, rows, labels);
+
+    let t0 = std::time::Instant::now();
+    let flat_results = flat.search_batch(queries, k, threads);
+    let flat_seconds = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let ivf_results = ivf.search_batch(queries, k, threads);
+    let ivf_seconds = t1.elapsed().as_secs_f64();
+
+    let mut hit1 = 0usize;
+    let mut recall_k_sum = 0.0f64;
+    let mut agree = 0usize;
+    let mut flat_evals = 0u64;
+    let mut ivf_evals = 0u64;
+    for (rf, ri) in flat_results.iter().zip(ivf_results.iter()) {
+        flat_evals += rf.distance_evals;
+        ivf_evals += ri.distance_evals;
+        let truth: std::collections::HashSet<u64> = rf.neighbors.iter().map(|n| n.id).collect();
+        let retrieved: std::collections::HashSet<u64> = ri.neighbors.iter().map(|n| n.id).collect();
+        if let Some(true_nn) = rf.top() {
+            if ri.top().map(|n| n.id) == Some(true_nn.id) {
+                hit1 += 1;
+            }
+        }
+        if !truth.is_empty() {
+            recall_k_sum += truth.intersection(&retrieved).count() as f64 / truth.len() as f64;
+        }
+        // Vote agreement from the results already in hand — no second
+        // scan.
+        let flat_top = tlsfp_core::knn::rank_search(rf.clone()).prediction.top();
+        let ivf_top = tlsfp_core::knn::rank_search(ri.clone()).prediction.top();
+        if flat_top == ivf_top {
+            agree += 1;
+        }
+    }
+    let nq = queries.len().max(1);
+    IndexProfileResult {
+        profile: name.to_string(),
+        n_reference: reference.len(),
+        n_queries: queries.len(),
+        k,
+        n_lists: ivf.n_lists(),
+        n_probe: ivf.n_probe(),
+        recall_at_1: hit1 as f64 / nq as f64,
+        recall_at_k: recall_k_sum / nq as f64,
+        top1_agreement: agree as f64 / nq as f64,
+        flat_distance_evals: flat_evals,
+        ivf_distance_evals: ivf_evals,
+        evals_fraction: if flat_evals == 0 {
+            0.0
+        } else {
+            ivf_evals as f64 / flat_evals as f64
+        },
+        flat_seconds,
+        ivf_seconds,
+        speedup: if ivf_seconds > 0.0 {
+            flat_seconds / ivf_seconds
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Runs the index comparison over all five site profiles: one embedder
+/// is provisioned on a wiki-like corpus, then each profile's corpus is
+/// embedded with it (the model is class-agnostic) and the IVF backend
+/// is measured against the flat scan on those embeddings.
+pub fn run_fig_index(scale: &Scale) -> FigIndexResult {
+    let classes = scale.open_world_monitored + scale.open_world_unmonitored;
+    let train = wiki_dataset(classes, scale.traces_per_class, scale.seed);
+    let (train_ref, _) = train.split_per_class(scale.test_fraction, scale.seed);
+    let adversary = AdaptiveFingerprinter::provision(&train_ref, &scale.pipeline, scale.seed)
+        .expect("provisioning succeeds");
+
+    let profiles = CorpusSpec::all_profiles(classes, scale.traces_per_class)
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let name = spec.site.name.clone();
+            let (_, ds) =
+                Dataset::generate(&spec, &TensorConfig::wiki(), scale.seed + 20 + i as u64)
+                    .expect("valid corpus");
+            let (reference, test) = ds.split_per_class(scale.test_fraction, scale.seed);
+            let ref_embs = adversary.embed_all(reference.seqs());
+            let query_embs = adversary.embed_all(test.seqs());
+            run_index_profile(
+                &name,
+                &ref_embs,
+                reference.labels(),
+                &query_embs,
+                scale.pipeline.k,
+                tlsfp_index::IvfParams::auto(),
+                scale.pipeline.threads,
+            )
+        })
+        .collect();
+    FigIndexResult { profiles }
+}
+
+// ---------------------------------------------------------------------
 // Printing helpers.
 // ---------------------------------------------------------------------
 
@@ -810,6 +983,23 @@ pub fn print_open_world(r: &OpenWorldProfileResult) {
         r.precision,
         r.auc,
         r.accepted_top1,
+    );
+}
+
+/// Prints one profile's index-comparison summary row.
+pub fn print_fig_index(r: &IndexProfileResult) {
+    println!(
+        "  {:<14} n={:<5} q={:<4} lists={:<3} probe={:<2} recall@1={:.3} recall@k={:.3} top1-agree={:.3} evals={:.0}%/flat speedup={:.2}x",
+        r.profile,
+        r.n_reference,
+        r.n_queries,
+        r.n_lists,
+        r.n_probe,
+        r.recall_at_1,
+        r.recall_at_k,
+        r.top1_agreement,
+        100.0 * r.evals_fraction,
+        r.speedup,
     );
 }
 
@@ -930,6 +1120,80 @@ mod tests {
         let json = serde_json::to_string(&result).expect("serializable");
         assert!(json.contains("\"roc\""));
         let back: FigOpenWorldResult = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back, result);
+    }
+
+    /// Tier-1 index smoke: on every testkit profile's embeddings, the
+    /// IVF backend at *default* (auto) parameters must keep recall@1 at
+    /// 0.95+ against the exact flat scan while spending less than half
+    /// its distance computations — the acceptance bar for serving
+    /// through the pruned index.
+    #[test]
+    fn fig_index_smoke_recall_and_pruning_on_all_profiles() {
+        for profile in tlsfp_testkit::Profile::ALL {
+            let (ref_e, ref_l, query_e, _) = tlsfp_testkit::profile_embedding_split(profile);
+            let r = run_index_profile(
+                profile.name(),
+                &ref_e,
+                &ref_l,
+                &query_e,
+                5,
+                tlsfp_index::IvfParams::auto(),
+                0,
+            );
+            assert!(
+                r.recall_at_1 >= 0.95,
+                "{}: recall@1 {:.3} below 0.95 (lists={}, probe={})",
+                r.profile,
+                r.recall_at_1,
+                r.n_lists,
+                r.n_probe
+            );
+            assert!(
+                (r.ivf_distance_evals as f64) < 0.5 * r.flat_distance_evals as f64,
+                "{}: IVF spent {} of {} flat distance evals",
+                r.profile,
+                r.ivf_distance_evals,
+                r.flat_distance_evals
+            );
+            // The flat side scanned everything for every query.
+            assert_eq!(
+                r.flat_distance_evals,
+                (r.n_reference * r.n_queries) as u64,
+                "{}",
+                r.profile
+            );
+            assert!(
+                r.recall_at_k > 0.8,
+                "{}: recall@k {:.3}",
+                r.profile,
+                r.recall_at_k
+            );
+        }
+    }
+
+    #[test]
+    #[ignore = "tier-2: trains a model then embeds five profile corpora (~1 min); run with cargo test -- --ignored"]
+    fn fig_index_emits_comparison_for_all_profiles() {
+        let result = run_fig_index(&Scale::smoke());
+        assert_eq!(result.profiles.len(), 5);
+        for p in &result.profiles {
+            assert!(p.n_lists > 0 && p.n_probe <= p.n_lists, "{}", p.profile);
+            assert!(
+                p.ivf_distance_evals < p.flat_distance_evals,
+                "{}",
+                p.profile
+            );
+            assert!(
+                p.recall_at_1 > 0.8,
+                "{}: recall@1 {:.3}",
+                p.profile,
+                p.recall_at_1
+            );
+        }
+        // The repro --json artifact round-trips.
+        let json = serde_json::to_string(&result).expect("serializable");
+        let back: FigIndexResult = serde_json::from_str(&json).expect("deserializable");
         assert_eq!(back, result);
     }
 

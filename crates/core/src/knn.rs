@@ -5,35 +5,22 @@
 //! labels: labels of the k nearest reference points, ordered by vote
 //! count (ties broken by the closest member). That ranked list is what
 //! the top-N adversary metric consumes.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//!
+//! The neighbor *search* itself lives in `tlsfp-index`: the
+//! [`ReferenceSet`]-taking methods here run the exact
+//! [`flat_search`](tlsfp_index::flat::flat_search) over the reference
+//! rows (bit-identical to the historical scan), while the `*_indexed`
+//! variants accept any [`VectorIndex`] backend — the pipeline routes
+//! every serving-path call through its configured index.
 
 use serde::{Deserialize, Serialize};
 
-use tlsfp_nn::parallel::map_elems;
-use tlsfp_nn::tensor::{cosine_distance, euclidean_sq};
+use tlsfp_index::flat::flat_search;
+use tlsfp_index::{SearchResult, VectorIndex};
 
 use crate::reference::ReferenceSet;
 
-/// Distance metric between embeddings.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum Metric {
-    /// Euclidean distance (the paper's choice, Table I).
-    Euclidean,
-    /// Cosine distance.
-    Cosine,
-}
-
-impl Metric {
-    fn eval(self, a: &[f32], b: &[f32]) -> f32 {
-        match self {
-            // Squared Euclidean preserves ordering and skips the sqrt.
-            Metric::Euclidean => euclidean_sq(a, b),
-            Metric::Cosine => cosine_distance(a, b),
-        }
-    }
-}
+pub use tlsfp_index::Metric;
 
 /// A ranked classification outcome for one query.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -103,24 +90,35 @@ pub struct KnnClassifier {
     pub metric: Metric,
 }
 
-#[derive(PartialEq)]
-struct HeapEntry {
-    dist: f32,
-    label: usize,
-}
-
-impl Eq for HeapEntry {}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Max-heap on distance so the worst neighbour is evictable.
-        self.dist.total_cmp(&other.dist)
+/// Turns a neighbor search outcome into the voted, ranked prediction —
+/// the single vote/rank path every classify variant shares. Exposed so
+/// callers holding a [`SearchResult`] (e.g. the `fig_index` experiment)
+/// can rank it without re-running the search.
+///
+/// Votes are tallied in the order the backend reported its neighbors,
+/// then stably sorted by (votes desc, best distance asc) — for the
+/// flat backend this reproduces the historical classifier exactly.
+pub fn rank_search(result: SearchResult) -> ScoredPrediction {
+    // Vote count and best (smallest) distance per label.
+    let mut votes: Vec<(usize, usize, f32)> = Vec::new(); // (label, votes, best_dist)
+    for e in result.neighbors {
+        match votes.iter_mut().find(|(l, _, _)| *l == e.label) {
+            Some((_, v, d)) => {
+                *v += 1;
+                if e.dist < *d {
+                    *d = e.dist;
+                }
+            }
+            None => votes.push((e.label, 1, e.dist)),
+        }
     }
-}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+    votes.sort_by(|a, b| b.1.cmp(&a.1).then(a.2.total_cmp(&b.2)));
+    ScoredPrediction {
+        prediction: RankedPrediction {
+            ranked: votes.iter().map(|(l, _, _)| *l).collect(),
+            votes: votes.iter().map(|(_, v, _)| *v).collect(),
+        },
+        score: result.nearest,
     }
 }
 
@@ -153,43 +151,40 @@ impl KnnClassifier {
     /// calling [`KnnClassifier::outlier_score`] and
     /// [`KnnClassifier::classify`] separately.
     pub fn classify_with_score(&self, query: &[f32], reference: &ReferenceSet) -> ScoredPrediction {
-        let k = self.k.min(reference.len()).max(1);
-        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
-        let mut nearest = f32::INFINITY;
-        for (emb, &label) in reference.embeddings().iter().zip(reference.labels()) {
-            let dist = self.metric.eval(query, emb);
-            nearest = nearest.min(dist);
-            if heap.len() < k {
-                heap.push(HeapEntry { dist, label });
-            } else if let Some(worst) = heap.peek() {
-                if dist < worst.dist {
-                    heap.pop();
-                    heap.push(HeapEntry { dist, label });
-                }
-            }
-        }
+        rank_search(flat_search(
+            reference.as_rows(),
+            reference.labels(),
+            self.metric,
+            query,
+            self.k,
+        ))
+    }
 
-        // Vote count and best (smallest) distance per label.
-        let mut votes: Vec<(usize, usize, f32)> = Vec::new(); // (label, votes, best_dist)
-        for e in heap.into_iter() {
-            match votes.iter_mut().find(|(l, _, _)| *l == e.label) {
-                Some((_, v, d)) => {
-                    *v += 1;
-                    if e.dist < *d {
-                        *d = e.dist;
-                    }
-                }
-                None => votes.push((e.label, 1, e.dist)),
-            }
-        }
-        votes.sort_by(|a, b| b.1.cmp(&a.1).then(a.2.total_cmp(&b.2)));
-        ScoredPrediction {
-            prediction: RankedPrediction {
-                ranked: votes.iter().map(|(l, _, _)| *l).collect(),
-                votes: votes.iter().map(|(_, v, _)| *v).collect(),
-            },
-            score: nearest,
-        }
+    /// Classifies one query against any index backend. With a flat
+    /// index over the reference rows this is bit-identical to
+    /// [`KnnClassifier::classify`]; with an IVF backend it trades a
+    /// bounded recall loss for an order-of-magnitude fewer distance
+    /// computations.
+    pub fn classify_indexed(&self, query: &[f32], index: &dyn VectorIndex) -> RankedPrediction {
+        self.classify_with_score_indexed(query, index).prediction
+    }
+
+    /// Index-backend variant of [`KnnClassifier::classify_with_score`].
+    ///
+    /// The index must have been built with this classifier's metric —
+    /// otherwise indexed and non-indexed scores silently disagree
+    /// (debug builds assert).
+    pub fn classify_with_score_indexed(
+        &self,
+        query: &[f32],
+        index: &dyn VectorIndex,
+    ) -> ScoredPrediction {
+        debug_assert_eq!(
+            index.metric(),
+            self.metric,
+            "index metric disagrees with classifier metric"
+        );
+        rank_search(index.search(query, self.k))
     }
 
     /// Classifies a batch of queries in parallel.
@@ -199,7 +194,7 @@ impl KnnClassifier {
         reference: &ReferenceSet,
         threads: usize,
     ) -> Vec<RankedPrediction> {
-        map_elems(queries, threads, |q| self.classify(q, reference))
+        tlsfp_nn::parallel::map_elems(queries, threads, |q| self.classify(q, reference))
     }
 
     /// Batch variant of [`KnnClassifier::classify_with_score`].
@@ -209,7 +204,28 @@ impl KnnClassifier {
         reference: &ReferenceSet,
         threads: usize,
     ) -> Vec<ScoredPrediction> {
-        map_elems(queries, threads, |q| self.classify_with_score(q, reference))
+        tlsfp_nn::parallel::map_elems(queries, threads, |q| self.classify_with_score(q, reference))
+    }
+
+    /// Thread-sharded batch classification through an index backend.
+    /// As [`KnnClassifier::classify_with_score_indexed`], the index's
+    /// metric must match the classifier's.
+    pub fn classify_with_score_all_indexed(
+        &self,
+        queries: &[Vec<f32>],
+        index: &dyn VectorIndex,
+        threads: usize,
+    ) -> Vec<ScoredPrediction> {
+        debug_assert_eq!(
+            index.metric(),
+            self.metric,
+            "index metric disagrees with classifier metric"
+        );
+        index
+            .search_batch(queries, self.k, threads)
+            .into_iter()
+            .map(rank_search)
+            .collect()
     }
 
     /// Distance from `query` to its nearest reference point — the
@@ -222,7 +238,7 @@ impl KnnClassifier {
     /// consistent with the internal ranking.
     pub fn outlier_score(&self, query: &[f32], reference: &ReferenceSet) -> f32 {
         reference
-            .embeddings()
+            .as_rows()
             .iter()
             .map(|e| self.metric.eval(query, e))
             .fold(f32::INFINITY, f32::min)
@@ -242,10 +258,23 @@ impl KnnClassifier {
         self.classify_with_score(query, reference)
             .into_open_world(threshold)
     }
+
+    /// Index-backend variant of [`KnnClassifier::classify_open_world`].
+    pub fn classify_open_world_indexed(
+        &self,
+        query: &[f32],
+        index: &dyn VectorIndex,
+        threshold: f32,
+    ) -> Option<RankedPrediction> {
+        self.classify_with_score_indexed(query, index)
+            .into_open_world(threshold)
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    use tlsfp_index::{FlatIndex, IndexConfig, IvfIndex, IvfParams};
+
     use super::*;
 
     fn reference() -> ReferenceSet {
@@ -438,6 +467,52 @@ mod tests {
         let batch = knn.classify_with_score_all(&queries, &reference, 3);
         for (q, sp) in queries.iter().zip(&batch) {
             assert_eq!(sp, &knn.classify_with_score(q, &reference));
+        }
+    }
+
+    #[test]
+    fn flat_indexed_path_is_bit_identical_to_reference_scan() {
+        let (reference, queries) = seeded_scenario(21);
+        let flat = FlatIndex::from_rows(Metric::Euclidean, reference.as_rows(), reference.labels());
+        let knn = KnnClassifier::new(9);
+        for q in &queries {
+            assert_eq!(
+                knn.classify_with_score_indexed(q, &flat),
+                knn.classify_with_score(q, &reference)
+            );
+        }
+        let batch = knn.classify_with_score_all_indexed(&queries, &flat, 4);
+        assert_eq!(batch, knn.classify_with_score_all(&queries, &reference, 1));
+    }
+
+    #[test]
+    fn ivf_indexed_path_agrees_at_full_probe() {
+        let (reference, queries) = seeded_scenario(33);
+        let mut ivf = IvfIndex::build(
+            IvfParams::new(6, 0),
+            Metric::Euclidean,
+            reference.as_rows(),
+            reference.labels(),
+        );
+        ivf.set_n_probe(ivf.n_lists());
+        let knn = KnnClassifier::new(9);
+        for q in &queries {
+            let exact = knn.classify_with_score(q, &reference);
+            let approx = knn.classify_with_score_indexed(q, &ivf);
+            assert_eq!(exact.score, approx.score);
+            assert_eq!(exact.prediction, approx.prediction);
+        }
+    }
+
+    #[test]
+    fn index_config_builds_working_backends() {
+        let (reference, queries) = seeded_scenario(55);
+        let knn = KnnClassifier::new(5);
+        for config in [IndexConfig::Flat, IndexConfig::ivf_default()] {
+            let index = config.build(knn.metric, reference.as_rows(), reference.labels());
+            let sp = knn.classify_with_score_indexed(&queries[0], index.as_ref());
+            assert!(!sp.prediction.ranked.is_empty());
+            assert!(sp.score.is_finite());
         }
     }
 

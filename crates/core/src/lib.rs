@@ -10,7 +10,11 @@
 //! - [`pipeline::AdaptiveFingerprinter`] — provision / fingerprint /
 //!   adapt (Figure 2).
 //! - [`reference::ReferenceSet`] — the labeled embedding store.
-//! - [`knn::KnnClassifier`] — top-N ranked classification (k = 250).
+//! - [`knn::KnnClassifier`] — top-N ranked classification (k = 250),
+//!   served through a configurable `tlsfp-index` backend
+//!   ([`PipelineConfig::index`](pipeline::PipelineConfig)): an exact
+//!   flat scan by default, or an IVF index that prunes candidates by
+//!   an order of magnitude.
 //! - [`metrics::EvalReport`] — top-N accuracy, per-class guess CDFs,
 //!   the Table II smallest-n search.
 //! - [`open_world`] — §VI-C open-world detection metrics: confusion
@@ -50,6 +54,7 @@ pub mod reference;
 pub use error::{CoreError, Result};
 pub use knn::{KnnClassifier, RankedPrediction, ScoredPrediction};
 pub use metrics::EvalReport;
-pub use open_world::{ConfusionCounts, OpenWorldReport, RocPoint};
+pub use open_world::{ConfusionCounts, OpenWorldReport, PerClassThresholds, RocPoint};
 pub use pipeline::{AdaptiveFingerprinter, PipelineConfig};
 pub use reference::ReferenceSet;
+pub use tlsfp_index::{IndexConfig, IvfParams, VectorIndex};

@@ -183,6 +183,82 @@ pub fn calibrate_threshold(monitored_scores: &[f32], percentile: f64) -> Option<
     Some(scores[idx])
 }
 
+/// Per-class calibrated rejection radii: each monitored class gets its
+/// own acceptance radius, calibrated from that class's held-out outlier
+/// scores, with a global-percentile fallback for classes the
+/// calibration set under-covers.
+///
+/// Classes whose reference embeddings are tight can then reject
+/// impostors that a single global threshold (sized for the loosest
+/// class) would wave through. Decisions reduce to the global machinery
+/// via *normalized scores*: `score - radius[predicted class]`, accepted
+/// at `<= 0`, so ROC sweeps and confusion counts apply unchanged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerClassThresholds {
+    /// Acceptance radius per class id (fallback pre-substituted for
+    /// under-covered classes).
+    pub radii: Vec<f32>,
+    /// The global-percentile radius used where per-class calibration
+    /// had too few samples, and for queries with no prediction.
+    pub fallback: f32,
+}
+
+impl PerClassThresholds {
+    /// The acceptance radius for a query predicted as `class`
+    /// (`None` = empty prediction → fallback).
+    pub fn radius_for(&self, class: Option<usize>) -> f32 {
+        class
+            .and_then(|c| self.radii.get(c))
+            .copied()
+            .unwrap_or(self.fallback)
+    }
+
+    /// The query's score normalized by its predicted class's radius:
+    /// `<= 0` means accept. Feeding normalized scores to
+    /// [`ConfusionCounts::at_threshold`] / [`roc_sweep`] at threshold 0
+    /// evaluates the per-class detector with the global machinery.
+    pub fn normalized(&self, score: f32, predicted: Option<usize>) -> f32 {
+        score - self.radius_for(predicted)
+    }
+}
+
+/// Calibrates per-class rejection radii from held-out *monitored*
+/// scores labeled with their true class. A class's radius is the
+/// `percentile` of its own scores when it has at least `min_samples`
+/// of them; otherwise the global percentile over all scores. Returns
+/// `None` for an empty score table.
+///
+/// # Panics
+///
+/// Panics if `scores` and `labels` lengths differ.
+pub fn calibrate_per_class(
+    scores: &[f32],
+    labels: &[usize],
+    n_classes: usize,
+    percentile: f64,
+    min_samples: usize,
+) -> Option<PerClassThresholds> {
+    assert_eq!(scores.len(), labels.len(), "score/label count");
+    let fallback = calibrate_threshold(scores, percentile)?;
+    let mut per_class: Vec<Vec<f32>> = vec![Vec::new(); n_classes];
+    for (&s, &l) in scores.iter().zip(labels) {
+        if l < n_classes {
+            per_class[l].push(s);
+        }
+    }
+    let radii = per_class
+        .into_iter()
+        .map(|class_scores| {
+            if class_scores.len() >= min_samples.max(1) {
+                calibrate_threshold(&class_scores, percentile).unwrap_or(fallback)
+            } else {
+                fallback
+            }
+        })
+        .collect();
+    Some(PerClassThresholds { radii, fallback })
+}
+
 /// The full open-world evaluation at one calibrated threshold.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OpenWorldReport {
@@ -359,6 +435,45 @@ mod tests {
         assert_eq!(calibrate_threshold(&[], 95.0), None);
         // Unsorted input is handled.
         assert_eq!(calibrate_threshold(&[5.0, 1.0, 3.0], 100.0), Some(5.0));
+    }
+
+    #[test]
+    fn per_class_radii_calibrate_and_fall_back() {
+        // Class 0 is tight (scores ~1), class 1 loose (scores ~10),
+        // class 2 under-covered (one sample).
+        let scores = [1.0f32, 1.1, 1.2, 9.0, 10.0, 11.0, 4.0];
+        let labels = [0usize, 0, 0, 1, 1, 1, 2];
+        let t = calibrate_per_class(&scores, &labels, 3, 100.0, 2).unwrap();
+        assert_eq!(t.radii[0], 1.2);
+        assert_eq!(t.radii[1], 11.0);
+        // Class 2 has one sample < min_samples → global fallback.
+        assert_eq!(t.radii[2], t.fallback);
+        assert_eq!(t.fallback, 11.0);
+        // An unlisted/empty prediction also falls back.
+        assert_eq!(t.radius_for(None), t.fallback);
+        assert_eq!(t.radius_for(Some(9)), t.fallback);
+        // Normalization: a score of 2.0 predicted as the tight class 0
+        // is rejected (> radius), as class 1 accepted.
+        assert!(t.normalized(2.0, Some(0)) > 0.0);
+        assert!(t.normalized(2.0, Some(1)) <= 0.0);
+        // Empty table: no calibration.
+        assert!(calibrate_per_class(&[], &[], 3, 95.0, 1).is_none());
+    }
+
+    #[test]
+    fn per_class_radii_match_global_when_uniform() {
+        // One class: per-class percentile == global percentile, so the
+        // per-class detector degenerates to the global one exactly.
+        let scores = [1.0f32, 2.0, 3.0, 4.0];
+        let labels = [0usize; 4];
+        let t = calibrate_per_class(&scores, &labels, 1, 50.0, 1).unwrap();
+        let global = calibrate_threshold(&scores, 50.0).unwrap();
+        assert_eq!(t.radii[0], global);
+        for (&s, &l) in scores.iter().zip(&labels) {
+            let accept_global = s <= global;
+            let accept_per_class = t.normalized(s, Some(l)) <= 0.0;
+            assert_eq!(accept_global, accept_per_class);
+        }
     }
 
     #[test]

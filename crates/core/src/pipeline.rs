@@ -13,6 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use tlsfp_index::{IndexConfig, Rows, ServingIndex, VectorIndex};
 use tlsfp_nn::embedding::{EmbedderConfig, SequenceEmbedder};
 use tlsfp_nn::optim::Sgd;
 use tlsfp_nn::pairs::{random_pairs, semi_hard_pairs, ClassIndex};
@@ -24,7 +25,7 @@ use tlsfp_trace::dataset::Dataset;
 use crate::error::{CoreError, Result};
 use crate::knn::{KnnClassifier, RankedPrediction, ScoredPrediction};
 use crate::metrics::EvalReport;
-use crate::open_world::{self, OpenWorldReport};
+use crate::open_world::{self, OpenWorldReport, PerClassThresholds};
 use crate::reference::ReferenceSet;
 
 /// Everything that parameterizes provisioning and classification.
@@ -51,6 +52,12 @@ pub struct PipelineConfig {
     pub k: usize,
     /// Worker threads (0 = all cores).
     pub threads: usize,
+    /// Nearest-neighbor index backend for the serving path. The
+    /// default [`IndexConfig::Flat`] keeps every decision bit-identical
+    /// to an exhaustive reference scan; [`IndexConfig::ivf_default`]
+    /// trades a bounded recall loss for an order-of-magnitude fewer
+    /// distance computations at scale.
+    pub index: IndexConfig,
 }
 
 impl PipelineConfig {
@@ -68,6 +75,7 @@ impl PipelineConfig {
             semi_hard_from_epoch: None,
             k: 250,
             threads: 0,
+            index: IndexConfig::Flat,
         }
     }
 
@@ -92,6 +100,7 @@ impl PipelineConfig {
             semi_hard_from_epoch: Some(6),
             k: 15,
             threads: 0,
+            index: IndexConfig::Flat,
         }
     }
 
@@ -120,6 +129,11 @@ pub struct AdaptiveFingerprinter {
     knn: KnnClassifier,
     threads: usize,
     log: TrainingLog,
+    /// Which index backend serves queries (mirrors `index`).
+    index_config: IndexConfig,
+    /// The serving index, kept in sync with `reference` by every
+    /// mutation. All classify/fingerprint paths route through it.
+    index: ServingIndex,
 }
 
 impl AdaptiveFingerprinter {
@@ -146,12 +160,22 @@ impl AdaptiveFingerprinter {
         let mut embedder = SequenceEmbedder::new(config.embedder.clone(), seed)?;
         let log = train_embedder(&mut embedder, train, config, seed)?;
 
+        let knn = KnnClassifier::new(config.k);
+        let reference = ReferenceSet::new(config.embedder.output_size, train.n_classes());
+        let index = ServingIndex::build(
+            &config.index,
+            knn.metric,
+            reference.as_rows(),
+            reference.labels(),
+        );
         let mut fp = AdaptiveFingerprinter {
             embedder,
-            reference: ReferenceSet::new(config.embedder.output_size, train.n_classes()),
-            knn: KnnClassifier::new(config.k),
+            reference,
+            knn,
             threads: config.threads,
             log,
+            index_config: config.index,
+            index,
         };
         fp.set_reference(train)?;
         Ok(fp)
@@ -161,15 +185,25 @@ impl AdaptiveFingerprinter {
     /// reuse across experiments, or a deserialized model).
     pub fn from_trained(embedder: SequenceEmbedder, k: usize, threads: usize) -> Self {
         let dim = embedder.output_size();
+        let knn = KnnClassifier::new(k);
+        let reference = ReferenceSet::new(dim, 0);
+        let index = ServingIndex::build(
+            &IndexConfig::Flat,
+            knn.metric,
+            reference.as_rows(),
+            reference.labels(),
+        );
         AdaptiveFingerprinter {
             embedder,
-            reference: ReferenceSet::new(dim, 0),
-            knn: KnnClassifier::new(k),
+            reference,
+            knn,
             threads,
             log: TrainingLog {
                 epoch_losses: Vec::new(),
                 train_seconds: 0.0,
             },
+            index_config: IndexConfig::Flat,
+            index,
         }
     }
 
@@ -181,6 +215,36 @@ impl AdaptiveFingerprinter {
     /// The current reference set.
     pub fn reference(&self) -> &ReferenceSet {
         &self.reference
+    }
+
+    /// The serving index the classify paths route through.
+    pub fn index(&self) -> &dyn VectorIndex {
+        self.index.as_dyn()
+    }
+
+    /// The configured index backend.
+    pub fn index_config(&self) -> IndexConfig {
+        self.index_config
+    }
+
+    /// Switches the serving index backend, rebuilding it from the
+    /// current reference set. With [`IndexConfig::Flat`] every decision
+    /// is bit-identical to an exhaustive scan; an IVF backend re-trains
+    /// its coarse quantizer here (the only non-incremental step —
+    /// subsequent [`AdaptiveFingerprinter::update_class`] /
+    /// [`AdaptiveFingerprinter::add_class`] calls mutate it in place).
+    pub fn set_index(&mut self, config: IndexConfig) {
+        self.index_config = config;
+        self.rebuild_index();
+    }
+
+    fn rebuild_index(&mut self) {
+        self.index = ServingIndex::build(
+            &self.index_config,
+            self.knn.metric,
+            self.reference.as_rows(),
+            self.reference.labels(),
+        );
     }
 
     /// Training diagnostics from provisioning.
@@ -219,6 +283,7 @@ impl AdaptiveFingerprinter {
         let mut reference = ReferenceSet::new(self.embedder.output_size(), data.n_classes());
         reference.add_all(data.labels(), embeddings)?;
         self.reference = reference;
+        self.rebuild_index();
         Ok(())
     }
 
@@ -230,7 +295,19 @@ impl AdaptiveFingerprinter {
     /// Returns [`CoreError::ClassOutOfRange`] for a bad class id.
     pub fn update_class(&mut self, class: usize, fresh_traces: &[SeqInput]) -> Result<usize> {
         let embeddings = self.embed_all(fresh_traces);
-        self.reference.swap_class(class, embeddings)
+        let n_new = embeddings.len();
+        let removed = self.reference.swap_class(class, embeddings)?;
+        // Incremental index swap: no rebuild, the quantizer (if any)
+        // just reassigns the fresh vectors to lists. swap_class keeps
+        // survivors in order and appends the replacements, so the fresh
+        // rows are exactly the reference tail — borrow them from there.
+        let rows = self.reference.as_rows();
+        let tail = Rows::new(
+            rows.dim(),
+            &rows.data()[(rows.len() - n_new) * rows.dim()..],
+        );
+        self.index.as_dyn_mut().swap_label(class, tail);
+        Ok(removed)
     }
 
     /// Adds a brand-new webpage to the monitored set and returns its
@@ -240,22 +317,24 @@ impl AdaptiveFingerprinter {
         let class = self.reference.allocate_class();
         let embeddings = self.embed_all(traces);
         for e in embeddings {
+            self.index.as_dyn_mut().add(class, &e);
             self.reference.add(class, e)?;
         }
         Ok(class)
     }
 
-    /// Embeds and classifies one captured trace (steps 3–4 of Figure 2).
+    /// Embeds and classifies one captured trace (steps 3–4 of Figure 2)
+    /// through the serving index.
     pub fn fingerprint(&self, trace: &SeqInput) -> RankedPrediction {
-        let emb = self.embedder.embed(trace);
-        self.knn.classify(&emb, &self.reference)
+        self.fingerprint_with_score(trace).prediction
     }
 
     /// Embeds and classifies one trace, also reporting its outlier
-    /// score — the open-world primitive, one reference scan.
+    /// score — the open-world primitive, one index query.
     pub fn fingerprint_with_score(&self, trace: &SeqInput) -> ScoredPrediction {
         let emb = self.embedder.embed(trace);
-        self.knn.classify_with_score(&emb, &self.reference)
+        self.knn
+            .classify_with_score_indexed(&emb, self.index.as_dyn())
     }
 
     /// Open-world fingerprinting (§VI-C): returns `None` when the trace
@@ -276,8 +355,11 @@ impl AdaptiveFingerprinter {
     /// batch open-world path).
     pub fn fingerprint_with_score_all(&self, data: &Dataset) -> Vec<ScoredPrediction> {
         let embeddings = self.embed_all(data.seqs());
-        self.knn
-            .classify_with_score_all(&embeddings, &self.reference, self.threads_or_default())
+        self.knn.classify_with_score_all_indexed(
+            &embeddings,
+            self.index.as_dyn(),
+            self.threads_or_default(),
+        )
     }
 
     /// Nearest-reference outlier scores for a whole dataset.
@@ -334,6 +416,83 @@ impl AdaptiveFingerprinter {
             .ok_or_else(|| CoreError::BadDataset("cannot calibrate on an empty dataset".into()))
     }
 
+    /// Per-class variant of
+    /// [`AdaptiveFingerprinter::calibrate_rejection_threshold`]: each
+    /// monitored class gets its own acceptance radius (the `percentile`
+    /// of *its* held-out scores), falling back to the global percentile
+    /// for classes with fewer than `min_samples` calibration loads.
+    /// Tight classes can then reject impostors a single global
+    /// threshold would accept.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadDataset`] if `known` is empty.
+    pub fn calibrate_rejection_radii(
+        &self,
+        known: &Dataset,
+        percentile: f64,
+        min_samples: usize,
+    ) -> Result<PerClassThresholds> {
+        if known.is_empty() {
+            return Err(CoreError::BadDataset(
+                "cannot calibrate on an empty dataset".into(),
+            ));
+        }
+        let scores = self.outlier_scores(known);
+        open_world::calibrate_per_class(
+            &scores,
+            known.labels(),
+            self.reference.n_classes(),
+            percentile,
+            min_samples,
+        )
+        .ok_or_else(|| CoreError::BadDataset("cannot calibrate on an empty dataset".into()))
+    }
+
+    /// Open-world fingerprinting with per-class radii: the query is
+    /// accepted when its outlier score is within its *predicted*
+    /// class's calibrated radius.
+    pub fn fingerprint_open_world_per_class(
+        &self,
+        trace: &SeqInput,
+        radii: &PerClassThresholds,
+    ) -> Option<RankedPrediction> {
+        let sp = self.fingerprint_with_score(trace);
+        if radii.normalized(sp.score, sp.prediction.top()) <= 0.0 {
+            Some(sp.prediction)
+        } else {
+            None
+        }
+    }
+
+    /// Open-world evaluation with per-class radii. Scores are
+    /// normalized by each query's predicted-class radius
+    /// ([`PerClassThresholds::normalized`]), so the report's counts and
+    /// ROC are computed by the same machinery as
+    /// [`AdaptiveFingerprinter::evaluate_open_world`], at threshold 0.
+    pub fn evaluate_open_world_per_class(
+        &self,
+        monitored: &Dataset,
+        unmonitored: &Dataset,
+        radii: &PerClassThresholds,
+    ) -> OpenWorldReport {
+        let normalize = |scored: &[ScoredPrediction]| -> Vec<f32> {
+            scored
+                .iter()
+                .map(|sp| radii.normalized(sp.score, sp.prediction.top()))
+                .collect()
+        };
+        let scored = self.fingerprint_with_score_all(monitored);
+        let monitored_scores = normalize(&scored);
+        let top1_correct: Vec<bool> = scored
+            .iter()
+            .zip(monitored.labels())
+            .map(|(sp, &label)| sp.prediction.top() == Some(label))
+            .collect();
+        let unmonitored_scores = normalize(&self.fingerprint_with_score_all(unmonitored));
+        OpenWorldReport::evaluate(&monitored_scores, &top1_correct, &unmonitored_scores, 0.0)
+    }
+
     /// Embeds a batch of traces in parallel.
     pub fn embed_all(&self, traces: &[SeqInput]) -> Vec<Vec<f32>> {
         let embedder = &self.embedder;
@@ -344,9 +503,16 @@ impl AdaptiveFingerprinter {
     /// (top-N curves, per-class guesses, CDFs).
     pub fn evaluate(&self, test: &Dataset) -> EvalReport {
         let embeddings = self.embed_all(test.seqs());
-        let predictions =
-            self.knn
-                .classify_all(&embeddings, &self.reference, self.threads_or_default());
+        let predictions: Vec<RankedPrediction> = self
+            .knn
+            .classify_with_score_all_indexed(
+                &embeddings,
+                self.index.as_dyn(),
+                self.threads_or_default(),
+            )
+            .into_iter()
+            .map(|sp| sp.prediction)
+            .collect();
         EvalReport::from_predictions(&predictions, test.labels(), self.reference.n_classes())
     }
 

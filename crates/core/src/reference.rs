@@ -4,8 +4,16 @@
 //! The whole point of the paper's design is that this set — not the
 //! model — is what gets updated when webpages change: swapping a class's
 //! reference samples is a handful of embeddings, not a retraining run.
+//!
+//! Embeddings are stored contiguously (row-major `Vec<f32>`): the
+//! serving path scans this store on every query, and a flat buffer
+//! walks memory linearly instead of chasing one heap pointer per
+//! reference point. [`ReferenceSet::as_rows`] hands the same buffer to
+//! the `tlsfp-index` backends without a copy.
 
 use serde::{Deserialize, Serialize};
+
+use tlsfp_index::Rows;
 
 use crate::error::{CoreError, Result};
 
@@ -14,7 +22,9 @@ use crate::error::{CoreError, Result};
 pub struct ReferenceSet {
     dim: usize,
     n_classes: usize,
-    embeddings: Vec<Vec<f32>>,
+    /// Row-major embedding buffer: point `i` occupies
+    /// `rows[i * dim..(i + 1) * dim]`.
+    rows: Vec<f32>,
     labels: Vec<usize>,
 }
 
@@ -25,7 +35,7 @@ impl ReferenceSet {
         ReferenceSet {
             dim,
             n_classes,
-            embeddings: Vec::new(),
+            rows: Vec::new(),
             labels: Vec::new(),
         }
     }
@@ -42,20 +52,31 @@ impl ReferenceSet {
 
     /// Number of stored reference points.
     pub fn len(&self) -> usize {
-        self.embeddings.len()
+        self.labels.len()
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.embeddings.is_empty()
+        self.labels.is_empty()
     }
 
-    /// Stored embeddings (aligned with [`ReferenceSet::labels`]).
-    pub fn embeddings(&self) -> &[Vec<f32>] {
-        &self.embeddings
+    /// Contiguous row-major view of the stored embeddings (aligned with
+    /// [`ReferenceSet::labels`]) — what the index backends build from
+    /// and the exact scan walks.
+    pub fn as_rows(&self) -> Rows<'_> {
+        Rows::new(self.dim, &self.rows)
     }
 
-    /// Stored labels (aligned with [`ReferenceSet::embeddings`]).
+    /// Borrows embedding `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn embedding(&self, i: usize) -> &[f32] {
+        self.as_rows().row(i)
+    }
+
+    /// Stored labels (aligned with [`ReferenceSet::as_rows`]).
     pub fn labels(&self) -> &[usize] {
         &self.labels
     }
@@ -66,6 +87,15 @@ impl ReferenceSet {
     ///
     /// Returns [`CoreError::ClassOutOfRange`] or a dimension error.
     pub fn add(&mut self, class: usize, embedding: Vec<f32>) -> Result<()> {
+        self.add_row(class, &embedding)
+    }
+
+    /// Adds one reference point from a borrowed slice.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReferenceSet::add`].
+    pub fn add_row(&mut self, class: usize, embedding: &[f32]) -> Result<()> {
         if class >= self.n_classes {
             return Err(CoreError::ClassOutOfRange {
                 class,
@@ -79,7 +109,7 @@ impl ReferenceSet {
                 self.dim
             )));
         }
-        self.embeddings.push(embedding);
+        self.rows.extend_from_slice(embedding);
         self.labels.push(class);
         Ok(())
     }
@@ -97,8 +127,8 @@ impl ReferenceSet {
                 embeddings.len()
             )));
         }
-        for (&c, e) in classes.iter().zip(embeddings) {
-            self.add(c, e)?;
+        for (&c, e) in classes.iter().zip(&embeddings) {
+            self.add_row(c, e)?;
         }
         Ok(())
     }
@@ -118,7 +148,9 @@ impl ReferenceSet {
     }
 
     /// Removes every reference point of `class` (first half of the §IV-C
-    /// adaptation swap). Returns how many points were dropped.
+    /// adaptation swap), compacting the row buffer in place and
+    /// preserving the order of the survivors. Returns how many points
+    /// were dropped.
     ///
     /// # Errors
     ///
@@ -130,18 +162,13 @@ impl ReferenceSet {
                 n_classes: self.n_classes,
             });
         }
-        let before = self.len();
-        let mut kept_e = Vec::with_capacity(before);
-        let mut kept_l = Vec::with_capacity(before);
-        for (e, &l) in self.embeddings.drain(..).zip(&self.labels) {
-            if l != class {
-                kept_e.push(e);
-                kept_l.push(l);
-            }
-        }
-        self.embeddings = kept_e;
-        self.labels = kept_l;
-        Ok(before - self.len())
+        Ok(tlsfp_index::compact_remove_label(
+            self.dim,
+            class,
+            &mut self.labels,
+            &mut self.rows,
+            None,
+        ))
     }
 
     /// Replaces a class's reference points with fresh ones — the paper's
@@ -152,8 +179,8 @@ impl ReferenceSet {
     /// As [`ReferenceSet::remove_class`] / [`ReferenceSet::add`].
     pub fn swap_class(&mut self, class: usize, embeddings: Vec<Vec<f32>>) -> Result<usize> {
         let removed = self.remove_class(class)?;
-        for e in embeddings {
-            self.add(class, e)?;
+        for e in &embeddings {
+            self.add_row(class, e)?;
         }
         Ok(removed)
     }
@@ -189,6 +216,17 @@ mod tests {
     }
 
     #[test]
+    fn rows_view_is_contiguous_and_aligned() {
+        let r = filled();
+        let rows = r.as_rows();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.dim(), 2);
+        assert_eq!(rows.row(1), &[0.1, 0.0]);
+        assert_eq!(r.embedding(3), &[2.0, 2.0]);
+        assert_eq!(rows.data().len(), 8);
+    }
+
+    #[test]
     fn add_validates() {
         let mut r = ReferenceSet::new(2, 2);
         assert!(matches!(
@@ -211,9 +249,12 @@ mod tests {
         assert_eq!(r.class_count(0), 3);
         assert_eq!(r.class_count(1), 1);
         assert_eq!(r.class_count(2), 1);
-        // New embeddings actually present.
-        assert!(r.embeddings().iter().any(|e| e == &vec![9.0, 9.0]));
-        assert!(!r.embeddings().iter().any(|e| e == &vec![0.1, 0.0]));
+        // New embeddings actually present, old ones gone.
+        let rows = r.as_rows();
+        assert!(rows.iter().any(|e| e == [9.0, 9.0]));
+        assert!(!rows.iter().any(|e| e == [0.1, 0.0]));
+        // Survivors kept their order; replacements appended.
+        assert_eq!(r.labels(), &[1, 2, 0, 0, 0]);
     }
 
     #[test]

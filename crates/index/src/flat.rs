@@ -1,0 +1,291 @@
+//! The exact backend: a brute-force scan over contiguous row-major
+//! storage.
+//!
+//! This is the historical serving path extracted from the classifier,
+//! with two changes that matter at scale and none that change results:
+//!
+//! - vectors live in one flat `Vec<f32>` (row-major) instead of
+//!   `Vec<Vec<f32>>`, so a scan walks memory linearly with no pointer
+//!   chasing, and
+//! - the scan processes candidate rows in cache-sized chunks
+//!   ([`SCAN_CHUNK_ROWS`] at a time), keeping the query vector hot
+//!   while each block streams through.
+//!
+//! Per-distance accumulation order is *unchanged* (the `tlsfp-nn`
+//! kernels), and the k-selection heap replays the historical algorithm
+//! comparison-for-comparison, so every score, every selected neighbor
+//! set, and even the heap's output order are bit-identical to the
+//! pre-index scan — the regression tests in the facade crate hold this
+//! line.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{IndexSnapshot, Metric, Neighbor, Rows, SearchResult, VectorIndex};
+
+/// Rows scanned per block: 64 rows × 32 dims × 4 bytes = 8 KiB per
+/// block, comfortably inside L1 alongside the query.
+pub const SCAN_CHUNK_ROWS: usize = 64;
+
+/// The exact nearest-neighbor index: contiguous storage, chunked scan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlatIndex {
+    dim: usize,
+    metric: Metric,
+    data: Vec<f32>,
+    labels: Vec<usize>,
+}
+
+/// Heap entry ordered by distance only — the historical eviction rule
+/// (boundary ties keep the earlier-scanned row). The `id`/`label`
+/// payload never participates in comparisons, so heap layout and
+/// iteration order replay the pre-index implementation exactly.
+#[derive(PartialEq)]
+struct FlatHeapEntry {
+    dist: f32,
+    id: u64,
+    label: usize,
+}
+
+impl Eq for FlatHeapEntry {}
+
+impl Ord for FlatHeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist.total_cmp(&other.dist)
+    }
+}
+
+impl PartialOrd for FlatHeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl FlatIndex {
+    /// An empty index for `dim`-dimensional vectors.
+    pub fn new(dim: usize, metric: Metric) -> Self {
+        FlatIndex {
+            dim,
+            metric,
+            data: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Builds from labeled rows (copied into contiguous storage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != labels.len()`.
+    pub fn from_rows(metric: Metric, rows: Rows<'_>, labels: &[usize]) -> Self {
+        assert_eq!(rows.len(), labels.len(), "one label per row");
+        FlatIndex {
+            dim: rows.dim(),
+            metric,
+            data: rows.data().to_vec(),
+            labels: labels.to_vec(),
+        }
+    }
+
+    /// The stored rows as a contiguous view.
+    pub fn rows(&self) -> Rows<'_> {
+        Rows::new(self.dim, &self.data)
+    }
+
+    /// Stored labels, aligned with [`FlatIndex::rows`].
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+}
+
+/// The exact scan every backend's accuracy is measured against: walks
+/// `rows` in order in [`SCAN_CHUNK_ROWS`]-row blocks, keeping the best
+/// `k` in a bounded max-heap keyed on distance alone.
+///
+/// Returned neighbors are in heap iteration order (arbitrary but
+/// deterministic), matching the historical classifier bit-for-bit; the
+/// `nearest` field is the true minimum distance over all rows.
+pub fn flat_search(
+    rows: Rows<'_>,
+    labels: &[usize],
+    metric: Metric,
+    query: &[f32],
+    k: usize,
+) -> SearchResult {
+    debug_assert_eq!(rows.len(), labels.len(), "one label per row");
+    if rows.is_empty() {
+        // Mirror the historical scan: an empty reference still "ran",
+        // with an infinite outlier score and no votes.
+        return SearchResult::empty();
+    }
+    let k = k.min(rows.len()).max(1);
+    let mut heap: BinaryHeap<FlatHeapEntry> = BinaryHeap::with_capacity(k + 1);
+    let mut nearest = f32::INFINITY;
+    let mut evals = 0u64;
+    let dim = rows.dim().max(1);
+    let block = SCAN_CHUNK_ROWS * dim;
+    let mut id = 0u64;
+    for chunk in rows.data().chunks(block) {
+        for row in chunk.chunks_exact(dim) {
+            let dist = metric.eval(query, row);
+            evals += 1;
+            nearest = nearest.min(dist);
+            let entry = FlatHeapEntry {
+                dist,
+                id,
+                label: labels[id as usize],
+            };
+            if heap.len() < k {
+                heap.push(entry);
+            } else if let Some(worst) = heap.peek() {
+                if dist < worst.dist {
+                    heap.pop();
+                    heap.push(entry);
+                }
+            }
+            id += 1;
+        }
+    }
+    SearchResult {
+        neighbors: heap
+            .into_iter()
+            .map(|e| Neighbor {
+                id: e.id,
+                label: e.label,
+                dist: e.dist,
+            })
+            .collect(),
+        nearest,
+        distance_evals: evals,
+    }
+}
+
+impl VectorIndex for FlatIndex {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> SearchResult {
+        flat_search(self.rows(), &self.labels, self.metric, query, k)
+    }
+
+    fn add(&mut self, label: usize, vector: &[f32]) {
+        assert_eq!(vector.len(), self.dim, "vector dim mismatch");
+        self.data.extend_from_slice(vector);
+        self.labels.push(label);
+    }
+
+    fn remove_label(&mut self, label: usize) -> usize {
+        crate::compact_remove_label(self.dim, label, &mut self.labels, &mut self.data, None)
+    }
+
+    fn snapshot(&self) -> IndexSnapshot {
+        IndexSnapshot::Flat(self.clone())
+    }
+
+    fn boxed_clone(&self) -> Box<dyn VectorIndex> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FlatIndex {
+        let mut ix = FlatIndex::new(2, Metric::Euclidean);
+        ix.add(0, &[0.0, 0.0]);
+        ix.add(0, &[0.1, 0.0]);
+        ix.add(1, &[1.0, 1.0]);
+        ix.add(2, &[2.0, 2.0]);
+        ix
+    }
+
+    #[test]
+    fn search_finds_nearest_and_counts_evals() {
+        let ix = sample();
+        let r = ix.search(&[0.05, 0.0], 2);
+        assert_eq!(r.distance_evals, 4);
+        assert_eq!(r.neighbors.len(), 2);
+        assert!(r.neighbors.iter().all(|n| n.label == 0));
+        // (0, 0) and (0.1, 0) tie at 0.05² from the query; ties break
+        // toward the lower id.
+        assert_eq!(r.top().unwrap().id, 0);
+        assert!((r.nearest - 0.05f32 * 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_index_returns_empty_result() {
+        let ix = FlatIndex::new(3, Metric::Euclidean);
+        let r = ix.search(&[0.0, 0.0, 0.0], 5);
+        assert!(r.neighbors.is_empty());
+        assert_eq!(r.nearest, f32::INFINITY);
+        assert_eq!(r.distance_evals, 0);
+    }
+
+    #[test]
+    fn remove_label_compacts_in_order() {
+        let mut ix = sample();
+        assert_eq!(ix.remove_label(0), 2);
+        assert_eq!(ix.len(), 2);
+        assert_eq!(ix.labels(), &[1, 2]);
+        assert_eq!(ix.rows().row(0), &[1.0, 1.0]);
+        assert_eq!(ix.rows().row(1), &[2.0, 2.0]);
+        assert_eq!(ix.remove_label(7), 0);
+    }
+
+    #[test]
+    fn swap_label_replaces_only_that_label() {
+        let mut ix = sample();
+        let fresh = [9.0f32, 9.0, 8.0, 8.0];
+        let removed = ix.swap_label(0, Rows::new(2, &fresh));
+        assert_eq!(removed, 2);
+        assert_eq!(ix.len(), 4);
+        assert_eq!(ix.labels(), &[1, 2, 0, 0]);
+        assert_eq!(ix.rows().row(2), &[9.0, 9.0]);
+    }
+
+    #[test]
+    fn chunked_scan_matches_unchunked_reference() {
+        // More rows than one scan block, random-ish values.
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let dim = 7;
+        let mut ix = FlatIndex::new(dim, Metric::Euclidean);
+        let mut rows = Vec::new();
+        for i in 0..3 * SCAN_CHUNK_ROWS + 5 {
+            let v: Vec<f32> = (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+            ix.add(i % 9, &v);
+            rows.push(v);
+        }
+        let query: Vec<f32> = (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+        let r = ix.search(&query, 10);
+        // Reference: naive argmin over all rows.
+        let naive_nearest = rows
+            .iter()
+            .map(|v| Metric::Euclidean.eval(&query, v))
+            .fold(f32::INFINITY, f32::min);
+        assert_eq!(r.nearest, naive_nearest);
+        assert_eq!(r.distance_evals, rows.len() as u64);
+        assert_eq!(r.neighbors.len(), 10);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let ix = sample();
+        let json = serde_json::to_string(&ix).unwrap();
+        let back: FlatIndex = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ix);
+    }
+}

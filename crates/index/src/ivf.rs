@@ -1,0 +1,558 @@
+//! The inverted-file (IVF) backend: a k-means coarse quantizer shards
+//! the vectors into lists; each query scans only the `n_probe` lists
+//! whose centroids are nearest.
+//!
+//! The quantizer is trained once at build time with a seeded,
+//! deterministic Lloyd's iteration; mutations afterwards are
+//! *incremental* — a new vector is appended to its nearest centroid's
+//! list, removal compacts lists in place, and nothing is re-clustered.
+//! This is exactly the paper's adaptation economics: swapping one
+//! webpage's reference embeddings touches a handful of lists, never the
+//! whole index.
+//!
+//! Each list stores its vectors contiguously (row-major `Vec<f32>`), so
+//! probing a list is the same cache-friendly streaming scan the flat
+//! backend does — just over a fraction of the data.
+//!
+//! With `n_probe == n_lists` every list is probed and results match
+//! [`crate::FlatIndex`] exactly (the crate's property tests assert it);
+//! smaller `n_probe` trades recall for distance computations.
+
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{IndexSnapshot, Metric, Neighbor, Rows, SearchResult, SelectEntry, VectorIndex};
+
+/// Lloyd iterations the coarse quantizer runs at build time.
+pub const KMEANS_ITERS: usize = 10;
+
+/// IVF build parameters. Zero means "resolve automatically at build
+/// time": `n_lists ≈ √n` and `n_probe ≈ n_lists / 4`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IvfParams {
+    /// Number of inverted lists (coarse centroids). `0` = auto.
+    pub n_lists: usize,
+    /// Lists probed per query. `0` = auto.
+    pub n_probe: usize,
+}
+
+impl IvfParams {
+    /// Fully automatic parameters.
+    pub fn auto() -> Self {
+        IvfParams {
+            n_lists: 0,
+            n_probe: 0,
+        }
+    }
+
+    /// Explicit parameters.
+    pub fn new(n_lists: usize, n_probe: usize) -> Self {
+        IvfParams { n_lists, n_probe }
+    }
+}
+
+/// One inverted list: ids, labels and contiguous row-major vectors,
+/// all aligned.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct IvfList {
+    ids: Vec<u64>,
+    labels: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl IvfList {
+    fn new() -> Self {
+        IvfList {
+            ids: Vec::new(),
+            labels: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+/// The inverted-file index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IvfIndex {
+    dim: usize,
+    metric: Metric,
+    n_probe: usize,
+    /// Coarse centroids, row-major (`n_lists × dim`).
+    centroids: Vec<f32>,
+    lists: Vec<IvfList>,
+    /// Next insertion id; build assigns `0..n` in row order, so fresh
+    /// ids coincide with flat row positions.
+    next_id: u64,
+}
+
+impl IvfIndex {
+    /// Builds the index: trains the coarse quantizer on `rows` with a
+    /// deterministic k-means, then assigns every row to its nearest
+    /// centroid's list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != labels.len()`.
+    pub fn build(params: IvfParams, metric: Metric, rows: Rows<'_>, labels: &[usize]) -> Self {
+        assert_eq!(rows.len(), labels.len(), "one label per row");
+        let n = rows.len();
+        let dim = rows.dim();
+        let n_lists = if n == 0 {
+            1
+        } else if params.n_lists == 0 {
+            (n as f64).sqrt().ceil() as usize
+        } else {
+            params.n_lists.clamp(1, n)
+        };
+        let n_probe = if params.n_probe == 0 {
+            n_lists.div_ceil(4).max(1)
+        } else {
+            params.n_probe.min(n_lists).max(1)
+        };
+        let centroids = kmeans(rows, n_lists, metric);
+        let mut index = IvfIndex {
+            dim,
+            metric,
+            n_probe,
+            centroids,
+            lists: (0..n_lists).map(|_| IvfList::new()).collect(),
+            next_id: 0,
+        };
+        for (i, row) in rows.iter().enumerate() {
+            let li = index.nearest_centroid(row);
+            let list = &mut index.lists[li];
+            list.ids.push(index.next_id);
+            list.labels.push(labels[i]);
+            list.data.extend_from_slice(row);
+            index.next_id += 1;
+        }
+        index
+    }
+
+    /// Number of inverted lists.
+    pub fn n_lists(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Lists probed per query.
+    pub fn n_probe(&self) -> usize {
+        self.n_probe
+    }
+
+    /// Adjusts how many lists each query probes (clamped to
+    /// `[1, n_lists]`). `n_probe == n_lists` makes the index exact.
+    pub fn set_n_probe(&mut self, n_probe: usize) {
+        self.n_probe = n_probe.clamp(1, self.lists.len());
+    }
+
+    /// Per-list occupancy, for shard-balance diagnostics.
+    pub fn list_sizes(&self) -> Vec<usize> {
+        self.lists.iter().map(IvfList::len).collect()
+    }
+
+    /// Index of the centroid nearest to `row` (ties break low).
+    fn nearest_centroid(&self, row: &[f32]) -> usize {
+        let mut best = 0usize;
+        let mut best_dist = f32::INFINITY;
+        for (ci, centroid) in self.centroids.chunks_exact(self.dim.max(1)).enumerate() {
+            let d = self.metric.eval(row, centroid);
+            if d < best_dist {
+                best_dist = d;
+                best = ci;
+            }
+        }
+        best
+    }
+}
+
+/// Balance-repair rounds run after the main Lloyd loop.
+const REPAIR_ROUNDS: usize = 4;
+
+/// Deterministic k-means: centroids seeded from evenly-spaced rows
+/// (reference corpora are class-grouped, so the spread covers the label
+/// space), refined by [`KMEANS_ITERS`] Lloyd iterations with sequential
+/// accumulation — byte-stable across runs and thread counts. A cluster
+/// that loses all members keeps its previous centroid.
+///
+/// Lloyd alone can leave one list holding a large share of the data
+/// (probing it then erases most of the pruning win), so a few repair
+/// rounds follow: while the heaviest cluster exceeds twice the mean
+/// occupancy, the lightest cluster's centroid is reseeded at the
+/// heaviest cluster's farthest member and Lloyd briefly re-runs —
+/// splitting dense blobs instead of serving them whole.
+fn kmeans(rows: Rows<'_>, n_lists: usize, metric: Metric) -> Vec<f32> {
+    let dim = rows.dim();
+    let n = rows.len();
+    if n == 0 {
+        return vec![0.0; n_lists * dim];
+    }
+    let mut centroids = Vec::with_capacity(n_lists * dim);
+    for ci in 0..n_lists {
+        centroids.extend_from_slice(rows.row(ci * n / n_lists));
+    }
+    let mut assignment = vec![0usize; n];
+    lloyd(rows, metric, &mut centroids, &mut assignment, KMEANS_ITERS);
+
+    for _ in 0..REPAIR_ROUNDS {
+        let mut counts = vec![0usize; n_lists];
+        for &a in &assignment {
+            counts[a] += 1;
+        }
+        let heavy = (0..n_lists).max_by_key(|&c| counts[c]).unwrap_or(0);
+        let light = (0..n_lists).min_by_key(|&c| counts[c]).unwrap_or(0);
+        if counts[heavy] <= 2 * n.div_ceil(n_lists) || heavy == light {
+            break;
+        }
+        // Reseed the lightest centroid at the heaviest cluster's
+        // farthest member (ties break toward the lowest row index).
+        let heavy_centroid: Vec<f32> = centroids[heavy * dim..(heavy + 1) * dim].to_vec();
+        let mut far = None;
+        let mut far_dist = f32::NEG_INFINITY;
+        for (i, row) in rows.iter().enumerate() {
+            if assignment[i] == heavy {
+                let d = metric.eval(row, &heavy_centroid);
+                if d > far_dist {
+                    far_dist = d;
+                    far = Some(i);
+                }
+            }
+        }
+        let Some(far) = far else { break };
+        centroids[light * dim..(light + 1) * dim].copy_from_slice(rows.row(far));
+        lloyd(rows, metric, &mut centroids, &mut assignment, 3);
+    }
+    centroids
+}
+
+/// Lloyd's iteration: assign each row to its nearest centroid (ties
+/// break low), then move every non-empty centroid to its members' mean.
+/// Stops early once an assignment pass changes nothing.
+fn lloyd(
+    rows: Rows<'_>,
+    metric: Metric,
+    centroids: &mut [f32],
+    assignment: &mut [usize],
+    iters: usize,
+) {
+    let dim = rows.dim();
+    let n_lists = centroids.len().checked_div(dim).unwrap_or(1);
+    for _ in 0..iters {
+        // Assign.
+        let mut changed = false;
+        for (i, row) in rows.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_dist = f32::INFINITY;
+            for (ci, centroid) in centroids.chunks_exact(dim.max(1)).enumerate() {
+                let d = metric.eval(row, centroid);
+                if d < best_dist {
+                    best_dist = d;
+                    best = ci;
+                }
+            }
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![0.0f32; centroids.len()];
+        let mut counts = vec![0usize; n_lists];
+        for (i, row) in rows.iter().enumerate() {
+            let c = assignment[i];
+            counts[c] += 1;
+            for (s, v) in sums[c * dim..(c + 1) * dim].iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        for c in 0..n_lists {
+            if counts[c] > 0 {
+                let inv = 1.0 / counts[c] as f32;
+                for (dst, s) in centroids[c * dim..(c + 1) * dim]
+                    .iter_mut()
+                    .zip(&sums[c * dim..(c + 1) * dim])
+                {
+                    *dst = s * inv;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+impl VectorIndex for IvfIndex {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.lists.iter().map(IvfList::len).sum()
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> SearchResult {
+        let total = self.len();
+        if total == 0 {
+            return SearchResult::empty();
+        }
+        let dim = self.dim.max(1);
+        let mut evals = 0u64;
+
+        // Rank centroids by (distance, index) — deterministic probe
+        // order whatever the list layout.
+        let mut ranked: Vec<(f32, usize)> = self
+            .centroids
+            .chunks_exact(dim)
+            .enumerate()
+            .map(|(ci, centroid)| {
+                evals += 1;
+                (self.metric.eval(query, centroid), ci)
+            })
+            .collect();
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        let probe = self.n_probe.min(ranked.len());
+        let k = k.min(total).max(1);
+        let mut heap: BinaryHeap<SelectEntry> = BinaryHeap::with_capacity(k + 1);
+        let mut nearest = f32::INFINITY;
+        for &(_, li) in &ranked[..probe] {
+            let list = &self.lists[li];
+            for (j, row) in list.data.chunks_exact(dim).enumerate() {
+                let dist = self.metric.eval(query, row);
+                evals += 1;
+                nearest = nearest.min(dist);
+                let entry = SelectEntry {
+                    dist,
+                    id: list.ids[j],
+                    label: list.labels[j],
+                };
+                if heap.len() < k {
+                    heap.push(entry);
+                } else if let Some(worst) = heap.peek() {
+                    if entry < *worst {
+                        heap.pop();
+                        heap.push(entry);
+                    }
+                }
+            }
+        }
+        SearchResult {
+            // Ascending (dist, id): canonical, deterministic.
+            neighbors: heap
+                .into_sorted_vec()
+                .into_iter()
+                .map(|e| Neighbor {
+                    id: e.id,
+                    label: e.label,
+                    dist: e.dist,
+                })
+                .collect(),
+            nearest,
+            distance_evals: evals,
+        }
+    }
+
+    fn add(&mut self, label: usize, vector: &[f32]) {
+        assert_eq!(vector.len(), self.dim, "vector dim mismatch");
+        let li = self.nearest_centroid(vector);
+        let id = self.next_id;
+        self.next_id += 1;
+        let list = &mut self.lists[li];
+        list.ids.push(id);
+        list.labels.push(label);
+        list.data.extend_from_slice(vector);
+    }
+
+    fn remove_label(&mut self, label: usize) -> usize {
+        let dim = self.dim;
+        self.lists
+            .iter_mut()
+            .map(|list| {
+                crate::compact_remove_label(
+                    dim,
+                    label,
+                    &mut list.labels,
+                    &mut list.data,
+                    Some(&mut list.ids),
+                )
+            })
+            .sum()
+    }
+
+    fn snapshot(&self) -> IndexSnapshot {
+        IndexSnapshot::Ivf(self.clone())
+    }
+
+    fn boxed_clone(&self) -> Box<dyn VectorIndex> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    use super::*;
+
+    /// Clustered synthetic rows: `classes` groups of `per_class` points
+    /// around distinct centers.
+    fn clustered(
+        classes: usize,
+        per_class: usize,
+        dim: usize,
+        seed: u64,
+    ) -> (Vec<f32>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..classes {
+            let center = c as f32 * 4.0;
+            for _ in 0..per_class {
+                for _ in 0..dim {
+                    data.push(center + rng.random_range(-0.4f32..0.4));
+                }
+                labels.push(c);
+            }
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn build_shards_and_auto_params() {
+        let (data, labels) = clustered(6, 12, 5, 3);
+        let ix = IvfIndex::build(
+            IvfParams::auto(),
+            Metric::Euclidean,
+            Rows::new(5, &data),
+            &labels,
+        );
+        assert_eq!(ix.len(), 72);
+        // auto: ceil(sqrt(72)) = 9 lists, ceil(9/4) = 3 probed.
+        assert_eq!(ix.n_lists(), 9);
+        assert_eq!(ix.n_probe(), 3);
+        assert_eq!(ix.list_sizes().iter().sum::<usize>(), 72);
+    }
+
+    #[test]
+    fn probed_search_finds_cluster_members() {
+        let (data, labels) = clustered(6, 12, 5, 4);
+        let ix = IvfIndex::build(
+            IvfParams::auto(),
+            Metric::Euclidean,
+            Rows::new(5, &data),
+            &labels,
+        );
+        // A query on top of cluster 2 must retrieve label-2 neighbors
+        // while scanning far fewer than all 72 vectors (+ centroids).
+        let query = vec![8.0f32; 5];
+        let r = ix.search(&query, 5);
+        assert_eq!(r.neighbors.len(), 5);
+        assert!(
+            r.neighbors.iter().all(|n| n.label == 2),
+            "{:?}",
+            r.neighbors
+        );
+        assert!(
+            r.distance_evals < 72 / 2,
+            "probed scan cost {} evals",
+            r.distance_evals
+        );
+        // Neighbors come back sorted by (dist, id).
+        for w in r.neighbors.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+
+    #[test]
+    fn full_probe_is_exact() {
+        let (data, labels) = clustered(4, 10, 3, 5);
+        let rows = Rows::new(3, &data);
+        let mut ix = IvfIndex::build(IvfParams::new(5, 0), Metric::Euclidean, rows, &labels);
+        ix.set_n_probe(ix.n_lists());
+        let flat = crate::FlatIndex::from_rows(Metric::Euclidean, rows, &labels);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..20 {
+            let q: Vec<f32> = (0..3).map(|_| rng.random_range(-2.0f32..18.0)).collect();
+            let ri = ix.search(&q, 7);
+            let rf = flat.search(&q, 7);
+            assert_eq!(ri.nearest, rf.nearest);
+            let mut fa: Vec<(u64, u32)> = rf
+                .neighbors
+                .iter()
+                .map(|n| (n.id, n.dist.to_bits()))
+                .collect();
+            let mut ia: Vec<(u64, u32)> = ri
+                .neighbors
+                .iter()
+                .map(|n| (n.id, n.dist.to_bits()))
+                .collect();
+            fa.sort_unstable();
+            ia.sort_unstable();
+            assert_eq!(fa, ia);
+        }
+    }
+
+    #[test]
+    fn incremental_mutation_reassigns_lists() {
+        let (data, labels) = clustered(4, 8, 3, 7);
+        let mut ix = IvfIndex::build(
+            IvfParams::new(4, 4),
+            Metric::Euclidean,
+            Rows::new(3, &data),
+            &labels,
+        );
+        let before = ix.len();
+        // New far-out class lands in whichever list owns that region.
+        ix.add(9, &[100.0, 100.0, 100.0]);
+        assert_eq!(ix.len(), before + 1);
+        assert_eq!(ix.search(&[100.0, 100.0, 100.0], 1).top().unwrap().label, 9);
+        // Remove a whole class; its members disappear from every list.
+        let removed = ix.remove_label(1);
+        assert_eq!(removed, 8);
+        assert_eq!(ix.len(), before + 1 - 8);
+        let r = ix.search(&[4.0, 4.0, 4.0], before);
+        assert!(r.neighbors.iter().all(|n| n.label != 1));
+    }
+
+    #[test]
+    fn empty_and_degenerate_builds() {
+        let ix = IvfIndex::build(IvfParams::auto(), Metric::Euclidean, Rows::new(4, &[]), &[]);
+        assert_eq!(ix.len(), 0);
+        assert!(ix.search(&[0.0; 4], 3).neighbors.is_empty());
+        // One point: one list, probe 1.
+        let data = [1.0f32, 2.0];
+        let ix = IvfIndex::build(
+            IvfParams::auto(),
+            Metric::Euclidean,
+            Rows::new(2, &data),
+            &[0],
+        );
+        assert_eq!(ix.n_lists(), 1);
+        assert_eq!(ix.search(&[1.0, 2.0], 5).neighbors.len(), 1);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_structure() {
+        let (data, labels) = clustered(3, 6, 4, 9);
+        let ix = IvfIndex::build(
+            IvfParams::auto(),
+            Metric::Euclidean,
+            Rows::new(4, &data),
+            &labels,
+        );
+        let json = serde_json::to_string(&ix).unwrap();
+        let back: IvfIndex = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ix);
+        let q = vec![0.1f32; 4];
+        assert_eq!(back.search(&q, 4), ix.search(&q, 4));
+    }
+}

@@ -1,0 +1,240 @@
+//! Property tests over the index backends: exactness of the full-probe
+//! IVF search, thread-count invariance of batch queries, and mutation
+//! sequences matching fresh builds. All seeded, no proptest shrinking
+//! needed — every case prints its seed on failure.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use tlsfp_index::{FlatIndex, IvfIndex, IvfParams, Metric, Rows, SearchResult, VectorIndex};
+
+/// Clustered labeled vectors with mild noise plus a sprinkle of
+/// uniform outliers — the shapes reference sets actually take.
+fn scenario(seed: u64, classes: usize, per_class: usize, dim: usize) -> (Vec<f32>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::new();
+    let mut labels = Vec::new();
+    for c in 0..classes {
+        let center = c as f32 * 2.5;
+        for _ in 0..per_class {
+            for _ in 0..dim {
+                data.push(center + rng.random_range(-0.6f32..0.6));
+            }
+            labels.push(c);
+        }
+    }
+    // Outliers with arbitrary labels.
+    for i in 0..classes {
+        for _ in 0..dim {
+            data.push(rng.random_range(-10.0f32..30.0));
+        }
+        labels.push(i % classes);
+    }
+    (data, labels)
+}
+
+fn queries(seed: u64, n: usize, dim: usize) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51EE7);
+    (0..n)
+        .map(|_| {
+            let center = rng.random_range(-5.0f32..25.0);
+            (0..dim)
+                .map(|_| center + rng.random_range(-1.0f32..1.0))
+                .collect()
+        })
+        .collect()
+}
+
+/// Canonical form for set comparison: (id, dist bits), sorted.
+fn neighbor_set(r: &SearchResult) -> Vec<(u64, u32)> {
+    let mut v: Vec<(u64, u32)> = r
+        .neighbors
+        .iter()
+        .map(|n| (n.id, n.dist.to_bits()))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn ivf_at_full_probe_is_bit_identical_to_flat() {
+    for seed in 0..8u64 {
+        let dim = 3 + (seed as usize % 5);
+        let (data, labels) = scenario(seed, 5 + seed as usize % 4, 9, dim);
+        let rows = Rows::new(dim, &data);
+        let flat = FlatIndex::from_rows(Metric::Euclidean, rows, &labels);
+        for n_lists in [1usize, 3, 7] {
+            let mut ivf =
+                IvfIndex::build(IvfParams::new(n_lists, 0), Metric::Euclidean, rows, &labels);
+            ivf.set_n_probe(ivf.n_lists());
+            for (qi, q) in queries(seed, 24, dim).iter().enumerate() {
+                for k in [1usize, 5, 16] {
+                    let rf = flat.search(q, k);
+                    let ri = ivf.search(q, k);
+                    assert_eq!(
+                        rf.nearest.to_bits(),
+                        ri.nearest.to_bits(),
+                        "seed {seed} lists {n_lists} query {qi} k {k}: nearest diverged"
+                    );
+                    assert_eq!(
+                        neighbor_set(&rf),
+                        neighbor_set(&ri),
+                        "seed {seed} lists {n_lists} query {qi} k {k}: neighbor sets diverged"
+                    );
+                    // Full probe scans everything, plus one eval per
+                    // centroid.
+                    assert_eq!(
+                        ri.distance_evals,
+                        rf.distance_evals + ivf.n_lists() as u64,
+                        "seed {seed}: eval accounting"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_results_are_invariant_across_thread_counts() {
+    let dim = 6;
+    let (data, labels) = scenario(42, 6, 10, dim);
+    let rows = Rows::new(dim, &data);
+    let qs = queries(42, 40, dim);
+    let backends: Vec<Box<dyn VectorIndex>> = vec![
+        Box::new(FlatIndex::from_rows(Metric::Euclidean, rows, &labels)),
+        Box::new(IvfIndex::build(
+            IvfParams::auto(),
+            Metric::Euclidean,
+            rows,
+            &labels,
+        )),
+    ];
+    for backend in &backends {
+        let single = backend.search_batch(&qs, 7, 1);
+        for threads in [4usize, 0] {
+            let sharded = backend.search_batch(&qs, 7, threads);
+            assert_eq!(
+                single, sharded,
+                "{backend:?} diverged between 1 and {threads} threads"
+            );
+        }
+        // And batch equals per-query search.
+        for (q, r) in qs.iter().zip(&single) {
+            assert_eq!(r, &backend.search(q, 7));
+        }
+    }
+}
+
+/// Applies the same add / swap / remove sequence to a backend and
+/// returns it; `mirror` receives the identical edits so a fresh index
+/// can be built from the final state.
+fn mutate(index: &mut dyn VectorIndex, mirror: &mut Vec<(usize, Vec<f32>)>, dim: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xADA9);
+    // Add a brand-new class.
+    let new_class = 100;
+    for _ in 0..6 {
+        let v: Vec<f32> = (0..dim)
+            .map(|_| 12.0 + rng.random_range(-0.5f32..0.5))
+            .collect();
+        index.add(new_class, &v);
+        mirror.push((new_class, v));
+    }
+    // Swap class 1 for fresh vectors.
+    let fresh: Vec<Vec<f32>> = (0..5)
+        .map(|_| {
+            (0..dim)
+                .map(|_| 2.5 + rng.random_range(-0.5f32..0.5))
+                .collect()
+        })
+        .collect();
+    let flat_fresh: Vec<f32> = fresh.iter().flatten().copied().collect();
+    index.swap_label(1, Rows::new(dim, &flat_fresh));
+    mirror.retain(|(l, _)| *l != 1);
+    for v in fresh {
+        mirror.push((1, v));
+    }
+    // Remove class 0 entirely.
+    index.remove_label(0);
+    mirror.retain(|(l, _)| *l != 0);
+}
+
+#[test]
+fn mutation_sequence_matches_fresh_build() {
+    for seed in 0..6u64 {
+        let dim = 4;
+        let (data, labels) = scenario(seed, 5, 8, dim);
+        let rows = Rows::new(dim, &data);
+
+        // Mutate both backends in lockstep with a mirror of the edits.
+        let mut mirror: Vec<(usize, Vec<f32>)> = labels
+            .iter()
+            .zip(data.chunks_exact(dim))
+            .map(|(&l, v)| (l, v.to_vec()))
+            .collect();
+        let mut flat = FlatIndex::from_rows(Metric::Euclidean, rows, &labels);
+        let mut ivf = IvfIndex::build(IvfParams::new(6, 0), Metric::Euclidean, rows, &labels);
+        {
+            let mut m2 = mirror.clone();
+            mutate(&mut flat, &mut mirror, dim, seed);
+            mutate(&mut ivf, &mut m2, dim, seed);
+            assert_eq!(mirror, m2, "mirrors diverged");
+        }
+        assert_eq!(flat.len(), mirror.len());
+        assert_eq!(ivf.len(), mirror.len());
+
+        // Fresh indexes built from the final state.
+        let final_data: Vec<f32> = mirror.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+        let final_labels: Vec<usize> = mirror.iter().map(|(l, _)| *l).collect();
+        let final_rows = Rows::new(dim, &final_data);
+        let fresh_flat = FlatIndex::from_rows(Metric::Euclidean, final_rows, &final_labels);
+        let fresh_ivf = IvfIndex::build(
+            IvfParams::new(6, 0),
+            Metric::Euclidean,
+            final_rows,
+            &final_labels,
+        );
+
+        // At full probe (and for flat always), mutated and fresh agree
+        // on every query: same neighbor distances/labels, same scores.
+        // Ids differ (mutation preserves original ids), so compare by
+        // (dist bits, label).
+        let mut ivf_full = ivf.clone();
+        ivf_full.set_n_probe(ivf_full.n_lists());
+        let mut fresh_ivf_full = fresh_ivf.clone();
+        fresh_ivf_full.set_n_probe(fresh_ivf_full.n_lists());
+        let canon = |r: &SearchResult| {
+            let mut v: Vec<(u32, usize)> = r
+                .neighbors
+                .iter()
+                .map(|n| (n.dist.to_bits(), n.label))
+                .collect();
+            v.sort_unstable();
+            (v, r.nearest.to_bits())
+        };
+        for q in queries(seed, 30, dim) {
+            let a = canon(&flat.search(&q, 9));
+            let b = canon(&fresh_flat.search(&q, 9));
+            assert_eq!(a, b, "seed {seed}: mutated flat != fresh flat");
+            let c = canon(&ivf_full.search(&q, 9));
+            let d = canon(&fresh_ivf_full.search(&q, 9));
+            assert_eq!(c, d, "seed {seed}: mutated ivf != fresh ivf at full probe");
+            assert_eq!(a, c, "seed {seed}: flat != ivf after identical mutations");
+        }
+    }
+}
+
+#[test]
+fn serde_round_trip_preserves_queries_after_mutation() {
+    let dim = 4;
+    let (data, labels) = scenario(11, 4, 7, dim);
+    let rows = Rows::new(dim, &data);
+    let mut ivf = IvfIndex::build(IvfParams::auto(), Metric::Euclidean, rows, &labels);
+    ivf.add(50, &[9.0; 4]);
+    ivf.remove_label(2);
+    let json = serde_json::to_string(&ivf).unwrap();
+    let back: IvfIndex = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, ivf);
+    for q in queries(11, 10, dim) {
+        assert_eq!(back.search(&q, 6), ivf.search(&q, 6));
+    }
+}

@@ -164,6 +164,19 @@ pub fn open_world_pipeline() -> PipelineConfig {
     cfg
 }
 
+/// One `OnceLock` cell per [`Profile::ALL`] entry, keyed by position.
+fn per_profile_cache<T: Clone>(
+    cells: &'static [OnceLock<T>; 5],
+    profile: Profile,
+    init: impl FnOnce() -> T,
+) -> T {
+    let idx = Profile::ALL
+        .iter()
+        .position(|p| *p == profile)
+        .expect("profile listed in ALL");
+    cells[idx].get_or_init(init).clone()
+}
+
 /// The tensorized open-world dataset for a scenario profile (cached
 /// per profile; cloned out).
 pub fn open_world_profile_dataset(profile: Profile) -> Dataset {
@@ -174,17 +187,58 @@ pub fn open_world_profile_dataset(profile: Profile) -> Dataset {
         OnceLock::new(),
         OnceLock::new(),
     ];
-    let idx = Profile::ALL
-        .iter()
-        .position(|p| *p == profile)
-        .expect("profile listed in ALL");
-    CELLS[idx]
-        .get_or_init(|| {
-            Dataset::generate(&profile.open_world_spec(), &TensorConfig::wiki(), SEED)
-                .expect("open-world profile corpus generates")
-                .1
-        })
-        .clone()
+    per_profile_cache(&CELLS, profile, || {
+        Dataset::generate(&profile.open_world_spec(), &TensorConfig::wiki(), SEED)
+            .expect("open-world profile corpus generates")
+            .1
+    })
+}
+
+/// Labeled embeddings: one `Vec<f32>` per trace, aligned with labels.
+pub type LabeledEmbeddings = (Vec<Vec<f32>>, Vec<usize>);
+
+/// Labeled embeddings of a profile's open-world dataset under the
+/// (cached) tiny adversary's embedder — the raw material for index
+/// recall/pruning tests and the `fig_index` smoke run. Cached per
+/// profile; cloned out. Embeddings are aligned with the dataset's
+/// labels, in dataset order.
+pub fn profile_embeddings(profile: Profile) -> LabeledEmbeddings {
+    static CELLS: [OnceLock<LabeledEmbeddings>; 5] = [
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+    ];
+    per_profile_cache(&CELLS, profile, || {
+        let ds = open_world_profile_dataset(profile);
+        let adversary = tiny_adversary();
+        (adversary.embed_all(ds.seqs()), ds.labels().to_vec())
+    })
+}
+
+/// Splits [`profile_embeddings`] into a reference side and a query
+/// side (every fourth point becomes a query) — deterministic, label-
+/// aligned, and balanced across the class-grouped dataset order.
+#[allow(clippy::type_complexity)]
+pub fn profile_embedding_split(
+    profile: Profile,
+) -> (Vec<Vec<f32>>, Vec<usize>, Vec<Vec<f32>>, Vec<usize>) {
+    let (embs, labels) = profile_embeddings(profile);
+    let mut ref_e = Vec::new();
+    let mut ref_l = Vec::new();
+    let mut query_e = Vec::new();
+    let mut query_l = Vec::new();
+    for (i, (e, l)) in embs.into_iter().zip(labels).enumerate() {
+        if i % 4 == 3 {
+            query_e.push(e);
+            query_l.push(l);
+        } else {
+            ref_e.push(e);
+            ref_l.push(l);
+        }
+    }
+    (ref_e, ref_l, query_e, query_l)
 }
 
 /// Monitored classes in the tiny open-world fixture.

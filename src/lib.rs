@@ -11,6 +11,9 @@
 //!   multi-server hosting and content drift.
 //! - [`trace`] — capture → per-IP byte-count sequence extraction, datasets
 //!   and experiment splits.
+//! - [`index`] — mutable nearest-neighbor indexes for the serving path:
+//!   the exact contiguous flat scan and an IVF backend that prunes
+//!   candidates by an order of magnitude.
 //! - [`core`] — the paper's contribution: embedding model, reference set,
 //!   kNN top-N classification, provision/fingerprint/adapt pipeline,
 //!   metrics and padding defenses.
@@ -44,6 +47,7 @@
 
 pub use tlsfp_baselines as baselines;
 pub use tlsfp_core as core;
+pub use tlsfp_index as index;
 pub use tlsfp_net as net;
 pub use tlsfp_nn as nn;
 pub use tlsfp_trace as trace;
