@@ -62,6 +62,26 @@ fn bench_components(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(net.embed(&trace)))
     });
 
+    // Batched embedding: the fused engine over ragged batches, scratch
+    // reused across iterations (the serving/provisioning shape).
+    let mut group = c.benchmark_group("nn/embed_batch");
+    for &bs in &[8usize, 64] {
+        let batch: Vec<SeqInput> = (0..bs)
+            .map(|i| {
+                let steps = 40 + (i * 7) % 21; // ragged 40..60
+                let data: Vec<f32> = (0..steps * 3)
+                    .map(|j| ((j * 13 + i) % 23) as f32 * 0.08)
+                    .collect();
+                SeqInput::new(steps, 3, data).unwrap()
+            })
+            .collect();
+        let mut scratch = tlsfp_nn::embedding::EmbedScratch::new();
+        group.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |b, _| {
+            b.iter(|| std::hint::black_box(net.embed_batch(&batch, &mut scratch).len()))
+        });
+    }
+    group.finish();
+
     // One siamese SGD batch.
     let pool: Vec<SeqInput> = (0..16)
         .map(|i| {

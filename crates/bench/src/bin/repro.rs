@@ -4,7 +4,7 @@
 //! repro <target> [--smoke|--full] [--seed N] [--json DIR]
 //!
 //! targets: fig6 fig7 table2 fig8 fig9 fig10 fig11 fig12 fig13 table3
-//!          fig_open_world fig_index ablations all
+//!          fig_open_world fig_index fig_embed ablations all
 //! ```
 
 use std::fs;
@@ -12,8 +12,9 @@ use std::path::PathBuf;
 
 use tlsfp_bench::ablations::{print_ablations, run_ablations};
 use tlsfp_bench::experiments::{
-    print_cdf, print_fig_index, print_open_world, print_series, run_fig12_13, run_fig6, run_fig7,
-    run_fig8, run_fig9_to_11, run_fig_index, run_fig_open_world, run_table3, Scale,
+    print_cdf, print_fig_embed, print_fig_index, print_open_world, print_series, run_fig12_13,
+    run_fig6, run_fig7, run_fig8, run_fig9_to_11, run_fig_embed, run_fig_index, run_fig_open_world,
+    run_table3, Scale,
 };
 
 fn main() {
@@ -221,6 +222,15 @@ fn main() {
             print_fig_index(p);
         }
         write_json("fig_index", &result);
+    }
+
+    if run_all || target == "fig_embed" {
+        println!("\n=== Embed — batched engine vs per-query loop, all profiles ===");
+        let result = run_fig_embed(&scale);
+        for p in &result.profiles {
+            print_fig_embed(p);
+        }
+        write_json("fig_embed", &result);
     }
 
     if run_all || target == "ablations" {

@@ -967,6 +967,165 @@ pub fn run_fig_index(scale: &Scale) -> FigIndexResult {
 }
 
 // ---------------------------------------------------------------------
+// fig_embed — batched embedding engine vs the per-query loop.
+// ---------------------------------------------------------------------
+
+/// Batch sizes swept by the fig_embed experiment.
+pub const FIG_EMBED_BATCH_SIZES: [usize; 4] = [1, 8, 64, 256];
+
+/// Throughput of `embed_batch` at one batch size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmbedBatchPoint {
+    /// Traces per `embed_batch` call.
+    pub batch_size: usize,
+    /// Embedding throughput at this batch size.
+    pub traces_per_sec: f64,
+    /// `traces_per_sec / loop_traces_per_sec`.
+    pub speedup: f64,
+}
+
+/// One profile's loop-vs-batch embedding throughput comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmbedProfileResult {
+    /// Site-profile name.
+    pub profile: String,
+    /// Traces embedded per measured pass.
+    pub n_traces: usize,
+    /// Mean trace length (timesteps).
+    pub mean_steps: f64,
+    /// Throughput of the pre-batching per-query path
+    /// (`SequenceEmbedder::embed_looped`, one trace at a time).
+    pub loop_traces_per_sec: f64,
+    /// `embed_batch` throughput at each of
+    /// [`FIG_EMBED_BATCH_SIZES`].
+    pub batch: Vec<EmbedBatchPoint>,
+    /// Largest absolute difference between batched and looped
+    /// embeddings (the fast-activation tolerance; ~1e-7 in practice).
+    pub max_abs_dev_vs_loop: f64,
+    /// Whether `embed_batch` output was bit-identical to per-trace
+    /// `embed` calls on every trace (it must be).
+    pub batch_matches_embed: bool,
+}
+
+/// Result of the fig_embed run: one entry per site profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigEmbedResult {
+    /// Embedder architecture measured (the paper-dim network).
+    pub embedder: String,
+    /// Per-profile throughput comparisons.
+    pub profiles: Vec<EmbedProfileResult>,
+}
+
+/// Measures loop-vs-batch embedding throughput on one set of traces.
+///
+/// The loop baseline embeds one trace at a time through the
+/// pre-batching reference path; the batch side drives
+/// `SequenceEmbedder::embed_batch` in `batch_size` chunks, reusing one
+/// scratch so transposed weights amortize across the whole pass. Each
+/// side reports its best of `passes` timed passes (after one warm-up),
+/// which filters scheduler noise without hiding systematic cost.
+pub fn run_embed_profile(
+    name: &str,
+    seqs: &[tlsfp_nn::seq::SeqInput],
+    embedder: &tlsfp_nn::embedding::SequenceEmbedder,
+    threads: usize,
+    passes: usize,
+) -> EmbedProfileResult {
+    use tlsfp_nn::embedding::EmbedScratch;
+    assert!(!seqs.is_empty(), "empty trace set");
+    let n = seqs.len();
+    let mean_steps = seqs.iter().map(|s| s.steps()).sum::<usize>() as f64 / n as f64;
+
+    let best_of = |f: &mut dyn FnMut()| -> f64 {
+        f(); // warm-up
+        let mut best = f64::INFINITY;
+        for _ in 0..passes.max(1) {
+            let t0 = std::time::Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+
+    let loop_secs = best_of(&mut || {
+        for s in seqs {
+            std::hint::black_box(embedder.embed_looped(s));
+        }
+    });
+    let loop_tps = n as f64 / loop_secs;
+
+    let mut scratch = EmbedScratch::with_threads(threads);
+    let batch = FIG_EMBED_BATCH_SIZES
+        .iter()
+        .map(|&bs| {
+            let secs = best_of(&mut || {
+                for chunk in seqs.chunks(bs) {
+                    std::hint::black_box(embedder.embed_batch(chunk, &mut scratch).len());
+                }
+            });
+            let tps = n as f64 / secs;
+            EmbedBatchPoint {
+                batch_size: bs,
+                traces_per_sec: tps,
+                speedup: tps / loop_tps,
+            }
+        })
+        .collect();
+
+    // Correctness alongside the timing: batched output must be
+    // bit-identical to per-trace `embed` and within the fast-activation
+    // tolerance of the looped reference path.
+    let rows = embedder.embed_batch(seqs, &mut scratch);
+    let mut max_dev = 0.0f32;
+    let mut identical = true;
+    for (i, s) in seqs.iter().enumerate() {
+        identical &= rows.row(i) == embedder.embed(s).as_slice();
+        for (a, b) in rows.row(i).iter().zip(embedder.embed_looped(s)) {
+            max_dev = max_dev.max((a - b).abs());
+        }
+    }
+
+    EmbedProfileResult {
+        profile: name.to_string(),
+        n_traces: n,
+        mean_steps,
+        loop_traces_per_sec: loop_tps,
+        batch,
+        max_abs_dev_vs_loop: max_dev as f64,
+        batch_matches_embed: identical,
+    }
+}
+
+/// Runs the embedding-throughput comparison over all five site
+/// profiles with the paper-dim embedder (Table I architecture, three
+/// IP sequences). Weights are freshly initialized — embedding
+/// throughput does not depend on the parameter values, so no training
+/// run is spent here.
+pub fn run_fig_embed(scale: &Scale) -> FigEmbedResult {
+    let embedder = tlsfp_nn::embedding::SequenceEmbedder::new(
+        tlsfp_nn::embedding::EmbedderConfig::paper(3),
+        scale.seed,
+    )
+    .expect("paper config is valid");
+    let classes = scale.open_world_monitored + scale.open_world_unmonitored;
+    let profiles = CorpusSpec::all_profiles(classes, scale.traces_per_class)
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let name = spec.site.name.clone();
+            let (_, ds) =
+                Dataset::generate(&spec, &TensorConfig::wiki(), scale.seed + 40 + i as u64)
+                    .expect("valid corpus");
+            run_embed_profile(&name, ds.seqs(), &embedder, scale.pipeline.threads, 3)
+        })
+        .collect();
+    FigEmbedResult {
+        embedder: "paper(3): LSTM-30 -> 4x200 -> 32".to_string(),
+        profiles,
+    }
+}
+
+// ---------------------------------------------------------------------
 // Printing helpers.
 // ---------------------------------------------------------------------
 
@@ -1000,6 +1159,21 @@ pub fn print_fig_index(r: &IndexProfileResult) {
         r.top1_agreement,
         100.0 * r.evals_fraction,
         r.speedup,
+    );
+}
+
+/// Prints one profile's embedding-throughput summary row.
+pub fn print_fig_embed(r: &EmbedProfileResult) {
+    print!(
+        "  {:<14} n={:<4} steps={:<5.1} loop={:>8.0}/s",
+        r.profile, r.n_traces, r.mean_steps, r.loop_traces_per_sec,
+    );
+    for p in &r.batch {
+        print!(" b{}={:.2}x", p.batch_size, p.speedup);
+    }
+    println!(
+        " dev={:.1e} exact={}",
+        r.max_abs_dev_vs_loop, r.batch_matches_embed
     );
 }
 
@@ -1194,6 +1368,87 @@ mod tests {
         // The repro --json artifact round-trips.
         let json = serde_json::to_string(&result).expect("serializable");
         let back: FigIndexResult = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back, result);
+    }
+
+    /// Tier-1 embedding-throughput smoke on the testkit fixtures: the
+    /// batched engine must be bit-identical to per-trace `embed` on
+    /// every site profile, track the pre-batching loop path within the
+    /// fast-activation tolerance, and beat it soundly at batch 64.
+    ///
+    /// The acceptance target is ≥ 3x at batch 64 on the paper-dim
+    /// embedder (measured ~3.7x on the pinned profile — exact numbers
+    /// live in the `fig_embed` artifact and BENCH_baseline.json); the
+    /// assertion here is deliberately loose (≥ 2x) so contended or
+    /// pre-AVX CI hosts don't flake a correctness tier on a timing
+    /// margin.
+    #[test]
+    fn fig_embed_smoke_batch_beats_loop_and_is_exact() {
+        let embedder = tlsfp_nn::embedding::SequenceEmbedder::new(
+            tlsfp_nn::embedding::EmbedderConfig::paper(3),
+            tlsfp_testkit::SEED,
+        )
+        .expect("paper config");
+        // Bit-identity on every testkit profile's traces.
+        for profile in tlsfp_testkit::Profile::ALL {
+            let ds = tlsfp_testkit::open_world_profile_dataset(profile);
+            let mut scratch = tlsfp_nn::embedding::EmbedScratch::new();
+            let rows = embedder.embed_batch(ds.seqs(), &mut scratch);
+            for (i, s) in ds.seqs().iter().enumerate() {
+                assert_eq!(
+                    rows.row(i),
+                    embedder.embed(s).as_slice(),
+                    "{}: trace {i} diverged from embed",
+                    profile.name()
+                );
+            }
+        }
+        // Throughput on the tiny fixture corpus, single worker for
+        // stability under parallel test execution.
+        let ds = tlsfp_testkit::tiny_dataset();
+        let r = run_embed_profile("tiny-wiki", ds.seqs(), &embedder, 1, 5);
+        assert!(r.batch_matches_embed, "batched != embed");
+        assert!(
+            r.max_abs_dev_vs_loop < 1e-4,
+            "fused engine drifted from the looped path: {:.3e}",
+            r.max_abs_dev_vs_loop
+        );
+        let b64 = r
+            .batch
+            .iter()
+            .find(|p| p.batch_size == 64)
+            .expect("64 in sweep");
+        assert!(
+            b64.speedup >= 2.0,
+            "batch-64 speedup {:.2}x below the loose 2x floor (loop {:.0}/s, batch {:.0}/s)",
+            b64.speedup,
+            r.loop_traces_per_sec,
+            b64.traces_per_sec
+        );
+        // Larger batches never collapse below the batch-8 point.
+        let b8 = r.batch.iter().find(|p| p.batch_size == 8).unwrap();
+        assert!(
+            b64.traces_per_sec > 0.5 * b8.traces_per_sec,
+            "batch-64 fell off a cliff vs batch-8"
+        );
+    }
+
+    #[test]
+    #[ignore = "tier-2: embeds five full profile corpora through the paper-dim engine (~1 min); run with cargo test -- --ignored"]
+    fn fig_embed_emits_throughput_for_all_profiles() {
+        let result = run_fig_embed(&Scale::smoke());
+        assert_eq!(result.profiles.len(), 5);
+        for p in &result.profiles {
+            assert!(p.batch_matches_embed, "{}", p.profile);
+            assert!(p.max_abs_dev_vs_loop < 1e-4, "{}", p.profile);
+            assert_eq!(p.batch.len(), FIG_EMBED_BATCH_SIZES.len());
+            for pt in &p.batch {
+                assert!(pt.traces_per_sec > 0.0, "{}", p.profile);
+            }
+        }
+        // The repro --json artifact round-trips.
+        let json = serde_json::to_string(&result).expect("serializable");
+        let back: FigEmbedResult = serde_json::from_str(&json).expect("deserializable");
         assert_eq!(back, result);
     }
 

@@ -14,10 +14,9 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use tlsfp_index::{IndexConfig, Rows, ServingIndex, VectorIndex};
-use tlsfp_nn::embedding::{EmbedderConfig, SequenceEmbedder};
+use tlsfp_nn::embedding::{EmbedScratch, EmbedderConfig, SequenceEmbedder};
 use tlsfp_nn::optim::Sgd;
 use tlsfp_nn::pairs::{random_pairs, semi_hard_pairs, ClassIndex};
-use tlsfp_nn::parallel::map_elems;
 use tlsfp_nn::seq::SeqInput;
 use tlsfp_nn::siamese::SiameseTrainer;
 use tlsfp_trace::dataset::Dataset;
@@ -279,9 +278,11 @@ impl AdaptiveFingerprinter {
                 self.embedder.input_size()
             )));
         }
-        let embeddings = self.embed_all(data.seqs());
         let mut reference = ReferenceSet::new(self.embedder.output_size(), data.n_classes());
-        reference.add_all(data.labels(), embeddings)?;
+        self.embedder
+            .embed_batch_with(data.seqs(), self.threads_or_default(), |rows| {
+                reference.add_rows(data.labels(), rows)
+            })?;
         self.reference = reference;
         self.rebuild_index();
         Ok(())
@@ -294,9 +295,14 @@ impl AdaptiveFingerprinter {
     ///
     /// Returns [`CoreError::ClassOutOfRange`] for a bad class id.
     pub fn update_class(&mut self, class: usize, fresh_traces: &[SeqInput]) -> Result<usize> {
-        let embeddings = self.embed_all(fresh_traces);
-        let n_new = embeddings.len();
-        let removed = self.reference.swap_class(class, embeddings)?;
+        let n_new = fresh_traces.len();
+        let threads = self.threads_or_default();
+        let reference = &mut self.reference;
+        let removed = self
+            .embedder
+            .embed_batch_with(fresh_traces, threads, |rows| {
+                reference.swap_class_rows(class, rows)
+            })?;
         // Incremental index swap: no rebuild, the quantizer (if any)
         // just reassigns the fresh vectors to lists. swap_class keeps
         // survivors in order and appends the replacements, so the fresh
@@ -315,11 +321,16 @@ impl AdaptiveFingerprinter {
     /// class-agnostic.
     pub fn add_class(&mut self, traces: &[SeqInput]) -> Result<usize> {
         let class = self.reference.allocate_class();
-        let embeddings = self.embed_all(traces);
-        for e in embeddings {
-            self.index.as_dyn_mut().add(class, &e);
-            self.reference.add(class, e)?;
-        }
+        let threads = self.threads_or_default();
+        let reference = &mut self.reference;
+        let index = self.index.as_dyn_mut();
+        self.embedder.embed_batch_with(traces, threads, |rows| {
+            for e in rows.iter() {
+                index.add(class, e);
+                reference.add_row(class, e)?;
+            }
+            Ok::<(), CoreError>(())
+        })?;
         Ok(class)
     }
 
@@ -493,10 +504,13 @@ impl AdaptiveFingerprinter {
         OpenWorldReport::evaluate(&monitored_scores, &top1_correct, &unmonitored_scores, 0.0)
     }
 
-    /// Embeds a batch of traces in parallel.
+    /// Embeds a batch of traces through the fused batched engine
+    /// (`SequenceEmbedder::embed_batch`), sharded across the worker
+    /// pool. Every serving/provisioning path embeds through this (or
+    /// `embed_batch` directly) — nothing embeds one trace at a time.
     pub fn embed_all(&self, traces: &[SeqInput]) -> Vec<Vec<f32>> {
-        let embedder = &self.embedder;
-        map_elems(traces, self.threads_or_default(), |t| embedder.embed(t))
+        self.embedder
+            .embed_batch_with(traces, self.threads_or_default(), |rows| rows.to_vecs())
     }
 
     /// Evaluates against a labeled test set, producing the full report
@@ -577,11 +591,16 @@ pub fn train_embedder(
 
     let start = std::time::Instant::now();
     let mut epoch_losses = Vec::with_capacity(config.epochs);
+    // One scratch across all mining epochs: the SGD steps bump the
+    // embedder's weights version, so the scratch re-transposes exactly
+    // once per epoch and reuses every buffer.
+    let mut mining_scratch = EmbedScratch::with_threads(config.threads);
     for epoch in 0..config.epochs {
         let pairs = match config.semi_hard_from_epoch {
             Some(from) if epoch >= from => {
-                let frozen: &SequenceEmbedder = embedder;
-                let embeddings = map_elems(train.seqs(), config.threads, |s| frozen.embed(s));
+                let embeddings = embedder
+                    .embed_batch(train.seqs(), &mut mining_scratch)
+                    .to_vecs();
                 semi_hard_pairs(
                     &embeddings,
                     &index,

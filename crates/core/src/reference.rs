@@ -133,6 +133,41 @@ impl ReferenceSet {
         Ok(())
     }
 
+    /// Adds many points from a contiguous row view — the zero-copy
+    /// bridge from `SequenceEmbedder::embed_batch` output (one
+    /// `extend_from_slice` for the whole batch when labels validate).
+    ///
+    /// # Errors
+    ///
+    /// As [`ReferenceSet::add`]; validates every label and the row
+    /// dimension before copying anything, so a failed call leaves the
+    /// set untouched.
+    pub fn add_rows(&mut self, classes: &[usize], rows: Rows<'_>) -> Result<()> {
+        if classes.len() != rows.len() {
+            return Err(CoreError::BadDataset(format!(
+                "{} labels for {} embeddings",
+                classes.len(),
+                rows.len()
+            )));
+        }
+        if !rows.is_empty() && rows.dim() != self.dim {
+            return Err(CoreError::BadDataset(format!(
+                "embedding dim {} does not match reference dim {}",
+                rows.dim(),
+                self.dim
+            )));
+        }
+        if let Some(&class) = classes.iter().find(|&&c| c >= self.n_classes) {
+            return Err(CoreError::ClassOutOfRange {
+                class,
+                n_classes: self.n_classes,
+            });
+        }
+        self.rows.extend_from_slice(rows.data());
+        self.labels.extend_from_slice(classes);
+        Ok(())
+    }
+
     /// Number of reference points for `class`.
     pub fn class_count(&self, class: usize) -> usize {
         self.labels.iter().filter(|&&l| l == class).count()
@@ -180,6 +215,20 @@ impl ReferenceSet {
     pub fn swap_class(&mut self, class: usize, embeddings: Vec<Vec<f32>>) -> Result<usize> {
         let removed = self.remove_class(class)?;
         for e in &embeddings {
+            self.add_row(class, e)?;
+        }
+        Ok(removed)
+    }
+
+    /// Row-view variant of [`ReferenceSet::swap_class`]: replaces a
+    /// class's points straight from batched-embedder output.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReferenceSet::swap_class`].
+    pub fn swap_class_rows(&mut self, class: usize, rows: Rows<'_>) -> Result<usize> {
+        let removed = self.remove_class(class)?;
+        for e in rows.iter() {
             self.add_row(class, e)?;
         }
         Ok(removed)
@@ -237,6 +286,37 @@ mod tests {
         assert!(r
             .add_all(&[0], vec![vec![0.0, 0.0], vec![1.0, 1.0]])
             .is_err());
+    }
+
+    #[test]
+    fn add_rows_is_atomic_and_matches_add_all() {
+        let mut a = ReferenceSet::new(2, 3);
+        let mut b = ReferenceSet::new(2, 3);
+        let flat = [0.0f32, 0.1, 1.0, 1.1, 2.0, 2.1];
+        let labels = [0usize, 1, 2];
+        a.add_rows(&labels, Rows::new(2, &flat)).unwrap();
+        b.add_all(&labels, flat.chunks(2).map(<[f32]>::to_vec).collect())
+            .unwrap();
+        assert_eq!(a, b);
+        // Bad label anywhere leaves the set untouched.
+        let before = a.clone();
+        assert!(a.add_rows(&[0, 9], Rows::new(2, &flat[..4])).is_err());
+        assert!(a
+            .add_rows(&[0, 1], Rows::new(3, &[0.0, 0.0, 0.0, 1.0, 1.0, 1.0]))
+            .is_err());
+        assert!(a.add_rows(&[0], Rows::new(2, &flat[..4])).is_err());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn swap_class_rows_matches_swap_class() {
+        let mut a = filled();
+        let mut b = filled();
+        let fresh = [9.0f32, 9.0, 8.0, 8.0];
+        a.swap_class_rows(0, Rows::new(2, &fresh)).unwrap();
+        b.swap_class(0, vec![vec![9.0, 9.0], vec![8.0, 8.0]])
+            .unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -75,6 +75,20 @@ impl IvfList {
     }
 }
 
+/// List-occupancy summary from [`IvfIndex::balance_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BalanceStats {
+    /// Number of inverted lists.
+    pub n_lists: usize,
+    /// Occupancy of the fullest list.
+    pub max_list: usize,
+    /// Mean list occupancy.
+    pub mean_list: f64,
+    /// `max_list / mean_list` — 1.0 is perfectly balanced; the probe
+    /// cost of a query grows with the skew of the lists it hits.
+    pub skew: f64,
+}
+
 /// The inverted-file index.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IvfIndex {
@@ -152,6 +166,31 @@ impl IvfIndex {
     /// Per-list occupancy, for shard-balance diagnostics.
     pub fn list_sizes(&self) -> Vec<usize> {
         self.lists.iter().map(IvfList::len).collect()
+    }
+
+    /// Aggregate list-balance diagnostics: max/mean occupancy and their
+    /// ratio (the skew).
+    ///
+    /// The coarse quantizer is frozen at build time, so heavy
+    /// add/swap/remove churn can slowly unbalance the lists — a skew
+    /// creeping past ~3 means one list is absorbing a growing share of
+    /// every probe and the index should be rebuilt
+    /// (`AdaptiveFingerprinter::set_index` re-trains the quantizer).
+    pub fn balance_stats(&self) -> BalanceStats {
+        let n_lists = self.lists.len();
+        let total: usize = self.lists.iter().map(IvfList::len).sum();
+        let max = self.lists.iter().map(IvfList::len).max().unwrap_or(0);
+        let mean = if n_lists == 0 {
+            0.0
+        } else {
+            total as f64 / n_lists as f64
+        };
+        BalanceStats {
+            n_lists,
+            max_list: max,
+            mean_list: mean,
+            skew: if mean > 0.0 { max as f64 / mean } else { 0.0 },
+        }
     }
 
     /// Index of the centroid nearest to `row` (ties break low).

@@ -40,7 +40,7 @@ pub mod flat;
 pub mod ivf;
 
 pub use flat::FlatIndex;
-pub use ivf::{IvfIndex, IvfParams};
+pub use ivf::{BalanceStats, IvfIndex, IvfParams};
 
 /// Distance metric between embeddings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -68,68 +68,13 @@ impl Metric {
     }
 }
 
-/// A borrowed view of contiguous row-major vectors: row `i` occupies
-/// `data[i * dim..(i + 1) * dim]`.
+/// Contiguous row-major vector view — the interchange type between the
+/// batched embedder, the reference store and the index backends.
 ///
-/// This is the interchange type between the reference store and the
-/// index backends: building or swapping never copies through
-/// `Vec<Vec<f32>>`.
-#[derive(Debug, Clone, Copy)]
-pub struct Rows<'a> {
-    dim: usize,
-    data: &'a [f32],
-}
-
-impl<'a> Rows<'a> {
-    /// Wraps a flat row-major buffer.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `data.len()` is not a multiple of `dim` (with `dim == 0`
-    /// only an empty buffer is valid).
-    pub fn new(dim: usize, data: &'a [f32]) -> Self {
-        if dim == 0 {
-            assert!(data.is_empty(), "dim 0 admits only an empty buffer");
-        } else {
-            assert_eq!(data.len() % dim, 0, "buffer length not a row multiple");
-        }
-        Rows { dim, data }
-    }
-
-    /// Row dimensionality.
-    pub fn dim(&self) -> usize {
-        self.dim
-    }
-
-    /// Number of rows.
-    pub fn len(&self) -> usize {
-        self.data.len().checked_div(self.dim).unwrap_or(0)
-    }
-
-    /// Whether the view holds no rows.
-    pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
-    }
-
-    /// The flat row-major buffer.
-    pub fn data(&self) -> &'a [f32] {
-        self.data
-    }
-
-    /// Borrows row `i`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i >= len()`.
-    pub fn row(&self, i: usize) -> &'a [f32] {
-        &self.data[i * self.dim..(i + 1) * self.dim]
-    }
-
-    /// Iterates over rows in order.
-    pub fn iter(&self) -> impl Iterator<Item = &'a [f32]> + '_ {
-        self.data.chunks_exact(self.dim.max(1))
-    }
-}
+/// Re-exported from `tlsfp_nn::tensor` so `SequenceEmbedder::embed_batch`
+/// output flows into index builds and reference swaps without copying
+/// through `Vec<Vec<f32>>`.
+pub use tlsfp_nn::tensor::Rows;
 
 /// One retrieved neighbor.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -416,23 +361,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn rows_view_shape_and_iteration() {
+    fn rows_view_is_reexported_from_nn() {
+        // The type moved to tlsfp_nn::tensor with the batched embedding
+        // engine; the index-side path must keep resolving.
         let data = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0];
-        let rows = Rows::new(2, &data);
+        let rows: tlsfp_nn::tensor::Rows<'_> = Rows::new(2, &data);
         assert_eq!(rows.len(), 3);
-        assert_eq!(rows.dim(), 2);
         assert_eq!(rows.row(1), &[3.0, 4.0]);
-        let collected: Vec<&[f32]> = rows.iter().collect();
-        assert_eq!(collected.len(), 3);
-        assert_eq!(collected[2], &[5.0, 6.0]);
-        assert!(Rows::new(4, &[]).is_empty());
-        assert_eq!(Rows::new(0, &[]).len(), 0);
-    }
-
-    #[test]
-    #[should_panic(expected = "row multiple")]
-    fn rows_view_rejects_ragged_buffer() {
-        let _ = Rows::new(4, &[1.0, 2.0, 3.0]);
     }
 
     #[test]

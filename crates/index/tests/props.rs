@@ -223,6 +223,110 @@ fn mutation_sequence_matches_fresh_build() {
     }
 }
 
+/// Guards the frozen-quantizer drift risk: the coarse quantizer is
+/// trained once at build, so sustained add/swap/remove churn reassigns
+/// vectors to lists it never re-clusters. After heavy churn the index
+/// must still find the true nearest neighbor at default `n_probe` for
+/// ≥ 95% of queries, and `balance_stats` must report the (bounded)
+/// skew the churn produced.
+#[test]
+fn churned_ivf_keeps_recall_at_default_probe() {
+    for seed in [3u64, 17, 29] {
+        let dim = 6;
+        let classes = 8;
+        let (data, labels) = scenario(seed, classes, 12, dim);
+        let rows = Rows::new(dim, &data);
+        let mut ivf = IvfIndex::build(IvfParams::auto(), Metric::Euclidean, rows, &labels);
+        let mut mirror: Vec<(usize, Vec<f32>)> = labels
+            .iter()
+            .zip(data.chunks_exact(dim))
+            .map(|(&l, v)| (l, v.to_vec()))
+            .collect();
+
+        // Heavy churn: many rounds of per-class swaps, adds of new
+        // classes, and removals — the paper's adaptation traffic at a
+        // far higher rate than any deployment would see.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+        for round in 0..12 {
+            // Swap a drifting class: its new content moves off its
+            // original cluster center.
+            let class = round % classes;
+            let center = class as f32 * 2.5 + (round as f32) * 0.4;
+            let fresh: Vec<Vec<f32>> = (0..10)
+                .map(|_| {
+                    (0..dim)
+                        .map(|_| center + rng.random_range(-0.6f32..0.6))
+                        .collect()
+                })
+                .collect();
+            let flat_fresh: Vec<f32> = fresh.iter().flatten().copied().collect();
+            ivf.swap_label(class, Rows::new(dim, &flat_fresh));
+            mirror.retain(|(l, _)| *l != class);
+            mirror.extend(fresh.into_iter().map(|v| (class, v)));
+            // Add a brand-new class somewhere new.
+            let new_class = classes + round;
+            let nc = 20.0 + round as f32 * 1.5;
+            for _ in 0..6 {
+                let v: Vec<f32> = (0..dim)
+                    .map(|_| nc + rng.random_range(-0.6f32..0.6))
+                    .collect();
+                ivf.add(new_class, &v);
+                mirror.push((new_class, v));
+            }
+            // And retire one of the earlier additions.
+            if round >= 4 {
+                let gone = classes + round - 4;
+                ivf.remove_label(gone);
+                mirror.retain(|(l, _)| *l != gone);
+            }
+        }
+        assert_eq!(ivf.len(), mirror.len(), "seed {seed}: mirror diverged");
+
+        // Ground truth: exact flat scan over the final state.
+        let final_data: Vec<f32> = mirror.iter().flat_map(|(_, v)| v.iter().copied()).collect();
+        let final_labels: Vec<usize> = mirror.iter().map(|(l, _)| *l).collect();
+        let flat = FlatIndex::from_rows(
+            Metric::Euclidean,
+            Rows::new(dim, &final_data),
+            &final_labels,
+        );
+
+        let qs = queries(seed, 60, dim);
+        let mut hits = 0usize;
+        for q in &qs {
+            let truth = flat.search(q, 1).top().expect("non-empty index");
+            let got = ivf.search(q, 1).top().expect("non-empty index");
+            // Ids differ across builds; compare by distance bits (ties
+            // by distance are equally correct answers).
+            if got.dist.to_bits() == truth.dist.to_bits() {
+                hits += 1;
+            }
+        }
+        let recall = hits as f64 / qs.len() as f64;
+        assert!(
+            recall >= 0.95,
+            "seed {seed}: recall@1 {recall:.3} after churn (probe {}/{} lists)",
+            ivf.n_probe(),
+            ivf.n_lists()
+        );
+
+        // Balance stats stay coherent and the churned skew is bounded.
+        let stats = ivf.balance_stats();
+        assert_eq!(stats.n_lists, ivf.n_lists());
+        assert_eq!(
+            stats.max_list,
+            *ivf.list_sizes().iter().max().unwrap(),
+            "seed {seed}"
+        );
+        assert!((stats.mean_list - ivf.len() as f64 / stats.n_lists as f64).abs() < 1e-9);
+        assert!(
+            stats.skew >= 1.0 && stats.skew <= stats.n_lists as f64,
+            "seed {seed}: skew {} out of range",
+            stats.skew
+        );
+    }
+}
+
 #[test]
 fn serde_round_trip_preserves_queries_after_mutation() {
     let dim = 4;

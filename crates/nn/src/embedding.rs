@@ -12,6 +12,8 @@
 //! | Output activation | Leaky ReLU |
 //! | Dropout | 0.1 |
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -21,8 +23,21 @@ use crate::dropout::Dropout;
 use crate::error::{NnError, Result};
 use crate::init::Init;
 use crate::linear::{Dense, DenseGrad};
-use crate::lstm::{Lstm, LstmCache, LstmGrad};
+use crate::lstm::{GateWeightsT, Lstm, LstmCache, LstmGrad, LstmScratch};
+use crate::parallel::{default_threads, scatter_chunks_mut};
 use crate::seq::SeqInput;
+use crate::tensor::Rows;
+
+/// Process-wide monotonic counter behind [`SequenceEmbedder`]'s weights
+/// version: every freshly-built, deserialized, or mutably-borrowed
+/// parameter state gets a distinct id, so an [`EmbedScratch`] can tell
+/// cached transposed weights from stale ones without hashing 500 KB of
+/// parameters per call.
+static WEIGHTS_VERSION: AtomicU64 = AtomicU64::new(1);
+
+fn next_weights_version() -> u64 {
+    WEIGHTS_VERSION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Architecture description for a [`SequenceEmbedder`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -108,13 +123,147 @@ impl EmbedderConfig {
 ///
 /// The same instance embeds both sides of a training pair (shared
 /// weights), and at attack time maps captured traces into the embedding
-/// space where a kNN classifier operates.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// space where a kNN classifier operates. All inference entry points
+/// ([`SequenceEmbedder::embed`], [`SequenceEmbedder::embed_all`]) are
+/// thin wrappers over the batched engine
+/// ([`SequenceEmbedder::embed_batch`]).
+#[derive(Debug, Clone)]
 pub struct SequenceEmbedder {
     config: EmbedderConfig,
     lstm: Lstm,
     hidden: Vec<Dense>,
     output: Dense,
+    /// Identity of the current parameter state (see
+    /// [`WEIGHTS_VERSION`]); bumped by every mutable parameter borrow
+    /// so scratch-cached transposed weights invalidate automatically.
+    version: u64,
+}
+
+impl PartialEq for SequenceEmbedder {
+    fn eq(&self, other: &Self) -> bool {
+        // The weights version is an identity tag, not model state.
+        self.config == other.config
+            && self.lstm == other.lstm
+            && self.hidden == other.hidden
+            && self.output == other.output
+    }
+}
+
+impl Serialize for SequenceEmbedder {
+    fn to_value(&self) -> serde::json::Value {
+        serde::json::Value::Object(vec![
+            ("config".to_string(), self.config.to_value()),
+            ("lstm".to_string(), self.lstm.to_value()),
+            ("hidden".to_string(), self.hidden.to_value()),
+            ("output".to_string(), self.output.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SequenceEmbedder {
+    fn from_value(v: &serde::json::Value) -> std::result::Result<Self, serde::json::Error> {
+        let pairs = v
+            .as_object()
+            .ok_or_else(|| serde::json::Error::custom("SequenceEmbedder: expected object"))?;
+        Ok(SequenceEmbedder {
+            config: serde::json::field(pairs, "config")?,
+            lstm: serde::json::field(pairs, "lstm")?,
+            hidden: serde::json::field(pairs, "hidden")?,
+            output: serde::json::field(pairs, "output")?,
+            version: next_weights_version(),
+        })
+    }
+}
+
+/// Caller-owned scratch for [`SequenceEmbedder::embed_batch`]: the
+/// transposed-weight cache, per-worker LSTM/dense panels, and the
+/// output row buffer.
+///
+/// # Amortization model
+///
+/// Batched embedding wins on three axes, all of which live here:
+///
+/// 1. **Weight traffic** — the `(4H)×(I+H)` gate matrix and the dense
+///    stack are transposed once into `wt_*` and then streamed once per
+///    timestep for the *whole* batch (a matrix–matrix product), instead
+///    of being re-walked per trace. The transposes are cached across
+///    calls and keyed on the embedder's weights version, so repeated
+///    `embed_batch` calls against an unchanged model never re-copy
+///    them.
+/// 2. **Allocations** — every intermediate (gate pre-activations,
+///    hidden/cell states, dense activations) lives in reusable buffers;
+///    after the first call on the largest batch shape, embedding is
+///    allocation-free.
+/// 3. **Ragged batches** — sequences are planned longest-first and
+///    retire off the active prefix as they finish, so mixed-length
+///    batches never pad or re-scan.
+///
+/// Batching wins whenever more than a handful of traces are embedded
+/// together (provisioning, reference swaps, batch evaluation); for a
+/// single trace the engine degrades gracefully to a batch of one. The
+/// per-trace arithmetic is identical in every case, so batched results
+/// are bit-identical to [`SequenceEmbedder::embed`].
+#[derive(Debug)]
+pub struct EmbedScratch {
+    /// Worker threads for batch sharding (`0` = all cores).
+    threads: usize,
+    /// Weights version the cached transposes were taken from.
+    cached_version: Option<u64>,
+    /// Transposed, panel-padded LSTM gate weights.
+    wt_lstm: GateWeightsT,
+    /// Transposed hidden dense weights, one buffer per layer.
+    wt_hidden: Vec<Vec<f32>>,
+    /// Transposed output-layer weights.
+    wt_output: Vec<f32>,
+    /// Per-worker engine buffers.
+    workers: Vec<WorkerScratch>,
+    /// Output embeddings (`batch × output_size`, original order).
+    out: Vec<f32>,
+}
+
+/// One worker's engine buffers: LSTM panels plus the dense ping-pong
+/// activations.
+#[derive(Debug, Default)]
+struct WorkerScratch {
+    lstm: LstmScratch,
+    /// Dense-stack input rows (starts as the LSTM final states).
+    a: Vec<f32>,
+    /// Dense-stack output rows (swapped with `a` after each layer).
+    b: Vec<f32>,
+}
+
+impl Default for EmbedScratch {
+    /// Same as [`EmbedScratch::new`]: single-threaded.
+    fn default() -> Self {
+        EmbedScratch::new()
+    }
+}
+
+impl EmbedScratch {
+    /// Single-threaded scratch (the default).
+    pub fn new() -> Self {
+        EmbedScratch::with_threads(1)
+    }
+
+    /// Scratch that shards batches across `threads` workers
+    /// (`0` = all cores). Results are identical for every value; only
+    /// wall-clock changes.
+    pub fn with_threads(threads: usize) -> Self {
+        EmbedScratch {
+            threads,
+            cached_version: None,
+            wt_lstm: GateWeightsT::default(),
+            wt_hidden: Vec::new(),
+            wt_output: Vec::new(),
+            workers: Vec::new(),
+            out: Vec::new(),
+        }
+    }
+
+    /// Changes the worker-thread count for subsequent calls.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
 }
 
 /// Forward-pass cache for [`SequenceEmbedder::forward_train`].
@@ -167,6 +316,7 @@ impl SequenceEmbedder {
             lstm,
             hidden,
             output,
+            version: next_weights_version(),
         })
     }
 
@@ -194,10 +344,165 @@ impl SequenceEmbedder {
 
     /// Maps a trace to its embedding (evaluation mode: no dropout).
     ///
+    /// A thin wrapper over [`SequenceEmbedder::embed_batch`] with a
+    /// batch of one; callers embedding many traces should batch them
+    /// (and hold an [`EmbedScratch`]) instead.
+    ///
     /// # Panics
     ///
     /// Panics if `x.channels() != input_size`.
     pub fn embed(&self, x: &SeqInput) -> Vec<f32> {
+        self.embed_batch_with(std::slice::from_ref(x), 1, |rows| rows.row(0).to_vec())
+    }
+
+    /// Embeds a batch through this thread's shared scratch and hands
+    /// the resulting rows to `f` — for callers that want the batched
+    /// engine and cross-call transposed-weight caching without owning
+    /// an [`EmbedScratch`] (the core pipeline's serving/provisioning
+    /// calls all come through here). `threads` shards the batch
+    /// (`0` = all cores); results are identical for every value.
+    pub fn embed_batch_with<R>(
+        &self,
+        xs: &[SeqInput],
+        threads: usize,
+        f: impl FnOnce(Rows<'_>) -> R,
+    ) -> R {
+        self.with_thread_scratch(|net, scratch| {
+            scratch.set_threads(threads);
+            f(net.embed_batch(xs, scratch))
+        })
+    }
+
+    /// Runs `f` with this thread's shared [`EmbedScratch`] — the
+    /// convenience wrappers use it so repeated single-trace calls keep
+    /// their transposed-weight cache warm (the version key makes
+    /// sharing the scratch across models safe).
+    fn with_thread_scratch<R>(&self, f: impl FnOnce(&Self, &mut EmbedScratch) -> R) -> R {
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<EmbedScratch> =
+                std::cell::RefCell::new(EmbedScratch::new());
+        }
+        SCRATCH.with(|cell| f(self, &mut cell.borrow_mut()))
+    }
+
+    /// Embeds a batch of traces (evaluation mode). A thin wrapper over
+    /// [`SequenceEmbedder::embed_batch`] that copies the rows out; hold
+    /// your own [`EmbedScratch`] to skip the copies and reuse buffers
+    /// across calls.
+    pub fn embed_all(&self, xs: &[SeqInput]) -> Vec<Vec<f32>> {
+        self.embed_batch_with(xs, 1, |rows| rows.to_vecs())
+    }
+
+    /// Embeds a whole batch through the fused engine: one gate
+    /// matrix–matrix product per timestep and one product per dense
+    /// layer for the entire batch, into caller-owned scratch.
+    ///
+    /// Returns the embeddings as a borrowed row-major view
+    /// (`xs.len() × output_size`, input order) into `scratch`; the rows
+    /// stay valid until the next call against the same scratch.
+    ///
+    /// Every trace's arithmetic runs in a fixed order independent of
+    /// batch composition, worker count, or scratch history, so each row
+    /// is **bit-identical** to [`SequenceEmbedder::embed`] of that
+    /// trace. See [`EmbedScratch`] for the amortization model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any trace's channel count differs from `input_size`.
+    pub fn embed_batch<'s>(&self, xs: &[SeqInput], scratch: &'s mut EmbedScratch) -> Rows<'s> {
+        for x in xs {
+            assert_eq!(
+                x.channels(),
+                self.config.input_size,
+                "embedder expects {} channels, trace has {}",
+                self.config.input_size,
+                x.channels()
+            );
+        }
+        let dim = self.config.output_size;
+        if scratch.cached_version != Some(self.version) {
+            self.lstm.gate_weights_t(&mut scratch.wt_lstm);
+            scratch.wt_hidden.resize_with(self.hidden.len(), Vec::new);
+            for (layer, wt) in self.hidden.iter().zip(&mut scratch.wt_hidden) {
+                layer.weights_t(wt);
+            }
+            self.output.weights_t(&mut scratch.wt_output);
+            scratch.cached_version = Some(self.version);
+        }
+        let n_workers = if scratch.threads == 0 {
+            default_threads()
+        } else {
+            scratch.threads
+        }
+        .clamp(1, xs.len().max(1));
+        let EmbedScratch {
+            wt_lstm,
+            wt_hidden,
+            wt_output,
+            workers,
+            out,
+            ..
+        } = scratch;
+        if workers.len() < n_workers {
+            workers.resize_with(n_workers, WorkerScratch::default);
+        }
+        out.clear();
+        out.resize(xs.len() * dim, 0.0);
+        scatter_chunks_mut(
+            xs,
+            &mut workers[..n_workers],
+            out,
+            dim,
+            |chunk, worker, out_rows| {
+                self.embed_chunk(chunk, wt_lstm, wt_hidden, wt_output, worker, out_rows);
+            },
+        );
+        Rows::new(dim, out)
+    }
+
+    /// One worker's share of a batch: fused LSTM, then the dense stack
+    /// as whole-chunk matrix products ping-ponging between two buffers.
+    fn embed_chunk(
+        &self,
+        xs: &[SeqInput],
+        wt_lstm: &GateWeightsT,
+        wt_hidden: &[Vec<f32>],
+        wt_output: &[f32],
+        worker: &mut WorkerScratch,
+        out: &mut [f32],
+    ) {
+        let n = xs.len();
+        let mut width = self.config.lstm_hidden;
+        worker.a.clear();
+        worker.a.resize(n * width, 0.0);
+        self.lstm
+            .forward_batch_t(xs, wt_lstm, &mut worker.lstm, &mut worker.a);
+        for (layer, wt) in self.hidden.iter().zip(wt_hidden) {
+            let next = layer.output_size();
+            worker.b.clear();
+            worker.b.resize(n * next, 0.0);
+            layer.forward_batch_t(wt, &worker.a[..n * width], &mut worker.b);
+            self.config
+                .hidden_activation
+                .apply_fast_slice(&mut worker.b);
+            std::mem::swap(&mut worker.a, &mut worker.b);
+            width = next;
+        }
+        self.output
+            .forward_batch_t(wt_output, &worker.a[..n * width], out);
+        self.config.output_activation.apply_fast_slice(out);
+    }
+
+    /// The pre-batching reference path: one allocation-per-step LSTM
+    /// walk and one matrix–vector product per dense layer, per trace,
+    /// with libm transcendentals.
+    ///
+    /// Kept as the regression oracle for the fused engine (which must
+    /// stay within the fast-activation tolerance of this path) and as
+    /// the per-query **loop baseline** the `fig_embed` experiment and
+    /// throughput smoke tests measure `embed_batch` against. Nothing on
+    /// the serving path calls this.
+    pub fn embed_looped(&self, x: &SeqInput) -> Vec<f32> {
         assert_eq!(
             x.channels(),
             self.config.input_size,
@@ -216,11 +521,6 @@ impl SequenceEmbedder {
         out
     }
 
-    /// Embeds a batch of traces (evaluation mode).
-    pub fn embed_all(&self, xs: &[SeqInput]) -> Vec<Vec<f32>> {
-        xs.iter().map(|x| self.embed(x)).collect()
-    }
-
     /// Forward pass with dropout, caching everything needed for
     /// [`SequenceEmbedder::backward`]. `rng` drives dropout masks.
     pub fn forward_train<R: Rng + ?Sized>(
@@ -234,20 +534,22 @@ impl SequenceEmbedder {
 
         let n = self.hidden.len();
         let mut pre = Vec::with_capacity(n);
-        let mut post = Vec::with_capacity(n);
+        let mut post: Vec<Vec<f32>> = Vec::with_capacity(n);
         let mut masks = Vec::with_capacity(n);
-        let mut cur = lstm_out.clone();
         for layer in &self.hidden {
-            let p = layer.forward_alloc(&cur);
+            // Each layer reads the previous layer's cached activations
+            // in place — the cache is the only copy.
+            let input: &[f32] = post.last().map(Vec::as_slice).unwrap_or(&lstm_out);
+            let p = layer.forward_alloc(input);
             let mut a = p.clone();
             self.config.hidden_activation.apply_slice(&mut a);
             let mask = dropout.apply_train(&mut a, rng);
             pre.push(p);
             masks.push(mask);
-            cur = a.clone();
             post.push(a);
         }
-        let out_pre = self.output.forward_alloc(&cur);
+        let out_input: &[f32] = post.last().map(Vec::as_slice).unwrap_or(&lstm_out);
+        let out_pre = self.output.forward_alloc(out_input);
         let mut emb = out_pre.clone();
         self.config.output_activation.apply_slice(&mut emb);
         (
@@ -303,7 +605,12 @@ impl SequenceEmbedder {
     }
 
     /// Mutable parameter groups in a stable order (for [`crate::optim::Sgd`]).
+    ///
+    /// Handing out mutable parameter access bumps the weights version,
+    /// which invalidates any [`EmbedScratch`]-cached transposed weights
+    /// on their next use.
     pub fn param_slices_mut(&mut self) -> Vec<&mut [f32]> {
+        self.version = next_weights_version();
         let mut out = Vec::new();
         out.extend(self.lstm.param_slices_mut());
         for layer in &mut self.hidden {
@@ -414,12 +721,96 @@ mod tests {
     }
 
     #[test]
-    fn forward_train_without_dropout_matches_embed() {
+    fn forward_train_without_dropout_matches_looped_reference() {
         let net = tiny_net();
         let x = tiny_input();
         let mut rng = StdRng::seed_from_u64(0);
         let (e, _) = net.forward_train(&x, &mut rng);
-        assert_eq!(e, net.embed(&x));
+        // The training forward and the pre-batching reference path run
+        // the same per-step kernels: bit-identical.
+        assert_eq!(e, net.embed_looped(&x));
+        // The fused engine stays within the fast-activation tolerance.
+        for (a, b) in e.iter().zip(net.embed(&x)) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    /// The regression the refactor rests on: the batched engine is
+    /// bit-identical to the per-query wrapper, and both track the
+    /// pre-batching reference path to within the fast-activation
+    /// tolerance.
+    #[test]
+    fn embed_batch_is_bit_identical_to_embed() {
+        let net = tiny_net();
+        // Ragged lengths, including empty and single-step sequences.
+        let xs: Vec<SeqInput> = [5usize, 0, 1, 9, 3, 5, 2]
+            .iter()
+            .enumerate()
+            .map(|(i, &steps)| {
+                let data: Vec<f32> = (0..steps * 2)
+                    .map(|j| ((j * 7 + i * 13) % 11) as f32 * 0.15 - 0.8)
+                    .collect();
+                SeqInput::new(steps, 2, data).unwrap()
+            })
+            .collect();
+        for threads in [1usize, 4, 0] {
+            let mut scratch = EmbedScratch::with_threads(threads);
+            let rows = net.embed_batch(&xs, &mut scratch);
+            assert_eq!(rows.len(), xs.len());
+            assert_eq!(rows.dim(), 3);
+            for (i, x) in xs.iter().enumerate() {
+                assert_eq!(
+                    rows.row(i),
+                    net.embed(x).as_slice(),
+                    "threads {threads} row {i}"
+                );
+                for (a, b) in rows.row(i).iter().zip(net.embed_looped(x)) {
+                    assert!((a - b).abs() < 1e-4, "row {i}: fused {a} vs looped {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn embed_all_matches_embed_batch() {
+        let net = tiny_net();
+        let xs: Vec<SeqInput> = (0..5).map(|_| tiny_input()).collect();
+        let all = net.embed_all(&xs);
+        let mut scratch = EmbedScratch::new();
+        let rows = net.embed_batch(&xs, &mut scratch);
+        for (i, e) in all.iter().enumerate() {
+            assert_eq!(e.as_slice(), rows.row(i));
+        }
+    }
+
+    /// Mutating parameters through `param_slices_mut` must invalidate
+    /// scratch-cached transposed weights.
+    #[test]
+    fn scratch_cache_invalidates_on_parameter_mutation() {
+        let mut net = tiny_net();
+        let x = tiny_input();
+        let mut scratch = EmbedScratch::new();
+        let before = net
+            .embed_batch(std::slice::from_ref(&x), &mut scratch)
+            .row(0)
+            .to_vec();
+        net.param_slices_mut()[0][0] += 0.25;
+        let stale_risk = net
+            .embed_batch(std::slice::from_ref(&x), &mut scratch)
+            .row(0)
+            .to_vec();
+        let fresh = net.embed(&x);
+        assert_eq!(stale_risk, fresh);
+        assert_ne!(before, fresh);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let net = tiny_net();
+        let mut scratch = EmbedScratch::new();
+        let rows = net.embed_batch(&[], &mut scratch);
+        assert_eq!(rows.len(), 0);
+        assert!(rows.is_empty());
     }
 
     #[test]

@@ -4,7 +4,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::init::Init;
-use crate::tensor::{add_assign_slice, Matrix};
+use crate::tensor::{add_assign_slice, matmul_t, transpose_into, Matrix};
 
 /// A dense layer computing `y = W·x + b` (no activation — activations are
 /// applied by the caller so pre-activations can be cached for backprop).
@@ -59,6 +59,22 @@ impl Dense {
         let mut out = vec![0.0; self.output_size()];
         self.forward(x, &mut out);
         out
+    }
+
+    /// Writes the transposed weight matrix `Wᵀ` (`in × out`, row-major)
+    /// into `wt` — the layout [`Dense::forward_batch_t`] streams.
+    pub fn weights_t(&self, wt: &mut Vec<f32>) {
+        transpose_into(self.w.as_slice(), self.w.rows(), self.w.cols(), wt);
+    }
+
+    /// Batched forward pass through a transposed weight buffer: for
+    /// every row `x_i` of the row-major `xs` (`n × in`), writes
+    /// `W·x_i + b` into the matching row of `out` (`n × out`). One
+    /// matrix–matrix product per layer per batch instead of one
+    /// matrix–vector product per trace; per-row results are
+    /// bit-identical for every batch size.
+    pub fn forward_batch_t(&self, wt: &[f32], xs: &[f32], out: &mut [f32]) {
+        matmul_t(xs, self.input_size(), wt, &self.b, out);
     }
 
     /// Backward pass.
@@ -182,6 +198,28 @@ mod tests {
                 (numeric - analytic).abs() < 1e-2,
                 "dW[{idx}]: numeric {numeric} vs analytic {analytic}"
             );
+        }
+    }
+
+    #[test]
+    fn batched_forward_matches_per_item() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let l = Dense::new(5, 3, Init::XavierUniform, &mut rng);
+        let mut wt = Vec::new();
+        l.weights_t(&mut wt);
+        let xs: Vec<f32> = (0..4 * 5).map(|i| (i as f32) * 0.17 - 1.5).collect();
+        let mut batched = vec![0.0f32; 4 * 3];
+        l.forward_batch_t(&wt, &xs, &mut batched);
+        for i in 0..4 {
+            // Batch rows are independent of batch composition.
+            let mut one = vec![0.0f32; 3];
+            l.forward_batch_t(&wt, &xs[i * 5..(i + 1) * 5], &mut one);
+            assert_eq!(&batched[i * 3..(i + 1) * 3], one.as_slice());
+            // And numerically agree with the per-item path.
+            let direct = l.forward_alloc(&xs[i * 5..(i + 1) * 5]);
+            for (a, b) in one.iter().zip(&direct) {
+                assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            }
         }
     }
 

@@ -14,12 +14,15 @@
 //! h_t = o ⊙ tanh(c_t)
 //! ```
 
+use std::cmp::Reverse;
+
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::activation::sigmoid;
+use crate::activation::{fast_sigmoid_slice, fast_tanh_slice, sigmoid};
 use crate::init::Init;
-use crate::tensor::{add_assign_slice, scale_slice, Matrix};
+use crate::seq::SeqInput;
+use crate::tensor::{add_assign_slice, matmul_t, scale_slice, Matrix};
 
 /// Single-layer LSTM. Weights are stored as one `(4H) × (I+H)` matrix so
 /// all four gates are computed with a single matrix–vector product.
@@ -60,6 +63,38 @@ struct StepCache {
 #[derive(Debug, Clone)]
 pub struct LstmCache {
     steps: Vec<StepCache>,
+}
+
+/// Transposed, panel-padded gate weights for [`Lstm::forward_batch_t`]
+/// (built by [`Lstm::gate_weights_t`]).
+#[derive(Debug, Clone, Default)]
+pub struct GateWeightsT {
+    /// Four concatenated `(I+H) × Hp` panels (`i`, `f`, `g`, `o`).
+    wt: Vec<f32>,
+    /// Four concatenated `Hp`-wide bias rows.
+    bias: Vec<f32>,
+    /// Padded panel width (`H` rounded up to a multiple of 8).
+    hp: usize,
+}
+
+/// Caller-owned buffers for [`Lstm::forward_batch_t`]: the batch plan
+/// (sorted order + lengths) and the per-sequence `xh`/`z`/`h`/`c`
+/// panels. Reusing one scratch across calls makes the batched forward
+/// allocation-free after warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct LstmScratch {
+    /// Sequence indices sorted by length, longest first (stable).
+    order: Vec<usize>,
+    /// Lengths aligned with `order`.
+    lens: Vec<usize>,
+    /// Concatenated `[x_t ; h_{t-1}]` rows, one per active sequence.
+    xh: Vec<f32>,
+    /// Packed gate pre-activations (`batch × 4H`).
+    z: Vec<f32>,
+    /// Hidden states (`batch × H`, plan order).
+    h: Vec<f32>,
+    /// Cell states (`batch × H`, plan order).
+    c: Vec<f32>,
 }
 
 impl LstmCache {
@@ -216,6 +251,165 @@ impl Lstm {
         }
     }
 
+    /// Fills `out` with the transposed gate weights as four
+    /// concatenated per-gate panels (`i`, `f`, `g`, `o`), each
+    /// `(I+H) × Hp` row-major with the output width padded to a
+    /// multiple of eight — the layout [`Lstm::forward_batch_t`]
+    /// streams, sized so every inner sweep is a whole number of SIMD
+    /// lanes. Pad columns carry zero weight and zero bias, so they
+    /// never influence a real output. Callers amortize this copy across
+    /// a whole batch (and, via the embedding engine's scratch cache,
+    /// across calls).
+    pub fn gate_weights_t(&self, out: &mut GateWeightsT) {
+        let hs = self.hidden_size;
+        let hp = hs.div_ceil(8) * 8;
+        let cols = self.input_size + hs;
+        out.hp = hp;
+        out.wt.clear();
+        out.wt.resize(4 * hp * cols, 0.0);
+        out.bias.clear();
+        out.bias.resize(4 * hp, 0.0);
+        let w = self.w.as_slice();
+        for gate in 0..4 {
+            let panel = &mut out.wt[gate * hp * cols..(gate + 1) * hp * cols];
+            for r in 0..hs {
+                for c in 0..cols {
+                    panel[c * hp + r] = w[(gate * hs + r) * cols + c];
+                }
+            }
+            out.bias[gate * hp..gate * hp + hs]
+                .copy_from_slice(&self.b[gate * hs..(gate + 1) * hs]);
+        }
+    }
+
+    /// Fused batched forward pass: one gate matrix–matrix product per
+    /// timestep for the whole batch, into caller-owned scratch — no
+    /// per-step allocations.
+    ///
+    /// `wt` is the transposed gate matrix from [`Lstm::gate_weights_t`].
+    /// Ragged lengths are handled by a sorted-by-length batch plan:
+    /// sequences are processed longest-first, so as shorter sequences
+    /// finish they retire off the end of the active prefix and later
+    /// timesteps run on a shrinking batch. Final hidden states are
+    /// written to `h_out` (`seqs.len() × H`, row-major, **original**
+    /// order; empty sequences yield the zero state).
+    ///
+    /// Every per-sequence arithmetic operation is performed in the same
+    /// fixed order regardless of batch composition, so each row of
+    /// `h_out` is bit-identical to running that sequence through a
+    /// batch of one.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if a sequence's channel count, `wt`, or `h_out`
+    /// disagree with the layer shape.
+    pub fn forward_batch_t(
+        &self,
+        seqs: &[SeqInput],
+        wt: &GateWeightsT,
+        scratch: &mut LstmScratch,
+        h_out: &mut [f32],
+    ) {
+        let hs = self.hidden_size;
+        let xd = self.input_size;
+        let hp = wt.hp;
+        let n = seqs.len();
+        debug_assert!(hp >= hs, "panel width below hidden size");
+        debug_assert_eq!(h_out.len(), n * hs, "h_out shape");
+
+        // Sorted-by-length plan: longest first, ties by original index
+        // (the sort is stable), so the active set is always a prefix.
+        scratch.order.clear();
+        scratch.order.extend(0..n);
+        scratch.order.sort_by_key(|&i| Reverse(seqs[i].steps()));
+        scratch.lens.clear();
+        scratch
+            .lens
+            .extend(scratch.order.iter().map(|&i| seqs[i].steps()));
+
+        let xh_w = xd + hs;
+        let gate_wt = hp * xh_w;
+        // All state panels use the padded stride `hp`: pad lanes carry
+        // zero-weight, zero-bias gate outputs that decay harmlessly and
+        // are never read back, and in exchange every sweep below is a
+        // whole number of SIMD lanes.
+        scratch.xh.clear();
+        scratch.xh.resize(n * xh_w, 0.0);
+        scratch.z.clear();
+        scratch.z.resize(4 * n * hp, 0.0);
+        scratch.h.clear();
+        scratch.h.resize(n * hp, 0.0);
+        scratch.c.clear();
+        scratch.c.resize(n * hp, 0.0);
+
+        let mut active = n;
+        while active > 0 && scratch.lens[active - 1] == 0 {
+            active -= 1;
+        }
+        let mut t = 0usize;
+        while active > 0 {
+            // Assemble [x_t ; h_{t-1}] for the active prefix.
+            for s in 0..active {
+                let seq = &seqs[scratch.order[s]];
+                debug_assert_eq!(seq.channels(), xd, "sequence channel count");
+                let row = &mut scratch.xh[s * xh_w..(s + 1) * xh_w];
+                row[..xd].copy_from_slice(seq.step(t));
+                row[xd..].copy_from_slice(&scratch.h[s * hp..s * hp + hs]);
+            }
+            // All four gates for the whole active batch: one
+            // matrix–matrix product per gate, each into a contiguous
+            // panel of `z` (panel g starts at `g · n · hp`).
+            let span = active * hp;
+            {
+                let (zi, rest) = scratch.z.split_at_mut(n * hp);
+                let (zf, rest) = rest.split_at_mut(n * hp);
+                let (zg, zo) = rest.split_at_mut(n * hp);
+                let xh = &scratch.xh[..active * xh_w];
+                for (gate, panel) in [&mut *zi, &mut *zf, &mut *zg, &mut *zo]
+                    .into_iter()
+                    .enumerate()
+                {
+                    matmul_t(
+                        xh,
+                        xh_w,
+                        &wt.wt[gate * gate_wt..(gate + 1) * gate_wt],
+                        &wt.bias[gate * hp..(gate + 1) * hp],
+                        &mut panel[..span],
+                    );
+                }
+                // Gate nonlinearities + state update as whole-panel
+                // sweeps: branchless over long contiguous runs, so
+                // every pass vectorizes.
+                fast_sigmoid_slice(&mut zi[..span]);
+                fast_sigmoid_slice(&mut zf[..span]);
+                fast_tanh_slice(&mut zg[..span]);
+                fast_sigmoid_slice(&mut zo[..span]);
+                let c = &mut scratch.c[..span];
+                for (idx, cv) in c.iter_mut().enumerate() {
+                    *cv = zf[idx] * *cv + zi[idx] * zg[idx];
+                }
+                // The spent g panel becomes tanh(c_t).
+                zg[..span].copy_from_slice(c);
+                fast_tanh_slice(&mut zg[..span]);
+                let h = &mut scratch.h[..span];
+                for (idx, hv) in h.iter_mut().enumerate() {
+                    *hv = zo[idx] * zg[idx];
+                }
+            }
+            t += 1;
+            // Retire sequences that just finished.
+            while active > 0 && scratch.lens[active - 1] <= t {
+                active -= 1;
+            }
+        }
+
+        // Scatter final states back to original order.
+        for s in 0..n {
+            h_out[scratch.order[s] * hs..(scratch.order[s] + 1) * hs]
+                .copy_from_slice(&scratch.h[s * hp..s * hp + hs]);
+        }
+    }
+
     /// Mutable parameter views (weights then biases) for optimizers.
     pub fn param_slices_mut(&mut self) -> [&mut [f32]; 2] {
         [self.w.as_mut_slice(), &mut self.b]
@@ -357,5 +551,89 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let lstm = Lstm::new(3, 4, &mut rng);
         let _ = lstm.forward(&[1.0, 2.0]);
+    }
+
+    fn seq(steps: usize, channels: usize, salt: u64) -> SeqInput {
+        let data: Vec<f32> = (0..steps * channels)
+            .map(|i| (((i as u64).wrapping_mul(31).wrapping_add(salt) % 17) as f32) * 0.1 - 0.8)
+            .collect();
+        SeqInput::new(steps, channels, data).unwrap()
+    }
+
+    fn batch_forward(lstm: &Lstm, seqs: &[SeqInput]) -> Vec<f32> {
+        let mut wt = GateWeightsT::default();
+        lstm.gate_weights_t(&mut wt);
+        let mut scratch = LstmScratch::default();
+        let mut out = vec![0.0f32; seqs.len() * lstm.hidden_size()];
+        lstm.forward_batch_t(seqs, &wt, &mut scratch, &mut out);
+        out
+    }
+
+    /// Each row of a ragged batch is bit-identical to running that
+    /// sequence through a batch of one — the invariance everything
+    /// above this layer (embed vs embed_batch) rests on.
+    #[test]
+    fn ragged_batch_rows_match_batch_of_one_exactly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lstm = Lstm::new(3, 5, &mut rng);
+        let seqs: Vec<SeqInput> = [7usize, 0, 3, 12, 1, 3, 9]
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| seq(t, 3, i as u64))
+            .collect();
+        let batched = batch_forward(&lstm, &seqs);
+        for (i, s) in seqs.iter().enumerate() {
+            let single = batch_forward(&lstm, std::slice::from_ref(s));
+            assert_eq!(
+                &batched[i * 5..(i + 1) * 5],
+                single.as_slice(),
+                "row {i} (len {})",
+                s.steps()
+            );
+        }
+        // Empty sequence keeps the zero state.
+        assert_eq!(&batched[5..10], &[0.0; 5]);
+    }
+
+    /// The fused engine evaluates the same math as the per-sequence
+    /// reference path up to the fast-activation tolerance.
+    #[test]
+    fn batched_forward_tracks_reference_forward() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let lstm = Lstm::new(2, 6, &mut rng);
+        let seqs: Vec<SeqInput> = (0..5).map(|i| seq(4 + i * 3, 2, i as u64)).collect();
+        let batched = batch_forward(&lstm, &seqs);
+        for (i, s) in seqs.iter().enumerate() {
+            let reference = lstm.forward(s.as_slice());
+            for (a, b) in batched[i * 6..(i + 1) * 6].iter().zip(&reference) {
+                assert!(
+                    (a - b).abs() < 1e-5,
+                    "row {i}: batched {a} vs reference {b}"
+                );
+            }
+        }
+    }
+
+    /// Scratch reuse across differently-shaped batches never leaks
+    /// state between calls.
+    #[test]
+    fn scratch_reuse_is_stateless() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let lstm = Lstm::new(3, 4, &mut rng);
+        let mut wt = GateWeightsT::default();
+        lstm.gate_weights_t(&mut wt);
+        let mut scratch = LstmScratch::default();
+
+        let big: Vec<SeqInput> = (0..6).map(|i| seq(10, 3, i as u64)).collect();
+        let mut out_big = vec![0.0f32; big.len() * 4];
+        lstm.forward_batch_t(&big, &wt, &mut scratch, &mut out_big);
+
+        let small = [seq(2, 3, 99)];
+        let mut out_small = vec![0.0f32; 4];
+        lstm.forward_batch_t(&small, &wt, &mut scratch, &mut out_small);
+        let mut fresh = LstmScratch::default();
+        let mut out_fresh = vec![0.0f32; 4];
+        lstm.forward_batch_t(&small, &wt, &mut fresh, &mut out_fresh);
+        assert_eq!(out_small, out_fresh);
     }
 }

@@ -58,6 +58,55 @@ where
     chunks.into_iter().flatten().collect()
 }
 
+/// Shards `items` across `workers.len()` threads, handing each worker
+/// its own mutable state plus the matching `stride`-aligned slice of
+/// `out`: worker `w` receives items `[w·chunk, (w+1)·chunk)` and the
+/// output elements `[w·chunk·stride, ...)`.
+///
+/// This is the writer-side counterpart of [`map_chunks`], used by the
+/// batched embedding engine: per-item work is independent, so results
+/// are identical for every worker count — only wall-clock changes.
+/// Runs inline when there is a single worker or a single chunk's worth
+/// of items.
+pub fn scatter_chunks_mut<T, S, F>(
+    items: &[T],
+    workers: &mut [S],
+    out: &mut [f32],
+    stride: usize,
+    f: F,
+) where
+    T: Sync,
+    S: Send,
+    F: Fn(&[T], &mut S, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(out.len(), items.len() * stride, "output stride mismatch");
+    let n_workers = workers.len().max(1).min(items.len().max(1));
+    let chunk = items.len().div_ceil(n_workers.max(1)).max(1);
+    if n_workers <= 1 || items.len() <= chunk {
+        if let Some(state) = workers.first_mut() {
+            f(items, state, out);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest_items = items;
+        let mut rest_out = out;
+        let mut rest_workers = workers;
+        while !rest_items.is_empty() {
+            let take = chunk.min(rest_items.len());
+            let (ci, ri) = rest_items.split_at(take);
+            let (co, ro) = rest_out.split_at_mut(take * stride);
+            let (cw, rw) = rest_workers.split_at_mut(1);
+            rest_items = ri;
+            rest_out = ro;
+            rest_workers = rw;
+            let f = &f;
+            let state = &mut cw[0];
+            scope.spawn(move || f(ci, state, co));
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +146,41 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn scatter_chunks_writes_every_output_slot() {
+        let items: Vec<f32> = (0..103).map(|i| i as f32).collect();
+        for n_workers in [1usize, 2, 4, 7] {
+            let mut workers = vec![0usize; n_workers];
+            let mut out = vec![0.0f32; items.len() * 2];
+            scatter_chunks_mut(&items, &mut workers, &mut out, 2, |chunk, state, o| {
+                *state += chunk.len();
+                for (i, v) in chunk.iter().enumerate() {
+                    o[i * 2] = *v * 2.0;
+                    o[i * 2 + 1] = *v * 3.0;
+                }
+            });
+            assert_eq!(
+                workers.iter().sum::<usize>(),
+                items.len(),
+                "{n_workers} workers"
+            );
+            for (i, v) in items.iter().enumerate() {
+                assert_eq!(out[i * 2], v * 2.0);
+                assert_eq!(out[i * 2 + 1], v * 3.0);
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_chunks_handles_empty_and_tiny_inputs() {
+        let mut workers = vec![(); 4];
+        let mut out: Vec<f32> = Vec::new();
+        scatter_chunks_mut(&[] as &[f32], &mut workers, &mut out, 3, |_, _, _| {});
+        let items = [5.0f32];
+        let mut out = vec![0.0f32; 1];
+        scatter_chunks_mut(&items, &mut workers, &mut out, 1, |c, _, o| o[0] = c[0]);
+        assert_eq!(out, vec![5.0]);
     }
 }

@@ -1,0 +1,89 @@
+//! Property tests for the batched embedding engine: random ragged
+//! batches (empty and length-1 sequences included) must be
+//! bit-identical to the per-item `embed` path for every thread count.
+
+use proptest::prelude::*;
+
+use tlsfp_nn::embedding::{EmbedScratch, EmbedderConfig, SequenceEmbedder};
+use tlsfp_nn::seq::SeqInput;
+
+fn net(channels: usize) -> SequenceEmbedder {
+    SequenceEmbedder::new(EmbedderConfig::small(channels), 42).expect("valid config")
+}
+
+/// Deterministic pseudo-random sequence contents from a per-case salt.
+fn seq(steps: usize, channels: usize, salt: u64) -> SeqInput {
+    let data: Vec<f32> = (0..steps * channels)
+        .map(|i| {
+            let v = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(salt);
+            ((v % 2000) as f32) * 1e-3 - 1.0
+        })
+        .collect();
+    SeqInput::new(steps, channels, data).expect("shape by construction")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `embed_batch` over a random mix of lengths — including empty and
+    /// single-step traces — equals per-item `embed` exactly, for worker
+    /// counts {1, 4, 0 = all cores}, with one scratch reused across all
+    /// thread settings and batch shapes.
+    #[test]
+    fn ragged_batches_match_per_item_embed_exactly(
+        lens in proptest::collection::vec(0usize..24, 1..20),
+        salt in 0u64..1_000_000,
+        channels in 2usize..4,
+    ) {
+        let net = net(channels);
+        let xs: Vec<SeqInput> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &steps)| seq(steps, channels, salt.wrapping_add(i as u64)))
+            .collect();
+        let singles: Vec<Vec<f32>> = xs.iter().map(|x| net.embed(x)).collect();
+        let mut scratch = EmbedScratch::new();
+        for threads in [1usize, 4, 0] {
+            scratch.set_threads(threads);
+            let rows = net.embed_batch(&xs, &mut scratch);
+            prop_assert_eq!(rows.len(), xs.len());
+            for (i, single) in singles.iter().enumerate() {
+                prop_assert_eq!(
+                    rows.row(i),
+                    single.as_slice(),
+                    "threads {} row {} (len {})",
+                    threads,
+                    i,
+                    xs[i].steps()
+                );
+            }
+        }
+    }
+
+    /// Batch composition never leaks between items: embedding a batch
+    /// and any sub-batch of it yields the same rows for shared items.
+    #[test]
+    fn sub_batches_agree_with_full_batches(
+        lens in proptest::collection::vec(0usize..16, 2..12),
+        salt in 0u64..1_000_000,
+        split in 1usize..11,
+    ) {
+        let net = net(3);
+        let xs: Vec<SeqInput> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &steps)| seq(steps, 3, salt.wrapping_add(i as u64)))
+            .collect();
+        let split = split.min(xs.len() - 1).max(1);
+        let mut scratch = EmbedScratch::new();
+        let full: Vec<Vec<f32>> = net.embed_batch(&xs, &mut scratch).to_vecs();
+        let head: Vec<Vec<f32>> = net.embed_batch(&xs[..split], &mut scratch).to_vecs();
+        let tail: Vec<Vec<f32>> = net.embed_batch(&xs[split..], &mut scratch).to_vecs();
+        for (i, row) in full.iter().enumerate() {
+            let sub = if i < split { &head[i] } else { &tail[i - split] };
+            prop_assert_eq!(row, sub, "row {}", i);
+        }
+    }
+}
