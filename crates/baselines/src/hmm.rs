@@ -2,7 +2,7 @@
 //! whose states are webpages, whose transitions follow the site's link
 //! graph, and whose emissions come from any per-page classifier.
 //!
-//! The paper's Exp. 1 discussion references this design ([1]): a
+//! The paper's Exp. 1 discussion references this design (its ref. 1): a
 //! per-page classifier's accuracy over a browsing *session* improves
 //! substantially once the link structure constrains the sequence.
 

@@ -4,7 +4,7 @@
 //! repro <target> [--smoke|--full] [--seed N] [--json DIR]
 //!
 //! targets: fig6 fig7 table2 fig8 fig9 fig10 fig11 fig12 fig13 table3
-//!          fig_open_world fig_index fig_embed ablations all
+//!          fig_open_world fig_index fig_embed fig_shard ablations all
 //! ```
 
 use std::fs;
@@ -12,9 +12,9 @@ use std::path::PathBuf;
 
 use tlsfp_bench::ablations::{print_ablations, run_ablations};
 use tlsfp_bench::experiments::{
-    print_cdf, print_fig_embed, print_fig_index, print_open_world, print_series, run_fig12_13,
-    run_fig6, run_fig7, run_fig8, run_fig9_to_11, run_fig_embed, run_fig_index, run_fig_open_world,
-    run_table3, Scale,
+    print_cdf, print_fig_embed, print_fig_index, print_fig_shard, print_open_world, print_series,
+    run_fig12_13, run_fig6, run_fig7, run_fig8, run_fig9_to_11, run_fig_embed, run_fig_index,
+    run_fig_open_world, run_fig_shard, run_table3, Scale,
 };
 
 fn main() {
@@ -231,6 +231,15 @@ fn main() {
             print_fig_embed(p);
         }
         write_json("fig_embed", &result);
+    }
+
+    if run_all || target == "fig_shard" {
+        println!("\n=== Shard — sharded reference store vs the flat monolith ===");
+        let result = run_fig_shard(&scale);
+        for p in &result.points {
+            print_fig_shard(p);
+        }
+        write_json("fig_shard", &result);
     }
 
     if run_all || target == "ablations" {

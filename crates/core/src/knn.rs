@@ -8,10 +8,12 @@
 //!
 //! The neighbor *search* itself lives in `tlsfp-index`: the
 //! [`ReferenceSet`]-taking methods here run the exact
-//! [`flat_search`](tlsfp_index::flat::flat_search) over the reference
+//! [`flat_search`] over the reference
 //! rows (bit-identical to the historical scan), while the `*_indexed`
 //! variants accept any [`VectorIndex`] backend — the pipeline routes
-//! every serving-path call through its configured index.
+//! every serving-path call through its sharded reference store
+//! (`tlsfp_index::sharded::ShardedStore`), which fans each query out
+//! across its per-shard indexes and merges deterministically.
 
 use serde::{Deserialize, Serialize};
 

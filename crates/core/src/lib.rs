@@ -8,13 +8,18 @@
 //! pages is a reference-set swap — never a retraining run.
 //!
 //! - [`pipeline::AdaptiveFingerprinter`] — provision / fingerprint /
-//!   adapt (Figure 2).
-//! - [`reference::ReferenceSet`] — the labeled embedding store.
+//!   adapt (Figure 2). Serves from a class-sharded reference store
+//!   (`tlsfp_index::sharded::ShardedStore`) sized by
+//!   [`PipelineConfig::shards`](pipeline::PipelineConfig): one shard
+//!   (the default) is bit-identical to the classic flat path; many
+//!   shards bound provisioning memory and mutation cost for the
+//!   13k-class regime.
+//! - [`reference::ReferenceSet`] — the classic single-store labeled
+//!   embedding set (the regression oracle and standalone-kNN store).
 //! - [`knn::KnnClassifier`] — top-N ranked classification (k = 250),
-//!   served through a configurable `tlsfp-index` backend
-//!   ([`PipelineConfig::index`](pipeline::PipelineConfig)): an exact
-//!   flat scan by default, or an IVF index that prunes candidates by
-//!   an order of magnitude.
+//!   served through any `tlsfp-index` backend — per shard, an exact
+//!   flat scan by default ([`PipelineConfig::index`](pipeline::PipelineConfig))
+//!   or an IVF index that prunes candidates by an order of magnitude.
 //! - [`metrics::EvalReport`] — top-N accuracy, per-class guess CDFs,
 //!   the Table II smallest-n search.
 //! - [`open_world`] — §VI-C open-world detection metrics: confusion

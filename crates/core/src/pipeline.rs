@@ -13,7 +13,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use tlsfp_index::{IndexConfig, Rows, ServingIndex, VectorIndex};
+use tlsfp_index::sharded::ShardedStore;
+use tlsfp_index::{IndexConfig, VectorIndex};
 use tlsfp_nn::embedding::{EmbedScratch, EmbedderConfig, SequenceEmbedder};
 use tlsfp_nn::optim::Sgd;
 use tlsfp_nn::pairs::{random_pairs, semi_hard_pairs, ClassIndex};
@@ -25,7 +26,6 @@ use crate::error::{CoreError, Result};
 use crate::knn::{KnnClassifier, RankedPrediction, ScoredPrediction};
 use crate::metrics::EvalReport;
 use crate::open_world::{self, OpenWorldReport, PerClassThresholds};
-use crate::reference::ReferenceSet;
 
 /// Everything that parameterizes provisioning and classification.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -51,12 +51,24 @@ pub struct PipelineConfig {
     pub k: usize,
     /// Worker threads (0 = all cores).
     pub threads: usize,
-    /// Nearest-neighbor index backend for the serving path. The
+    /// Nearest-neighbor index backend each shard serves from. The
     /// default [`IndexConfig::Flat`] keeps every decision bit-identical
     /// to an exhaustive reference scan; [`IndexConfig::ivf_default`]
     /// trades a bounded recall loss for an order-of-magnitude fewer
     /// distance computations at scale.
     pub index: IndexConfig,
+    /// Shard count for the reference store: classes are partitioned
+    /// across this many shards, each with its own contiguous storage
+    /// and serving index. `1` (the default) reproduces the unsharded
+    /// serving path **bit-identically**; `0` resolves to
+    /// `⌈√n_classes⌉` at provisioning time — the 13k-class layout,
+    /// where provisioning peak memory and per-mutation work are
+    /// bounded by one shard instead of the corpus. With exact (flat)
+    /// per-shard backends, decisions are identical for every value
+    /// (up to exact distance ties between different-class duplicate
+    /// embeddings at the k-th neighbor boundary — see the
+    /// `tlsfp_index::sharded` module docs).
+    pub shards: usize,
 }
 
 impl PipelineConfig {
@@ -75,6 +87,7 @@ impl PipelineConfig {
             k: 250,
             threads: 0,
             index: IndexConfig::Flat,
+            shards: 1,
         }
     }
 
@@ -100,6 +113,7 @@ impl PipelineConfig {
             k: 15,
             threads: 0,
             index: IndexConfig::Flat,
+            shards: 1,
         }
     }
 
@@ -124,15 +138,18 @@ pub struct TrainingLog {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AdaptiveFingerprinter {
     embedder: SequenceEmbedder,
-    reference: ReferenceSet,
+    /// The sharded reference store: per-shard contiguous embeddings
+    /// plus per-shard serving indexes, kept in sync by every mutation.
+    /// All classify/fingerprint paths route through it.
+    store: ShardedStore,
     knn: KnnClassifier,
     threads: usize,
     log: TrainingLog,
-    /// Which index backend serves queries (mirrors `index`).
+    /// The per-shard index backend (mirrors `PipelineConfig::index`).
     index_config: IndexConfig,
-    /// The serving index, kept in sync with `reference` by every
-    /// mutation. All classify/fingerprint paths route through it.
-    index: ServingIndex,
+    /// The shard-count knob (`0` = auto), re-resolved against the
+    /// class count whenever the reference store is rebuilt.
+    shards: usize,
 }
 
 impl AdaptiveFingerprinter {
@@ -160,21 +177,21 @@ impl AdaptiveFingerprinter {
         let log = train_embedder(&mut embedder, train, config, seed)?;
 
         let knn = KnnClassifier::new(config.k);
-        let reference = ReferenceSet::new(config.embedder.output_size, train.n_classes());
-        let index = ServingIndex::build(
-            &config.index,
+        let store = ShardedStore::new(
+            config.embedder.output_size,
             knn.metric,
-            reference.as_rows(),
-            reference.labels(),
+            &config.index,
+            train.n_classes(),
+            config.shards,
         );
         let mut fp = AdaptiveFingerprinter {
             embedder,
-            reference,
+            store,
             knn,
             threads: config.threads,
             log,
             index_config: config.index,
-            index,
+            shards: config.shards,
         };
         fp.set_reference(train)?;
         Ok(fp)
@@ -185,16 +202,10 @@ impl AdaptiveFingerprinter {
     pub fn from_trained(embedder: SequenceEmbedder, k: usize, threads: usize) -> Self {
         let dim = embedder.output_size();
         let knn = KnnClassifier::new(k);
-        let reference = ReferenceSet::new(dim, 0);
-        let index = ServingIndex::build(
-            &IndexConfig::Flat,
-            knn.metric,
-            reference.as_rows(),
-            reference.labels(),
-        );
+        let store = ShardedStore::new(dim, knn.metric, &IndexConfig::Flat, 0, 1);
         AdaptiveFingerprinter {
             embedder,
-            reference,
+            store,
             knn,
             threads,
             log: TrainingLog {
@@ -202,7 +213,7 @@ impl AdaptiveFingerprinter {
                 train_seconds: 0.0,
             },
             index_config: IndexConfig::Flat,
-            index,
+            shards: 1,
         }
     }
 
@@ -211,39 +222,48 @@ impl AdaptiveFingerprinter {
         &self.embedder
     }
 
-    /// The current reference set.
-    pub fn reference(&self) -> &ReferenceSet {
-        &self.reference
+    /// The current sharded reference store.
+    pub fn reference(&self) -> &ShardedStore {
+        &self.store
     }
 
-    /// The serving index the classify paths route through.
+    /// The serving store as an index: the classify paths route every
+    /// query through it (fan-out across shards, deterministic merge).
     pub fn index(&self) -> &dyn VectorIndex {
-        self.index.as_dyn()
+        &self.store
     }
 
-    /// The configured index backend.
+    /// The configured per-shard index backend.
     pub fn index_config(&self) -> IndexConfig {
         self.index_config
     }
 
-    /// Switches the serving index backend, rebuilding it from the
-    /// current reference set. With [`IndexConfig::Flat`] every decision
-    /// is bit-identical to an exhaustive scan; an IVF backend re-trains
-    /// its coarse quantizer here (the only non-incremental step —
-    /// subsequent [`AdaptiveFingerprinter::update_class`] /
-    /// [`AdaptiveFingerprinter::add_class`] calls mutate it in place).
-    pub fn set_index(&mut self, config: IndexConfig) {
-        self.index_config = config;
-        self.rebuild_index();
+    /// The resolved shard count the store is serving with.
+    pub fn n_shards(&self) -> usize {
+        self.store.n_shards()
     }
 
-    fn rebuild_index(&mut self) {
-        self.index = ServingIndex::build(
-            &self.index_config,
-            self.knn.metric,
-            self.reference.as_rows(),
-            self.reference.labels(),
-        );
+    /// Switches every shard's index backend, rebuilding each from its
+    /// stored rows. With [`IndexConfig::Flat`] every decision is
+    /// bit-identical to an exhaustive scan; an IVF backend re-trains
+    /// its per-shard coarse quantizers here (the only non-incremental
+    /// step — subsequent [`AdaptiveFingerprinter::update_class`] /
+    /// [`AdaptiveFingerprinter::add_class`] calls mutate them in
+    /// place).
+    pub fn set_index(&mut self, config: IndexConfig) {
+        self.index_config = config;
+        self.store.set_index(config);
+    }
+
+    /// Re-partitions the reference store across a new shard count
+    /// (`0` = auto `⌈√n_classes⌉`) in place, and records the knob for
+    /// future [`AdaptiveFingerprinter::set_reference`] rebuilds. With
+    /// exact (flat) per-shard backends decisions are identical for
+    /// every shard count; see `ARCHITECTURE.md` for the full
+    /// determinism contract.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards;
+        self.store.set_shards(shards);
     }
 
     /// Training diagnostics from provisioning.
@@ -263,9 +283,13 @@ impl AdaptiveFingerprinter {
         self.threads = threads;
     }
 
-    /// Replaces the whole reference set with embeddings of `data`
+    /// Replaces the whole reference store with embeddings of `data`
     /// (initialization, step 2 of Figure 2). The label space becomes
-    /// `data.n_classes()`.
+    /// `data.n_classes()`, the shard count re-resolves against it, and
+    /// shards build one at a time: each shard's traces are embedded in
+    /// one `embed_batch` pass and loaded before the next shard starts,
+    /// so provisioning peak memory is bounded by the **largest shard's**
+    /// embeddings, never the whole corpus's.
     ///
     /// # Errors
     ///
@@ -278,60 +302,96 @@ impl AdaptiveFingerprinter {
                 self.embedder.input_size()
             )));
         }
-        let mut reference = ReferenceSet::new(self.embedder.output_size(), data.n_classes());
-        self.embedder
-            .embed_batch_with(data.seqs(), self.threads_or_default(), |rows| {
-                reference.add_rows(data.labels(), rows)
-            })?;
-        self.reference = reference;
-        self.rebuild_index();
+        let threads = self.threads_or_default();
+        let mut store = ShardedStore::new(
+            self.embedder.output_size(),
+            self.knn.metric,
+            &self.index_config,
+            data.n_classes(),
+            self.shards,
+        );
+        if store.n_shards() == 1 {
+            // Single shard: embed the corpus in one pass and load it in
+            // dataset order — exactly the historical unsharded path,
+            // bit for bit.
+            self.embedder
+                .embed_batch_with(data.seqs(), threads, |rows| {
+                    store.load_shard(0, data.labels(), rows);
+                });
+        } else {
+            for s in 0..store.n_shards() {
+                let mut seqs = Vec::new();
+                let mut labels = Vec::new();
+                for (i, &label) in data.labels().iter().enumerate() {
+                    if store.shard_of(label) == s {
+                        seqs.push(data.seqs()[i].clone());
+                        labels.push(label);
+                    }
+                }
+                self.embedder.embed_batch_with(&seqs, threads, |rows| {
+                    store.load_shard(s, &labels, rows);
+                });
+            }
+        }
+        self.store = store;
         Ok(())
     }
 
     /// Adaptation (§IV-C): replaces one class's reference points with
-    /// embeddings of freshly-crawled traces. No retraining happens.
+    /// embeddings of freshly-crawled traces. No retraining happens,
+    /// and only the owning shard's storage and index are touched.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::ClassOutOfRange`] for a bad class id.
     pub fn update_class(&mut self, class: usize, fresh_traces: &[SeqInput]) -> Result<usize> {
-        let n_new = fresh_traces.len();
+        if class >= self.store.n_classes() {
+            return Err(CoreError::ClassOutOfRange {
+                class,
+                n_classes: self.store.n_classes(),
+            });
+        }
         let threads = self.threads_or_default();
-        let reference = &mut self.reference;
+        let store = &mut self.store;
         let removed = self
             .embedder
-            .embed_batch_with(fresh_traces, threads, |rows| {
-                reference.swap_class_rows(class, rows)
-            })?;
-        // Incremental index swap: no rebuild, the quantizer (if any)
-        // just reassigns the fresh vectors to lists. swap_class keeps
-        // survivors in order and appends the replacements, so the fresh
-        // rows are exactly the reference tail — borrow them from there.
-        let rows = self.reference.as_rows();
-        let tail = Rows::new(
-            rows.dim(),
-            &rows.data()[(rows.len() - n_new) * rows.dim()..],
-        );
-        self.index.as_dyn_mut().swap_label(class, tail);
+            .embed_batch_with(fresh_traces, threads, |rows| store.swap_class(class, rows));
         Ok(removed)
     }
 
     /// Adds a brand-new webpage to the monitored set and returns its
     /// class id — possible without retraining because the embedder is
-    /// class-agnostic.
+    /// class-agnostic. The new class routes into an existing shard;
+    /// no other shard is touched.
     pub fn add_class(&mut self, traces: &[SeqInput]) -> Result<usize> {
-        let class = self.reference.allocate_class();
+        let class = self.store.allocate_class();
         let threads = self.threads_or_default();
-        let reference = &mut self.reference;
-        let index = self.index.as_dyn_mut();
+        let store = &mut self.store;
         self.embedder.embed_batch_with(traces, threads, |rows| {
             for e in rows.iter() {
-                index.add(class, e);
-                reference.add_row(class, e)?;
+                store.add_row(class, e);
             }
-            Ok::<(), CoreError>(())
-        })?;
+        });
         Ok(class)
+    }
+
+    /// Stops monitoring a webpage: drops every reference point of
+    /// `class` from its owning shard (the label space keeps its size;
+    /// the class becomes empty and can be re-populated later with
+    /// [`AdaptiveFingerprinter::update_class`]). Returns how many
+    /// points were dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ClassOutOfRange`] for a bad class id.
+    pub fn remove_class(&mut self, class: usize) -> Result<usize> {
+        if class >= self.store.n_classes() {
+            return Err(CoreError::ClassOutOfRange {
+                class,
+                n_classes: self.store.n_classes(),
+            });
+        }
+        Ok(self.store.remove_class(class))
     }
 
     /// Embeds and classifies one captured trace (steps 3–4 of Figure 2)
@@ -344,8 +404,7 @@ impl AdaptiveFingerprinter {
     /// score — the open-world primitive, one index query.
     pub fn fingerprint_with_score(&self, trace: &SeqInput) -> ScoredPrediction {
         let emb = self.embedder.embed(trace);
-        self.knn
-            .classify_with_score_indexed(&emb, self.index.as_dyn())
+        self.knn.classify_with_score_indexed(&emb, &self.store)
     }
 
     /// Open-world fingerprinting (§VI-C): returns `None` when the trace
@@ -368,7 +427,7 @@ impl AdaptiveFingerprinter {
         let embeddings = self.embed_all(data.seqs());
         self.knn.classify_with_score_all_indexed(
             &embeddings,
-            self.index.as_dyn(),
+            &self.store,
             self.threads_or_default(),
         )
     }
@@ -453,7 +512,7 @@ impl AdaptiveFingerprinter {
         open_world::calibrate_per_class(
             &scores,
             known.labels(),
-            self.reference.n_classes(),
+            self.store.n_classes(),
             percentile,
             min_samples,
         )
@@ -519,15 +578,11 @@ impl AdaptiveFingerprinter {
         let embeddings = self.embed_all(test.seqs());
         let predictions: Vec<RankedPrediction> = self
             .knn
-            .classify_with_score_all_indexed(
-                &embeddings,
-                self.index.as_dyn(),
-                self.threads_or_default(),
-            )
+            .classify_with_score_all_indexed(&embeddings, &self.store, self.threads_or_default())
             .into_iter()
             .map(|sp| sp.prediction)
             .collect();
-        EvalReport::from_predictions(&predictions, test.labels(), self.reference.n_classes())
+        EvalReport::from_predictions(&predictions, test.labels(), self.store.n_classes())
     }
 
     /// Serializes the whole deployment (model + reference set) to JSON.

@@ -5,11 +5,17 @@
 //! model — is what gets updated when webpages change: swapping a class's
 //! reference samples is a handful of embeddings, not a retraining run.
 //!
-//! Embeddings are stored contiguously (row-major `Vec<f32>`): the
-//! serving path scans this store on every query, and a flat buffer
-//! walks memory linearly instead of chasing one heap pointer per
-//! reference point. [`ReferenceSet::as_rows`] hands the same buffer to
-//! the `tlsfp-index` backends without a copy.
+//! Embeddings are stored contiguously (row-major `Vec<f32>`), so a
+//! scan walks memory linearly instead of chasing one heap pointer per
+//! reference point; [`ReferenceSet::as_rows`] hands the buffer to the
+//! `tlsfp-index` backends without a copy.
+//!
+//! The serving pipeline itself stores its references in the
+//! class-sharded `tlsfp_index::sharded::ShardedStore` (one
+//! `ReferenceSet`-shaped rows+labels store *per shard*, each with its
+//! own index); this type remains the classic single-store form — the
+//! standalone-kNN store and the bit-compat oracle the sharded path is
+//! tested against.
 
 use serde::{Deserialize, Serialize};
 

@@ -30,6 +30,15 @@ use crate::{IndexSnapshot, Metric, Neighbor, Rows, SearchResult, VectorIndex};
 pub const SCAN_CHUNK_ROWS: usize = 64;
 
 /// The exact nearest-neighbor index: contiguous storage, chunked scan.
+///
+/// ```
+/// use tlsfp_index::{FlatIndex, Metric, Rows, VectorIndex};
+/// let data = [0.0f32, 0.0, 1.0, 1.0, 2.0, 2.0];
+/// let ix = FlatIndex::from_rows(Metric::Euclidean, Rows::new(2, &data), &[0, 1, 2]);
+/// let r = ix.search(&[0.9, 1.0], 2);
+/// assert_eq!(r.top().unwrap().label, 1);
+/// assert_eq!(r.distance_evals, 3); // exact: every row scanned
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FlatIndex {
     dim: usize,

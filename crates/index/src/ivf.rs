@@ -90,6 +90,19 @@ pub struct BalanceStats {
 }
 
 /// The inverted-file index.
+///
+/// ```
+/// use tlsfp_index::{IvfIndex, IvfParams, Metric, Rows, VectorIndex};
+/// // 4 clusters of 2 points; 4 lists, probe 2.
+/// let data: Vec<f32> = (0..8).map(|i| (i / 2) as f32 * 10.0 + (i % 2) as f32).collect();
+/// let labels: Vec<usize> = (0..8).map(|i| i / 2).collect();
+/// let ix = IvfIndex::build(IvfParams::new(4, 2), Metric::Euclidean, Rows::new(1, &data), &labels);
+/// let r = ix.search(&[20.4], 2);
+/// assert_eq!(r.top().unwrap().label, 2);
+/// // Probing 2 of 4 lists scans fewer rows than the 8-row corpus
+/// // (plus one eval per centroid).
+/// assert!(r.distance_evals < 8 + 4);
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IvfIndex {
     dim: usize,
@@ -424,6 +437,10 @@ impl VectorIndex for IvfIndex {
                 )
             })
             .sum()
+    }
+
+    fn list_balance(&self) -> Option<BalanceStats> {
+        Some(self.balance_stats())
     }
 
     fn snapshot(&self) -> IndexSnapshot {

@@ -2,8 +2,9 @@
 //!
 //! The paper's classifier answers every query with a k-nearest-neighbor
 //! search over the reference set (k = 250 over ~10⁵ embeddings). This
-//! crate owns that search: a [`VectorIndex`] trait with two backends,
-//! selected per deployment by [`IndexConfig`].
+//! crate owns that search: a [`VectorIndex`] trait with two single-store
+//! backends, selected per deployment by [`IndexConfig`], and a
+//! class-sharded store that composes them for the large-class regime.
 //!
 //! - [`FlatIndex`] — the exact scan, over contiguous row-major storage
 //!   with a cache-friendly chunked distance kernel. Results are
@@ -14,13 +15,18 @@
 //!   scans only the `n_probe` lists whose centroids are nearest. An
 //!   order-of-magnitude fewer distance computations at a small recall
 //!   cost; exact (identical to flat) when `n_probe == n_lists`.
+//! - [`ShardedStore`] ([`sharded`]) — partitions *classes* across `S`
+//!   shards, each owning contiguous rows and its own backend;
+//!   provisioning peaks at one shard's embeddings, mutations touch one
+//!   shard, and queries fan out and merge deterministically. `S = 1`
+//!   reproduces the unsharded backends bit-for-bit.
 //!
-//! Both backends are **mutable** — [`VectorIndex::add`],
+//! Every backend is **mutable** — [`VectorIndex::add`],
 //! [`VectorIndex::remove_label`] and [`VectorIndex::swap_label`]
 //! reassign vectors to lists incrementally without a rebuild — because
 //! the paper's whole design is that adapting to webpage drift is a
 //! reference-set swap, and the index must keep up without re-clustering.
-//! Both serialize through [`IndexSnapshot`], so a provisioned deployment
+//! All serialize through [`IndexSnapshot`], so a provisioned deployment
 //! round-trips to JSON with its index intact.
 //!
 //! Every [`SearchResult`] carries the number of distance evaluations it
@@ -38,9 +44,11 @@ use tlsfp_nn::tensor::{cosine_distance, euclidean_sq};
 
 pub mod flat;
 pub mod ivf;
+pub mod sharded;
 
 pub use flat::FlatIndex;
 pub use ivf::{BalanceStats, IvfIndex, IvfParams};
+pub use sharded::{resolve_shards, shard_of, ShardedStore, StoreBalance};
 
 /// Distance metric between embeddings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -59,6 +67,13 @@ impl Metric {
     /// Accumulation order matches the reference kernels in `tlsfp-nn`
     /// exactly, so scores are bit-identical to a naive per-row scan —
     /// a requirement for the flat backend's regression guarantees.
+    ///
+    /// ```
+    /// use tlsfp_index::Metric;
+    /// // Euclidean is the *squared* distance (ordering-preserving).
+    /// assert_eq!(Metric::Euclidean.eval(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    /// assert_eq!(Metric::Cosine.eval(&[1.0, 0.0], &[1.0, 0.0]), 0.0);
+    /// ```
     #[inline]
     pub fn eval(self, a: &[f32], b: &[f32]) -> f32 {
         match self {
@@ -118,6 +133,15 @@ impl SearchResult {
     }
 
     /// The single nearest neighbor by `(dist, id)`, if any.
+    ///
+    /// ```
+    /// use tlsfp_index::{FlatIndex, Metric, VectorIndex};
+    /// let mut ix = FlatIndex::new(1, Metric::Euclidean);
+    /// ix.add(0, &[0.0]);
+    /// ix.add(1, &[2.0]);
+    /// let top = ix.search(&[0.4], 2).top().unwrap();
+    /// assert_eq!((top.label, top.id), (0, 0));
+    /// ```
     pub fn top(&self) -> Option<Neighbor> {
         self.neighbors
             .iter()
@@ -132,6 +156,20 @@ impl SearchResult {
 /// mutation sequence yield the same search results, independent of
 /// thread count ([`VectorIndex::search_batch`] shards *queries*, never
 /// a single query's scan).
+///
+/// The backends share this mutation contract (the paper's adaptation
+/// economics — no rebuilds on churn):
+///
+/// ```
+/// use tlsfp_index::{IndexConfig, Metric, Rows, VectorIndex};
+/// let data = [0.0f32, 1.0, 2.0];
+/// let mut ix = IndexConfig::Flat.build(Metric::Euclidean, Rows::new(1, &data), &[0, 1, 2]);
+/// // Swap label 1's vectors in place; ids of survivors are stable.
+/// ix.swap_label(1, Rows::new(1, &[10.0]));
+/// assert_eq!(ix.len(), 3);
+/// assert_eq!(ix.search(&[10.1], 1).top().unwrap().label, 1);
+/// assert_eq!(ix.remove_label(0), 1);
+/// ```
 pub trait VectorIndex: Send + Sync + std::fmt::Debug {
     /// Vector dimensionality.
     fn dim(&self) -> usize;
@@ -179,6 +217,15 @@ pub trait VectorIndex: Send + Sync + std::fmt::Debug {
         removed
     }
 
+    /// Inverted-list occupancy stats, for backends that shard their
+    /// own storage internally ([`IvfIndex`] reports its
+    /// [`IvfIndex::balance_stats`]; list-free backends return `None`).
+    /// [`ShardedStore::balance_stats`](sharded::ShardedStore::balance_stats)
+    /// aggregates these across shards.
+    fn list_balance(&self) -> Option<ivf::BalanceStats> {
+        None
+    }
+
     /// A serializable snapshot of the whole index.
     fn snapshot(&self) -> IndexSnapshot;
 
@@ -205,6 +252,16 @@ impl IndexConfig {
     }
 
     /// Builds an index of this kind from labeled rows.
+    ///
+    /// ```
+    /// use tlsfp_index::{IndexConfig, Metric, Rows};
+    /// let data = [0.0f32, 0.0, 5.0, 5.0];
+    /// let rows = Rows::new(2, &data);
+    /// let flat = IndexConfig::Flat.build(Metric::Euclidean, rows, &[0, 1]);
+    /// let ivf = IndexConfig::ivf_default().build(Metric::Euclidean, rows, &[0, 1]);
+    /// assert_eq!(flat.search(&[0.1, 0.1], 1).top().unwrap().label, 0);
+    /// assert_eq!(ivf.search(&[4.9, 5.0], 1).top().unwrap().label, 1);
+    /// ```
     pub fn build(&self, metric: Metric, rows: Rows<'_>, labels: &[usize]) -> Box<dyn VectorIndex> {
         assert_eq!(rows.len(), labels.len(), "one label per row");
         match self {
@@ -222,6 +279,8 @@ pub enum IndexSnapshot {
     Flat(FlatIndex),
     /// An IVF index.
     Ivf(IvfIndex),
+    /// A class-sharded store (per-shard flat or IVF backends).
+    Sharded(sharded::ShardedStore),
 }
 
 impl IndexSnapshot {
@@ -230,13 +289,25 @@ impl IndexSnapshot {
         match self {
             IndexSnapshot::Flat(ix) => Box::new(ix),
             IndexSnapshot::Ivf(ix) => Box::new(ix),
+            IndexSnapshot::Sharded(ix) => Box::new(ix),
         }
     }
 }
 
 /// An owned, clonable, serializable boxed [`VectorIndex`] — what a
-/// deployment embeds so its serving path can switch backends by
-/// configuration.
+/// deployment (and each [`ShardedStore`] shard) embeds so its serving
+/// path can switch backends by configuration.
+///
+/// ```
+/// use tlsfp_index::{IndexConfig, Metric, Rows, ServingIndex};
+/// let data = [1.0f32, 2.0];
+/// let ix = ServingIndex::build(&IndexConfig::Flat, Metric::Euclidean, Rows::new(1, &data), &[0, 1]);
+/// // Deref to the trait, clone, and serde round-trip all work.
+/// assert_eq!(ix.len(), 2);
+/// let json = serde_json::to_string(&ix).unwrap();
+/// let back: ServingIndex = serde_json::from_str(&json).unwrap();
+/// assert_eq!(back.search(&[1.9], 1), ix.search(&[1.9], 1));
+/// ```
 pub struct ServingIndex(Box<dyn VectorIndex>);
 
 impl ServingIndex {
@@ -297,7 +368,16 @@ impl Deserialize for ServingIndex {
 /// compacting in place and preserving survivor order; `ids`, when
 /// present, is compacted in lockstep. Returns how many rows were
 /// dropped. This is the one remove-and-compact loop the reference
-/// store and both index backends share.
+/// store and every backend share.
+///
+/// ```
+/// use tlsfp_index::compact_remove_label;
+/// let mut labels = vec![0usize, 1, 0, 2];
+/// let mut data = vec![0.0f32, 0.1, 1.0, 1.1, 2.0, 2.1, 3.0, 3.1];
+/// assert_eq!(compact_remove_label(2, 0, &mut labels, &mut data, None), 2);
+/// assert_eq!(labels, [1, 2]);
+/// assert_eq!(data, [1.0, 1.1, 3.0, 3.1]);
+/// ```
 pub fn compact_remove_label(
     dim: usize,
     label: usize,

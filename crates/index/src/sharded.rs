@@ -1,0 +1,871 @@
+//! The sharded reference store: class-partitioned storage with one
+//! serving index per shard — the 13k-class serving layout.
+//!
+//! A single [`crate::FlatIndex`] or [`crate::IvfIndex`] holds every
+//! reference embedding in one monolith, and provisioning materializes
+//! the whole corpus's embeddings at once. Neither survives the paper's
+//! large-scale regime (thousands of monitored classes): build peak
+//! memory grows with the corpus, and every mutation contends on one
+//! structure. [`ShardedStore`] partitions **classes** across `S` shards
+//! instead:
+//!
+//! - **Routing is deterministic and stateless**: class `c` lives on
+//!   shard [`shard_of`]`(c, S) = c % S`, so a label alone names its
+//!   shard — no directory, no rebalancing state to serialize.
+//! - **Each shard owns its data**: a contiguous row-major buffer (the
+//!   canonical reference rows, in insertion order) plus its own
+//!   [`ServingIndex`](crate::ServingIndex) built from them
+//!   ([`IndexConfig::Flat`] or [`IndexConfig::Ivf`] per shard).
+//! - **Provisioning is shard-bounded**: [`ShardedStore::load_shard`]
+//!   ingests one shard's embeddings at a time, so the embedding
+//!   scratch peaks at the largest shard, not the whole corpus.
+//! - **Mutations touch one shard**: [`ShardedStore::swap_class`],
+//!   [`ShardedStore::remove_class`] and [`ShardedStore::add_row`]
+//!   route to the owning shard; churn on one webpage never touches
+//!   another shard's IVF lists.
+//! - **Queries fan out and merge deterministically**: every shard is
+//!   searched and the per-shard top-k heaps merge under a fixed
+//!   `(distance, id)` tie-break, so results are identical for every
+//!   thread count. With `S = 1` the single shard's result is returned
+//!   untouched — **bit-identical** to the unsharded store, heap order
+//!   included. Across *different* shard counts, exact backends serve
+//!   identical decisions up to one edge case: an exact distance tie
+//!   between different-class duplicates landing precisely on the k-th
+//!   neighbor boundary may keep a different tied point (the flat heap
+//!   prefers the first-inserted, the merge the smallest global id).
+//!   Real embeddings don't produce such ties; the tier-1 profile
+//!   tests hold full identity on every corpus.
+//!
+//! The store implements [`VectorIndex`], so the whole serving path
+//! (`tlsfp-core`'s classify/fingerprint/open-world calls) runs through
+//! it unchanged.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ivf::BalanceStats;
+use crate::{IndexConfig, IndexSnapshot, Metric, Neighbor, Rows, SearchResult, VectorIndex};
+
+/// The shard that owns `class` under `n_shards`-way partitioning.
+///
+/// Stateless and deterministic: `class % n_shards`. Contiguous class
+/// ids (the corpus convention) spread evenly, and a class allocated
+/// later ([`ShardedStore::allocate_class`]) routes without any
+/// directory update.
+///
+/// ```
+/// use tlsfp_index::sharded::shard_of;
+/// assert_eq!(shard_of(0, 4), 0);
+/// assert_eq!(shard_of(7, 4), 3);
+/// assert_eq!(shard_of(7, 1), 0); // one shard owns everything
+/// ```
+#[inline]
+pub fn shard_of(class: usize, n_shards: usize) -> usize {
+    class % n_shards.max(1)
+}
+
+/// Resolves the shard-count knob: `0` means auto — `⌈√n_classes⌉`, the
+/// scaling point where per-shard size and shard count grow together —
+/// and any explicit value is clamped to at least 1.
+///
+/// ```
+/// use tlsfp_index::sharded::resolve_shards;
+/// assert_eq!(resolve_shards(0, 100), 10);   // auto: √100
+/// assert_eq!(resolve_shards(0, 13_000), 115); // auto: ⌈√13000⌉
+/// assert_eq!(resolve_shards(4, 100), 4);    // explicit wins
+/// assert_eq!(resolve_shards(0, 0), 1);      // never zero shards
+/// ```
+pub fn resolve_shards(requested: usize, n_classes: usize) -> usize {
+    if requested == 0 {
+        ((n_classes as f64).sqrt().ceil() as usize).max(1)
+    } else {
+        requested
+    }
+}
+
+/// One shard: canonical contiguous rows + labels (insertion order) and
+/// the serving index built over them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct StoreShard {
+    labels: Vec<usize>,
+    data: Vec<f32>,
+    index: ServingIndexSlot,
+}
+
+/// Newtype so the shard's index participates in `PartialEq` (by
+/// snapshot) without widening `ServingIndex`'s public contract.
+#[derive(Debug, Clone)]
+struct ServingIndexSlot(crate::ServingIndex);
+
+impl PartialEq for ServingIndexSlot {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.snapshot() == other.0.snapshot()
+    }
+}
+
+impl Serialize for ServingIndexSlot {
+    fn to_value(&self) -> serde::json::Value {
+        self.0.to_value()
+    }
+}
+
+impl Deserialize for ServingIndexSlot {
+    fn from_value(v: &serde::json::Value) -> Result<Self, serde::json::Error> {
+        Ok(ServingIndexSlot(crate::ServingIndex::from_value(v)?))
+    }
+}
+
+impl StoreShard {
+    fn empty(dim: usize, metric: Metric, config: &IndexConfig) -> Self {
+        StoreShard {
+            labels: Vec::new(),
+            data: Vec::new(),
+            index: ServingIndexSlot(crate::ServingIndex::build(
+                config,
+                metric,
+                Rows::new(dim, &[]),
+                &[],
+            )),
+        }
+    }
+
+    fn rows<'a>(&'a self, dim: usize) -> Rows<'a> {
+        Rows::new(dim, &self.data)
+    }
+
+    fn rebuild(&mut self, dim: usize, metric: Metric, config: &IndexConfig) {
+        self.index = ServingIndexSlot(crate::ServingIndex::build(
+            config,
+            metric,
+            Rows::new(dim, &self.data),
+            &self.labels,
+        ));
+    }
+}
+
+/// Aggregate balance diagnostics for a [`ShardedStore`]: shard-level
+/// occupancy plus, when the per-shard backend is IVF, the inverted-list
+/// occupancy aggregated across every shard's lists.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StoreBalance {
+    /// Number of shards.
+    pub n_shards: usize,
+    /// Occupancy of the fullest shard.
+    pub max_shard: usize,
+    /// Mean shard occupancy.
+    pub mean_shard: f64,
+    /// `max_shard / mean_shard` — 1.0 is perfectly balanced. Shard
+    /// skew is fixed by the class→shard routing and per-class sample
+    /// counts, not by churn.
+    pub shard_skew: f64,
+    /// IVF list-occupancy stats aggregated over all shards' lists
+    /// (`None` under the flat backend). `skew` here is the churn
+    /// signal: past ~3, rebuild the quantizers
+    /// ([`ShardedStore::set_index`]).
+    pub ivf_lists: Option<BalanceStats>,
+}
+
+/// A class-sharded reference store: `S` shards, each holding its
+/// classes' embeddings contiguously and serving them through its own
+/// index backend. See the [module docs](crate::sharded) for the
+/// design, and [`VectorIndex`] for the query/mutation contract it
+/// serves through.
+///
+/// ```
+/// use tlsfp_index::sharded::ShardedStore;
+/// use tlsfp_index::{IndexConfig, Metric, Rows, VectorIndex};
+///
+/// // Four classes across two shards: even classes on shard 0, odd on 1.
+/// let mut store = ShardedStore::new(2, Metric::Euclidean, &IndexConfig::Flat, 4, 2);
+/// let rows = [0.0f32, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
+/// store.add_rows(&[0, 1, 2, 3], Rows::new(2, &rows));
+/// assert_eq!(store.n_shards(), 2);
+/// assert_eq!(store.shard_len(0), 2); // classes 0 and 2
+///
+/// // Queries fan out across shards and merge deterministically.
+/// let top = store.search(&[1.1, 1.1], 2).top().unwrap();
+/// assert_eq!(top.label, 1);
+///
+/// // Mutations route to the owning shard only.
+/// store.swap_class(1, Rows::new(2, &[9.0, 9.0]));
+/// assert_eq!(store.class_count(1), 1);
+/// assert_eq!(store.shard_len(0), 2); // shard 0 untouched
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardedStore {
+    dim: usize,
+    metric: Metric,
+    config: IndexConfig,
+    n_classes: usize,
+    shards: Vec<StoreShard>,
+}
+
+impl ShardedStore {
+    /// An empty store for `dim`-dimensional embeddings of `n_classes`
+    /// classes, partitioned into [`resolve_shards`]`(shards,
+    /// n_classes)` shards, each serving through the `config` backend.
+    ///
+    /// The shard count is resolved **once, here**: later
+    /// [`ShardedStore::allocate_class`] calls route new classes into
+    /// the existing shards (deterministically) without re-sharding.
+    pub fn new(
+        dim: usize,
+        metric: Metric,
+        config: &IndexConfig,
+        n_classes: usize,
+        shards: usize,
+    ) -> Self {
+        let n_shards = resolve_shards(shards, n_classes);
+        ShardedStore {
+            dim,
+            metric,
+            config: *config,
+            n_classes,
+            shards: (0..n_shards)
+                .map(|_| StoreShard::empty(dim, metric, config))
+                .collect(),
+        }
+    }
+
+    /// Builds a store directly from labeled rows — the one-call
+    /// equivalent of [`ShardedStore::new`] + [`ShardedStore::add_rows`]
+    /// + a per-shard index build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != labels.len()` or any row's dimension
+    /// differs from `rows.dim()`.
+    pub fn build(
+        config: &IndexConfig,
+        metric: Metric,
+        rows: Rows<'_>,
+        labels: &[usize],
+        n_classes: usize,
+        shards: usize,
+    ) -> Self {
+        assert_eq!(rows.len(), labels.len(), "one label per row");
+        let mut store = ShardedStore::new(rows.dim(), metric, config, n_classes, shards);
+        for (row, &label) in rows.iter().zip(labels) {
+            let s = store.shard_of(label);
+            let shard = &mut store.shards[s];
+            shard.labels.push(label);
+            shard.data.extend_from_slice(row);
+            store.n_classes = store.n_classes.max(label + 1);
+        }
+        store.rebuild_indexes();
+        store
+    }
+
+    /// Number of shards (fixed at construction).
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total reference points across every shard (also available
+    /// through [`VectorIndex::len`]).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.labels.len()).sum()
+    }
+
+    /// Whether the store holds no reference points.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.labels.is_empty())
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The distance metric every shard serves with.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Size of the label space (grows via
+    /// [`ShardedStore::allocate_class`]).
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The per-shard index backend in use.
+    pub fn index_config(&self) -> IndexConfig {
+        self.config
+    }
+
+    /// The shard owning `class` under this store's partitioning.
+    pub fn shard_of(&self, class: usize) -> usize {
+        shard_of(class, self.shards.len())
+    }
+
+    /// Number of reference points stored on shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= n_shards()`.
+    pub fn shard_len(&self, s: usize) -> usize {
+        self.shards[s].labels.len()
+    }
+
+    /// Shard `s`'s canonical rows (contiguous, insertion order,
+    /// aligned with [`ShardedStore::shard_labels`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= n_shards()`.
+    pub fn shard_rows(&self, s: usize) -> Rows<'_> {
+        self.shards[s].rows(self.dim)
+    }
+
+    /// Shard `s`'s labels (aligned with [`ShardedStore::shard_rows`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= n_shards()`.
+    pub fn shard_labels(&self, s: usize) -> &[usize] {
+        &self.shards[s].labels
+    }
+
+    /// Per-shard occupancy, shard-major.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.labels.len()).collect()
+    }
+
+    /// Number of reference points for `class` (scans the owning shard
+    /// only).
+    pub fn class_count(&self, class: usize) -> usize {
+        self.shards[self.shard_of(class)]
+            .labels
+            .iter()
+            .filter(|&&l| l == class)
+            .count()
+    }
+
+    /// Classes with at least one reference point.
+    pub fn populated_classes(&self) -> usize {
+        let mut seen = vec![false; self.n_classes];
+        for shard in &self.shards {
+            for &l in &shard.labels {
+                seen[l] = true;
+            }
+        }
+        seen.into_iter().filter(|&s| s).count()
+    }
+
+    /// Grows the label space by one class and returns the new id. The
+    /// class routes into an existing shard; the shard count never
+    /// changes after construction.
+    pub fn allocate_class(&mut self) -> usize {
+        self.n_classes += 1;
+        self.n_classes - 1
+    }
+
+    /// Replaces shard `s`'s entire contents with these labeled rows
+    /// and (re)builds its index — the shard-bounded provisioning
+    /// primitive: ingest one shard's embedding batch at a time and
+    /// peak memory tracks the largest shard, never the corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != labels.len()`, any row's dimension
+    /// differs from the store's, or any label routes to a different
+    /// shard than `s`.
+    pub fn load_shard(&mut self, s: usize, labels: &[usize], rows: Rows<'_>) {
+        assert_eq!(rows.len(), labels.len(), "one label per row");
+        assert!(
+            rows.is_empty() || rows.dim() == self.dim,
+            "row dim {} does not match store dim {}",
+            rows.dim(),
+            self.dim
+        );
+        for &label in labels {
+            assert_eq!(
+                self.shard_of(label),
+                s,
+                "class {label} does not route to shard {s}"
+            );
+            self.n_classes = self.n_classes.max(label + 1);
+        }
+        let shard = &mut self.shards[s];
+        shard.labels = labels.to_vec();
+        shard.data = rows.data().to_vec();
+        shard.rebuild(self.dim, self.metric, &self.config);
+    }
+
+    /// Adds one reference point, routing it to its class's shard. The
+    /// shard's storage and index stay in sync; under an IVF backend
+    /// the vector joins its nearest list incrementally (no
+    /// re-clustering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector.len()` differs from the store's dimension.
+    pub fn add_row(&mut self, class: usize, vector: &[f32]) {
+        assert_eq!(vector.len(), self.dim, "vector dim mismatch");
+        self.n_classes = self.n_classes.max(class + 1);
+        let s = self.shard_of(class);
+        let shard = &mut self.shards[s];
+        shard.labels.push(class);
+        shard.data.extend_from_slice(vector);
+        shard.index.0.as_dyn_mut().add(class, vector);
+    }
+
+    /// Adds many labeled rows, each routed to its class's shard.
+    ///
+    /// # Panics
+    ///
+    /// As [`ShardedStore::add_row`]; also panics if `labels` and
+    /// `rows` disagree in length.
+    pub fn add_rows(&mut self, labels: &[usize], rows: Rows<'_>) {
+        assert_eq!(rows.len(), labels.len(), "one label per row");
+        for (row, &label) in rows.iter().zip(labels) {
+            self.add_row(label, row);
+        }
+    }
+
+    /// Replaces every reference point of `class` with `rows` — the
+    /// paper's §IV-C adaptation swap, confined to the owning shard.
+    /// Survivors keep their order; replacements append at the shard's
+    /// tail. Returns how many points were dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's dimension differs from the store's.
+    pub fn swap_class(&mut self, class: usize, rows: Rows<'_>) -> usize {
+        assert!(
+            rows.is_empty() || rows.dim() == self.dim,
+            "row dim {} does not match store dim {}",
+            rows.dim(),
+            self.dim
+        );
+        self.n_classes = self.n_classes.max(class + 1);
+        let s = self.shard_of(class);
+        let dim = self.dim;
+        let shard = &mut self.shards[s];
+        let removed =
+            crate::compact_remove_label(dim, class, &mut shard.labels, &mut shard.data, None);
+        for row in rows.iter() {
+            shard.labels.push(class);
+            shard.data.extend_from_slice(row);
+        }
+        shard.index.0.as_dyn_mut().swap_label(class, rows);
+        removed
+    }
+
+    /// Removes every reference point of `class` from its owning shard
+    /// (the label space keeps its size; the class just becomes empty).
+    /// Returns how many points were dropped.
+    pub fn remove_class(&mut self, class: usize) -> usize {
+        let s = self.shard_of(class);
+        let dim = self.dim;
+        let shard = &mut self.shards[s];
+        let removed =
+            crate::compact_remove_label(dim, class, &mut shard.labels, &mut shard.data, None);
+        shard.index.0.as_dyn_mut().remove_label(class);
+        removed
+    }
+
+    /// Switches every shard's index backend, rebuilding each from its
+    /// canonical rows (IVF quantizers re-train here — the only
+    /// non-incremental step, and the skew remedy: see
+    /// [`ShardedStore::balance_stats`]).
+    pub fn set_index(&mut self, config: IndexConfig) {
+        self.config = config;
+        self.rebuild_indexes();
+    }
+
+    /// Re-partitions the store across a new shard count, re-routing
+    /// every class. Rows move in shard-major order, so ids assigned by
+    /// the rebuilt per-shard indexes may differ from a fresh
+    /// provisioning pass; exact backends serve identical decisions
+    /// either way.
+    pub fn set_shards(&mut self, shards: usize) {
+        let n_shards = resolve_shards(shards, self.n_classes);
+        if n_shards == self.shards.len() {
+            return;
+        }
+        let old = std::mem::take(&mut self.shards);
+        self.shards = (0..n_shards)
+            .map(|_| StoreShard::empty(self.dim, self.metric, &self.config))
+            .collect();
+        for shard in &old {
+            for (row, &label) in shard.rows(self.dim).iter().zip(&shard.labels) {
+                let s = shard_of(label, n_shards);
+                self.shards[s].labels.push(label);
+                self.shards[s].data.extend_from_slice(row);
+            }
+        }
+        self.rebuild_indexes();
+    }
+
+    fn rebuild_indexes(&mut self) {
+        for shard in &mut self.shards {
+            shard.rebuild(self.dim, self.metric, &self.config);
+        }
+    }
+
+    /// Shard-occupancy and (for IVF backends) aggregated inverted-list
+    /// balance across every shard.
+    pub fn balance_stats(&self) -> StoreBalance {
+        let n_shards = self.shards.len();
+        let total: usize = self.shards.iter().map(|s| s.labels.len()).sum();
+        let max = self
+            .shards
+            .iter()
+            .map(|s| s.labels.len())
+            .max()
+            .unwrap_or(0);
+        let mean = total as f64 / n_shards.max(1) as f64;
+        let mut lists: Vec<BalanceStats> = Vec::new();
+        for shard in &self.shards {
+            if let Some(stats) = shard.index.0.as_dyn().list_balance() {
+                lists.push(stats);
+            }
+        }
+        let ivf_lists = if lists.is_empty() {
+            None
+        } else {
+            let n_lists: usize = lists.iter().map(|s| s.n_lists).sum();
+            let max_list = lists.iter().map(|s| s.max_list).max().unwrap_or(0);
+            let mean_list = total as f64 / n_lists.max(1) as f64;
+            Some(BalanceStats {
+                n_lists,
+                max_list,
+                mean_list,
+                skew: if mean_list > 0.0 {
+                    max_list as f64 / mean_list
+                } else {
+                    0.0
+                },
+            })
+        };
+        StoreBalance {
+            n_shards,
+            max_shard: max,
+            mean_shard: mean,
+            shard_skew: if mean > 0.0 { max as f64 / mean } else { 0.0 },
+            ivf_lists,
+        }
+    }
+
+    /// The store's rows concatenated shard-major into one owned buffer
+    /// — a diagnostic copy (the store itself never holds a global
+    /// contiguous buffer; that is the point).
+    pub fn concat_rows(&self) -> (Vec<f32>, Vec<usize>) {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for shard in &self.shards {
+            data.extend_from_slice(&shard.data);
+            labels.extend_from_slice(&shard.labels);
+        }
+        (data, labels)
+    }
+
+    /// Translates shard `s`'s local insertion id into the store's
+    /// global id space: `local * n_shards + s` — unique across shards,
+    /// and equal to the local id when `S = 1`.
+    fn global_id(&self, s: usize, local: u64) -> u64 {
+        local * self.shards.len() as u64 + s as u64
+    }
+}
+
+impl VectorIndex for ShardedStore {
+    fn dim(&self) -> usize {
+        ShardedStore::dim(self)
+    }
+
+    fn len(&self) -> usize {
+        ShardedStore::len(self)
+    }
+
+    fn metric(&self) -> Metric {
+        ShardedStore::metric(self)
+    }
+
+    /// Fans the query out across every shard and merges the per-shard
+    /// top-k under the fixed `(distance, id)` tie-break. With one
+    /// shard the inner result is returned untouched (bit-identical to
+    /// the unsharded backend, neighbor order included); with more, the
+    /// merged neighbors come back sorted ascending by `(dist, id)`.
+    fn search(&self, query: &[f32], k: usize) -> SearchResult {
+        if self.shards.len() == 1 {
+            return self.shards[0].index.0.as_dyn().search(query, k);
+        }
+        let mut merged: Vec<Neighbor> = Vec::with_capacity(k * 2);
+        let mut nearest = f32::INFINITY;
+        let mut evals = 0u64;
+        for (s, shard) in self.shards.iter().enumerate() {
+            let r = shard.index.0.as_dyn().search(query, k);
+            evals += r.distance_evals;
+            nearest = nearest.min(r.nearest);
+            merged.extend(r.neighbors.into_iter().map(|n| Neighbor {
+                id: self.global_id(s, n.id),
+                ..n
+            }));
+        }
+        merged.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        merged.truncate(k.max(1));
+        SearchResult {
+            neighbors: merged,
+            nearest,
+            distance_evals: evals,
+        }
+    }
+
+    fn add(&mut self, label: usize, vector: &[f32]) {
+        self.add_row(label, vector);
+    }
+
+    fn remove_label(&mut self, label: usize) -> usize {
+        self.remove_class(label)
+    }
+
+    fn swap_label(&mut self, label: usize, rows: Rows<'_>) -> usize {
+        self.swap_class(label, rows)
+    }
+
+    fn list_balance(&self) -> Option<BalanceStats> {
+        self.balance_stats().ivf_lists
+    }
+
+    fn snapshot(&self) -> IndexSnapshot {
+        IndexSnapshot::Sharded(self.clone())
+    }
+
+    fn boxed_clone(&self) -> Box<dyn VectorIndex> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlatIndex, IvfParams};
+
+    /// Clustered labeled rows: `classes` groups of `per_class` points.
+    fn clustered(classes: usize, per_class: usize, dim: usize) -> (Vec<f32>, Vec<usize>) {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..classes {
+            for j in 0..per_class {
+                for d in 0..dim {
+                    data.push(c as f32 * 3.0 + j as f32 * 0.01 + d as f32 * 0.001);
+                }
+                labels.push(c);
+            }
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        for n_shards in 1..6 {
+            for class in 0..50 {
+                assert!(shard_of(class, n_shards) < n_shards);
+                assert_eq!(shard_of(class, n_shards), shard_of(class, n_shards));
+            }
+        }
+        assert_eq!(shard_of(5, 0), 0, "zero shards clamps to one");
+    }
+
+    #[test]
+    fn single_shard_search_is_bit_identical_to_flat() {
+        let (data, labels) = clustered(6, 5, 3);
+        let rows = Rows::new(3, &data);
+        let store = ShardedStore::build(&IndexConfig::Flat, Metric::Euclidean, rows, &labels, 6, 1);
+        let flat = FlatIndex::from_rows(Metric::Euclidean, rows, &labels);
+        for c in 0..6 {
+            let q = vec![c as f32 * 3.0 + 0.005; 3];
+            // Same neighbors in the same (heap) order, same score bits.
+            assert_eq!(store.search(&q, 4), flat.search(&q, 4));
+        }
+    }
+
+    #[test]
+    fn multi_shard_search_matches_flat_ground_truth() {
+        let (data, labels) = clustered(8, 6, 4);
+        let rows = Rows::new(4, &data);
+        let flat = FlatIndex::from_rows(Metric::Euclidean, rows, &labels);
+        for shards in [2usize, 3, 4, 8] {
+            let store = ShardedStore::build(
+                &IndexConfig::Flat,
+                Metric::Euclidean,
+                rows,
+                &labels,
+                8,
+                shards,
+            );
+            assert_eq!(store.n_shards(), shards);
+            assert_eq!(store.len(), flat.len());
+            for c in 0..8 {
+                let q = vec![c as f32 * 3.0 + 0.004; 4];
+                let st = store.search(&q, 5);
+                let fl = flat.search(&q, 5);
+                assert_eq!(st.nearest.to_bits(), fl.nearest.to_bits());
+                // Same neighbor set by (dist bits, label).
+                let canon = |r: &SearchResult| {
+                    let mut v: Vec<(u32, usize)> = r
+                        .neighbors
+                        .iter()
+                        .map(|n| (n.dist.to_bits(), n.label))
+                        .collect();
+                    v.sort_unstable();
+                    v
+                };
+                assert_eq!(canon(&st), canon(&fl), "shards={shards} class={c}");
+                // Merged order is the canonical (dist, id) ascending.
+                for w in st.neighbors.windows(2) {
+                    assert!(
+                        (w[0].dist, w[0].id) <= (w[1].dist, w[1].id),
+                        "merge order broken"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutations_route_to_owning_shard_only() {
+        let (data, labels) = clustered(6, 4, 2);
+        let mut store = ShardedStore::build(
+            &IndexConfig::Flat,
+            Metric::Euclidean,
+            Rows::new(2, &data),
+            &labels,
+            6,
+            3,
+        );
+        let before = store.shard_sizes();
+        // Class 4 lives on shard 1 (4 % 3); swap it.
+        let fresh = [42.0f32, 42.0, 43.0, 43.0];
+        let removed = store.swap_class(4, Rows::new(2, &fresh));
+        assert_eq!(removed, 4);
+        assert_eq!(store.class_count(4), 2);
+        let after = store.shard_sizes();
+        assert_eq!(after[0], before[0], "shard 0 touched by class-4 swap");
+        assert_eq!(after[2], before[2], "shard 2 touched by class-4 swap");
+        assert_eq!(after[1], before[1] - 2);
+        // The swap is visible to search.
+        assert_eq!(store.search(&[42.0, 42.0], 1).top().unwrap().label, 4);
+        // Remove empties the class without shrinking the label space.
+        assert_eq!(store.remove_class(4), 2);
+        assert_eq!(store.class_count(4), 0);
+        assert_eq!(store.n_classes(), 6);
+    }
+
+    #[test]
+    fn allocate_and_add_route_new_classes() {
+        let (data, labels) = clustered(4, 3, 2);
+        let mut store = ShardedStore::build(
+            &IndexConfig::Flat,
+            Metric::Euclidean,
+            Rows::new(2, &data),
+            &labels,
+            4,
+            2,
+        );
+        let id = store.allocate_class();
+        assert_eq!(id, 4);
+        store.add_row(id, &[99.0, 99.0]);
+        assert_eq!(store.shard_of(id), 0);
+        assert_eq!(store.class_count(id), 1);
+        assert_eq!(store.search(&[99.0, 99.0], 1).top().unwrap().label, id);
+        assert_eq!(store.populated_classes(), 5);
+    }
+
+    #[test]
+    fn ivf_backend_per_shard_with_balance_aggregation() {
+        let (data, labels) = clustered(9, 8, 3);
+        let store = ShardedStore::build(
+            &IndexConfig::Ivf(IvfParams::auto()),
+            Metric::Euclidean,
+            Rows::new(3, &data),
+            &labels,
+            9,
+            3,
+        );
+        let balance = store.balance_stats();
+        assert_eq!(balance.n_shards, 3);
+        assert!(balance.shard_skew >= 1.0);
+        let lists = balance.ivf_lists.expect("IVF backend reports lists");
+        assert!(lists.n_lists >= 3, "one quantizer per shard at least");
+        assert!(lists.skew >= 1.0);
+        // Queries still resolve to the right class.
+        for c in [0usize, 4, 8] {
+            let q = vec![c as f32 * 3.0 + 0.002; 3];
+            assert_eq!(store.search(&q, 3).top().unwrap().label, c);
+        }
+    }
+
+    #[test]
+    fn set_shards_repartitions_without_changing_decisions() {
+        let (data, labels) = clustered(6, 5, 3);
+        let rows = Rows::new(3, &data);
+        let mut store =
+            ShardedStore::build(&IndexConfig::Flat, Metric::Euclidean, rows, &labels, 6, 1);
+        let queries: Vec<Vec<f32>> = (0..6).map(|c| vec![c as f32 * 3.0 + 0.004; 3]).collect();
+        let before: Vec<Option<usize>> = queries
+            .iter()
+            .map(|q| store.search(q, 3).top().map(|n| n.label))
+            .collect();
+        store.set_shards(3);
+        assert_eq!(store.n_shards(), 3);
+        let after: Vec<Option<usize>> = queries
+            .iter()
+            .map(|q| store.search(q, 3).top().map(|n| n.label))
+            .collect();
+        assert_eq!(before, after);
+        // And scores are the same bits — the same distances exist.
+        store.set_shards(1);
+        for q in &queries {
+            let r = store.search(q, 3);
+            assert_eq!(
+                r.nearest.to_bits(),
+                FlatIndex::from_rows(
+                    Metric::Euclidean,
+                    store.shard_rows(0),
+                    store.shard_labels(0)
+                )
+                .search(q, 3)
+                .nearest
+                .to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_store_and_decisions() {
+        let (data, labels) = clustered(5, 4, 3);
+        let mut store = ShardedStore::build(
+            &IndexConfig::Ivf(IvfParams::auto()),
+            Metric::Euclidean,
+            Rows::new(3, &data),
+            &labels,
+            5,
+            2,
+        );
+        store.swap_class(2, Rows::new(3, &[50.0, 50.0, 50.0]));
+        let json = serde_json::to_string(&store).unwrap();
+        let back: ShardedStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, store);
+        let q = vec![50.0f32; 3];
+        assert_eq!(back.search(&q, 3), store.search(&q, 3));
+    }
+
+    #[test]
+    fn load_shard_bulk_builds_one_shard() {
+        let mut store = ShardedStore::new(2, Metric::Euclidean, &IndexConfig::Flat, 4, 2);
+        // Shard 0 owns classes 0 and 2.
+        store.load_shard(0, &[0, 0, 2], Rows::new(2, &[0.0, 0.0, 0.1, 0.0, 2.0, 2.0]));
+        store.load_shard(1, &[1, 3], Rows::new(2, &[1.0, 1.0, 3.0, 3.0]));
+        assert_eq!(store.len(), 5);
+        assert_eq!(store.shard_len(0), 3);
+        assert_eq!(store.search(&[3.0, 3.0], 1).top().unwrap().label, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not route")]
+    fn load_shard_rejects_misrouted_labels() {
+        let mut store = ShardedStore::new(2, Metric::Euclidean, &IndexConfig::Flat, 4, 2);
+        store.load_shard(0, &[1], Rows::new(2, &[1.0, 1.0]));
+    }
+}

@@ -195,7 +195,8 @@ pub fn fast_sigmoid(x: f32) -> f32 {
 
 /// Branchless hyperbolic tangent; ≤ 2.4e-7 absolute from `f32::tanh`.
 ///
-/// Evaluates `(e^{2x} − 1)/(e^{2x} + 1)` through [`exp_parts`] so the
+/// Evaluates `(e^{2x} − 1)/(e^{2x} + 1)` through the internal
+/// `exp_parts` split so the
 /// numerator is `(2^k − 1) + 2^k·(e^r − 1)` — no cancellation near
 /// zero, exact saturation at ±1 for large `|x|`.
 #[inline]

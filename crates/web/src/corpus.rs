@@ -115,7 +115,7 @@ pub struct OpenWorldSplit {
 ///
 /// # Errors
 ///
-/// Returns [`WebError::InvalidSpec`] unless `0 < n_monitored <
+/// Returns [`InvalidSpec`](crate::error::WebError::InvalidSpec) unless `0 < n_monitored <
 /// n_classes` (an open world needs classes on both sides).
 pub fn open_world_split(n_classes: usize, n_monitored: usize, seed: u64) -> Result<OpenWorldSplit> {
     if n_monitored == 0 || n_monitored >= n_classes {

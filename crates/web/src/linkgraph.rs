@@ -1,6 +1,6 @@
 //! Website link graphs and user journeys.
 //!
-//! Miller et al. (the paper's [1]) showed that consecutive page loads
+//! Miller et al. (the paper's ref. 1) showed that consecutive page loads
 //! are not independent — the site's hyperlink structure guides browsing.
 //! This module generates link graphs and samples random-walk "user
 //! journeys" over them, feeding the HMM baseline in `tlsfp-baselines`.

@@ -178,7 +178,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::RngExt;
 
-    /// Length specification for [`vec`].
+    /// Length specification for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

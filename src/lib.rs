@@ -11,12 +11,14 @@
 //!   multi-server hosting and content drift.
 //! - [`trace`] — capture → per-IP byte-count sequence extraction, datasets
 //!   and experiment splits.
-//! - [`index`] — mutable nearest-neighbor indexes for the serving path:
-//!   the exact contiguous flat scan and an IVF backend that prunes
-//!   candidates by an order of magnitude.
-//! - [`core`] — the paper's contribution: embedding model, reference set,
-//!   kNN top-N classification, provision/fingerprint/adapt pipeline,
-//!   metrics and padding defenses.
+//! - [`index`] — the serving store: mutable nearest-neighbor indexes
+//!   (exact contiguous flat scan, candidate-pruning IVF) and the
+//!   class-sharded `ShardedStore` that composes them per shard for the
+//!   large-class regime.
+//! - [`core`] — the paper's contribution: embedding model, sharded
+//!   reference store, kNN top-N classification,
+//!   provision/fingerprint/adapt pipeline, metrics and padding
+//!   defenses.
 //! - [`baselines`] — k-fingerprinting, Deep-Fingerprinting-lite, HMM
 //!   journey decoding and the operational-cost framework.
 //!
@@ -42,8 +44,10 @@
 //! # }
 //! ```
 //!
-//! See `examples/` for runnable end-to-end scenarios and `crates/bench`
-//! for the harness regenerating every table and figure of the paper.
+//! See `ARCHITECTURE.md` for the serving data flow, determinism
+//! contract and scaling knobs; `examples/` for runnable end-to-end
+//! scenarios; and `crates/bench` for the harness regenerating every
+//! table and figure of the paper.
 
 pub use tlsfp_baselines as baselines;
 pub use tlsfp_core as core;

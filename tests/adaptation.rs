@@ -51,8 +51,8 @@ fn reference_swap_never_touches_the_embedder() {
     );
     // And the reference content actually changed.
     assert_ne!(
-        adversary.reference().as_rows().data(),
-        adapted.reference().as_rows().data()
+        adversary.reference().concat_rows().0,
+        adapted.reference().concat_rows().0
     );
 }
 

@@ -94,10 +94,17 @@ fn oracle_classify_with_score(
 fn default_flat_backend_is_bit_identical_to_pre_index_oracle() {
     let fp = tiny_adversary();
     assert_eq!(fp.index_config(), IndexConfig::Flat);
+    assert_eq!(fp.n_shards(), 1, "default serving store is unsharded");
+    // The default store has one shard, whose rows are the reference
+    // set in insertion order — rebuild the historical flat set.
+    let mut reference = ReferenceSet::new(fp.reference().dim(), fp.reference().n_classes());
+    reference
+        .add_rows(fp.reference().shard_labels(0), fp.reference().shard_rows(0))
+        .expect("shard rows are a valid reference set");
     let (_, test) = tiny_split();
     let embeddings = fp.embed_all(test.seqs());
     for (trace, emb) in test.seqs().iter().zip(&embeddings) {
-        let oracle = oracle_classify_with_score(fp.k(), emb, fp.reference());
+        let oracle = oracle_classify_with_score(fp.k(), emb, &reference);
         let served = fp.fingerprint_with_score(trace);
         // Bit-identical: same score bits, same ranking, same votes.
         assert_eq!(oracle.score.to_bits(), served.score.to_bits());
