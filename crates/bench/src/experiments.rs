@@ -51,6 +51,9 @@ pub struct Scale {
     /// Class counts swept by the `fig_shard` store-scaling experiment
     /// (paper regime: up to 13,000 classes).
     pub shard_sweep: Vec<usize>,
+    /// Class count for the `fig_concurrent` worker-scaling experiment
+    /// (paper regime: 13,000 classes).
+    pub concurrent_classes: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -77,6 +80,7 @@ impl Scale {
             open_world_unmonitored: 12,
             calibration_percentile: 95.0,
             shard_sweep: vec![200, 800, 3200],
+            concurrent_classes: 3200,
             seed: 7,
         }
     }
@@ -91,6 +95,7 @@ impl Scale {
         s.open_world_unmonitored = 100;
         s.traces_per_class = 40;
         s.shard_sweep = vec![1_000, 4_000, 13_000];
+        s.concurrent_classes = 13_000;
         s.pipeline.epochs = 60;
         s.pipeline.pairs_per_epoch = 4096;
         s.pipeline_two_seq.epochs = 60;
@@ -108,6 +113,7 @@ impl Scale {
         s.open_world_unmonitored = 3;
         s.traces_per_class = 12;
         s.shard_sweep = vec![40, 120];
+        s.concurrent_classes = 200;
         s.pipeline.epochs = 10;
         s.pipeline.pairs_per_epoch = 1024;
         s.pipeline_two_seq.epochs = 10;
@@ -1348,6 +1354,125 @@ pub fn run_fig_shard(scale: &Scale) -> FigShardResult {
 }
 
 // ---------------------------------------------------------------------
+// fig_concurrent — shard-parallel query throughput vs worker count.
+// ---------------------------------------------------------------------
+
+/// Worker counts swept by fig_concurrent.
+pub const FIG_CONCURRENT_WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Shard counts swept by fig_concurrent.
+pub const FIG_CONCURRENT_SHARDS: [usize; 2] = [4, 16];
+
+/// One `(shards, workers)` cell of the fig_concurrent sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConcurrentPoint {
+    /// Shards the store was partitioned into.
+    pub n_shards: usize,
+    /// Worker threads given to `search_batch_concurrent`.
+    pub workers: usize,
+    /// Best-of-3 batch query throughput.
+    pub queries_per_sec: f64,
+    /// Throughput relative to the 1-worker cell at the same shard
+    /// count. On a single-core host this hovers near 1.0; the
+    /// determinism columns must hold regardless.
+    pub speedup_vs_1: f64,
+    /// Top-1 decisions (through the kNN rank path) identical to the
+    /// 1-worker run.
+    pub decisions_identical: bool,
+    /// Every neighbor list, distance bit and eval count identical to
+    /// the 1-worker run.
+    pub score_bits_identical: bool,
+}
+
+/// Result of the fig_concurrent run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigConcurrentResult {
+    /// Monitored classes in the synthetic store.
+    pub n_classes: usize,
+    /// Reference points per class.
+    pub refs_per_class: usize,
+    /// Total reference vectors stored.
+    pub n_reference: usize,
+    /// Queries in the timed batch.
+    pub n_queries: usize,
+    /// Neighbours retrieved per query.
+    pub k: usize,
+    /// Cores the host reported — scaling claims are only meaningful
+    /// when this is at least the worker count.
+    pub available_cores: usize,
+    /// One entry per `(shards, workers)` cell, shard-major.
+    pub points: Vec<ConcurrentPoint>,
+}
+
+/// Runs the concurrent-serving sweep: a flat-backend sharded store at
+/// each shard count, queried through `search_batch_concurrent` at each
+/// worker count. The flat backend keeps per-query work constant, so
+/// the sweep isolates fan-out overhead and lock contention; every cell
+/// is checked bit-identical to its 1-worker column.
+pub fn run_fig_concurrent(scale: &Scale) -> FigConcurrentResult {
+    use tlsfp_index::sharded::ShardedStore;
+    use tlsfp_index::{IndexConfig, Metric, Rows};
+    let dim = FIG_SHARD_DIM;
+    let per_class = FIG_SHARD_REFS_PER_CLASS;
+    let n_classes = scale.concurrent_classes;
+    let n_queries = n_classes.min(FIG_SHARD_MAX_QUERIES);
+    let (data, labels, queries) =
+        synthetic_store_corpus(n_classes, per_class, dim, n_queries, scale.seed + 70);
+
+    let mut points = Vec::new();
+    for &shards in &FIG_CONCURRENT_SHARDS {
+        let store = ShardedStore::build(
+            &IndexConfig::Flat,
+            Metric::Euclidean,
+            Rows::new(dim, &data),
+            &labels,
+            n_classes,
+            shards,
+        );
+        let baseline = store.search_batch_concurrent(&queries, FIG_SHARD_K, 1);
+        let baseline_top: Vec<Option<usize>> = baseline
+            .iter()
+            .map(|r| tlsfp_core::knn::rank_search(r.clone()).prediction.top())
+            .collect();
+        let mut qps_at_1 = 0.0;
+        for &workers in &FIG_CONCURRENT_WORKERS {
+            let mut best = f64::INFINITY;
+            let mut results = store.search_batch_concurrent(&queries, FIG_SHARD_K, workers);
+            for _ in 0..3 {
+                let t = std::time::Instant::now();
+                results = store.search_batch_concurrent(&queries, FIG_SHARD_K, workers);
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            let top: Vec<Option<usize>> = results
+                .iter()
+                .map(|r| tlsfp_core::knn::rank_search(r.clone()).prediction.top())
+                .collect();
+            let queries_per_sec = queries.len() as f64 / best.max(1e-12);
+            if workers == 1 {
+                qps_at_1 = queries_per_sec;
+            }
+            points.push(ConcurrentPoint {
+                n_shards: shards,
+                workers,
+                queries_per_sec,
+                speedup_vs_1: queries_per_sec / qps_at_1.max(1e-12),
+                decisions_identical: top == baseline_top,
+                score_bits_identical: results == baseline,
+            });
+        }
+    }
+    FigConcurrentResult {
+        n_classes,
+        refs_per_class: per_class,
+        n_reference: n_classes * per_class,
+        n_queries: queries.len(),
+        k: FIG_SHARD_K,
+        available_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        points,
+    }
+}
+
+// ---------------------------------------------------------------------
 // Printing helpers.
 // ---------------------------------------------------------------------
 
@@ -1415,6 +1540,19 @@ pub fn print_fig_shard(p: &ShardScalePoint) {
         p.recall_at_1,
         p.top1_agreement,
         100.0 * p.sharded_distance_evals as f64 / p.flat_distance_evals.max(1) as f64,
+    );
+}
+
+/// Prints one fig_concurrent sweep cell's summary row.
+pub fn print_fig_concurrent(p: &ConcurrentPoint) {
+    println!(
+        "  shards={:<3} workers={:<2} qps={:>9.0}  speedup={:>5.2}x  decisions-identical={} score-bits-identical={}",
+        p.n_shards,
+        p.workers,
+        p.queries_per_sec,
+        p.speedup_vs_1,
+        p.decisions_identical,
+        p.score_bits_identical,
     );
 }
 
@@ -1768,6 +1906,79 @@ mod tests {
         // The repro --json artifact round-trips.
         let json = serde_json::to_string(&result).expect("serializable");
         let back: FigShardResult = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back, result);
+    }
+
+    /// Tier-1 concurrent-serving smoke: the experiment `repro
+    /// fig_concurrent` runs at smoke scale. Determinism columns must
+    /// hold unconditionally — every worker count bit-identical to the
+    /// 1-worker column. Throughput scaling is asserted only when the
+    /// host actually has the cores for it (CI containers are often
+    /// single-core, where the honest measurement is ~1.0x).
+    #[test]
+    fn fig_concurrent_smoke_is_bit_identical_across_workers() {
+        let result = run_fig_concurrent(&Scale::smoke());
+        assert_eq!(
+            result.points.len(),
+            FIG_CONCURRENT_WORKERS.len() * FIG_CONCURRENT_SHARDS.len()
+        );
+        for p in &result.points {
+            assert!(
+                p.decisions_identical,
+                "shards={} workers={}: decisions diverged from 1 worker",
+                p.n_shards, p.workers
+            );
+            assert!(
+                p.score_bits_identical,
+                "shards={} workers={}: score bits diverged from 1 worker",
+                p.n_shards, p.workers
+            );
+            assert!(p.queries_per_sec > 0.0);
+        }
+        let at = |shards: usize, workers: usize| {
+            result
+                .points
+                .iter()
+                .find(|p| p.n_shards == shards && p.workers == workers)
+                .expect("cell in sweep")
+        };
+        assert!((at(4, 1).speedup_vs_1 - 1.0).abs() < 1e-9);
+        if result.available_cores >= 4 {
+            assert!(
+                at(16, 4).speedup_vs_1 >= 1.5,
+                "16 shards: 4 workers only {:.2}x over 1 on a {}-core host",
+                at(16, 4).speedup_vs_1,
+                result.available_cores
+            );
+        }
+    }
+
+    #[test]
+    #[ignore = "tier-2: times the default-scale concurrent sweep (~1 min); run with cargo test -- --ignored"]
+    fn fig_concurrent_emits_sweep_at_default_scale() {
+        let result = run_fig_concurrent(&Scale::default_scale());
+        assert_eq!(result.n_classes, 3200);
+        for p in &result.points {
+            assert!(
+                p.decisions_identical && p.score_bits_identical,
+                "shards={} workers={}",
+                p.n_shards,
+                p.workers
+            );
+        }
+        // The acceptance scaling bar (>= 2.5x from 1 to 4 workers at
+        // 16 shards) only binds where the silicon can express it.
+        if result.available_cores >= 4 {
+            let s4 = result
+                .points
+                .iter()
+                .find(|p| p.n_shards == 16 && p.workers == 4)
+                .expect("cell in sweep");
+            assert!(s4.speedup_vs_1 >= 2.5, "got {:.2}x", s4.speedup_vs_1);
+        }
+        // The repro --json artifact round-trips.
+        let json = serde_json::to_string(&result).expect("serializable");
+        let back: FigConcurrentResult = serde_json::from_str(&json).expect("deserializable");
         assert_eq!(back, result);
     }
 

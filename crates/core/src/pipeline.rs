@@ -23,7 +23,7 @@ use tlsfp_nn::siamese::SiameseTrainer;
 use tlsfp_trace::dataset::Dataset;
 
 use crate::error::{CoreError, Result};
-use crate::knn::{KnnClassifier, RankedPrediction, ScoredPrediction};
+use crate::knn::{rank_search, KnnClassifier, RankedPrediction, ScoredPrediction};
 use crate::metrics::EvalReport;
 use crate::open_world::{self, OpenWorldReport, PerClassThresholds};
 
@@ -49,8 +49,16 @@ pub struct PipelineConfig {
     pub semi_hard_from_epoch: Option<usize>,
     /// kNN neighbourhood size (250 in the paper).
     pub k: usize,
-    /// Worker threads (0 = all cores).
+    /// Worker threads for training and embedding (0 = all cores; the
+    /// auto default honors the `TLSFP_THREADS` environment variable).
     pub threads: usize,
+    /// Worker threads for the concurrent query fan-out across shards
+    /// (0 = all cores, honoring `TLSFP_THREADS`). Separate from
+    /// `threads` because serving and provisioning often want different
+    /// pool sizes. Results are bit-identical for every value — the
+    /// shard-major fan-out and ordered-commit merge guarantee it (see
+    /// the `tlsfp_index::sharded` module docs).
+    pub query_workers: usize,
     /// Nearest-neighbor index backend each shard serves from. The
     /// default [`IndexConfig::Flat`] keeps every decision bit-identical
     /// to an exhaustive reference scan; [`IndexConfig::ivf_default`]
@@ -86,6 +94,7 @@ impl PipelineConfig {
             semi_hard_from_epoch: None,
             k: 250,
             threads: 0,
+            query_workers: 0,
             index: IndexConfig::Flat,
             shards: 1,
         }
@@ -112,6 +121,7 @@ impl PipelineConfig {
             semi_hard_from_epoch: Some(6),
             k: 15,
             threads: 0,
+            query_workers: 0,
             index: IndexConfig::Flat,
             shards: 1,
         }
@@ -144,6 +154,9 @@ pub struct AdaptiveFingerprinter {
     store: ShardedStore,
     knn: KnnClassifier,
     threads: usize,
+    /// Worker-pool size for the concurrent shard fan-out on the query
+    /// paths (`0` = auto). Never changes a decision.
+    query_workers: usize,
     log: TrainingLog,
     /// The per-shard index backend (mirrors `PipelineConfig::index`).
     index_config: IndexConfig,
@@ -189,6 +202,7 @@ impl AdaptiveFingerprinter {
             store,
             knn,
             threads: config.threads,
+            query_workers: config.query_workers,
             log,
             index_config: config.index,
             shards: config.shards,
@@ -208,6 +222,7 @@ impl AdaptiveFingerprinter {
             store,
             knn,
             threads,
+            query_workers: 0,
             log: TrainingLog {
                 epoch_losses: Vec::new(),
                 train_seconds: 0.0,
@@ -281,6 +296,22 @@ impl AdaptiveFingerprinter {
     /// wall-clock time changes.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads;
+    }
+
+    /// Sets the worker-pool size for the concurrent query fan-out
+    /// across shards (`0` = all cores, honoring `TLSFP_THREADS`).
+    /// Every query path — single-trace and batch, closed- and
+    /// open-world — fans its per-shard searches across this many
+    /// workers and merges under the ordered-commit rule, so results
+    /// are **bit-identical** for every value; only wall-clock time
+    /// changes.
+    pub fn set_query_workers(&mut self, workers: usize) {
+        self.query_workers = workers;
+    }
+
+    /// The configured query-fan-out worker count (`0` = auto).
+    pub fn query_workers(&self) -> usize {
+        self.query_workers
     }
 
     /// Replaces the whole reference store with embeddings of `data`
@@ -400,11 +431,36 @@ impl AdaptiveFingerprinter {
         self.fingerprint_with_score(trace).prediction
     }
 
+    /// Embeds and classifies a whole dataset — the batch front door:
+    /// one fused `embed_batch` pass pipelined into the concurrent
+    /// shard-major search fan-out
+    /// (`ShardedStore::search_batch_concurrent`), merged under the
+    /// ordered-commit rule. Bit-identical to calling
+    /// [`AdaptiveFingerprinter::fingerprint`] per trace, at every
+    /// worker count.
+    pub fn fingerprint_all(&self, data: &Dataset) -> Vec<RankedPrediction> {
+        self.fingerprint_with_score_all(data)
+            .into_iter()
+            .map(|sp| sp.prediction)
+            .collect()
+    }
+
     /// Embeds and classifies one trace, also reporting its outlier
-    /// score — the open-world primitive, one index query.
+    /// score — the open-world primitive. The per-shard searches fan
+    /// out across the query worker pool
+    /// ([`AdaptiveFingerprinter::set_query_workers`]) and merge
+    /// deterministically.
     pub fn fingerprint_with_score(&self, trace: &SeqInput) -> ScoredPrediction {
         let emb = self.embedder.embed(trace);
-        self.knn.classify_with_score_indexed(&emb, &self.store)
+        debug_assert_eq!(
+            self.store.metric(),
+            self.knn.metric,
+            "store metric disagrees with classifier metric"
+        );
+        rank_search(
+            self.store
+                .search_concurrent(&emb, self.knn.k, self.query_workers_or_default()),
+        )
     }
 
     /// Open-world fingerprinting (§VI-C): returns `None` when the trace
@@ -428,7 +484,7 @@ impl AdaptiveFingerprinter {
         self.knn.classify_with_score_all_indexed(
             &embeddings,
             &self.store,
-            self.threads_or_default(),
+            self.query_workers_or_default(),
         )
     }
 
@@ -578,7 +634,11 @@ impl AdaptiveFingerprinter {
         let embeddings = self.embed_all(test.seqs());
         let predictions: Vec<RankedPrediction> = self
             .knn
-            .classify_with_score_all_indexed(&embeddings, &self.store, self.threads_or_default())
+            .classify_with_score_all_indexed(
+                &embeddings,
+                &self.store,
+                self.query_workers_or_default(),
+            )
             .into_iter()
             .map(|sp| sp.prediction)
             .collect();
@@ -608,6 +668,14 @@ impl AdaptiveFingerprinter {
             tlsfp_nn::parallel::default_threads()
         } else {
             self.threads
+        }
+    }
+
+    fn query_workers_or_default(&self) -> usize {
+        if self.query_workers == 0 {
+            tlsfp_nn::parallel::default_threads()
+        } else {
+            self.query_workers
         }
     }
 }

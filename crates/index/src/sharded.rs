@@ -1,5 +1,8 @@
 //! The sharded reference store: class-partitioned storage with one
-//! serving index per shard — the 13k-class serving layout.
+//! serving index per shard — the 13k-class serving layout — and, since
+//! the concurrency PR, a lock-per-shard execution model that lets
+//! queries fan out across a worker pool while mutations touch only the
+//! owning shard's lock.
 //!
 //! A single [`crate::FlatIndex`] or [`crate::IvfIndex`] holds every
 //! reference embedding in one monolith, and provisioning materializes
@@ -12,35 +15,70 @@
 //! - **Routing is deterministic and stateless**: class `c` lives on
 //!   shard [`shard_of`]`(c, S) = c % S`, so a label alone names its
 //!   shard — no directory, no rebalancing state to serialize.
-//! - **Each shard owns its data**: a contiguous row-major buffer (the
-//!   canonical reference rows, in insertion order) plus its own
-//!   [`ServingIndex`](crate::ServingIndex) built from them
-//!   ([`IndexConfig::Flat`] or [`IndexConfig::Ivf`] per shard).
+//! - **Each shard owns its data, behind its own lock**: a contiguous
+//!   row-major buffer (the canonical reference rows, in insertion
+//!   order) plus its own [`ServingIndex`](crate::ServingIndex)
+//!   ([`IndexConfig::Flat`] or [`IndexConfig::Ivf`] per shard), all
+//!   wrapped in one `RwLock`. Because `class % S` routing means no
+//!   mutation ever crosses a shard, the locks never need to be held
+//!   together — see the concurrency model below.
 //! - **Provisioning is shard-bounded**: [`ShardedStore::load_shard`]
 //!   ingests one shard's embeddings at a time, so the embedding
 //!   scratch peaks at the largest shard, not the whole corpus.
-//! - **Mutations touch one shard**: [`ShardedStore::swap_class`],
-//!   [`ShardedStore::remove_class`] and [`ShardedStore::add_row`]
-//!   route to the owning shard; churn on one webpage never touches
-//!   another shard's IVF lists.
+//! - **Mutations touch one shard's write lock**:
+//!   [`ShardedStore::swap_class`], [`ShardedStore::remove_class`] and
+//!   [`ShardedStore::add_row`] take `&self`, route to the owning
+//!   shard, and lock only it; churn on one webpage never blocks
+//!   queries or churn on another shard.
 //! - **Queries fan out and merge deterministically**: every shard is
-//!   searched and the per-shard top-k heaps merge under a fixed
-//!   `(distance, id)` tie-break, so results are identical for every
-//!   thread count. With `S = 1` the single shard's result is returned
-//!   untouched — **bit-identical** to the unsharded store, heap order
-//!   included. Across *different* shard counts, exact backends serve
-//!   identical decisions up to one edge case: an exact distance tie
-//!   between different-class duplicates landing precisely on the k-th
-//!   neighbor boundary may keep a different tied point (the flat heap
-//!   prefers the first-inserted, the merge the smallest global id).
-//!   Real embeddings don't produce such ties; the tier-1 profile
-//!   tests hold full identity on every corpus.
+//!   searched under its read lock and the per-shard top-k merge under
+//!   a fixed `(distance, id)` tie-break, so results are identical for
+//!   every thread count. With `S = 1` the single shard's result is
+//!   returned untouched — **bit-identical** to the unsharded store,
+//!   heap order included. Across *different* shard counts, exact
+//!   backends serve identical decisions up to one edge case: an exact
+//!   distance tie between different-class duplicates landing precisely
+//!   on the k-th neighbor boundary may keep a different tied point
+//!   (the flat heap prefers the first-inserted, the merge the smallest
+//!   global id). Real embeddings don't produce such ties; the tier-1
+//!   profile tests hold full identity on every corpus.
+//!
+//! # Concurrency model
+//!
+//! Three rules make the store deadlock-free and deterministic at the
+//! same time:
+//!
+//! 1. **One lock at a time.** No method ever acquires a second shard
+//!    lock while holding one. Queries lock shards one after another
+//!    (or one per worker); mutations lock exactly the owning shard;
+//!    whole-store operations ([`ShardedStore::set_shards`],
+//!    [`ShardedStore::set_index`], [`ShardedStore::load_shard`]) take
+//!    `&mut self`, which the borrow checker proves exclusive — they
+//!    use no locks at all. With no thread ever waiting on a second
+//!    lock, a cycle in the wait-for graph — the precondition for
+//!    deadlock — cannot form.
+//! 2. **Shard-major fan-out.** [`ShardedStore::search_batch_concurrent`]
+//!    hands each *shard* (not each query) to a worker: the worker
+//!    read-locks its shard once, runs every query against it, and
+//!    releases. One query's scan is never split across threads, so no
+//!    floating-point reduction ever changes order.
+//! 3. **Ordered commit.** Workers finish in any order, but per-shard
+//!    results are merged strictly in shard order (ids remapped, then
+//!    one sort under `(dist, global id)`), so the merged neighbor
+//!    list, the `nearest` fold and the eval counter are bit-identical
+//!    to the sequential pass at every worker count.
 //!
 //! The store implements [`VectorIndex`], so the whole serving path
 //! (`tlsfp-core`'s classify/fingerprint/open-world calls) runs through
-//! it unchanged.
+//! it unchanged — [`VectorIndex::search_batch`] routes to the
+//! concurrent shard-major fan-out automatically.
+
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use serde::{Deserialize, Serialize};
+
+use tlsfp_nn::parallel::map_elems;
 
 use crate::ivf::BalanceStats;
 use crate::{IndexConfig, IndexSnapshot, Metric, Neighbor, Rows, SearchResult, VectorIndex};
@@ -77,6 +115,17 @@ pub fn shard_of(class: usize, n_shards: usize) -> usize {
 pub fn resolve_shards(requested: usize, n_classes: usize) -> usize {
     if requested == 0 {
         ((n_classes as f64).sqrt().ceil() as usize).max(1)
+    } else {
+        requested
+    }
+}
+
+/// Resolves the worker-count knob for the concurrent query paths:
+/// `0` means auto ([`tlsfp_nn::parallel::default_threads`], which
+/// honors `TLSFP_THREADS`); any explicit value is used as-is.
+fn resolve_workers(requested: usize) -> usize {
+    if requested == 0 {
+        tlsfp_nn::parallel::default_threads()
     } else {
         requested
     }
@@ -165,17 +214,23 @@ pub struct StoreBalance {
 }
 
 /// A class-sharded reference store: `S` shards, each holding its
-/// classes' embeddings contiguously and serving them through its own
-/// index backend. See the [module docs](crate::sharded) for the
-/// design, and [`VectorIndex`] for the query/mutation contract it
-/// serves through.
+/// classes' embeddings contiguously behind its own `RwLock` and
+/// serving them through its own index backend. See the [module
+/// docs](crate::sharded) for the design and concurrency model, and
+/// [`VectorIndex`] for the query/mutation contract it serves through.
+///
+/// Queries take per-shard *read* locks (many readers in parallel);
+/// single-shard mutations ([`ShardedStore::swap_class`],
+/// [`ShardedStore::add_row`], [`ShardedStore::remove_class`]) take
+/// `&self` and only the owning shard's *write* lock, so churn on one
+/// class never blocks queries against any other shard.
 ///
 /// ```
 /// use tlsfp_index::sharded::ShardedStore;
 /// use tlsfp_index::{IndexConfig, Metric, Rows, VectorIndex};
 ///
 /// // Four classes across two shards: even classes on shard 0, odd on 1.
-/// let mut store = ShardedStore::new(2, Metric::Euclidean, &IndexConfig::Flat, 4, 2);
+/// let store = ShardedStore::new(2, Metric::Euclidean, &IndexConfig::Flat, 4, 2);
 /// let rows = [0.0f32, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0];
 /// store.add_rows(&[0, 1, 2, 3], Rows::new(2, &rows));
 /// assert_eq!(store.n_shards(), 2);
@@ -185,18 +240,84 @@ pub struct StoreBalance {
 /// let top = store.search(&[1.1, 1.1], 2).top().unwrap();
 /// assert_eq!(top.label, 1);
 ///
-/// // Mutations route to the owning shard only.
+/// // The batch front door fans out shard-major across a worker pool;
+/// // the ordered-commit merge is bit-identical at every worker count.
+/// let batch = store.search_batch_concurrent(&[vec![1.1, 1.1]], 2, 4);
+/// assert_eq!(batch[0], store.search(&[1.1, 1.1], 2));
+///
+/// // Mutations route to the owning shard only — through `&self`.
 /// store.swap_class(1, Rows::new(2, &[9.0, 9.0]));
 /// assert_eq!(store.class_count(1), 1);
 /// assert_eq!(store.shard_len(0), 2); // shard 0 untouched
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct ShardedStore {
     dim: usize,
     metric: Metric,
     config: IndexConfig,
-    n_classes: usize,
-    shards: Vec<StoreShard>,
+    n_classes: AtomicUsize,
+    shards: Vec<RwLock<StoreShard>>,
+}
+
+impl Clone for ShardedStore {
+    fn clone(&self) -> Self {
+        ShardedStore {
+            dim: self.dim,
+            metric: self.metric,
+            config: self.config,
+            n_classes: AtomicUsize::new(self.n_classes()),
+            shards: (0..self.shards.len())
+                .map(|s| RwLock::new(self.read_shard(s).clone()))
+                .collect(),
+        }
+    }
+}
+
+impl PartialEq for ShardedStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.dim == other.dim
+            && self.metric == other.metric
+            && self.config == other.config
+            && self.n_classes() == other.n_classes()
+            && self.shards.len() == other.shards.len()
+            && (0..self.shards.len()).all(|s| *self.read_shard(s) == *other.read_shard(s))
+    }
+}
+
+impl Serialize for ShardedStore {
+    fn to_value(&self) -> serde::json::Value {
+        use serde::json::Value;
+        Value::Object(vec![
+            ("dim".to_string(), self.dim.to_value()),
+            ("metric".to_string(), self.metric.to_value()),
+            ("config".to_string(), self.config.to_value()),
+            ("n_classes".to_string(), self.n_classes().to_value()),
+            (
+                "shards".to_string(),
+                Value::Array(
+                    (0..self.shards.len())
+                        .map(|s| self.read_shard(s).to_value())
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for ShardedStore {
+    fn from_value(v: &serde::json::Value) -> Result<Self, serde::json::Error> {
+        let pairs = v
+            .as_object()
+            .ok_or_else(|| serde::json::Error::custom("ShardedStore: expected object"))?;
+        let shards: Vec<StoreShard> = serde::json::field(pairs, "shards")?;
+        Ok(ShardedStore {
+            dim: serde::json::field(pairs, "dim")?,
+            metric: serde::json::field(pairs, "metric")?,
+            config: serde::json::field(pairs, "config")?,
+            n_classes: AtomicUsize::new(serde::json::field(pairs, "n_classes")?),
+            shards: shards.into_iter().map(RwLock::new).collect(),
+        })
+    }
 }
 
 impl ShardedStore {
@@ -219,9 +340,9 @@ impl ShardedStore {
             dim,
             metric,
             config: *config,
-            n_classes,
+            n_classes: AtomicUsize::new(n_classes),
             shards: (0..n_shards)
-                .map(|_| StoreShard::empty(dim, metric, config))
+                .map(|_| RwLock::new(StoreShard::empty(dim, metric, config)))
                 .collect(),
         }
     }
@@ -244,15 +365,45 @@ impl ShardedStore {
     ) -> Self {
         assert_eq!(rows.len(), labels.len(), "one label per row");
         let mut store = ShardedStore::new(rows.dim(), metric, config, n_classes, shards);
+        let n_shards = store.shards.len();
         for (row, &label) in rows.iter().zip(labels) {
-            let s = store.shard_of(label);
-            let shard = &mut store.shards[s];
+            let s = shard_of(label, n_shards);
+            let shard = store.shard_mut(s);
             shard.labels.push(label);
             shard.data.extend_from_slice(row);
-            store.n_classes = store.n_classes.max(label + 1);
+            store.note_class(label);
         }
         store.rebuild_indexes();
         store
+    }
+
+    /// The read guard for shard `s`; a poisoned lock is recovered (the
+    /// store's invariants are maintained before any operation that
+    /// could panic, so the data behind a poisoned lock is intact).
+    fn read_shard(&self, s: usize) -> RwLockReadGuard<'_, StoreShard> {
+        self.shards[s]
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The write guard for shard `s` (see [`ShardedStore::read_shard`]
+    /// on poisoning).
+    fn write_shard(&self, s: usize) -> RwLockWriteGuard<'_, StoreShard> {
+        self.shards[s]
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Lock-free exclusive access for `&mut self` operations.
+    fn shard_mut(&mut self, s: usize) -> &mut StoreShard {
+        self.shards[s]
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Grows the label space to cover `class` (monotonic).
+    fn note_class(&self, class: usize) {
+        self.n_classes.fetch_max(class + 1, AtomicOrdering::AcqRel);
     }
 
     /// Number of shards (fixed at construction).
@@ -261,14 +412,18 @@ impl ShardedStore {
     }
 
     /// Total reference points across every shard (also available
-    /// through [`VectorIndex::len`]).
+    /// through [`VectorIndex::len`]). Shard locks are taken one at a
+    /// time, so under concurrent churn this is a coherent per-shard
+    /// sum, not an atomic global snapshot.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.labels.len()).sum()
+        (0..self.shards.len())
+            .map(|s| self.read_shard(s).labels.len())
+            .sum()
     }
 
     /// Whether the store holds no reference points.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.labels.is_empty())
+        (0..self.shards.len()).all(|s| self.read_shard(s).labels.is_empty())
     }
 
     /// Embedding dimensionality.
@@ -284,7 +439,7 @@ impl ShardedStore {
     /// Size of the label space (grows via
     /// [`ShardedStore::allocate_class`]).
     pub fn n_classes(&self) -> usize {
-        self.n_classes
+        self.n_classes.load(AtomicOrdering::Acquire)
     }
 
     /// The per-shard index backend in use.
@@ -303,37 +458,44 @@ impl ShardedStore {
     ///
     /// Panics if `s >= n_shards()`.
     pub fn shard_len(&self, s: usize) -> usize {
-        self.shards[s].labels.len()
+        self.read_shard(s).labels.len()
     }
 
-    /// Shard `s`'s canonical rows (contiguous, insertion order,
-    /// aligned with [`ShardedStore::shard_labels`]).
+    /// An owned snapshot of shard `s`: `(labels, row_data)` in
+    /// insertion order, where `row_data` is the contiguous row-major
+    /// buffer (`labels.len() * dim()` floats). Owned because the rows
+    /// live behind the shard's lock; the copy is taken under one read
+    /// lock, so it is internally consistent even during churn.
     ///
     /// # Panics
     ///
     /// Panics if `s >= n_shards()`.
-    pub fn shard_rows(&self, s: usize) -> Rows<'_> {
-        self.shards[s].rows(self.dim)
+    pub fn shard_snapshot(&self, s: usize) -> (Vec<usize>, Vec<f32>) {
+        let shard = self.read_shard(s);
+        (shard.labels.clone(), shard.data.clone())
     }
 
-    /// Shard `s`'s labels (aligned with [`ShardedStore::shard_rows`]).
+    /// Shard `s`'s labels in insertion order (owned; aligned with the
+    /// rows of [`ShardedStore::shard_snapshot`]).
     ///
     /// # Panics
     ///
     /// Panics if `s >= n_shards()`.
-    pub fn shard_labels(&self, s: usize) -> &[usize] {
-        &self.shards[s].labels
+    pub fn shard_labels(&self, s: usize) -> Vec<usize> {
+        self.read_shard(s).labels.clone()
     }
 
     /// Per-shard occupancy, shard-major.
     pub fn shard_sizes(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.labels.len()).collect()
+        (0..self.shards.len())
+            .map(|s| self.read_shard(s).labels.len())
+            .collect()
     }
 
     /// Number of reference points for `class` (scans the owning shard
     /// only).
     pub fn class_count(&self, class: usize) -> usize {
-        self.shards[self.shard_of(class)]
+        self.read_shard(self.shard_of(class))
             .labels
             .iter()
             .filter(|&&l| l == class)
@@ -342,9 +504,15 @@ impl ShardedStore {
 
     /// Classes with at least one reference point.
     pub fn populated_classes(&self) -> usize {
-        let mut seen = vec![false; self.n_classes];
-        for shard in &self.shards {
+        let mut seen = vec![false; self.n_classes()];
+        for s in 0..self.shards.len() {
+            let shard = self.read_shard(s);
             for &l in &shard.labels {
+                if l >= seen.len() {
+                    // A class allocated concurrently after the initial
+                    // n_classes() read still counts.
+                    seen.resize(l + 1, false);
+                }
                 seen[l] = true;
             }
         }
@@ -353,10 +521,10 @@ impl ShardedStore {
 
     /// Grows the label space by one class and returns the new id. The
     /// class routes into an existing shard; the shard count never
-    /// changes after construction.
-    pub fn allocate_class(&mut self) -> usize {
-        self.n_classes += 1;
-        self.n_classes - 1
+    /// changes after construction. Takes `&self`: allocation is one
+    /// atomic fetch-add, safe under concurrent churn.
+    pub fn allocate_class(&self) -> usize {
+        self.n_classes.fetch_add(1, AtomicOrdering::AcqRel)
     }
 
     /// Replaces shard `s`'s entire contents with these labeled rows
@@ -377,45 +545,51 @@ impl ShardedStore {
             rows.dim(),
             self.dim
         );
+        let n_shards = self.shards.len();
         for &label in labels {
             assert_eq!(
-                self.shard_of(label),
+                shard_of(label, n_shards),
                 s,
                 "class {label} does not route to shard {s}"
             );
-            self.n_classes = self.n_classes.max(label + 1);
+            self.note_class(label);
         }
-        let shard = &mut self.shards[s];
+        let (dim, metric, config) = (self.dim, self.metric, self.config);
+        let shard = self.shard_mut(s);
         shard.labels = labels.to_vec();
         shard.data = rows.data().to_vec();
-        shard.rebuild(self.dim, self.metric, &self.config);
+        shard.rebuild(dim, metric, &config);
     }
 
     /// Adds one reference point, routing it to its class's shard. The
     /// shard's storage and index stay in sync; under an IVF backend
     /// the vector joins its nearest list incrementally (no
-    /// re-clustering).
+    /// re-clustering). Takes `&self` and only the owning shard's
+    /// write lock.
     ///
     /// # Panics
     ///
     /// Panics if `vector.len()` differs from the store's dimension.
-    pub fn add_row(&mut self, class: usize, vector: &[f32]) {
+    pub fn add_row(&self, class: usize, vector: &[f32]) {
         assert_eq!(vector.len(), self.dim, "vector dim mismatch");
-        self.n_classes = self.n_classes.max(class + 1);
+        self.note_class(class);
         let s = self.shard_of(class);
-        let shard = &mut self.shards[s];
+        let mut guard = self.write_shard(s);
+        let shard = &mut *guard;
         shard.labels.push(class);
         shard.data.extend_from_slice(vector);
         shard.index.0.as_dyn_mut().add(class, vector);
     }
 
-    /// Adds many labeled rows, each routed to its class's shard.
+    /// Adds many labeled rows, each routed to its class's shard (one
+    /// write-lock acquisition per row — rows may interleave with
+    /// concurrent churn on other classes).
     ///
     /// # Panics
     ///
     /// As [`ShardedStore::add_row`]; also panics if `labels` and
     /// `rows` disagree in length.
-    pub fn add_rows(&mut self, labels: &[usize], rows: Rows<'_>) {
+    pub fn add_rows(&self, labels: &[usize], rows: Rows<'_>) {
         assert_eq!(rows.len(), labels.len(), "one label per row");
         for (row, &label) in rows.iter().zip(labels) {
             self.add_row(label, row);
@@ -425,22 +599,25 @@ impl ShardedStore {
     /// Replaces every reference point of `class` with `rows` — the
     /// paper's §IV-C adaptation swap, confined to the owning shard.
     /// Survivors keep their order; replacements append at the shard's
-    /// tail. Returns how many points were dropped.
+    /// tail. Returns how many points were dropped. Takes `&self` and
+    /// only the owning shard's write lock: queries against other
+    /// shards proceed in parallel.
     ///
     /// # Panics
     ///
     /// Panics if any row's dimension differs from the store's.
-    pub fn swap_class(&mut self, class: usize, rows: Rows<'_>) -> usize {
+    pub fn swap_class(&self, class: usize, rows: Rows<'_>) -> usize {
         assert!(
             rows.is_empty() || rows.dim() == self.dim,
             "row dim {} does not match store dim {}",
             rows.dim(),
             self.dim
         );
-        self.n_classes = self.n_classes.max(class + 1);
+        self.note_class(class);
         let s = self.shard_of(class);
         let dim = self.dim;
-        let shard = &mut self.shards[s];
+        let mut guard = self.write_shard(s);
+        let shard = &mut *guard;
         let removed =
             crate::compact_remove_label(dim, class, &mut shard.labels, &mut shard.data, None);
         for row in rows.iter() {
@@ -453,11 +630,13 @@ impl ShardedStore {
 
     /// Removes every reference point of `class` from its owning shard
     /// (the label space keeps its size; the class just becomes empty).
-    /// Returns how many points were dropped.
-    pub fn remove_class(&mut self, class: usize) -> usize {
+    /// Returns how many points were dropped. Takes `&self` and only
+    /// the owning shard's write lock.
+    pub fn remove_class(&self, class: usize) -> usize {
         let s = self.shard_of(class);
         let dim = self.dim;
-        let shard = &mut self.shards[s];
+        let mut guard = self.write_shard(s);
+        let shard = &mut *guard;
         let removed =
             crate::compact_remove_label(dim, class, &mut shard.labels, &mut shard.data, None);
         shard.index.0.as_dyn_mut().remove_label(class);
@@ -467,7 +646,7 @@ impl ShardedStore {
     /// Switches every shard's index backend, rebuilding each from its
     /// canonical rows (IVF quantizers re-train here — the only
     /// non-incremental step, and the skew remedy: see
-    /// [`ShardedStore::balance_stats`]).
+    /// [`ShardedStore::balance_stats`]). Exclusive (`&mut self`).
     pub fn set_index(&mut self, config: IndexConfig) {
         self.config = config;
         self.rebuild_indexes();
@@ -477,50 +656,54 @@ impl ShardedStore {
     /// every class. Rows move in shard-major order, so ids assigned by
     /// the rebuilt per-shard indexes may differ from a fresh
     /// provisioning pass; exact backends serve identical decisions
-    /// either way.
+    /// either way. Exclusive (`&mut self`).
     pub fn set_shards(&mut self, shards: usize) {
-        let n_shards = resolve_shards(shards, self.n_classes);
+        let n_shards = resolve_shards(shards, self.n_classes());
         if n_shards == self.shards.len() {
             return;
         }
         let old = std::mem::take(&mut self.shards);
         self.shards = (0..n_shards)
-            .map(|_| StoreShard::empty(self.dim, self.metric, &self.config))
+            .map(|_| RwLock::new(StoreShard::empty(self.dim, self.metric, &self.config)))
             .collect();
-        for shard in &old {
+        for lock in old {
+            let shard = lock.into_inner().unwrap_or_else(PoisonError::into_inner);
             for (row, &label) in shard.rows(self.dim).iter().zip(&shard.labels) {
                 let s = shard_of(label, n_shards);
-                self.shards[s].labels.push(label);
-                self.shards[s].data.extend_from_slice(row);
+                let target = self.shard_mut(s);
+                target.labels.push(label);
+                target.data.extend_from_slice(row);
             }
         }
         self.rebuild_indexes();
     }
 
     fn rebuild_indexes(&mut self) {
-        for shard in &mut self.shards {
-            shard.rebuild(self.dim, self.metric, &self.config);
+        let (dim, metric, config) = (self.dim, self.metric, self.config);
+        for lock in &mut self.shards {
+            lock.get_mut()
+                .unwrap_or_else(PoisonError::into_inner)
+                .rebuild(dim, metric, &config);
         }
     }
 
     /// Shard-occupancy and (for IVF backends) aggregated inverted-list
-    /// balance across every shard.
+    /// balance across every shard. Locks are taken one shard at a
+    /// time.
     pub fn balance_stats(&self) -> StoreBalance {
         let n_shards = self.shards.len();
-        let total: usize = self.shards.iter().map(|s| s.labels.len()).sum();
-        let max = self
-            .shards
-            .iter()
-            .map(|s| s.labels.len())
-            .max()
-            .unwrap_or(0);
-        let mean = total as f64 / n_shards.max(1) as f64;
+        let mut total = 0usize;
+        let mut max = 0usize;
         let mut lists: Vec<BalanceStats> = Vec::new();
-        for shard in &self.shards {
+        for s in 0..n_shards {
+            let shard = self.read_shard(s);
+            total += shard.labels.len();
+            max = max.max(shard.labels.len());
             if let Some(stats) = shard.index.0.as_dyn().list_balance() {
                 lists.push(stats);
             }
         }
+        let mean = total as f64 / n_shards.max(1) as f64;
         let ivf_lists = if lists.is_empty() {
             None
         } else {
@@ -553,7 +736,8 @@ impl ShardedStore {
     pub fn concat_rows(&self) -> (Vec<f32>, Vec<usize>) {
         let mut data = Vec::new();
         let mut labels = Vec::new();
-        for shard in &self.shards {
+        for s in 0..self.shards.len() {
+            let shard = self.read_shard(s);
             data.extend_from_slice(&shard.data);
             labels.extend_from_slice(&shard.labels);
         }
@@ -565,6 +749,96 @@ impl ShardedStore {
     /// and equal to the local id when `S = 1`.
     fn global_id(&self, s: usize, local: u64) -> u64 {
         local * self.shards.len() as u64 + s as u64
+    }
+
+    /// The ordered-commit merge: consumes per-shard results **in shard
+    /// order** (regardless of which worker produced which), remaps ids
+    /// into the global space, folds `nearest` and the eval counter in
+    /// that fixed order, then sorts once under the `(dist, global id)`
+    /// tie-break and truncates to `k`. Bit-identical output for every
+    /// worker count by construction.
+    fn merge_shard_results(&self, per_shard: Vec<SearchResult>, k: usize) -> SearchResult {
+        let mut merged: Vec<Neighbor> = Vec::with_capacity(k * 2);
+        let mut nearest = f32::INFINITY;
+        let mut evals = 0u64;
+        for (s, r) in per_shard.into_iter().enumerate() {
+            evals += r.distance_evals;
+            nearest = nearest.min(r.nearest);
+            merged.extend(r.neighbors.into_iter().map(|n| Neighbor {
+                id: self.global_id(s, n.id),
+                ..n
+            }));
+        }
+        merged.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        merged.truncate(k.max(1));
+        SearchResult {
+            neighbors: merged,
+            nearest,
+            distance_evals: evals,
+        }
+    }
+
+    /// One query, fanned out across the shards by a pool of `workers`
+    /// threads (`0` = all cores), each worker read-locking one shard
+    /// at a time. The ordered-commit merge makes the result
+    /// bit-identical to [`VectorIndex::search`] at every worker count.
+    pub fn search_concurrent(&self, query: &[f32], k: usize, workers: usize) -> SearchResult {
+        if self.shards.len() == 1 {
+            return self.read_shard(0).index.0.as_dyn().search(query, k);
+        }
+        let workers = resolve_workers(workers);
+        let shard_ids: Vec<usize> = (0..self.shards.len()).collect();
+        let per_shard = map_elems(&shard_ids, workers, |&s| {
+            self.read_shard(s).index.0.as_dyn().search(query, k)
+        });
+        self.merge_shard_results(per_shard, k)
+    }
+
+    /// The batch front door: every query against every shard, fanned
+    /// out **shard-major** across `workers` threads (`0` = all cores).
+    /// Each worker read-locks one shard, runs the whole query batch
+    /// against it, and releases; per-shard results then merge under
+    /// the ordered-commit rule. Results are bit-identical to calling
+    /// [`VectorIndex::search`] per query, at every worker count.
+    ///
+    /// With one shard the batch is split across workers query-major
+    /// instead (one query's scan still never splits), which is the
+    /// pre-sharding batch path, untouched.
+    pub fn search_batch_concurrent(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        workers: usize,
+    ) -> Vec<SearchResult> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let workers = resolve_workers(workers);
+        if self.shards.len() == 1 {
+            let shard = self.read_shard(0);
+            return shard.index.0.as_dyn().search_batch(queries, k, workers);
+        }
+        let shard_ids: Vec<usize> = (0..self.shards.len()).collect();
+        let per_shard: Vec<Vec<SearchResult>> = map_elems(&shard_ids, workers, |&s| {
+            let shard = self.read_shard(s);
+            let index = shard.index.0.as_dyn();
+            queries.iter().map(|q| index.search(q, k)).collect()
+        });
+        // Ordered commit: `per_shard` is shard-major by construction
+        // (map_elems preserves input order), so transposing and
+        // merging per query consumes shard results in shard order no
+        // matter which worker produced them, or when.
+        let mut columns: Vec<std::vec::IntoIter<SearchResult>> =
+            per_shard.into_iter().map(|v| v.into_iter()).collect();
+        (0..queries.len())
+            .map(|_| {
+                let per_query: Vec<SearchResult> = columns
+                    .iter_mut()
+                    .map(|it| it.next().expect("one result per query per shard"))
+                    .collect();
+                self.merge_shard_results(per_query, k)
+            })
+            .collect()
     }
 }
 
@@ -581,34 +855,27 @@ impl VectorIndex for ShardedStore {
         ShardedStore::metric(self)
     }
 
-    /// Fans the query out across every shard and merges the per-shard
-    /// top-k under the fixed `(distance, id)` tie-break. With one
-    /// shard the inner result is returned untouched (bit-identical to
-    /// the unsharded backend, neighbor order included); with more, the
-    /// merged neighbors come back sorted ascending by `(dist, id)`.
+    /// Fans the query out across every shard (read-locking one at a
+    /// time) and merges the per-shard top-k under the fixed
+    /// `(distance, id)` tie-break. With one shard the inner result is
+    /// returned untouched (bit-identical to the unsharded backend,
+    /// neighbor order included); with more, the merged neighbors come
+    /// back sorted ascending by `(dist, id)`.
     fn search(&self, query: &[f32], k: usize) -> SearchResult {
         if self.shards.len() == 1 {
-            return self.shards[0].index.0.as_dyn().search(query, k);
+            return self.read_shard(0).index.0.as_dyn().search(query, k);
         }
-        let mut merged: Vec<Neighbor> = Vec::with_capacity(k * 2);
-        let mut nearest = f32::INFINITY;
-        let mut evals = 0u64;
-        for (s, shard) in self.shards.iter().enumerate() {
-            let r = shard.index.0.as_dyn().search(query, k);
-            evals += r.distance_evals;
-            nearest = nearest.min(r.nearest);
-            merged.extend(r.neighbors.into_iter().map(|n| Neighbor {
-                id: self.global_id(s, n.id),
-                ..n
-            }));
-        }
-        merged.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
-        merged.truncate(k.max(1));
-        SearchResult {
-            neighbors: merged,
-            nearest,
-            distance_evals: evals,
-        }
+        let per_shard: Vec<SearchResult> = (0..self.shards.len())
+            .map(|s| self.read_shard(s).index.0.as_dyn().search(query, k))
+            .collect();
+        self.merge_shard_results(per_shard, k)
+    }
+
+    /// Routes to [`ShardedStore::search_batch_concurrent`]: the whole
+    /// serving path gets shard-major concurrent fan-out through the
+    /// trait it already calls.
+    fn search_batch(&self, queries: &[Vec<f32>], k: usize, threads: usize) -> Vec<SearchResult> {
+        self.search_batch_concurrent(queries, k, threads)
     }
 
     fn add(&mut self, label: usize, vector: &[f32]) {
@@ -724,9 +991,41 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_search_paths_are_bit_identical_to_serial() {
+        let (data, labels) = clustered(9, 6, 4);
+        let rows = Rows::new(4, &data);
+        for shards in [1usize, 3, 5] {
+            let store = ShardedStore::build(
+                &IndexConfig::Flat,
+                Metric::Euclidean,
+                rows,
+                &labels,
+                9,
+                shards,
+            );
+            let queries: Vec<Vec<f32>> = (0..9).map(|c| vec![c as f32 * 3.0 + 0.004; 4]).collect();
+            let serial: Vec<SearchResult> = queries.iter().map(|q| store.search(q, 5)).collect();
+            for workers in [1usize, 2, 4, 0] {
+                for (q, want) in queries.iter().zip(&serial) {
+                    assert_eq!(
+                        &store.search_concurrent(q, 5, workers),
+                        want,
+                        "search_concurrent diverged at shards={shards} workers={workers}"
+                    );
+                }
+                assert_eq!(
+                    store.search_batch_concurrent(&queries, 5, workers),
+                    serial,
+                    "batch fan-out diverged at shards={shards} workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn mutations_route_to_owning_shard_only() {
         let (data, labels) = clustered(6, 4, 2);
-        let mut store = ShardedStore::build(
+        let store = ShardedStore::build(
             &IndexConfig::Flat,
             Metric::Euclidean,
             Rows::new(2, &data),
@@ -755,7 +1054,7 @@ mod tests {
     #[test]
     fn allocate_and_add_route_new_classes() {
         let (data, labels) = clustered(4, 3, 2);
-        let mut store = ShardedStore::build(
+        let store = ShardedStore::build(
             &IndexConfig::Flat,
             Metric::Euclidean,
             Rows::new(2, &data),
@@ -816,18 +1115,15 @@ mod tests {
         assert_eq!(before, after);
         // And scores are the same bits — the same distances exist.
         store.set_shards(1);
+        let (labels0, data0) = store.shard_snapshot(0);
         for q in &queries {
             let r = store.search(q, 3);
             assert_eq!(
                 r.nearest.to_bits(),
-                FlatIndex::from_rows(
-                    Metric::Euclidean,
-                    store.shard_rows(0),
-                    store.shard_labels(0)
-                )
-                .search(q, 3)
-                .nearest
-                .to_bits()
+                FlatIndex::from_rows(Metric::Euclidean, Rows::new(3, &data0), &labels0)
+                    .search(q, 3)
+                    .nearest
+                    .to_bits()
             );
         }
     }
@@ -835,7 +1131,7 @@ mod tests {
     #[test]
     fn serde_round_trip_preserves_store_and_decisions() {
         let (data, labels) = clustered(5, 4, 3);
-        let mut store = ShardedStore::build(
+        let store = ShardedStore::build(
             &IndexConfig::Ivf(IvfParams::auto()),
             Metric::Euclidean,
             Rows::new(3, &data),

@@ -1,0 +1,388 @@
+//! Concurrency battery for the shard-parallel `ShardedStore`.
+//!
+//! Edge cases first — `k` beyond any shard's row count, shards left
+//! empty by `remove_class`, more shards than classes, and queries
+//! racing mutations on a one-row shard — then the tier-1 stress test:
+//! writer threads churning disjoint shards while reader threads query,
+//! with the final state required to be **bit-identical to a serial
+//! replay** of the same per-writer operation logs, and recall@1 of the
+//! churned IVF store at least 0.95 against an exact flat scan.
+//!
+//! Deadlock-freedom is asserted by construction *and* by completion:
+//! every store method takes at most one shard lock at a time, so the
+//! stress test terminating at all is the no-deadlock check.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use tlsfp_index::sharded::ShardedStore;
+use tlsfp_index::{IndexConfig, IvfParams, Metric, Rows, SearchResult};
+
+fn hash(v: u64) -> u64 {
+    v.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)
+}
+
+/// Deterministic pseudo-random coordinate in `[-1, 1)`.
+fn coord(h: u64) -> f32 {
+    (hash(h) % 2_000) as f32 / 1_000.0 - 1.0
+}
+
+/// A well-separated center for `class`: classes live on distinct
+/// lattice points so nearest-center queries have unambiguous answers.
+fn center(class: usize, dim: usize) -> Vec<f32> {
+    (0..dim)
+        .map(|d| 4.0 * coord((class * 131 + d) as u64))
+        .collect()
+}
+
+/// `n` rows jittered around `class`'s center; `salt` varies the draw.
+fn class_rows(class: usize, dim: usize, n: usize, salt: u64) -> Vec<f32> {
+    let c = center(class, dim);
+    let mut rows = Vec::with_capacity(n * dim);
+    for r in 0..n {
+        for (d, &cd) in c.iter().enumerate() {
+            let h = salt ^ ((class * 10_007 + r * 97 + d) as u64);
+            rows.push(cd + 0.05 * coord(h));
+        }
+    }
+    rows
+}
+
+/// Build a flat-backend store: `classes` classes, `per_class` rows
+/// each, routed over `shards` shards.
+fn build_store(
+    config: &IndexConfig,
+    dim: usize,
+    classes: usize,
+    per_class: usize,
+    shards: usize,
+) -> ShardedStore {
+    let mut data = Vec::new();
+    let mut labels = Vec::new();
+    for c in 0..classes {
+        data.extend_from_slice(&class_rows(c, dim, per_class, 1));
+        labels.extend(vec![c; per_class]);
+    }
+    ShardedStore::build(
+        config,
+        Metric::Euclidean,
+        Rows::new(dim, &data),
+        &labels,
+        classes,
+        shards,
+    )
+}
+
+/// The monolithic oracle for an exhaustive result: every populated
+/// row's `(dist_bits, label)` sorted under `(dist, global id)`.
+fn exhaustive_oracle(store: &ShardedStore, query: &[f32]) -> Vec<(u32, usize)> {
+    let dim = store.dim();
+    let mut all: Vec<(f32, u64, usize)> = Vec::new();
+    for s in 0..store.n_shards() {
+        let (labels, data) = store.shard_snapshot(s);
+        for (local, (row, &label)) in data.chunks_exact(dim).zip(&labels).enumerate() {
+            let gid = (local * store.n_shards() + s) as u64;
+            all.push((Metric::Euclidean.eval(query, row), gid, label));
+        }
+    }
+    all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    all.into_iter().map(|(d, _, l)| (d.to_bits(), l)).collect()
+}
+
+fn result_elems(r: &SearchResult) -> Vec<(u32, usize)> {
+    r.neighbors
+        .iter()
+        .map(|n| (n.dist.to_bits(), n.label))
+        .collect()
+}
+
+#[test]
+fn k_beyond_every_shard_returns_all_rows_in_merge_order() {
+    // 3 shards x 2 rows: k = 50 dwarfs every shard AND the whole store.
+    let store = build_store(&IndexConfig::Flat, 4, 3, 2, 3);
+    assert_eq!(store.len(), 6);
+    let query = center(1, 4);
+    let want = exhaustive_oracle(&store, &query);
+    for workers in [1usize, 2, 4, 0] {
+        let got = store.search_concurrent(&query, 50, workers);
+        assert_eq!(got.neighbors.len(), 6, "all rows must surface");
+        assert_eq!(result_elems(&got), want, "merge order at {workers} workers");
+        assert_eq!(got.distance_evals, 6);
+        let batch = store.search_batch_concurrent(std::slice::from_ref(&query), 50, workers);
+        assert_eq!(batch[0], got);
+    }
+}
+
+#[test]
+fn shards_emptied_by_remove_class_still_serve() {
+    // 4 classes over 4 shards: removing class 2 leaves shard 2 empty.
+    let store = build_store(&IndexConfig::Flat, 4, 4, 3, 4);
+    assert_eq!(store.remove_class(2), 3);
+    assert_eq!(store.shard_sizes(), vec![3, 3, 0, 3]);
+
+    let query = center(2, 4);
+    for workers in [1usize, 3, 0] {
+        let got = store.search_concurrent(&query, 4, workers);
+        assert_eq!(got.neighbors.len(), 4);
+        assert!(
+            got.neighbors.iter().all(|n| n.label != 2),
+            "removed class must not surface"
+        );
+        assert_eq!(got.distance_evals, 9, "empty shard contributes zero evals");
+        assert_eq!(
+            result_elems(&got),
+            exhaustive_oracle(&store, &query)[..4].to_vec()
+        );
+    }
+
+    // Empty the whole store: the merge must degrade to the canonical
+    // empty result, not panic on an all-empty fan-out.
+    for c in [0usize, 1, 3] {
+        store.remove_class(c);
+    }
+    assert!(store.is_empty());
+    for workers in [1usize, 3, 0] {
+        let got = store.search_concurrent(&query, 4, workers);
+        assert!(got.neighbors.is_empty());
+        assert_eq!(got.nearest, f32::INFINITY);
+        assert_eq!(got.distance_evals, 0);
+        assert_eq!(got.top(), None);
+        let batch = store.search_batch_concurrent(std::slice::from_ref(&query), 4, workers);
+        assert_eq!(batch[0], got);
+    }
+}
+
+#[test]
+fn more_shards_than_classes_leaves_spare_shards_harmless() {
+    // 8 shards, 3 classes: shards 3..8 never receive a row.
+    let store = build_store(&IndexConfig::Flat, 4, 3, 2, 8);
+    assert_eq!(store.n_shards(), 8);
+    assert_eq!(&store.shard_sizes()[3..], &[0, 0, 0, 0, 0]);
+
+    let query = center(0, 4);
+    let want = exhaustive_oracle(&store, &query);
+    for workers in [1usize, 4, 0] {
+        let got = store.search_concurrent(&query, 3, workers);
+        assert_eq!(result_elems(&got), want[..3].to_vec());
+        assert_eq!(got.neighbors[0].label, 0);
+    }
+
+    // A freshly allocated class routes onto one of the spare shards
+    // and is immediately servable.
+    let new_class = store.allocate_class();
+    assert_eq!(new_class, 3);
+    let rows = class_rows(new_class, 4, 2, 9);
+    store.add_rows(&[new_class, new_class], Rows::new(4, &rows));
+    let got = store.search_concurrent(&center(new_class, 4), 1, 0);
+    assert_eq!(got.neighbors[0].label, new_class);
+}
+
+#[test]
+fn queries_race_mutations_on_a_one_row_shard() {
+    // Class 1 is alone on shard 1 with a single row; a writer churns
+    // it through swap / remove / re-add while readers hammer queries.
+    // Readers must never panic, deadlock, or observe a malformed
+    // result — the shard oscillates between 0 and 1 rows under them.
+    let store = build_store(&IndexConfig::Flat, 4, 2, 1, 2);
+    assert_eq!(store.shard_sizes(), vec![1, 1]);
+    let done = AtomicBool::new(false);
+    let reads = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        let store = &store;
+        let done = &done;
+        let reads = &reads;
+        scope.spawn(move || {
+            for round in 0..400u64 {
+                match round % 3 {
+                    0 => {
+                        let rows = class_rows(1, 4, 1, round);
+                        store.swap_class(1, Rows::new(4, &rows));
+                    }
+                    1 => {
+                        store.remove_class(1);
+                    }
+                    _ => {
+                        let rows = class_rows(1, 4, 1, round);
+                        store.add_row(1, &rows[..4]);
+                    }
+                }
+            }
+            // Leave the shard populated for the post-join check.
+            let rows = class_rows(1, 4, 1, 7);
+            store.swap_class(1, Rows::new(4, &rows));
+            done.store(true, Ordering::Release);
+        });
+        for r in 0..2 {
+            scope.spawn(move || {
+                let query = center(1, 4);
+                // Floor of 50 iterations: on a single-core box the
+                // writer may finish before a reader is ever scheduled,
+                // and the race check still wants real read traffic.
+                let mut remaining = 50u32;
+                while !done.load(Ordering::Acquire) || remaining > 0 {
+                    remaining = remaining.saturating_sub(1);
+                    let got = store.search_concurrent(&query, 3, 1 + r);
+                    assert!(got.neighbors.len() <= 3);
+                    assert!(got.neighbors.iter().all(|n| n.label < 2));
+                    assert!(
+                        got.neighbors.windows(2).all(|w| w[0].dist <= w[1].dist),
+                        "merged neighbors must stay distance-sorted"
+                    );
+                    reads.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    assert!(reads.load(Ordering::Relaxed) > 0, "readers must have run");
+    let got = store.search_concurrent(&center(1, 4), 1, 0);
+    assert_eq!(got.neighbors[0].label, 1, "settled shard serves its row");
+}
+
+/// One churn operation, recorded so the concurrent run and the serial
+/// replay apply byte-identical mutations.
+enum Op {
+    Swap { class: usize, rows: Vec<f32> },
+    Add { class: usize, row: Vec<f32> },
+    Remove { class: usize },
+}
+
+fn apply(store: &ShardedStore, dim: usize, op: &Op) {
+    match op {
+        Op::Swap { class, rows } => {
+            store.swap_class(*class, Rows::new(dim, rows));
+        }
+        Op::Add { class, row } => store.add_row(*class, row),
+        Op::Remove { class } => {
+            store.remove_class(*class);
+        }
+    }
+}
+
+/// Tier-1 stress test: 4 writers churn disjoint shard sets (class % S
+/// routing keeps every writer's mutations on shards no other writer
+/// touches) while 4 readers query concurrently. Afterwards the store
+/// must equal — `PartialEq`, which compares every shard's rows *and*
+/// its serving-index snapshot — a serial replay of the same logs, its
+/// searches must be bit-identical to the replay's, and recall@1 of
+/// the churned IVF store must be >= 0.95 against an exact flat scan.
+#[test]
+fn writer_reader_stress_matches_serial_replay() {
+    const DIM: usize = 8;
+    const SHARDS: usize = 8;
+    const CLASSES: usize = 16;
+    const WRITERS: usize = 4;
+    const ROUNDS: u64 = 6;
+
+    let config = IndexConfig::Ivf(IvfParams::new(2, 1));
+    let initial = build_store(&config, DIM, CLASSES, 6, SHARDS);
+
+    // Writer w owns shards {w, w + 4}; with 16 classes and class % 8
+    // routing that is classes {w, w+4, w+8, w+12} — disjoint per writer.
+    let scripts: Vec<Vec<Op>> = (0..WRITERS)
+        .map(|w| {
+            let owned: Vec<usize> = (0..CLASSES)
+                .filter(|c| c % SHARDS == w || c % SHARDS == w + WRITERS)
+                .collect();
+            let mut ops = Vec::new();
+            for round in 0..ROUNDS {
+                for &class in &owned {
+                    match (round as usize + class) % 3 {
+                        0 => ops.push(Op::Swap {
+                            class,
+                            rows: class_rows(class, DIM, 5, 100 + round),
+                        }),
+                        1 => ops.push(Op::Add {
+                            class,
+                            row: class_rows(class, DIM, 1, 200 + round),
+                        }),
+                        _ => {
+                            ops.push(Op::Remove { class });
+                            ops.push(Op::Add {
+                                class,
+                                row: class_rows(class, DIM, 1, 300 + round),
+                            });
+                        }
+                    }
+                }
+            }
+            // Settle: every owned class ends on a clean draw near its
+            // center so the recall check below has a live target.
+            for &class in &owned {
+                ops.push(Op::Swap {
+                    class,
+                    rows: class_rows(class, DIM, 5, 999),
+                });
+            }
+            ops
+        })
+        .collect();
+
+    let concurrent = initial.clone();
+    let done = AtomicBool::new(false);
+    let pending = AtomicUsize::new(WRITERS);
+    std::thread::scope(|scope| {
+        let store = &concurrent;
+        let done = &done;
+        let pending = &pending;
+        for script in &scripts {
+            scope.spawn(move || {
+                for op in script {
+                    apply(store, DIM, op);
+                }
+                if pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    done.store(true, Ordering::Release);
+                }
+            });
+        }
+        for r in 0..4usize {
+            scope.spawn(move || {
+                while !done.load(Ordering::Acquire) {
+                    let class = r * 3;
+                    let got = store.search_concurrent(&center(class, DIM), 3, 0);
+                    assert!(got.neighbors.len() <= 3);
+                    assert!(got.neighbors.iter().all(|n| n.label < CLASSES));
+                    let batch = store.search_batch_concurrent(
+                        &[center(class + 1, DIM), center(class + 2, DIM)],
+                        3,
+                        2,
+                    );
+                    assert_eq!(batch.len(), 2);
+                }
+            });
+        }
+    });
+
+    // Serial replay: same per-writer logs, applied one writer at a
+    // time. Each shard sees exactly the op sequence of its one owner,
+    // in the same order as the concurrent run, so the stores must be
+    // equal down to index snapshots.
+    let replay = initial.clone();
+    for script in &scripts {
+        for op in script {
+            apply(&replay, DIM, op);
+        }
+    }
+    assert_eq!(concurrent, replay, "churned store must equal serial replay");
+
+    let queries: Vec<Vec<f32>> = (0..CLASSES).map(|c| center(c, DIM)).collect();
+    for workers in [1usize, 4, 0] {
+        let a = concurrent.search_batch_concurrent(&queries, 3, workers);
+        let b = replay.search_batch_concurrent(&queries, 3, workers);
+        assert_eq!(a, b, "decisions must be bit-identical at {workers} workers");
+    }
+
+    // Recall@1 after churn: IVF answers vs an exact flat scan.
+    let mut exact = concurrent.clone();
+    exact.set_index(IndexConfig::Flat);
+    let hits = queries
+        .iter()
+        .filter(|q| {
+            let ivf_top = concurrent.search_concurrent(q, 1, 0).neighbors[0].label;
+            let flat_top = exact.search_concurrent(q, 1, 0).neighbors[0].label;
+            ivf_top == flat_top
+        })
+        .count();
+    let recall = hits as f64 / queries.len() as f64;
+    assert!(recall >= 0.95, "recall@1 after churn was {recall:.3}");
+}

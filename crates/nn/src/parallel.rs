@@ -5,9 +5,23 @@
 //! buffers are merged before the optimizer step. The same splitter is
 //! reused for parallel inference (embedding corpora, kNN queries).
 
-/// Number of worker threads to use: the machine's available parallelism,
-/// capped so tiny workloads don't pay spawn overhead.
+/// Number of worker threads to use when a knob is left at `0` (auto).
+///
+/// Honors the `TLSFP_THREADS` environment variable when it parses to a
+/// positive integer — the hook the CI tier-1 matrix uses to run the
+/// whole suite at fixed worker counts. Unset, empty, `0` or
+/// unparseable values fall back to the machine's available
+/// parallelism. Per-call knobs (`threads`/`query_workers` arguments)
+/// always win over the environment: this function is only consulted
+/// when they are `0`.
 pub fn default_threads() -> usize {
+    if let Ok(raw) = std::env::var("TLSFP_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)

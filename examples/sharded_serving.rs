@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    is concrete. Provisioning embeds one shard's traces at a
     //    time, so peak memory tracks the largest shard, not the
     //    corpus.
-    println!("[1/4] provisioning ({CLASSES} pages x {TRACES_PER_CLASS} visits, 4 shards)…");
+    println!("[1/5] provisioning ({CLASSES} pages x {TRACES_PER_CLASS} visits, 4 shards)…");
     let spec = CorpusSpec::wiki_like(CLASSES, TRACES_PER_CLASS);
     let (_, dataset) = Dataset::generate(&spec, &TensorConfig::wiki(), SEED)?;
     let (reference, test) = dataset.split_per_class(0.25, SEED);
@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Serve queries: every fingerprint fans out across the shards
     //    and merges per-shard top-k under a fixed (distance, id)
     //    tie-break — decisions are identical to an unsharded store.
-    println!("[2/4] serving queries through the shard fan-out…");
+    println!("[2/5] serving queries through the shard fan-out…");
     let top1 = adversary.evaluate(&test).top_n_accuracy(1);
     let probe = adversary
         .index()
@@ -66,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    other shard is touched.
     let class = 5usize;
     let owner = adversary.reference().shard_of(class);
-    println!("[3/4] adapting: swapping page {class} (shard {owner}), adding a new page…");
+    println!("[3/5] adapting: swapping page {class} (shard {owner}), adding a new page…");
     let sizes_before = adversary.reference().shard_sizes();
     let fresh: Vec<_> = test
         .iter()
@@ -96,7 +96,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Query again: the swapped class still resolves, the new page
     //    is findable, and the balance diagnostics aggregate across
     //    shards.
-    println!("[4/4] querying the mutated store…");
+    println!("[4/5] querying the mutated store…");
     let recognized = new_traces
         .iter()
         .filter(|t| adversary.fingerprint(t).top() == Some(new_id))
@@ -108,6 +108,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         top1_after,
         new_traces.len(),
         balance.shard_skew
+    );
+
+    // 5. Concurrent batch serving: `fingerprint_all` pipelines the
+    //    batched embedder into the shard-parallel fan-out. The
+    //    `query_workers` knob (0 = all cores, honoring TLSFP_THREADS)
+    //    is pure throughput — decisions are bit-identical at every
+    //    worker count, so we can prove it on the spot.
+    println!("[5/5] batch serving through the concurrent fan-out…");
+    adversary.set_query_workers(4);
+    let batched = adversary.fingerprint_all(&test);
+    adversary.set_query_workers(1);
+    let serial = adversary.fingerprint_all(&test);
+    assert_eq!(batched, serial, "worker count must never change decisions");
+    println!(
+        "      {} traces fingerprinted; 4-worker decisions == 1-worker decisions: {}",
+        batched.len(),
+        batched == serial
     );
     println!("\ndone.");
     Ok(())

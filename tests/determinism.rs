@@ -95,6 +95,69 @@ fn open_world_evaluation_is_identical_across_thread_counts() {
     );
 }
 
+/// Query-worker invariance across all five scenario profiles, closed-
+/// and open-world: the concurrent shard fan-out (`fingerprint_all` /
+/// `search_batch_concurrent`) must produce bit-identical decisions and
+/// score bits at every worker count, including `0` (auto), which
+/// resolves through `TLSFP_THREADS` / available cores.
+#[test]
+fn decisions_and_scores_identical_across_query_worker_counts() {
+    let adversary = tlsfp_testkit::tiny_adversary();
+    let profiles = tlsfp_testkit::Profile::ALL;
+    for (pi, &profile) in profiles.iter().enumerate() {
+        let ds = tlsfp_testkit::open_world_profile_dataset(profile);
+        let (reference, test) = ds.split_per_class(0.25, tlsfp_testkit::SEED);
+        // Traces from a different profile stand in for unmonitored
+        // pages; only score distributions matter for the report.
+        let unmonitored =
+            tlsfp_testkit::open_world_profile_dataset(profiles[(pi + 1) % profiles.len()])
+                .split_per_class(0.25, tlsfp_testkit::SEED)
+                .1;
+
+        let mut fp = adversary.clone();
+        fp.set_shards(4);
+        fp.set_reference(&reference)
+            .expect("profile reference fits");
+        let threshold = fp
+            .calibrate_rejection_threshold(&test, 90.0)
+            .expect("calibration on non-empty test split");
+
+        let mut outcomes = Vec::new();
+        for workers in [1usize, 4, 0] {
+            let mut fp_w = fp.clone();
+            fp_w.set_query_workers(workers);
+            // Closed world: ranked decisions via the batch front door.
+            let decisions = fp_w.fingerprint_all(&test);
+            // Score bits on the scored path, plus open-world
+            // accept/reject at the calibrated threshold.
+            let scored = fp_w.fingerprint_with_score_all(&test);
+            let score_bits: Vec<u32> = scored.iter().map(|sp| sp.score.to_bits()).collect();
+            let accepts: Vec<bool> = scored.iter().map(|sp| sp.accepted(threshold)).collect();
+            let report = fp_w.evaluate_open_world(&test, &unmonitored, threshold);
+            outcomes.push((workers, decisions, score_bits, accepts, report));
+        }
+        let baseline = &outcomes[0];
+        for (workers, decisions, score_bits, accepts, report) in &outcomes[1..] {
+            assert_eq!(
+                decisions, &baseline.1,
+                "{profile:?}: closed-world decisions changed at {workers} query workers"
+            );
+            assert_eq!(
+                score_bits, &baseline.2,
+                "{profile:?}: score bits changed at {workers} query workers"
+            );
+            assert_eq!(
+                accepts, &baseline.3,
+                "{profile:?}: open-world accept/reject changed at {workers} query workers"
+            );
+            assert_eq!(
+                report, &baseline.4,
+                "{profile:?}: open-world report changed at {workers} query workers"
+            );
+        }
+    }
+}
+
 #[test]
 fn seeded_provisioning_reproduces_top1_accuracy() {
     let (reference, test) = tlsfp_testkit::tiny_split();

@@ -98,8 +98,12 @@ fn default_flat_backend_is_bit_identical_to_pre_index_oracle() {
     // The default store has one shard, whose rows are the reference
     // set in insertion order — rebuild the historical flat set.
     let mut reference = ReferenceSet::new(fp.reference().dim(), fp.reference().n_classes());
+    let (labels0, rows0) = fp.reference().shard_snapshot(0);
     reference
-        .add_rows(fp.reference().shard_labels(0), fp.reference().shard_rows(0))
+        .add_rows(
+            &labels0,
+            tlsfp::index::Rows::new(fp.reference().dim(), &rows0),
+        )
         .expect("shard rows are a valid reference set");
     let (_, test) = tiny_split();
     let embeddings = fp.embed_all(test.seqs());
