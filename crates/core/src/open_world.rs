@@ -172,12 +172,32 @@ pub fn roc_auc(points: &[RocPoint]) -> f64 {
 /// Calibrates a rejection threshold as the `percentile` (0–100) of
 /// held-out *monitored* outlier scores: a 95th-percentile threshold
 /// accepts ~95% of monitored loads by construction, leaving the FPR to
-/// the evaluation. Returns `None` for an empty score table.
+/// the evaluation.
+///
+/// Non-finite scores are discarded before ranking. A NaN outlier score
+/// (e.g. from a degenerate embedding) sorts *after* every finite value
+/// under `total_cmp`, so without the filter a single NaN at a high
+/// percentile would become the threshold itself — and since every
+/// comparison against NaN is false, that threshold silently rejects
+/// all traffic. `+inf` (the empty-index score) would do the same at
+/// p=100. Returns `None` when no finite score remains.
+///
+/// **Percentile convention (pinned):** nearest-rank over the sorted
+/// finite scores — `idx = round((p/100)·(n−1))`, with [`f64::round`]'s
+/// half-away-from-zero tie handling, then the score at `idx`. The
+/// returned threshold is therefore always one of the observed scores
+/// (no interpolation); with `n = 2`, `p = 50` rounds *up* to the
+/// larger score. The boundary tests in this module freeze these
+/// semantics.
 pub fn calibrate_threshold(monitored_scores: &[f32], percentile: f64) -> Option<f32> {
-    if monitored_scores.is_empty() {
+    let mut scores: Vec<f32> = monitored_scores
+        .iter()
+        .copied()
+        .filter(|s| s.is_finite())
+        .collect();
+    if scores.is_empty() {
         return None;
     }
-    let mut scores = monitored_scores.to_vec();
     scores.sort_by(f32::total_cmp);
     let idx = ((percentile.clamp(0.0, 100.0) / 100.0) * (scores.len() - 1) as f64).round() as usize;
     Some(scores[idx])
@@ -226,7 +246,11 @@ impl PerClassThresholds {
 /// scores labeled with their true class. A class's radius is the
 /// `percentile` of its own scores when it has at least `min_samples`
 /// of them; otherwise the global percentile over all scores. Returns
-/// `None` for an empty score table.
+/// `None` when no finite score remains (non-finite scores are
+/// discarded, exactly as in [`calibrate_threshold`], and do not count
+/// toward a class's `min_samples` coverage — a class whose scores are
+/// all NaN falls back to the global radius instead of adopting a
+/// NaN-poisoned one).
 ///
 /// # Panics
 ///
@@ -242,7 +266,7 @@ pub fn calibrate_per_class(
     let fallback = calibrate_threshold(scores, percentile)?;
     let mut per_class: Vec<Vec<f32>> = vec![Vec::new(); n_classes];
     for (&s, &l) in scores.iter().zip(labels) {
-        if l < n_classes {
+        if l < n_classes && s.is_finite() {
             per_class[l].push(s);
         }
     }
@@ -435,6 +459,67 @@ mod tests {
         assert_eq!(calibrate_threshold(&[], 95.0), None);
         // Unsorted input is handled.
         assert_eq!(calibrate_threshold(&[5.0, 1.0, 3.0], 100.0), Some(5.0));
+    }
+
+    #[test]
+    fn calibration_filters_non_finite_scores() {
+        // Regression: `total_cmp` orders NaN after every finite value,
+        // so a single NaN outlier used to *become* any high-percentile
+        // threshold — and since comparisons against NaN are all false,
+        // that threshold rejected every trace.
+        let scores = [1.0f32, 2.0, 3.0, 4.0, f32::NAN];
+        let t = calibrate_threshold(&scores, 100.0).unwrap();
+        assert!(t.is_finite());
+        assert_eq!(t, 4.0);
+        // +inf (the empty-index outlier score) and -inf are discarded
+        // too.
+        assert_eq!(calibrate_threshold(&[1.0, f32::INFINITY], 100.0), Some(1.0));
+        assert_eq!(
+            calibrate_threshold(&[2.0, f32::NEG_INFINITY], 0.0),
+            Some(2.0)
+        );
+        // Nothing finite left → no calibration, not a NaN threshold.
+        assert_eq!(calibrate_threshold(&[f32::NAN, f32::INFINITY], 95.0), None);
+    }
+
+    #[test]
+    fn per_class_calibration_ignores_non_finite_scores() {
+        // Class 0 carries a NaN tail (its finite scores still clear
+        // min_samples); class 1 is all-NaN and must fall back to the
+        // global radius instead of adopting a NaN-poisoned one.
+        let scores = [1.0f32, 1.5, f32::NAN, f32::NAN, f32::NAN, 7.0, 8.0];
+        let labels = [0usize, 0, 0, 1, 1, 2, 2];
+        let t = calibrate_per_class(&scores, &labels, 3, 100.0, 2).unwrap();
+        assert!(t.radii.iter().all(|r| r.is_finite()));
+        assert_eq!(t.radii[0], 1.5);
+        assert_eq!(t.radii[1], t.fallback);
+        assert_eq!(t.radii[2], 8.0);
+        assert_eq!(t.fallback, 8.0);
+        // No finite score anywhere → no calibration.
+        assert!(calibrate_per_class(&[f32::NAN], &[0], 1, 95.0, 1).is_none());
+    }
+
+    #[test]
+    fn calibration_nearest_rank_boundaries() {
+        // n = 1: every percentile returns the only score.
+        for p in [0.0, 50.0, 95.0, 100.0] {
+            assert_eq!(calibrate_threshold(&[3.5], p), Some(3.5));
+        }
+        // n = 2: idx = round(p/100), half-away-from-zero — p = 50
+        // lands on the *upper* score.
+        assert_eq!(calibrate_threshold(&[1.0, 2.0], 0.0), Some(1.0));
+        assert_eq!(calibrate_threshold(&[1.0, 2.0], 49.9), Some(1.0));
+        assert_eq!(calibrate_threshold(&[1.0, 2.0], 50.0), Some(2.0));
+        assert_eq!(calibrate_threshold(&[1.0, 2.0], 95.0), Some(2.0));
+        assert_eq!(calibrate_threshold(&[1.0, 2.0], 100.0), Some(2.0));
+        // Nearest-rank, never interpolation: the threshold is always an
+        // observed score. p = 95 over n = 21: round(0.95·20) = 19.
+        let scores: Vec<f32> = (0..21).map(|i| i as f32).collect();
+        assert_eq!(calibrate_threshold(&scores, 95.0), Some(19.0));
+        assert_eq!(
+            calibrate_threshold(&[1.0, 2.0, 3.0, 4.0, 5.0], 95.0),
+            Some(5.0)
+        );
     }
 
     #[test]

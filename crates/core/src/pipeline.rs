@@ -63,7 +63,10 @@ pub struct PipelineConfig {
     /// default [`IndexConfig::Flat`] keeps every decision bit-identical
     /// to an exhaustive reference scan; [`IndexConfig::ivf_default`]
     /// trades a bounded recall loss for an order-of-magnitude fewer
-    /// distance computations at scale.
+    /// distance computations at scale; [`IndexConfig::pq_default`]
+    /// compresses each stored embedding to a few code bytes (with an
+    /// exact re-rank of the top candidates) — the memory-bound
+    /// 10⁵-class regime's backend.
     pub index: IndexConfig,
     /// Shard count for the reference store: classes are partitioned
     /// across this many shards, each with its own contiguous storage

@@ -236,7 +236,10 @@ const REPAIR_ROUNDS: usize = 4;
 /// occupancy, the lightest cluster's centroid is reseeded at the
 /// heaviest cluster's farthest member and Lloyd briefly re-runs —
 /// splitting dense blobs instead of serving them whole.
-fn kmeans(rows: Rows<'_>, n_lists: usize, metric: Metric) -> Vec<f32> {
+///
+/// Shared with the product-quantization backend ([`crate::PqIndex`]),
+/// which trains one such quantizer per sub-vector space.
+pub(crate) fn kmeans(rows: Rows<'_>, n_lists: usize, metric: Metric) -> Vec<f32> {
     let dim = rows.dim();
     let n = rows.len();
     if n == 0 {

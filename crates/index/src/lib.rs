@@ -15,6 +15,12 @@
 //!   scans only the `n_probe` lists whose centroids are nearest. An
 //!   order-of-magnitude fewer distance computations at a small recall
 //!   cost; exact (identical to flat) when `n_probe == n_lists`.
+//! - [`PqIndex`] ([`pq`]) — a product-quantized index: per-sub-space
+//!   codebooks compress each embedding to `m` one-byte codes, queries
+//!   scan through a per-query lookup table (asymmetric distance), and
+//!   the top `rerank` candidates are re-ranked exactly against retained
+//!   full-precision rows. An order-of-magnitude less scan memory — the
+//!   10⁵-class regime's backend; exact when `rerank >= len()`.
 //! - [`ShardedStore`] ([`sharded`]) — partitions *classes* across `S`
 //!   shards, each owning contiguous rows and its own backend;
 //!   provisioning peaks at one shard's embeddings, mutations touch one
@@ -44,10 +50,12 @@ use tlsfp_nn::tensor::{cosine_distance, euclidean_sq};
 
 pub mod flat;
 pub mod ivf;
+pub mod pq;
 pub mod sharded;
 
 pub use flat::FlatIndex;
 pub use ivf::{BalanceStats, IvfIndex, IvfParams};
+pub use pq::{PqIndex, PqParams};
 pub use sharded::{resolve_shards, shard_of, ShardedStore, StoreBalance};
 
 /// Distance metric between embeddings.
@@ -242,6 +250,8 @@ pub enum IndexConfig {
     Flat,
     /// Inverted-file index with the given parameters.
     Ivf(IvfParams),
+    /// Product-quantized index with the given parameters.
+    Pq(PqParams),
 }
 
 impl IndexConfig {
@@ -249,6 +259,13 @@ impl IndexConfig {
     /// `n_probe ≈ n_lists / 4`, both resolved at build time).
     pub fn ivf_default() -> Self {
         IndexConfig::Ivf(IvfParams::auto())
+    }
+
+    /// The PQ backend at auto-tuned parameters (`m` = largest divisor
+    /// of `dim` at most [`pq::AUTO_CODE_BYTES`] code bytes,
+    /// `rerank` = [`pq::AUTO_RERANK`], resolved at build time).
+    pub fn pq_default() -> Self {
+        IndexConfig::Pq(PqParams::auto())
     }
 
     /// Builds an index of this kind from labeled rows.
@@ -267,6 +284,7 @@ impl IndexConfig {
         match self {
             IndexConfig::Flat => Box::new(FlatIndex::from_rows(metric, rows, labels)),
             IndexConfig::Ivf(params) => Box::new(IvfIndex::build(*params, metric, rows, labels)),
+            IndexConfig::Pq(params) => Box::new(PqIndex::build(*params, metric, rows, labels)),
         }
     }
 }
@@ -279,7 +297,9 @@ pub enum IndexSnapshot {
     Flat(FlatIndex),
     /// An IVF index.
     Ivf(IvfIndex),
-    /// A class-sharded store (per-shard flat or IVF backends).
+    /// A product-quantized index.
+    Pq(PqIndex),
+    /// A class-sharded store (per-shard flat, IVF or PQ backends).
     Sharded(sharded::ShardedStore),
 }
 
@@ -289,6 +309,7 @@ impl IndexSnapshot {
         match self {
             IndexSnapshot::Flat(ix) => Box::new(ix),
             IndexSnapshot::Ivf(ix) => Box::new(ix),
+            IndexSnapshot::Pq(ix) => Box::new(ix),
             IndexSnapshot::Sharded(ix) => Box::new(ix),
         }
     }

@@ -1,0 +1,603 @@
+//! The product-quantization (PQ) backend: embeddings compressed to a
+//! few bytes each, scanned through per-query lookup tables, with an
+//! exact re-rank of the best candidates.
+//!
+//! The embedding is split into [`PqIndex::m`] contiguous sub-vectors;
+//! each sub-space gets its own codebook of up to [`KSUB_MAX`] centroids
+//! trained with the same deterministic k-means as the IVF coarse
+//! quantizer ([`crate::ivf`]). A stored vector is then just `m` one-byte
+//! centroid codes — 8 bytes instead of 128 at the default 32-dim
+//! embedding — which is what lets 10⁵+ classes fit in RAM per node.
+//!
+//! Queries use **asymmetric distance computation** (ADC): the query
+//! stays full-precision, and a per-query lookup table of
+//! `m × ksub` sub-distances turns each stored vector's distance into
+//! `m` table adds. The top [`PqIndex::rerank`] candidates by ADC
+//! distance are then **re-ranked exactly** against retained
+//! full-precision rows, so the final top-k distances (and the
+//! open-world `nearest` score) are exact under the configured metric —
+//! quantization can only cost recall, never corrupt a reported
+//! distance. With `rerank >= len()` the backend is exact and matches
+//! [`crate::FlatIndex`] result-for-result.
+//!
+//! The retained rows are cold storage: a scan touches only the codes
+//! and the lookup table, and the re-rank reads `rerank` rows. Memory
+//! *bandwidth* during the scan therefore drops by the same factor as
+//! the code compression (`dim × 4` bytes → `m` bytes per vector).
+//!
+//! Codebooks are always trained and scanned under squared Euclidean
+//! distance — the one metric that decomposes over sub-spaces — while
+//! the re-rank applies the index's configured [`Metric`], so a cosine
+//! deployment still gets exact cosine distances on everything it
+//! returns.
+//!
+//! Like IVF, the quantizer is **frozen at build time**: `add` encodes
+//! against the existing codebooks, `remove_label` compacts in place,
+//! and nothing re-clusters on churn (the paper's adaptation economics).
+//! Heavy drift degrades code fidelity instead of list balance; rebuild
+//! through the same lifecycle (`AdaptiveFingerprinter::set_index` /
+//! `ShardedStore::set_index`) when recall sags.
+
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use tlsfp_nn::tensor::euclidean_sq;
+
+use crate::{IndexSnapshot, Metric, Neighbor, Rows, SearchResult, SelectEntry, VectorIndex};
+
+/// Maximum centroids per sub-quantizer — one `u8` code per sub-space.
+/// The effective count is `min(KSUB_MAX, n)` at build time.
+pub const KSUB_MAX: usize = 256;
+
+/// Code bytes per vector the auto parameterization targets: `m` becomes
+/// the largest divisor of `dim` that is `<= AUTO_CODE_BYTES`.
+pub const AUTO_CODE_BYTES: usize = 8;
+
+/// Re-rank depth under auto parameters: how many ADC candidates get
+/// exact distances (floored at `k` per query at search time).
+pub const AUTO_RERANK: usize = 32;
+
+/// PQ build parameters. Zero means "resolve automatically at build
+/// time": `m` = largest divisor of `dim` at most [`AUTO_CODE_BYTES`],
+/// `rerank` = [`AUTO_RERANK`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PqParams {
+    /// Number of sub-quantizers (code bytes per vector). `0` = auto.
+    /// Explicit values are clamped to `[1, dim]` and lowered to the
+    /// nearest divisor of `dim`.
+    pub m: usize,
+    /// ADC candidates re-ranked exactly per query. `0` = auto.
+    pub rerank: usize,
+}
+
+impl PqParams {
+    /// Fully automatic parameters.
+    pub fn auto() -> Self {
+        PqParams { m: 0, rerank: 0 }
+    }
+
+    /// Explicit parameters.
+    pub fn new(m: usize, rerank: usize) -> Self {
+        PqParams { m, rerank }
+    }
+
+    /// The sub-quantizer count (code bytes per vector) these
+    /// parameters resolve to for `dim`-dimensional embeddings.
+    pub fn resolved_m(&self, dim: usize) -> usize {
+        resolve_m(self.m, dim)
+    }
+
+    /// The re-rank depth these parameters resolve to.
+    pub fn resolved_rerank(&self) -> usize {
+        if self.rerank == 0 {
+            AUTO_RERANK
+        } else {
+            self.rerank
+        }
+    }
+}
+
+/// Resolves the sub-quantizer count: clamp into `[1, dim]`, then lower
+/// to the nearest divisor of `dim` so sub-vectors tile the embedding
+/// exactly. `0` targets [`AUTO_CODE_BYTES`] code bytes.
+fn resolve_m(m: usize, dim: usize) -> usize {
+    let d = dim.max(1);
+    let mut m = if m == 0 {
+        AUTO_CODE_BYTES.min(d)
+    } else {
+        m.min(d)
+    }
+    .max(1);
+    while d % m != 0 {
+        m -= 1;
+    }
+    m
+}
+
+/// The product-quantized index.
+///
+/// ```
+/// use tlsfp_index::{Metric, PqIndex, PqParams, Rows, VectorIndex};
+/// // Two well-separated clusters in 4-d; m = 2 sub-quantizers.
+/// let data: Vec<f32> = (0..8).flat_map(|i| vec![(i / 4) as f32 * 10.0 + (i % 4) as f32 * 0.1; 4]).collect();
+/// let labels: Vec<usize> = (0..8).map(|i| i / 4).collect();
+/// let ix = PqIndex::build(PqParams::new(2, 4), Metric::Euclidean, Rows::new(4, &data), &labels);
+/// assert_eq!(ix.code_bytes_per_vector(), 2); // vs 16 bytes of f32
+/// let r = ix.search(&[10.05; 4], 1);
+/// assert_eq!(r.top().unwrap().label, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PqIndex {
+    dim: usize,
+    metric: Metric,
+    /// Sub-quantizers (code bytes per vector); divides `dim`.
+    m: usize,
+    /// `dim / m`.
+    sub_dim: usize,
+    /// Centroids per sub-quantizer, resolved at build time.
+    ksub: usize,
+    /// ADC candidates re-ranked exactly per query.
+    rerank: usize,
+    /// Sub-quantizer centroids, row-major `m × ksub × sub_dim`.
+    codebooks: Vec<f32>,
+    /// Centroid codes, row-major `n × m` — the scan working set.
+    codes: Vec<u8>,
+    /// Stable insertion ids, ascending (compaction preserves order).
+    ids: Vec<u64>,
+    labels: Vec<usize>,
+    /// Retained full-precision rows (`n × dim`) — cold storage read
+    /// only by the re-rank, never by the ADC scan.
+    data: Vec<f32>,
+    next_id: u64,
+}
+
+impl PqIndex {
+    /// Builds the index: trains one codebook per sub-space on `rows`
+    /// with the deterministic k-means, then encodes every row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != labels.len()`.
+    pub fn build(params: PqParams, metric: Metric, rows: Rows<'_>, labels: &[usize]) -> Self {
+        assert_eq!(rows.len(), labels.len(), "one label per row");
+        let n = rows.len();
+        let dim = rows.dim();
+        let m = resolve_m(params.m, dim);
+        let sub_dim = dim / m;
+        let ksub = KSUB_MAX.min(n.max(1));
+        let rerank = if params.rerank == 0 {
+            AUTO_RERANK
+        } else {
+            params.rerank
+        };
+
+        // Train per-sub-space codebooks: gather each sub-vector column
+        // into contiguous rows and run the shared deterministic k-means.
+        // Always Euclidean — the only metric that decomposes over
+        // sub-spaces; the configured metric applies at re-rank.
+        let mut codebooks = vec![0.0f32; m * ksub * sub_dim];
+        if sub_dim > 0 {
+            let mut sub = vec![0.0f32; n * sub_dim];
+            for (j, cb) in codebooks.chunks_exact_mut(ksub * sub_dim).enumerate() {
+                for (i, row) in rows.iter().enumerate() {
+                    sub[i * sub_dim..(i + 1) * sub_dim]
+                        .copy_from_slice(&row[j * sub_dim..(j + 1) * sub_dim]);
+                }
+                cb.copy_from_slice(&crate::ivf::kmeans(
+                    Rows::new(sub_dim, &sub),
+                    ksub,
+                    Metric::Euclidean,
+                ));
+            }
+        }
+
+        let mut index = PqIndex {
+            dim,
+            metric,
+            m,
+            sub_dim,
+            ksub,
+            rerank,
+            codebooks,
+            codes: Vec::with_capacity(n * m),
+            ids: Vec::with_capacity(n),
+            labels: labels.to_vec(),
+            data: rows.data().to_vec(),
+            next_id: 0,
+        };
+        for row in rows.iter() {
+            index.encode_into(row);
+            index.ids.push(index.next_id);
+            index.next_id += 1;
+        }
+        index
+    }
+
+    /// Sub-quantizer count — also the code bytes per stored vector.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Centroids per sub-quantizer (resolved at build time).
+    pub fn ksub(&self) -> usize {
+        self.ksub
+    }
+
+    /// ADC candidates re-ranked exactly per query.
+    pub fn rerank(&self) -> usize {
+        self.rerank
+    }
+
+    /// Adjusts the re-rank depth (floored at 1). `rerank >= len()`
+    /// makes the index exact.
+    pub fn set_rerank(&mut self, rerank: usize) {
+        self.rerank = rerank.max(1);
+    }
+
+    /// Bytes each vector contributes to the scan working set: `m` code
+    /// bytes, vs `dim × 4` for a full-precision row. The retained
+    /// re-rank rows are excluded — they are cold storage the scan
+    /// never touches.
+    pub fn code_bytes_per_vector(&self) -> usize {
+        self.m
+    }
+
+    /// Stored labels, in row order.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Appends `row`'s `m` centroid codes (nearest sub-centroid per
+    /// sub-space; ties break toward the lower code) to `self.codes`.
+    fn encode_into(&mut self, row: &[f32]) {
+        let (m, ksub, sub_dim) = (self.m, self.ksub, self.sub_dim);
+        for j in 0..m {
+            let cb = &self.codebooks[j * ksub * sub_dim..(j + 1) * ksub * sub_dim];
+            let sv = &row[j * sub_dim..(j + 1) * sub_dim];
+            let mut best = 0usize;
+            let mut best_dist = f32::INFINITY;
+            for (ci, centroid) in cb.chunks_exact(sub_dim.max(1)).enumerate() {
+                let d = euclidean_sq(sv, centroid);
+                if d < best_dist {
+                    best_dist = d;
+                    best = ci;
+                }
+            }
+            self.codes.push(best as u8);
+        }
+    }
+}
+
+impl VectorIndex for PqIndex {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> SearchResult {
+        let n = self.len();
+        if n == 0 {
+            return SearchResult::empty();
+        }
+        let k = k.min(n).max(1);
+        let depth = self.rerank.max(k).min(n);
+        let mut evals = 0u64;
+
+        // Per-query ADC lookup table: m × ksub sub-distances between
+        // the query's sub-vectors and every sub-centroid.
+        let mut lut = vec![0.0f32; self.m * self.ksub];
+        if self.sub_dim > 0 {
+            for (j, lut_j) in lut.chunks_exact_mut(self.ksub).enumerate() {
+                let sv = &query[j * self.sub_dim..(j + 1) * self.sub_dim];
+                let cb = &self.codebooks
+                    [j * self.ksub * self.sub_dim..(j + 1) * self.ksub * self.sub_dim];
+                for (cell, centroid) in lut_j.iter_mut().zip(cb.chunks_exact(self.sub_dim)) {
+                    *cell = euclidean_sq(sv, centroid);
+                    evals += 1;
+                }
+            }
+        }
+
+        // ADC scan over the codes: each stored vector costs m table
+        // adds in fixed sub-space order (deterministic accumulation).
+        // Candidate selection keys on (approx dist, row position); ids
+        // are ascending in row order, so this is the same ordering as
+        // (approx dist, id).
+        let mut heap: BinaryHeap<SelectEntry> = BinaryHeap::with_capacity(depth + 1);
+        for (pos, code) in self.codes.chunks_exact(self.m).enumerate() {
+            let mut approx = 0.0f32;
+            for (j, &c) in code.iter().enumerate() {
+                approx += lut[j * self.ksub + c as usize];
+            }
+            let entry = SelectEntry {
+                dist: approx,
+                id: pos as u64,
+                label: self.labels[pos],
+            };
+            if heap.len() < depth {
+                heap.push(entry);
+            } else if let Some(worst) = heap.peek() {
+                if entry.cmp(worst).is_lt() {
+                    heap.pop();
+                    heap.push(entry);
+                }
+            }
+        }
+
+        // Exact re-rank of the selected candidates against the retained
+        // full-precision rows, under the configured metric. `nearest`
+        // is exact over the re-ranked candidates only — the ADC scan
+        // itself never produces a reported distance.
+        let mut reranked: Vec<Neighbor> = Vec::with_capacity(depth);
+        for entry in heap.into_sorted_vec() {
+            let pos = entry.id as usize;
+            let row = &self.data[pos * self.dim..(pos + 1) * self.dim];
+            let dist = self.metric.eval(query, row);
+            evals += 1;
+            reranked.push(Neighbor {
+                id: self.ids[pos],
+                label: self.labels[pos],
+                dist,
+            });
+        }
+        reranked.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        let nearest = reranked.first().map_or(f32::INFINITY, |top| top.dist);
+        reranked.truncate(k);
+        SearchResult {
+            neighbors: reranked,
+            nearest,
+            distance_evals: evals,
+        }
+    }
+
+    fn add(&mut self, label: usize, vector: &[f32]) {
+        assert_eq!(vector.len(), self.dim, "vector dim mismatch");
+        self.encode_into(vector);
+        self.data.extend_from_slice(vector);
+        self.labels.push(label);
+        self.ids.push(self.next_id);
+        self.next_id += 1;
+    }
+
+    fn remove_label(&mut self, label: usize) -> usize {
+        // Same single-pass compaction as `crate::compact_remove_label`,
+        // extended to the second (u8, stride-m) storage tier.
+        let (dim, m) = (self.dim, self.m);
+        let mut kept = 0usize;
+        let mut removed = 0usize;
+        for i in 0..self.labels.len() {
+            if self.labels[i] == label {
+                removed += 1;
+            } else {
+                if kept != i {
+                    self.labels[kept] = self.labels[i];
+                    self.ids[kept] = self.ids[i];
+                    self.data.copy_within(i * dim..(i + 1) * dim, kept * dim);
+                    self.codes.copy_within(i * m..(i + 1) * m, kept * m);
+                }
+                kept += 1;
+            }
+        }
+        self.labels.truncate(kept);
+        self.ids.truncate(kept);
+        self.data.truncate(kept * dim);
+        self.codes.truncate(kept * m);
+        removed
+    }
+
+    fn snapshot(&self) -> IndexSnapshot {
+        IndexSnapshot::Pq(self.clone())
+    }
+
+    fn boxed_clone(&self) -> Box<dyn VectorIndex> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlatIndex;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    /// Clustered synthetic rows: `classes` well-separated centers,
+    /// `per_class` jittered members each.
+    fn clustered(
+        classes: usize,
+        per_class: usize,
+        dim: usize,
+        seed: u64,
+    ) -> (Vec<f32>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers: Vec<Vec<f32>> = (0..classes)
+            .map(|_| (0..dim).map(|_| rng.random_range(-10.0f32..10.0)).collect())
+            .collect();
+        let mut data = Vec::with_capacity(classes * per_class * dim);
+        let mut labels = Vec::with_capacity(classes * per_class);
+        for (c, center) in centers.iter().enumerate() {
+            for _ in 0..per_class {
+                for &x in center {
+                    data.push(x + rng.random_range(-0.3f32..0.3));
+                }
+                labels.push(c);
+            }
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn auto_params_resolve_to_divisors_under_the_byte_budget() {
+        assert_eq!(resolve_m(0, 32), 8);
+        assert_eq!(resolve_m(0, 12), 6);
+        assert_eq!(resolve_m(0, 7), 7);
+        assert_eq!(resolve_m(0, 9), 3);
+        assert_eq!(resolve_m(0, 1), 1);
+        // Explicit values clamp and lower to a divisor.
+        assert_eq!(resolve_m(5, 32), 4);
+        assert_eq!(resolve_m(100, 32), 32);
+        for dim in 1..=64usize {
+            let m = resolve_m(0, dim);
+            assert_eq!(dim % m, 0, "m must divide dim={dim}");
+            assert!(m <= AUTO_CODE_BYTES);
+        }
+    }
+
+    #[test]
+    fn recall_on_clustered_data_and_code_compression() {
+        let dim = 16;
+        let (data, labels) = clustered(40, 4, dim, 3);
+        let rows = Rows::new(dim, &data);
+        let pq = PqIndex::build(PqParams::auto(), Metric::Euclidean, rows, &labels);
+        assert_eq!(pq.code_bytes_per_vector(), 8);
+        assert!(pq.ksub() <= KSUB_MAX);
+        let flat = FlatIndex::from_rows(Metric::Euclidean, rows, &labels);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut hits = 0usize;
+        let n_queries = 60;
+        for _ in 0..n_queries {
+            let q: Vec<f32> = (0..dim).map(|_| rng.random_range(-10.0f32..10.0)).collect();
+            let truth = flat.search(&q, 1).top().unwrap();
+            let got = pq.search(&q, 1).top().unwrap();
+            if got.id == truth.id {
+                // Exact re-rank: the distance of a recovered neighbor
+                // is bit-identical to the flat scan's.
+                assert_eq!(got.dist.to_bits(), truth.dist.to_bits());
+                hits += 1;
+            }
+        }
+        assert!(
+            hits as f64 / n_queries as f64 >= 0.9,
+            "recall@1 {hits}/{n_queries}"
+        );
+    }
+
+    #[test]
+    fn full_rerank_matches_flat_exactly() {
+        let dim = 8;
+        let (data, labels) = clustered(10, 5, dim, 9);
+        let rows = Rows::new(dim, &data);
+        let pq = PqIndex::build(
+            PqParams::new(4, labels.len()),
+            Metric::Euclidean,
+            rows,
+            &labels,
+        );
+        let flat = FlatIndex::from_rows(Metric::Euclidean, rows, &labels);
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..20 {
+            let q: Vec<f32> = (0..dim).map(|_| rng.random_range(-10.0f32..10.0)).collect();
+            let exact = pq.search(&q, 5);
+            let truth = flat.search(&q, 5);
+            let mut truth_sorted = truth.neighbors.clone();
+            truth_sorted.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+            assert_eq!(exact.neighbors, truth_sorted);
+            assert_eq!(exact.nearest.to_bits(), truth.nearest.to_bits());
+        }
+    }
+
+    #[test]
+    fn cosine_rerank_reports_exact_cosine_distances() {
+        let dim = 8;
+        let (data, labels) = clustered(6, 4, dim, 21);
+        let rows = Rows::new(dim, &data);
+        let pq = PqIndex::build(
+            PqParams::new(4, labels.len()),
+            Metric::Cosine,
+            rows,
+            &labels,
+        );
+        let flat = FlatIndex::from_rows(Metric::Cosine, rows, &labels);
+        let q = vec![0.5f32; dim];
+        let top = pq.search(&q, 1).top().unwrap();
+        let truth = flat.search(&q, 1).top().unwrap();
+        assert_eq!(top.dist.to_bits(), truth.dist.to_bits());
+    }
+
+    #[test]
+    fn add_remove_swap_keep_codes_aligned() {
+        let dim = 4;
+        let (data, labels) = clustered(5, 3, dim, 6);
+        let rows = Rows::new(dim, &data);
+        let mut pq = PqIndex::build(PqParams::new(2, 8), Metric::Euclidean, rows, &labels);
+        assert_eq!(pq.len(), 15);
+        assert_eq!(pq.remove_label(2), 3);
+        assert_eq!(pq.len(), 12);
+        assert_eq!(pq.codes.len(), 12 * 2);
+        assert_eq!(pq.data.len(), 12 * dim);
+        // Survivor ids are stable and still ascending.
+        assert!(pq.ids.windows(2).all(|w| w[0] < w[1]));
+        // Swap a label; fresh rows land near their own cluster.
+        let fresh = vec![42.0f32; 2 * dim];
+        assert_eq!(pq.swap_label(0, Rows::new(dim, &fresh)), 3);
+        assert_eq!(pq.len(), 11);
+        let got = pq.search(&vec![42.0f32; dim], 1).top().unwrap();
+        assert_eq!(got.label, 0);
+        assert_eq!(pq.remove_label(99), 0);
+    }
+
+    #[test]
+    fn empty_and_tiny_indexes_are_well_defined() {
+        let empty = PqIndex::build(PqParams::auto(), Metric::Euclidean, Rows::new(4, &[]), &[]);
+        let r = empty.search(&[0.0; 4], 3);
+        assert!(r.neighbors.is_empty());
+        assert_eq!(r.nearest, f32::INFINITY);
+        // A single row: ksub collapses to 1 and search still works.
+        let one = PqIndex::build(
+            PqParams::auto(),
+            Metric::Euclidean,
+            Rows::new(4, &[1.0, 2.0, 3.0, 4.0]),
+            &[7],
+        );
+        assert_eq!(one.ksub(), 1);
+        let top = one.search(&[0.0; 4], 1).top().unwrap();
+        assert_eq!(top.label, 7);
+        assert_eq!(
+            top.dist,
+            Metric::Euclidean.eval(&[0.0; 4], &[1.0, 2.0, 3.0, 4.0])
+        );
+    }
+
+    #[test]
+    fn build_is_deterministic_and_serde_round_trips() {
+        let dim = 8;
+        let (data, labels) = clustered(12, 4, dim, 17);
+        let rows = Rows::new(dim, &data);
+        let a = PqIndex::build(PqParams::auto(), Metric::Euclidean, rows, &labels);
+        let b = PqIndex::build(PqParams::auto(), Metric::Euclidean, rows, &labels);
+        assert_eq!(a, b, "same inputs must train identical codebooks");
+        let json = serde_json::to_string(&a).unwrap();
+        let back: PqIndex = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+        // And through the snapshot enum, as the sharded store stores it.
+        let snap_json = serde_json::to_string(&a.snapshot()).unwrap();
+        let snap: IndexSnapshot = serde_json::from_str(&snap_json).unwrap();
+        assert_eq!(snap, a.snapshot());
+        let boxed = snap.into_boxed();
+        let q = vec![0.0f32; dim];
+        assert_eq!(boxed.search(&q, 3), a.search(&q, 3));
+    }
+
+    #[test]
+    fn distance_evals_count_lut_and_rerank() {
+        let dim = 8;
+        let (data, labels) = clustered(10, 4, dim, 5);
+        let pq = PqIndex::build(
+            PqParams::new(4, 6),
+            Metric::Euclidean,
+            Rows::new(dim, &data),
+            &labels,
+        );
+        let r = pq.search(&vec![0.0f32; dim], 2);
+        // LUT: m × ksub sub-distances; re-rank: `rerank` full rows.
+        assert_eq!(r.distance_evals, (pq.m() * pq.ksub()) as u64 + 6);
+    }
+}

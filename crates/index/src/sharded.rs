@@ -206,10 +206,12 @@ pub struct StoreBalance {
     /// skew is fixed by the class→shard routing and per-class sample
     /// counts, not by churn.
     pub shard_skew: f64,
-    /// IVF list-occupancy stats aggregated over all shards' lists
-    /// (`None` under the flat backend). `skew` here is the churn
-    /// signal: past ~3, rebuild the quantizers
-    /// ([`ShardedStore::set_index`]).
+    /// IVF list-occupancy stats aggregated over the lists of every
+    /// shard that reports them (`None` when no shard serves IVF —
+    /// flat and PQ backends are list-free). `mean_list` counts only
+    /// the rows of those reporting shards, so mixed per-shard
+    /// deployments stay honest. `skew` here is the churn signal: past
+    /// ~3, rebuild the quantizers ([`ShardedStore::set_index`]).
     pub ivf_lists: Option<BalanceStats>,
 }
 
@@ -652,6 +654,23 @@ impl ShardedStore {
         self.rebuild_indexes();
     }
 
+    /// Rebuilds shard `s` alone on a different backend, leaving the
+    /// store-wide config (and every other shard) untouched — mixed
+    /// deployments pin, say, one hot shard on Flat while the long tail
+    /// serves from PQ. The override lives in the shard's index itself:
+    /// snapshots serialize it faithfully, but any whole-store rebuild
+    /// ([`ShardedStore::set_index`], [`ShardedStore::set_shards`])
+    /// reverts the shard to the store-wide config. Exclusive
+    /// (`&mut self`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= n_shards()`.
+    pub fn set_shard_index(&mut self, s: usize, config: &IndexConfig) {
+        let (dim, metric) = (self.dim, self.metric);
+        self.shard_mut(s).rebuild(dim, metric, config);
+    }
+
     /// Re-partitions the store across a new shard count, re-routing
     /// every class. Rows move in shard-major order, so ids assigned by
     /// the rebuilt per-shard indexes may differ from a fresh
@@ -690,9 +709,19 @@ impl ShardedStore {
     /// Shard-occupancy and (for IVF backends) aggregated inverted-list
     /// balance across every shard. Locks are taken one shard at a
     /// time.
+    ///
+    /// Every ratio here is total — an empty store, a drained shard
+    /// (e.g. after [`ShardedStore::remove_class`] empties it) or an
+    /// empty list all report a skew of `0.0`, never `inf`/NaN, so
+    /// operators can alert on thresholds without NaN-poisoning. The
+    /// aggregated `mean_list` divides by the row count of the shards
+    /// that actually reported list stats, so mixed per-shard backends
+    /// ([`ShardedStore::set_shard_index`]) don't inflate the IVF mean
+    /// with rows served flat or product-quantized.
     pub fn balance_stats(&self) -> StoreBalance {
         let n_shards = self.shards.len();
         let mut total = 0usize;
+        let mut listed_total = 0usize;
         let mut max = 0usize;
         let mut lists: Vec<BalanceStats> = Vec::new();
         for s in 0..n_shards {
@@ -700,6 +729,7 @@ impl ShardedStore {
             total += shard.labels.len();
             max = max.max(shard.labels.len());
             if let Some(stats) = shard.index.0.as_dyn().list_balance() {
+                listed_total += shard.labels.len();
                 lists.push(stats);
             }
         }
@@ -709,7 +739,7 @@ impl ShardedStore {
         } else {
             let n_lists: usize = lists.iter().map(|s| s.n_lists).sum();
             let max_list = lists.iter().map(|s| s.max_list).max().unwrap_or(0);
-            let mean_list = total as f64 / n_lists.max(1) as f64;
+            let mean_list = listed_total as f64 / n_lists.max(1) as f64;
             Some(BalanceStats {
                 n_lists,
                 max_list,

@@ -386,3 +386,105 @@ fn writer_reader_stress_matches_serial_replay() {
     let recall = hits as f64 / queries.len() as f64;
     assert!(recall >= 0.95, "recall@1 after churn was {recall:.3}");
 }
+
+/// Balance diagnostics stay well-defined as `remove_class` drains
+/// shards: every skew and mean is finite (never `inf`/NaN), a drained
+/// store reports 0.0 across the board, and under mixed per-shard
+/// backends the aggregated IVF `mean_list` counts only the rows of the
+/// shards that actually serve lists.
+#[test]
+fn balance_stats_stay_finite_on_drained_and_mixed_shards() {
+    let store = build_store(&IndexConfig::Ivf(IvfParams::new(2, 2)), 4, 4, 3, 4);
+
+    // Drain one shard; stats must stay finite and lists consistent.
+    store.remove_class(2);
+    assert_eq!(store.shard_sizes(), vec![3, 3, 0, 3]);
+    let b = store.balance_stats();
+    assert!(b.shard_skew.is_finite() && b.mean_shard.is_finite());
+    assert!(b.shard_skew >= 1.0, "populated store: max >= mean");
+    let lists = b.ivf_lists.expect("IVF shards report lists");
+    assert!(lists.skew.is_finite() && lists.mean_list.is_finite());
+    assert_eq!((lists.mean_list * lists.n_lists as f64).round() as usize, 9);
+
+    // Drain everything: skews pin to 0.0, not inf or NaN.
+    for c in [0usize, 1, 3] {
+        store.remove_class(c);
+    }
+    assert!(store.is_empty());
+    let b = store.balance_stats();
+    assert_eq!(b.max_shard, 0);
+    assert_eq!(b.mean_shard, 0.0);
+    assert_eq!(b.shard_skew, 0.0);
+    let lists = b.ivf_lists.expect("empty IVF shards still report");
+    assert_eq!(lists.max_list, 0);
+    assert_eq!(lists.mean_list, 0.0);
+    assert_eq!(lists.skew, 0.0);
+
+    // Mixed backends: move shard 1's rows off IVF. The IVF aggregate
+    // must now divide by the *listed* shards' rows only — a flat (or
+    // PQ) shard's rows must not inflate `mean_list`.
+    let mut mixed = build_store(&IndexConfig::Ivf(IvfParams::new(2, 2)), 4, 4, 3, 2);
+    mixed.set_shard_index(1, &IndexConfig::Flat);
+    let b = mixed.balance_stats();
+    let lists = b.ivf_lists.expect("shard 0 still serves IVF");
+    // Shard 0 holds classes {0, 2} = 6 rows over its 2 lists.
+    assert_eq!((lists.mean_list * lists.n_lists as f64).round() as usize, 6);
+    assert!(lists.skew.is_finite());
+}
+
+/// Satellite of the PQ work: a store whose shards run *different*
+/// backends (PQ / IVF / flat) keeps serving exact decisions where its
+/// shards are exact, compares equal to itself through `PartialEq`
+/// (which descends into index snapshots), and serde round-trips each
+/// shard's actual backend faithfully.
+#[test]
+fn mixed_per_shard_configs_serve_compare_and_round_trip() {
+    let mut store = build_store(&IndexConfig::Flat, 4, 6, 4, 3);
+    store.set_shard_index(0, &IndexConfig::pq_default());
+    store.set_shard_index(1, &IndexConfig::ivf_default());
+    // Shard 2 stays flat.
+
+    // Every class still resolves to itself at top-1 (well-separated
+    // centers; PQ re-ranks exactly, IVF probes its nearest lists).
+    for class in 0..6 {
+        let got = store.search_concurrent(&center(class, 4), 1, 0);
+        assert_eq!(got.neighbors[0].label, class, "class {class} top-1");
+    }
+
+    // Clone → equal, including the per-shard index snapshots.
+    let clone = store.clone();
+    assert_eq!(clone, store);
+
+    // Serde round-trip preserves the mixed backends: the rehydrated
+    // store is equal AND bit-identical on a query battery.
+    let json = serde_json::to_string(&store).unwrap();
+    let back: ShardedStore = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, store, "mixed-config store must round-trip");
+    let queries: Vec<Vec<f32>> = (0..6).map(|c| center(c, 4)).collect();
+    for workers in [1usize, 2, 0] {
+        assert_eq!(
+            back.search_batch_concurrent(&queries, 3, workers),
+            store.search_batch_concurrent(&queries, 3, workers),
+            "round-tripped store must serve bit-identical results"
+        );
+    }
+
+    // Mutations through the store still land on the overridden
+    // backends without desyncing canonical rows from the index.
+    assert_eq!(store.remove_class(0), 4); // shard 0 (PQ)
+    assert_eq!(store.remove_class(1), 4); // shard 1 (IVF)
+    assert_eq!(store.len(), 16);
+    let got = store.search_concurrent(&center(0, 4), 16, 0);
+    // The PQ and flat shards surface all their survivors; the IVF
+    // shard is probe-limited, so only a lower bound holds there.
+    assert!(got.neighbors.len() >= 12, "got {}", got.neighbors.len());
+    assert!(got.neighbors.iter().all(|n| n.label != 0 && n.label != 1));
+    let b = store.balance_stats();
+    assert!(b.shard_skew.is_finite());
+
+    // A whole-store rebuild reverts every shard to the store config.
+    store.set_index(IndexConfig::Flat);
+    let oracle = exhaustive_oracle(&store, &center(3, 4));
+    let got = store.search_concurrent(&center(3, 4), 4, 0);
+    assert_eq!(result_elems(&got), oracle[..4].to_vec());
+}

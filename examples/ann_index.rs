@@ -1,7 +1,8 @@
 //! The index subsystem end to end: provision a deployment on the exact
 //! flat backend, convert it to an IVF index, adapt it incrementally
-//! (class swap + brand-new page), and serve open-world queries — all
-//! without retraining or re-clustering.
+//! (class swap + brand-new page), serve open-world queries, and
+//! finally compress the store with product quantization — all without
+//! retraining the embedder.
 //!
 //! ```text
 //! cargo run --release --example ann_index
@@ -22,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Provision on a wiki-like corpus. The default serving index is
     //    the exact flat scan — every decision identical to brute force.
-    println!("[1/4] provisioning ({CLASSES} pages x {TRACES_PER_CLASS} visits, flat index)…");
+    println!("[1/5] provisioning ({CLASSES} pages x {TRACES_PER_CLASS} visits, flat index)…");
     let spec = CorpusSpec::wiki_like(CLASSES, TRACES_PER_CLASS);
     let (_, dataset) = Dataset::generate(&spec, &TensorConfig::wiki(), SEED)?;
     let (reference, test) = dataset.split_per_class(0.25, SEED);
@@ -43,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Switch the serving path to an IVF index. The coarse quantizer
     //    trains once here; queries then probe a few inverted lists
     //    instead of scanning everything.
-    println!("[2/4] converting to an IVF index…");
+    println!("[2/5] converting to an IVF index…");
     adversary.set_index(IndexConfig::ivf_default());
     let ivf_top1 = adversary.evaluate(&test).top_n_accuracy(1);
     let probe_result = adversary
@@ -61,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    reference embeddings), and a brand-new page joins the
     //    monitored set. The quantizer is untouched — vectors are
     //    reassigned to lists in place.
-    println!("[3/4] adapting: swapping page 3, adding a new page…");
+    println!("[3/5] adapting: swapping page 3, adding a new page…");
     let fresh: Vec<_> = test
         .iter()
         .filter(|(l, _)| *l == 3)
@@ -88,7 +89,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Open-world queries through the pruned index: calibrate a
     //    rejection threshold, then fingerprint a monitored load and a
     //    foreign-site load.
-    println!("[4/4] open-world queries through the IVF index…");
+    println!("[4/5] open-world queries through the IVF index…");
     let threshold = adversary.calibrate_rejection_threshold(&test, 95.0)?;
     let accepted = test
         .seqs()
@@ -112,6 +113,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "      foreign site      -> {rejected}/{} loads rejected as outliers",
         foreign.len()
+    );
+
+    // 5. Compress the store with product quantization. Each embedding
+    //    shrinks from dim x 4 bytes to a few code bytes in the scan
+    //    working set; an exact re-rank of the top ADC candidates keeps
+    //    reported distances (and usually decisions) exact.
+    println!("[5/5] compressing the store with product quantization…");
+    // Exact baseline on the *adapted* store, so the comparison isolates
+    // quantization (the step-1 number predates the class swap/add).
+    adversary.set_index(IndexConfig::Flat);
+    let exact_top1 = adversary.evaluate(&test).top_n_accuracy(1);
+    adversary.set_index(IndexConfig::pq_default());
+    let pq_top1 = adversary.evaluate(&test).top_n_accuracy(1);
+    let dim = adversary.index().dim();
+    let code_bytes = tlsfp::index::PqParams::auto().resolved_m(dim);
+    println!(
+        "      PQ backend: top-1 {:.3} (exact {:.3}), {} -> {} bytes/embedding in the scan ({}x smaller)",
+        pq_top1,
+        exact_top1,
+        dim * 4,
+        code_bytes,
+        dim * 4 / code_bytes.max(1)
     );
 
     Ok(())

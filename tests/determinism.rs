@@ -158,6 +158,66 @@ fn decisions_and_scores_identical_across_query_worker_counts() {
     }
 }
 
+/// The same query-worker invariance holds when every shard serves
+/// from a product-quantized index: the ADC scan, candidate selection
+/// and exact re-rank are all deterministic, so decisions, score bits
+/// and the open-world report must stay bit-identical at every worker
+/// count — including `0` (auto).
+#[test]
+fn pq_backed_decisions_and_scores_identical_across_query_worker_counts() {
+    use tlsfp::index::IndexConfig;
+
+    let adversary = tlsfp_testkit::tiny_adversary();
+    // One profile keeps the codebook training inside tier-1 budget;
+    // the all-profile sweep above already covers the default backend.
+    let profile = tlsfp_testkit::Profile::ALL[0];
+    let ds = tlsfp_testkit::open_world_profile_dataset(profile);
+    let (reference, test) = ds.split_per_class(0.25, tlsfp_testkit::SEED);
+    let unmonitored = tlsfp_testkit::open_world_profile_dataset(tlsfp_testkit::Profile::ALL[1])
+        .split_per_class(0.25, tlsfp_testkit::SEED)
+        .1;
+
+    let mut fp = adversary.clone();
+    fp.set_shards(4);
+    fp.set_index(IndexConfig::pq_default());
+    fp.set_reference(&reference)
+        .expect("profile reference fits");
+    let threshold = fp
+        .calibrate_rejection_threshold(&test, 90.0)
+        .expect("calibration on non-empty test split");
+
+    let mut outcomes = Vec::new();
+    for workers in [1usize, 4, 0] {
+        let mut fp_w = fp.clone();
+        fp_w.set_query_workers(workers);
+        let decisions = fp_w.fingerprint_all(&test);
+        let scored = fp_w.fingerprint_with_score_all(&test);
+        let score_bits: Vec<u32> = scored.iter().map(|sp| sp.score.to_bits()).collect();
+        let accepts: Vec<bool> = scored.iter().map(|sp| sp.accepted(threshold)).collect();
+        let report = fp_w.evaluate_open_world(&test, &unmonitored, threshold);
+        outcomes.push((workers, decisions, score_bits, accepts, report));
+    }
+    let baseline = &outcomes[0];
+    for (workers, decisions, score_bits, accepts, report) in &outcomes[1..] {
+        assert_eq!(
+            decisions, &baseline.1,
+            "PQ store: closed-world decisions changed at {workers} query workers"
+        );
+        assert_eq!(
+            score_bits, &baseline.2,
+            "PQ store: score bits changed at {workers} query workers"
+        );
+        assert_eq!(
+            accepts, &baseline.3,
+            "PQ store: open-world accept/reject changed at {workers} query workers"
+        );
+        assert_eq!(
+            report, &baseline.4,
+            "PQ store: open-world report changed at {workers} query workers"
+        );
+    }
+}
+
 #[test]
 fn seeded_provisioning_reproduces_top1_accuracy() {
     let (reference, test) = tlsfp_testkit::tiny_split();
