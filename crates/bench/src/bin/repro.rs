@@ -5,7 +5,7 @@
 //!
 //! targets: fig6 fig7 table2 fig8 fig9 fig10 fig11 fig12 fig13 table3
 //!          fig_open_world fig_index fig_embed fig_shard fig_quant
-//!          fig_concurrent ablations all
+//!          fig_concurrent fig_telemetry ablations all
 //! ```
 
 use std::fs;
@@ -14,9 +14,9 @@ use std::path::PathBuf;
 use tlsfp_bench::ablations::{print_ablations, run_ablations};
 use tlsfp_bench::experiments::{
     print_cdf, print_fig_concurrent, print_fig_embed, print_fig_index, print_fig_quant,
-    print_fig_shard, print_open_world, print_series, run_fig12_13, run_fig6, run_fig7, run_fig8,
-    run_fig9_to_11, run_fig_concurrent, run_fig_embed, run_fig_index, run_fig_open_world,
-    run_fig_quant, run_fig_shard, run_table3, Scale,
+    print_fig_shard, print_fig_telemetry, print_open_world, print_series, run_fig12_13, run_fig6,
+    run_fig7, run_fig8, run_fig9_to_11, run_fig_concurrent, run_fig_embed, run_fig_index,
+    run_fig_open_world, run_fig_quant, run_fig_shard, run_fig_telemetry, run_table3, Scale,
 };
 
 fn main() {
@@ -268,6 +268,13 @@ fn main() {
             print_fig_concurrent(p);
         }
         write_json("fig_concurrent", &result);
+    }
+
+    if run_all || target == "fig_telemetry" {
+        println!("\n=== Telemetry — observability-layer overhead and stage latency ===");
+        let result = run_fig_telemetry(&scale);
+        print_fig_telemetry(&result);
+        write_json("fig_telemetry", &result);
     }
 
     if run_all || target == "ablations" {

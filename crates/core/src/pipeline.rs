@@ -80,6 +80,13 @@ pub struct PipelineConfig {
     /// embeddings at the k-th neighbor boundary — see the
     /// `tlsfp_index::sharded` module docs).
     pub shards: usize,
+    /// Whether runtime telemetry recording is on. Applied process-wide
+    /// at provisioning time (`tlsfp_telemetry::set_enabled` — the
+    /// registry is one per process, like the thread pool). Telemetry
+    /// is a pure observer either way: decisions, score bits and
+    /// serialized snapshots are bit-identical with it on or off; the
+    /// knob only controls whether counters/gauges/histograms record.
+    pub telemetry: bool,
 }
 
 impl PipelineConfig {
@@ -100,6 +107,7 @@ impl PipelineConfig {
             query_workers: 0,
             index: IndexConfig::Flat,
             shards: 1,
+            telemetry: true,
         }
     }
 
@@ -127,6 +135,7 @@ impl PipelineConfig {
             query_workers: 0,
             index: IndexConfig::Flat,
             shards: 1,
+            telemetry: true,
         }
     }
 
@@ -189,6 +198,7 @@ impl AdaptiveFingerprinter {
                 config.embedder.input_size
             )));
         }
+        tlsfp_telemetry::set_enabled(config.telemetry);
         let mut embedder = SequenceEmbedder::new(config.embedder.clone(), seed)?;
         let log = train_embedder(&mut embedder, train, config, seed)?;
 
@@ -476,14 +486,28 @@ impl AdaptiveFingerprinter {
         trace: &SeqInput,
         threshold: f32,
     ) -> Option<RankedPrediction> {
-        self.fingerprint_with_score(trace)
-            .into_open_world(threshold)
+        let result = self
+            .fingerprint_with_score(trace)
+            .into_open_world(threshold);
+        record_decisions(result.is_some() as u64, result.is_none() as u64);
+        result
     }
 
     /// Embeds and score-classifies a whole dataset in parallel (the
     /// batch open-world path).
     pub fn fingerprint_with_score_all(&self, data: &Dataset) -> Vec<ScoredPrediction> {
+        if tlsfp_telemetry::enabled() {
+            tlsfp_telemetry::counter!(
+                "tlsfp_fingerprints_total",
+                "Traces fingerprinted through the batch serving path"
+            )
+            .add(data.seqs().len() as u64);
+        }
         let embeddings = self.embed_all(data.seqs());
+        // The "decide" span covers classification end to end (search
+        // fan-out + rank), so the fanout/shard_scan/merge spans nest
+        // inside it; embedding is accounted separately.
+        let _decide = tlsfp_telemetry::stage_timer!("decide");
         self.knn.classify_with_score_all_indexed(
             &embeddings,
             &self.store,
@@ -518,6 +542,15 @@ impl AdaptiveFingerprinter {
             .map(|(sp, &label)| sp.prediction.top() == Some(label))
             .collect();
         let unmonitored_scores = self.outlier_scores(unmonitored);
+        if tlsfp_telemetry::enabled() {
+            let accepts = monitored_scores
+                .iter()
+                .chain(&unmonitored_scores)
+                .filter(|&&s| s <= threshold)
+                .count() as u64;
+            let total = (monitored_scores.len() + unmonitored_scores.len()) as u64;
+            record_decisions(accepts, total - accepts);
+        }
         OpenWorldReport::evaluate(
             &monitored_scores,
             &top1_correct,
@@ -540,6 +573,8 @@ impl AdaptiveFingerprinter {
                 "cannot calibrate on an empty dataset".into(),
             ));
         }
+        let _calibrate = tlsfp_telemetry::stage_timer!("calibrate");
+        record_calibration_event();
         let scores = self.outlier_scores(known);
         open_world::calibrate_threshold(&scores, percentile)
             .ok_or_else(|| CoreError::BadDataset("cannot calibrate on an empty dataset".into()))
@@ -567,6 +602,8 @@ impl AdaptiveFingerprinter {
                 "cannot calibrate on an empty dataset".into(),
             ));
         }
+        let _calibrate = tlsfp_telemetry::stage_timer!("calibrate");
+        record_calibration_event();
         let scores = self.outlier_scores(known);
         open_world::calibrate_per_class(
             &scores,
@@ -587,7 +624,9 @@ impl AdaptiveFingerprinter {
         radii: &PerClassThresholds,
     ) -> Option<RankedPrediction> {
         let sp = self.fingerprint_with_score(trace);
-        if radii.normalized(sp.score, sp.prediction.top()) <= 0.0 {
+        let accepted = radii.normalized(sp.score, sp.prediction.top()) <= 0.0;
+        record_decisions(accepted as u64, !accepted as u64);
+        if accepted {
             Some(sp.prediction)
         } else {
             None
@@ -619,6 +658,15 @@ impl AdaptiveFingerprinter {
             .map(|(sp, &label)| sp.prediction.top() == Some(label))
             .collect();
         let unmonitored_scores = normalize(&self.fingerprint_with_score_all(unmonitored));
+        if tlsfp_telemetry::enabled() {
+            let accepts = monitored_scores
+                .iter()
+                .chain(&unmonitored_scores)
+                .filter(|&&s| s <= 0.0)
+                .count() as u64;
+            let total = (monitored_scores.len() + unmonitored_scores.len()) as u64;
+            record_decisions(accepts, total - accepts);
+        }
         OpenWorldReport::evaluate(&monitored_scores, &top1_correct, &unmonitored_scores, 0.0)
     }
 
@@ -680,6 +728,38 @@ impl AdaptiveFingerprinter {
         } else {
             self.query_workers
         }
+    }
+}
+
+/// Tallies open-world accept/reject outcomes into
+/// `tlsfp_decisions_total{outcome=...}`. A no-op while telemetry is
+/// disabled; never inspects or alters the decisions themselves.
+fn record_decisions(accepts: u64, rejects: u64) {
+    if !tlsfp_telemetry::enabled() {
+        return;
+    }
+    tlsfp_telemetry::counter!(
+        "tlsfp_decisions_total",
+        "Open-world accept/reject decisions, by outcome",
+        "outcome" => "accept"
+    )
+    .add(accepts);
+    tlsfp_telemetry::counter!(
+        "tlsfp_decisions_total",
+        "Open-world accept/reject decisions, by outcome",
+        "outcome" => "reject"
+    )
+    .add(rejects);
+}
+
+/// Counts one rejection-threshold/radius calibration run.
+fn record_calibration_event() {
+    if tlsfp_telemetry::enabled() {
+        tlsfp_telemetry::counter!(
+            "tlsfp_calibration_events_total",
+            "Rejection threshold/radius calibration runs"
+        )
+        .inc();
     }
 }
 

@@ -185,7 +185,9 @@ impl VectorIndex for FlatIndex {
     }
 
     fn search(&self, query: &[f32], k: usize) -> SearchResult {
-        flat_search(self.rows(), &self.labels, self.metric, query, k)
+        let result = flat_search(self.rows(), &self.labels, self.metric, query, k);
+        crate::record_backend_search!("flat", result);
+        result
     }
 
     fn add(&mut self, label: usize, vector: &[f32]) {

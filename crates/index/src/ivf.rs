@@ -399,7 +399,7 @@ impl VectorIndex for IvfIndex {
                 }
             }
         }
-        SearchResult {
+        let result = SearchResult {
             // Ascending (dist, id): canonical, deterministic.
             neighbors: heap
                 .into_sorted_vec()
@@ -412,7 +412,13 @@ impl VectorIndex for IvfIndex {
                 .collect(),
             nearest,
             distance_evals: evals,
+        };
+        crate::record_backend_search!("ivf", result);
+        if tlsfp_telemetry::enabled() {
+            tlsfp_telemetry::histogram!("tlsfp_ivf_probes", "Inverted lists probed per IVF query")
+                .observe(probe as u64);
         }
+        result
     }
 
     fn add(&mut self, label: usize, vector: &[f32]) {

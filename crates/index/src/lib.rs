@@ -48,6 +48,32 @@ use serde::{Deserialize, Serialize};
 use tlsfp_nn::parallel::map_elems;
 use tlsfp_nn::tensor::{cosine_distance, euclidean_sq};
 
+/// Records one `search` call into the per-backend registry counters
+/// (`tlsfp_queries_total` / `tlsfp_distance_evals_total`, labeled
+/// `backend=...`) — the promotion of `SearchResult::distance_evals`
+/// into aggregate telemetry. `$backend` must be a literal: the handle
+/// cache behind the macro is per call site. Observation only; the
+/// result is returned untouched.
+macro_rules! record_backend_search {
+    ($backend:literal, $result:expr) => {
+        if tlsfp_telemetry::enabled() {
+            tlsfp_telemetry::counter!(
+                "tlsfp_queries_total",
+                "Queries served, by index backend",
+                "backend" => $backend
+            )
+            .inc();
+            tlsfp_telemetry::counter!(
+                "tlsfp_distance_evals_total",
+                "Distance evaluations spent answering queries, by index backend",
+                "backend" => $backend
+            )
+            .add($result.distance_evals);
+        }
+    };
+}
+pub(crate) use record_backend_search;
+
 pub mod flat;
 pub mod ivf;
 pub mod pq;

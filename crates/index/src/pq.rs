@@ -351,11 +351,25 @@ impl VectorIndex for PqIndex {
         reranked.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
         let nearest = reranked.first().map_or(f32::INFINITY, |top| top.dist);
         reranked.truncate(k);
-        SearchResult {
+        let result = SearchResult {
             neighbors: reranked,
             nearest,
             distance_evals: evals,
+        };
+        crate::record_backend_search!("pq", result);
+        if tlsfp_telemetry::enabled() {
+            tlsfp_telemetry::counter!(
+                "tlsfp_pq_adc_table_builds_total",
+                "Per-query ADC lookup tables built"
+            )
+            .inc();
+            tlsfp_telemetry::histogram!(
+                "tlsfp_pq_rerank_depth",
+                "Exact re-rank candidates per PQ query"
+            )
+            .observe(depth as u64);
         }
+        result
     }
 
     fn add(&mut self, label: usize, vector: &[f32]) {

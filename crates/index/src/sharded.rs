@@ -74,11 +74,12 @@
 //! concurrent shard-major fan-out automatically.
 
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
-use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use serde::{Deserialize, Serialize};
 
 use tlsfp_nn::parallel::map_elems;
+use tlsfp_telemetry::Gauge;
 
 use crate::ivf::BalanceStats;
 use crate::{IndexConfig, IndexSnapshot, Metric, Neighbor, Rows, SearchResult, VectorIndex};
@@ -191,6 +192,37 @@ impl StoreShard {
     }
 }
 
+/// Per-shard gauge handles into the process-wide telemetry registry
+/// (`tlsfp_shard_rows{shard=...}`), held by the store so mutation-path
+/// refreshes are handle derefs — no registry lookup, no allocation.
+///
+/// Deliberately **not** part of the store's serialized form or its
+/// `PartialEq`: handles are identity, not state, and are rebuilt on
+/// clone/deserialize (the registry dedupes by name+labels, so every
+/// store with shard `s` shares one gauge — last writer wins, the
+/// process-wide semantic).
+#[derive(Debug)]
+struct StoreTelemetry {
+    shard_rows: Vec<Arc<Gauge>>,
+}
+
+impl StoreTelemetry {
+    fn new(n_shards: usize) -> Self {
+        StoreTelemetry {
+            shard_rows: (0..n_shards)
+                .map(|s| {
+                    let shard = s.to_string();
+                    tlsfp_telemetry::global().gauge(
+                        "tlsfp_shard_rows",
+                        &[("shard", shard.as_str())],
+                        "Reference rows currently stored on each shard",
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
 /// Aggregate balance diagnostics for a [`ShardedStore`]: shard-level
 /// occupancy plus, when the per-shard backend is IVF, the inverted-list
 /// occupancy aggregated across every shard's lists.
@@ -259,6 +291,8 @@ pub struct ShardedStore {
     config: IndexConfig,
     n_classes: AtomicUsize,
     shards: Vec<RwLock<StoreShard>>,
+    /// Gauge handles only — never serialized, never compared.
+    telemetry: StoreTelemetry,
 }
 
 impl Clone for ShardedStore {
@@ -271,6 +305,7 @@ impl Clone for ShardedStore {
             shards: (0..self.shards.len())
                 .map(|s| RwLock::new(self.read_shard(s).clone()))
                 .collect(),
+            telemetry: StoreTelemetry::new(self.shards.len()),
         }
     }
 }
@@ -312,12 +347,14 @@ impl Deserialize for ShardedStore {
             .as_object()
             .ok_or_else(|| serde::json::Error::custom("ShardedStore: expected object"))?;
         let shards: Vec<StoreShard> = serde::json::field(pairs, "shards")?;
+        let telemetry = StoreTelemetry::new(shards.len());
         Ok(ShardedStore {
             dim: serde::json::field(pairs, "dim")?,
             metric: serde::json::field(pairs, "metric")?,
             config: serde::json::field(pairs, "config")?,
             n_classes: AtomicUsize::new(serde::json::field(pairs, "n_classes")?),
             shards: shards.into_iter().map(RwLock::new).collect(),
+            telemetry,
         })
     }
 }
@@ -346,6 +383,7 @@ impl ShardedStore {
             shards: (0..n_shards)
                 .map(|_| RwLock::new(StoreShard::empty(dim, metric, config)))
                 .collect(),
+            telemetry: StoreTelemetry::new(n_shards),
         }
     }
 
@@ -376,6 +414,7 @@ impl ShardedStore {
             store.note_class(label);
         }
         store.rebuild_indexes();
+        store.refresh_balance_gauges();
         store
     }
 
@@ -383,6 +422,14 @@ impl ShardedStore {
     /// store's invariants are maintained before any operation that
     /// could panic, so the data behind a poisoned lock is intact).
     fn read_shard(&self, s: usize) -> RwLockReadGuard<'_, StoreShard> {
+        if tlsfp_telemetry::enabled() {
+            tlsfp_telemetry::counter!(
+                "tlsfp_store_lock_acquisitions_total",
+                "Shard lock acquisitions, by kind",
+                "kind" => "read"
+            )
+            .inc();
+        }
         self.shards[s]
             .read()
             .unwrap_or_else(PoisonError::into_inner)
@@ -391,6 +438,14 @@ impl ShardedStore {
     /// The write guard for shard `s` (see [`ShardedStore::read_shard`]
     /// on poisoning).
     fn write_shard(&self, s: usize) -> RwLockWriteGuard<'_, StoreShard> {
+        if tlsfp_telemetry::enabled() {
+            tlsfp_telemetry::counter!(
+                "tlsfp_store_lock_acquisitions_total",
+                "Shard lock acquisitions, by kind",
+                "kind" => "write"
+            )
+            .inc();
+        }
         self.shards[s]
             .write()
             .unwrap_or_else(PoisonError::into_inner)
@@ -561,6 +616,7 @@ impl ShardedStore {
         shard.labels = labels.to_vec();
         shard.data = rows.data().to_vec();
         shard.rebuild(dim, metric, &config);
+        self.refresh_balance_gauges();
     }
 
     /// Adds one reference point, routing it to its class's shard. The
@@ -573,6 +629,13 @@ impl ShardedStore {
     ///
     /// Panics if `vector.len()` differs from the store's dimension.
     pub fn add_row(&self, class: usize, vector: &[f32]) {
+        let (s, rows_after) = self.add_row_inner(class, vector);
+        self.publish_mutation(s, rows_after);
+    }
+
+    /// The locked body of [`ShardedStore::add_row`], without the gauge
+    /// refresh — bulk ingestion loops over this and publishes once.
+    fn add_row_inner(&self, class: usize, vector: &[f32]) -> (usize, usize) {
         assert_eq!(vector.len(), self.dim, "vector dim mismatch");
         self.note_class(class);
         let s = self.shard_of(class);
@@ -581,6 +644,7 @@ impl ShardedStore {
         shard.labels.push(class);
         shard.data.extend_from_slice(vector);
         shard.index.0.as_dyn_mut().add(class, vector);
+        (s, shard.labels.len())
     }
 
     /// Adds many labeled rows, each routed to its class's shard (one
@@ -594,8 +658,10 @@ impl ShardedStore {
     pub fn add_rows(&self, labels: &[usize], rows: Rows<'_>) {
         assert_eq!(rows.len(), labels.len(), "one label per row");
         for (row, &label) in rows.iter().zip(labels) {
-            self.add_row(label, row);
+            self.add_row_inner(label, row);
         }
+        // One gauge refresh for the whole batch, not one per row.
+        self.refresh_balance_gauges();
     }
 
     /// Replaces every reference point of `class` with `rows` — the
@@ -618,15 +684,19 @@ impl ShardedStore {
         self.note_class(class);
         let s = self.shard_of(class);
         let dim = self.dim;
-        let mut guard = self.write_shard(s);
-        let shard = &mut *guard;
-        let removed =
-            crate::compact_remove_label(dim, class, &mut shard.labels, &mut shard.data, None);
-        for row in rows.iter() {
-            shard.labels.push(class);
-            shard.data.extend_from_slice(row);
-        }
-        shard.index.0.as_dyn_mut().swap_label(class, rows);
+        let (removed, rows_after) = {
+            let mut guard = self.write_shard(s);
+            let shard = &mut *guard;
+            let removed =
+                crate::compact_remove_label(dim, class, &mut shard.labels, &mut shard.data, None);
+            for row in rows.iter() {
+                shard.labels.push(class);
+                shard.data.extend_from_slice(row);
+            }
+            shard.index.0.as_dyn_mut().swap_label(class, rows);
+            (removed, shard.labels.len())
+        };
+        self.publish_mutation(s, rows_after);
         removed
     }
 
@@ -637,11 +707,15 @@ impl ShardedStore {
     pub fn remove_class(&self, class: usize) -> usize {
         let s = self.shard_of(class);
         let dim = self.dim;
-        let mut guard = self.write_shard(s);
-        let shard = &mut *guard;
-        let removed =
-            crate::compact_remove_label(dim, class, &mut shard.labels, &mut shard.data, None);
-        shard.index.0.as_dyn_mut().remove_label(class);
+        let (removed, rows_after) = {
+            let mut guard = self.write_shard(s);
+            let shard = &mut *guard;
+            let removed =
+                crate::compact_remove_label(dim, class, &mut shard.labels, &mut shard.data, None);
+            shard.index.0.as_dyn_mut().remove_label(class);
+            (removed, shard.labels.len())
+        };
+        self.publish_mutation(s, rows_after);
         removed
     }
 
@@ -652,6 +726,7 @@ impl ShardedStore {
     pub fn set_index(&mut self, config: IndexConfig) {
         self.config = config;
         self.rebuild_indexes();
+        self.refresh_balance_gauges();
     }
 
     /// Rebuilds shard `s` alone on a different backend, leaving the
@@ -669,6 +744,7 @@ impl ShardedStore {
     pub fn set_shard_index(&mut self, s: usize, config: &IndexConfig) {
         let (dim, metric) = (self.dim, self.metric);
         self.shard_mut(s).rebuild(dim, metric, config);
+        self.refresh_balance_gauges();
     }
 
     /// Re-partitions the store across a new shard count, re-routing
@@ -694,7 +770,16 @@ impl ShardedStore {
                 target.data.extend_from_slice(row);
             }
         }
+        // The old layout's per-shard gauges would otherwise keep
+        // reporting rows for shards that no longer exist.
+        if tlsfp_telemetry::enabled() {
+            for g in &self.telemetry.shard_rows {
+                g.set(0.0);
+            }
+        }
+        self.telemetry = StoreTelemetry::new(n_shards);
         self.rebuild_indexes();
+        self.refresh_balance_gauges();
     }
 
     fn rebuild_indexes(&mut self) {
@@ -708,7 +793,9 @@ impl ShardedStore {
 
     /// Shard-occupancy and (for IVF backends) aggregated inverted-list
     /// balance across every shard. Locks are taken one shard at a
-    /// time.
+    /// time. Allocation-free — one fold over the shards — so the
+    /// mutation paths can afford to republish the balance gauges after
+    /// every churn event.
     ///
     /// Every ratio here is total — an empty store, a drained shard
     /// (e.g. after [`ShardedStore::remove_class`] empties it) or an
@@ -723,22 +810,24 @@ impl ShardedStore {
         let mut total = 0usize;
         let mut listed_total = 0usize;
         let mut max = 0usize;
-        let mut lists: Vec<BalanceStats> = Vec::new();
+        let mut any_lists = false;
+        let mut n_lists = 0usize;
+        let mut max_list = 0usize;
         for s in 0..n_shards {
             let shard = self.read_shard(s);
             total += shard.labels.len();
             max = max.max(shard.labels.len());
             if let Some(stats) = shard.index.0.as_dyn().list_balance() {
+                any_lists = true;
                 listed_total += shard.labels.len();
-                lists.push(stats);
+                n_lists += stats.n_lists;
+                max_list = max_list.max(stats.max_list);
             }
         }
         let mean = total as f64 / n_shards.max(1) as f64;
-        let ivf_lists = if lists.is_empty() {
+        let ivf_lists = if !any_lists {
             None
         } else {
-            let n_lists: usize = lists.iter().map(|s| s.n_lists).sum();
-            let max_list = lists.iter().map(|s| s.max_list).max().unwrap_or(0);
             let mean_list = listed_total as f64 / n_lists.max(1) as f64;
             Some(BalanceStats {
                 n_lists,
@@ -758,6 +847,85 @@ impl ShardedStore {
             shard_skew: if mean > 0.0 { max as f64 / mean } else { 0.0 },
             ivf_lists,
         }
+    }
+
+    /// Republishes every per-shard row gauge and the store-level
+    /// balance gauges from the store's current state. Gauges are
+    /// pushed on mutation, so after a [`tlsfp_telemetry::reset`] they
+    /// stay zero until the next mutation touches their shard — call
+    /// this to seed a fresh measurement window. A no-op while
+    /// telemetry is disabled.
+    pub fn publish_telemetry(&self) {
+        self.refresh_balance_gauges();
+    }
+
+    /// Post-mutation telemetry for shard `s`: its row gauge, the
+    /// mutation counter, and the store-level balance gauges. Called
+    /// with **no shard lock held** (the balance walk re-takes each
+    /// shard's read lock); a no-op while telemetry is disabled, so the
+    /// serving path's work is identical either way.
+    fn publish_mutation(&self, s: usize, rows_after: usize) {
+        if !tlsfp_telemetry::enabled() {
+            return;
+        }
+        if let Some(g) = self.telemetry.shard_rows.get(s) {
+            g.set(rows_after as f64);
+        }
+        tlsfp_telemetry::counter!(
+            "tlsfp_store_mutations_total",
+            "Mutations applied to the sharded reference store"
+        )
+        .inc();
+        self.publish_balance_gauges();
+    }
+
+    /// Refreshes every per-shard row gauge plus the store-level
+    /// balance gauges — the bulk variant of
+    /// [`ShardedStore::publish_mutation`], used after whole-store
+    /// rebuilds and batched ingestion.
+    fn refresh_balance_gauges(&self) {
+        if !tlsfp_telemetry::enabled() {
+            return;
+        }
+        for (s, g) in self.telemetry.shard_rows.iter().enumerate() {
+            g.set(self.read_shard(s).labels.len() as f64);
+        }
+        self.publish_balance_gauges();
+    }
+
+    /// One allocation-free [`ShardedStore::balance_stats`] walk fanned
+    /// into the store-level gauges. `tlsfp_store_ivf_list_skew` reads
+    /// `0.0` when no shard serves IVF, matching the balance report's
+    /// never-NaN convention.
+    fn publish_balance_gauges(&self) {
+        let b = self.balance_stats();
+        tlsfp_telemetry::gauge!(
+            "tlsfp_store_shards",
+            "Shard count of the sharded reference store"
+        )
+        .set(b.n_shards as f64);
+        tlsfp_telemetry::gauge!(
+            "tlsfp_store_rows",
+            "Total reference rows across every shard"
+        )
+        .set(b.mean_shard * b.n_shards as f64);
+        tlsfp_telemetry::gauge!(
+            "tlsfp_store_max_shard_rows",
+            "Occupancy of the fullest shard"
+        )
+        .set(b.max_shard as f64);
+        tlsfp_telemetry::gauge!("tlsfp_store_mean_shard_rows", "Mean shard occupancy")
+            .set(b.mean_shard);
+        tlsfp_telemetry::gauge!(
+            "tlsfp_store_shard_skew",
+            "max_shard / mean_shard occupancy ratio; 1.0 is perfectly balanced"
+        )
+        .set(b.shard_skew);
+        tlsfp_telemetry::gauge!(
+            "tlsfp_store_ivf_list_skew",
+            "Aggregated IVF inverted-list skew across shards; 0 when no shard serves IVF"
+        )
+        .set(b.ivf_lists.map_or(0.0, |l| l.skew));
     }
 
     /// The store's rows concatenated shard-major into one owned buffer
@@ -787,6 +955,11 @@ impl ShardedStore {
     /// that fixed order, then sorts once under the `(dist, global id)`
     /// tie-break and truncates to `k`. Bit-identical output for every
     /// worker count by construction.
+    ///
+    /// This is also where the `backend="sharded"` query/eval counters
+    /// record — so they count multi-shard merged queries only. The
+    /// single-shard fast paths return the inner backend's result
+    /// untouched, and that backend's own counters cover them.
     fn merge_shard_results(&self, per_shard: Vec<SearchResult>, k: usize) -> SearchResult {
         let mut merged: Vec<Neighbor> = Vec::with_capacity(k * 2);
         let mut nearest = f32::INFINITY;
@@ -801,11 +974,13 @@ impl ShardedStore {
         }
         merged.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
         merged.truncate(k.max(1));
-        SearchResult {
+        let result = SearchResult {
             neighbors: merged,
             nearest,
             distance_evals: evals,
-        }
+        };
+        crate::record_backend_search!("sharded", result);
+        result
     }
 
     /// One query, fanned out across the shards by a pool of `workers`
@@ -818,9 +993,14 @@ impl ShardedStore {
         }
         let workers = resolve_workers(workers);
         let shard_ids: Vec<usize> = (0..self.shards.len()).collect();
-        let per_shard = map_elems(&shard_ids, workers, |&s| {
-            self.read_shard(s).index.0.as_dyn().search(query, k)
-        });
+        let per_shard = {
+            let _fanout = tlsfp_telemetry::stage_timer!("fanout");
+            map_elems(&shard_ids, workers, |&s| {
+                let _scan = tlsfp_telemetry::stage_timer!("shard_scan");
+                self.read_shard(s).index.0.as_dyn().search(query, k)
+            })
+        };
+        let _merge = tlsfp_telemetry::stage_timer!("merge");
         self.merge_shard_results(per_shard, k)
     }
 
@@ -849,15 +1029,20 @@ impl ShardedStore {
             return shard.index.0.as_dyn().search_batch(queries, k, workers);
         }
         let shard_ids: Vec<usize> = (0..self.shards.len()).collect();
-        let per_shard: Vec<Vec<SearchResult>> = map_elems(&shard_ids, workers, |&s| {
-            let shard = self.read_shard(s);
-            let index = shard.index.0.as_dyn();
-            queries.iter().map(|q| index.search(q, k)).collect()
-        });
+        let per_shard: Vec<Vec<SearchResult>> = {
+            let _fanout = tlsfp_telemetry::stage_timer!("fanout");
+            map_elems(&shard_ids, workers, |&s| {
+                let _scan = tlsfp_telemetry::stage_timer!("shard_scan");
+                let shard = self.read_shard(s);
+                let index = shard.index.0.as_dyn();
+                queries.iter().map(|q| index.search(q, k)).collect()
+            })
+        };
         // Ordered commit: `per_shard` is shard-major by construction
         // (map_elems preserves input order), so transposing and
         // merging per query consumes shard results in shard order no
         // matter which worker produced them, or when.
+        let _merge = tlsfp_telemetry::stage_timer!("merge");
         let mut columns: Vec<std::vec::IntoIter<SearchResult>> =
             per_shard.into_iter().map(|v| v.into_iter()).collect();
         (0..queries.len())

@@ -419,6 +419,21 @@ impl SequenceEmbedder {
                 x.channels()
             );
         }
+        // Telemetry is observation-only: nothing below branches on a
+        // recorded value, so embeddings are bit-identical with it on
+        // or off (the zero-perturbation contract).
+        let _span = tlsfp_telemetry::stage_timer!("embed");
+        if tlsfp_telemetry::enabled() {
+            tlsfp_telemetry::counter!(
+                "tlsfp_embed_batches_total",
+                "Batches through the fused embed engine"
+            )
+            .inc();
+            tlsfp_telemetry::counter!("tlsfp_embed_traces_total", "Traces embedded")
+                .add(xs.len() as u64);
+            tlsfp_telemetry::histogram!("tlsfp_embed_batch_size", "Traces per embed_batch call")
+                .observe(xs.len() as u64);
+        }
         let dim = self.config.output_size;
         if scratch.cached_version != Some(self.version) {
             self.lstm.gate_weights_t(&mut scratch.wt_lstm);
@@ -428,6 +443,19 @@ impl SequenceEmbedder {
             }
             self.output.weights_t(&mut scratch.wt_output);
             scratch.cached_version = Some(self.version);
+            if tlsfp_telemetry::enabled() {
+                tlsfp_telemetry::counter!(
+                    "tlsfp_embed_weight_cache_misses_total",
+                    "embed_batch calls that re-transposed the weights (scratch cache miss)"
+                )
+                .inc();
+            }
+        } else if tlsfp_telemetry::enabled() {
+            tlsfp_telemetry::counter!(
+                "tlsfp_embed_weight_cache_hits_total",
+                "embed_batch calls that reused the scratch's transposed weights"
+            )
+            .inc();
         }
         let n_workers = if scratch.threads == 0 {
             default_threads()

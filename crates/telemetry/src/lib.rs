@@ -1,0 +1,151 @@
+//! # tlsfp-telemetry — zero-perturbation runtime observability
+//!
+//! The serving stack (corpus → batched embedding → concurrent sharded
+//! store → open-world decision) emits its runtime signals through this
+//! crate: lock-free [`Counter`]s and [`Gauge`]s, fixed-boundary
+//! log₂-bucketed [`Histogram`]s, RAII [`StageTimer`]s around the
+//! serving stages, and a [`MetricsRegistry`] exportable as
+//! Prometheus-style text ([`MetricsRegistry::prometheus`]) or a serde
+//! JSON snapshot ([`MetricsRegistry::snapshot`]).
+//!
+//! Hand-rolled like the other offline shims — the build environment
+//! has no registry access — but shaped after the `prometheus` /
+//! `metrics` crates so a real exporter could slot in later.
+//!
+//! ## The zero-perturbation contract
+//!
+//! Telemetry is a **pure observer**. No computation on the serving
+//! path ever branches on a recorded value; the only thing gated by
+//! [`enabled`] is the *recording itself* (counter adds, gauge stores,
+//! `Instant::now` calls). Decisions, score bits and serialized
+//! snapshots are therefore bit-identical with telemetry on or off, at
+//! every worker count — pinned by the `telemetry_identity` tier-1
+//! test, and cheap enough (a relaxed atomic add per event) that the
+//! default mode is **enabled**.
+//!
+//! ## Process-wide semantics
+//!
+//! The [`global`] registry and the [`enabled`] flag are process-wide:
+//! every store, embedder and pipeline in the process records into the
+//! same metric handles (that is what an operator scraping one endpoint
+//! wants). Tests that assert on exact values should either use a
+//! standalone [`MetricsRegistry`] or tolerate concurrent recorders by
+//! asserting deltas.
+//!
+//! ## Recording from a hot path
+//!
+//! Call sites cache their handle in a per-site `OnceLock` via the
+//! [`counter!`] / [`gauge!`] / [`histogram!`] macros, so the steady
+//! state is one atomic load (the cache) plus one relaxed add — the
+//! registry lock is touched exactly once per call site:
+//!
+//! ```
+//! if tlsfp_telemetry::enabled() {
+//!     tlsfp_telemetry::counter!("doc_events_total", "Events served").inc();
+//! }
+//! let _span = tlsfp_telemetry::stage_timer!("doc_stage");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod registry;
+mod timer;
+
+pub use metrics::{
+    bucket_index, bucket_upper_edge, Counter, Gauge, Histogram, HistogramSnapshot, N_BUCKETS,
+    OVERFLOW_BUCKET, OVERFLOW_PERCENTILE_VALUE,
+};
+pub use registry::{Labels, MetricSnapshot, MetricValue, MetricsRegistry, RegistrySnapshot};
+pub use timer::StageTimer;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// The canonical stage-latency histogram name: one histogram per
+/// serving stage, labeled `stage=embed|fanout|shard_scan|merge|decide|
+/// calibrate` (see [`stage_timer!`]).
+pub const STAGE_HISTOGRAM: &str = "tlsfp_stage_duration_ns";
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether recording is on (default: `true` — the near-free enabled
+/// mode). Off skips counter adds, gauge stores and `Instant::now`
+/// calls; it never changes what the pipeline computes.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns recording on or off, process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The process-wide registry every instrumented crate records into.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Zeroes every metric in the [`global`] registry — a fresh
+/// measurement window (handles stay valid).
+pub fn reset() {
+    global().reset();
+}
+
+/// The [`global`] registry's counter for this call site, cached in a
+/// per-site `OnceLock`: `counter!(name, help)` or
+/// `counter!(name, help, "key" => "value", ...)` (labels must be
+/// string literals or `&'static str`s — dynamic labels go through
+/// [`MetricsRegistry::counter`] directly).
+#[macro_export]
+macro_rules! counter {
+    ($name:expr, $help:expr $(, $k:expr => $v:expr)* $(,)?) => {{
+        static CELL: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
+        ::std::sync::Arc::as_ref(CELL.get_or_init(|| {
+            $crate::global().counter($name, &[$(($k, $v)),*], $help)
+        }))
+    }};
+}
+
+/// Per-call-site cached gauge handle (see [`counter!`]).
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $help:expr $(, $k:expr => $v:expr)* $(,)?) => {{
+        static CELL: ::std::sync::OnceLock<::std::sync::Arc<$crate::Gauge>> =
+            ::std::sync::OnceLock::new();
+        ::std::sync::Arc::as_ref(CELL.get_or_init(|| {
+            $crate::global().gauge($name, &[$(($k, $v)),*], $help)
+        }))
+    }};
+}
+
+/// Per-call-site cached histogram handle (see [`counter!`]).
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $help:expr $(, $k:expr => $v:expr)* $(,)?) => {{
+        static CELL: ::std::sync::OnceLock<::std::sync::Arc<$crate::Histogram>> =
+            ::std::sync::OnceLock::new();
+        ::std::sync::Arc::as_ref(CELL.get_or_init(|| {
+            $crate::global().histogram($name, &[$(($k, $v)),*], $help)
+        }))
+    }};
+}
+
+/// An RAII span over the named serving stage, recording into the
+/// [`STAGE_HISTOGRAM`] with `stage=$stage`. Bind it to a named local
+/// (`let _span = ...`) — binding to `_` drops (and records)
+/// immediately.
+#[macro_export]
+macro_rules! stage_timer {
+    ($stage:expr) => {
+        $crate::StageTimer::start($crate::histogram!(
+            $crate::STAGE_HISTOGRAM,
+            "Wall-clock nanoseconds spent in each serving stage",
+            "stage" => $stage
+        ))
+    };
+}

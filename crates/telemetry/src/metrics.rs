@@ -1,0 +1,312 @@
+//! The three metric primitives: lock-free [`Counter`]s, [`Gauge`]s and
+//! fixed-boundary log₂-bucketed [`Histogram`]s.
+//!
+//! Everything here is a plain atomic cell (or an array of them): no
+//! locks, no allocation after construction, and every update is a
+//! handful of relaxed atomic operations — cheap enough to sit on the
+//! query hot path. Exact cross-thread totals are read through
+//! [`Histogram::snapshot`] / [`Counter::get`], which observe each cell
+//! independently; under concurrent updates a snapshot is a coherent
+//! per-cell read, not a global atomic cut — the standard contract for
+//! process metrics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of histogram buckets: upper edges `2^0 .. 2^38` plus one
+/// overflow (`+Inf`) bucket. With nanosecond observations the last
+/// finite edge is `2^38` ns ≈ 275 s — any serving-stage span fits.
+pub const N_BUCKETS: usize = 40;
+
+/// Index of the overflow (`+Inf`) bucket.
+pub const OVERFLOW_BUCKET: usize = N_BUCKETS - 1;
+
+/// The bucket holding `v`: bucket `i` covers `(2^(i-1), 2^i]`, bucket 0
+/// covers `[0, 1]`, and anything past `2^38` saturates into the
+/// overflow bucket. Branch-free apart from the two edge clamps.
+///
+/// ```
+/// use tlsfp_telemetry::bucket_index;
+/// assert_eq!(bucket_index(0), 0);
+/// assert_eq!(bucket_index(1), 0);
+/// assert_eq!(bucket_index(2), 1);
+/// assert_eq!(bucket_index(3), 2); // (2, 4]
+/// assert_eq!(bucket_index(u64::MAX), tlsfp_telemetry::OVERFLOW_BUCKET);
+/// ```
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        // ceil(log2(v)) for v >= 2.
+        let idx = (64 - (v - 1).leading_zeros()) as usize;
+        idx.min(OVERFLOW_BUCKET)
+    }
+}
+
+/// The inclusive upper edge of bucket `i` (`2^i`), or `None` for the
+/// overflow bucket.
+#[inline]
+pub fn bucket_upper_edge(i: usize) -> Option<u64> {
+    if i < OVERFLOW_BUCKET {
+        Some(1u64 << i)
+    } else {
+        None
+    }
+}
+
+/// The finite value the overflow bucket reports from
+/// [`HistogramSnapshot::percentile`]: `2^39`, one doubling past the
+/// last finite edge. Keeps percentile reports (and their JSON
+/// serialization) finite even when observations saturated the top
+/// bucket.
+pub const OVERFLOW_PERCENTILE_VALUE: f64 = (1u64 << 39) as f64;
+
+/// A monotonically increasing event count. All updates are relaxed
+/// atomic adds; reads see an eventually-consistent total.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (testing / fresh measurement windows).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time value (an `f64` stored as bits in one atomic cell).
+/// Last writer wins; that is the right semantic for "current shard
+/// occupancy"-style signals.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the current value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.set(0.0);
+    }
+}
+
+/// A fixed-boundary log₂-bucketed histogram over `u64` observations
+/// (typically nanoseconds, or dimensionless counts like batch sizes).
+///
+/// The boundaries are compiled in ([`N_BUCKETS`] buckets, upper edges
+/// `2^i`), so recording is one [`bucket_index`] computation plus three
+/// relaxed atomic adds — no locks, no allocation, and every histogram
+/// in the process is mergeable with every other
+/// ([`HistogramSnapshot::merge`]).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// An owned copy of the current state, for export and percentile
+    /// math. Per-cell relaxed reads: coherent per bucket, not a global
+    /// atomic cut.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every bucket, the count and the sum to zero.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An owned, serializable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts ([`N_BUCKETS`] entries, the last
+    /// one the overflow bucket).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (wrapping at `u64::MAX`).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (identity element of [`HistogramSnapshot::merge`]).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Folds `other` into `self` bucket-by-bucket. Because boundaries
+    /// are fixed crate-wide, merging is exact, commutative and
+    /// associative — per-worker histograms can be combined in any
+    /// order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Mean observed value (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `p`-th percentile (`0 < p <= 100`) under the nearest-rank
+    /// convention, reported as the upper edge of the bucket holding
+    /// that rank — an upper bound with at most one doubling of error,
+    /// the standard accuracy of log₂ buckets. The overflow bucket
+    /// reports the finite [`OVERFLOW_PERCENTILE_VALUE`]. Returns `0.0`
+    /// for an empty histogram.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(self.count);
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= rank {
+                return match bucket_upper_edge(i) {
+                    Some(edge) => edge as f64,
+                    None => OVERFLOW_PERCENTILE_VALUE,
+                };
+            }
+        }
+        OVERFLOW_PERCENTILE_VALUE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_cover_the_line() {
+        // Every value lands in exactly one bucket whose range holds it.
+        for v in [0u64, 1, 2, 3, 4, 5, 7, 8, 9, 1023, 1024, 1025] {
+            let i = bucket_index(v);
+            if let Some(hi) = bucket_upper_edge(i) {
+                assert!(v <= hi, "{v} above its bucket edge {hi}");
+                if i > 0 {
+                    let lo = bucket_upper_edge(i - 1).unwrap();
+                    assert!(v > lo, "{v} not above the previous edge {lo}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn observe_snapshot_round_trip() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 1000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1006);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 4);
+    }
+}

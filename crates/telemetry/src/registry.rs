@@ -1,0 +1,351 @@
+//! The [`MetricsRegistry`]: named, labeled metric handles with two
+//! exporters — Prometheus-style text exposition and a serde JSON
+//! snapshot.
+//!
+//! Registration (`counter` / `gauge` / `histogram`) is get-or-create
+//! keyed on `(name, labels)` and hands back an `Arc` handle; hot paths
+//! cache the handle (the [`crate::counter!`]-family macros do it in a
+//! per-call-site `OnceLock`) so recording never touches the registry
+//! lock. Exports walk the registry under a read lock and read each
+//! metric's atomics — they never block writers of *other* metrics and
+//! never pause recording.
+
+use std::sync::{Arc, PoisonError, RwLock};
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{bucket_upper_edge, Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// Label pairs as owned strings, sorted order preserved from the
+/// registration site (labels are part of the metric's identity, so
+/// call sites must pass them in a consistent order).
+pub type Labels = Vec<(String, String)>;
+
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Handle {
+    fn kind(&self) -> &'static str {
+        match self {
+            Handle::Counter(_) => "counter",
+            Handle::Gauge(_) => "gauge",
+            Handle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Entry {
+    name: String,
+    labels: Labels,
+    help: String,
+    handle: Handle,
+}
+
+/// A process-local metrics registry. The crate exposes one global
+/// instance through [`crate::global`]; standalone instances are for
+/// tests and embedded use.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    entries: RwLock<Vec<Entry>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn locate(entries: &[Entry], name: &str, labels: &[(&str, &str)]) -> Option<usize> {
+        entries.iter().position(|e| {
+            e.name == name
+                && e.labels.len() == labels.len()
+                && e.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((ek, ev), (k, v))| ek == k && ev == v)
+        })
+    }
+
+    fn get_or_insert<T>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        as_kind: impl Fn(&Handle) -> Option<Arc<T>>,
+        make: impl FnOnce() -> (Arc<T>, Handle),
+    ) -> Arc<T> {
+        let mismatch = |h: &Handle| -> ! {
+            panic!(
+                "metric {name:?} already registered as a {}, requested with a different kind",
+                h.kind()
+            )
+        };
+        {
+            let entries = self.entries.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(i) = Self::locate(&entries, name, labels) {
+                return as_kind(&entries[i].handle).unwrap_or_else(|| mismatch(&entries[i].handle));
+            }
+        }
+        let mut entries = self.entries.write().unwrap_or_else(PoisonError::into_inner);
+        // Re-check under the write lock: another thread may have
+        // registered between our read and write acquisitions.
+        if let Some(i) = Self::locate(&entries, name, labels) {
+            return as_kind(&entries[i].handle).unwrap_or_else(|| mismatch(&entries[i].handle));
+        }
+        let (arc, handle) = make();
+        entries.push(Entry {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            help: help.to_string(),
+            handle,
+        });
+        arc
+    }
+
+    /// The counter named `name` with these labels, registering it (with
+    /// `help`) on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(name, labels)` is already registered as a different
+    /// metric kind — a programming error, not a runtime condition.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            labels,
+            help,
+            |h| match h {
+                Handle::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            || {
+                let arc = Arc::new(Counter::new());
+                (Arc::clone(&arc), Handle::Counter(arc))
+            },
+        )
+    }
+
+    /// The gauge named `name` with these labels (see
+    /// [`MetricsRegistry::counter`] for the get-or-create and panic
+    /// contract).
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            labels,
+            help,
+            |h| match h {
+                Handle::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+            || {
+                let arc = Arc::new(Gauge::new());
+                (Arc::clone(&arc), Handle::Gauge(arc))
+            },
+        )
+    }
+
+    /// The histogram named `name` with these labels (see
+    /// [`MetricsRegistry::counter`] for the get-or-create and panic
+    /// contract).
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            labels,
+            help,
+            |h| match h {
+                Handle::Histogram(hh) => Some(Arc::clone(hh)),
+                _ => None,
+            },
+            || {
+                let arc = Arc::new(Histogram::new());
+                (Arc::clone(&arc), Handle::Histogram(arc))
+            },
+        )
+    }
+
+    /// Zeroes every registered metric (counters and gauges to 0,
+    /// histograms emptied). Handles stay valid — this opens a fresh
+    /// measurement window, it does not unregister anything.
+    pub fn reset(&self) {
+        let entries = self.entries.read().unwrap_or_else(PoisonError::into_inner);
+        for e in entries.iter() {
+            match &e.handle {
+                Handle::Counter(c) => c.reset(),
+                Handle::Gauge(g) => g.reset(),
+                Handle::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// An owned, serializable snapshot of every registered metric,
+    /// sorted by `(name, labels)` so output is deterministic whatever
+    /// the registration order.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let entries = self.entries.read().unwrap_or_else(PoisonError::into_inner);
+        let mut metrics: Vec<MetricSnapshot> = entries
+            .iter()
+            .map(|e| MetricSnapshot {
+                name: e.name.clone(),
+                labels: e.labels.clone(),
+                help: e.help.clone(),
+                value: match &e.handle {
+                    Handle::Counter(c) => MetricValue::Counter(c.get()),
+                    Handle::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Handle::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        metrics.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| a.labels.cmp(&b.labels)));
+        RegistrySnapshot { metrics }
+    }
+
+    /// Prometheus-style text exposition of every registered metric:
+    /// `# HELP` / `# TYPE` once per metric name, histograms expanded
+    /// into cumulative `_bucket{le=...}` series plus `_sum` / `_count`.
+    /// Deterministically ordered (same sort as
+    /// [`MetricsRegistry::snapshot`]).
+    pub fn prometheus(&self) -> String {
+        self.snapshot().prometheus()
+    }
+}
+
+/// One exported metric: identity, help text and current value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSnapshot {
+    /// Metric name (e.g. `tlsfp_stage_duration_ns`).
+    pub name: String,
+    /// Label pairs, in registration order.
+    pub labels: Labels,
+    /// Help text from the registration site.
+    pub help: String,
+    /// The value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// A snapshot-time metric value, tagged by kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MetricValue {
+    /// A counter total.
+    Counter(u64),
+    /// A gauge reading.
+    Gauge(f64),
+    /// A full histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// An owned snapshot of a whole registry — serializable, diffable and
+/// the input to the text exposition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// Every metric, sorted by `(name, labels)`.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+fn label_block(labels: &Labels, extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+impl RegistrySnapshot {
+    /// The counter total for `(name, labels)`, if registered.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match &self.find(name, labels)?.value {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The gauge reading for `(name, labels)`, if registered.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match &self.find(name, labels)?.value {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram state for `(name, labels)`, if registered.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        match &self.find(name, labels)?.value {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricSnapshot> {
+        self.metrics.iter().find(|m| {
+            m.name == name
+                && m.labels.len() == labels.len()
+                && m.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((mk, mv), (k, v))| mk == k && mv == v)
+        })
+    }
+
+    /// Renders the snapshot in Prometheus text-exposition style.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for m in &self.metrics {
+            let kind = match &m.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+            };
+            if last_name != Some(m.name.as_str()) {
+                out.push_str(&format!("# HELP {} {}\n", m.name, m.help));
+                out.push_str(&format!("# TYPE {} {}\n", m.name, kind));
+                last_name = Some(m.name.as_str());
+            }
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{}{} {v}\n", m.name, label_block(&m.labels, None)));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{}{} {v}\n", m.name, label_block(&m.labels, None)));
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (i, &b) in h.buckets.iter().enumerate() {
+                        cum += b;
+                        let le = match bucket_upper_edge(i) {
+                            Some(edge) => edge.to_string(),
+                            None => "+Inf".to_string(),
+                        };
+                        out.push_str(&format!(
+                            "{}_bucket{} {cum}\n",
+                            m.name,
+                            label_block(&m.labels, Some(("le", &le)))
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        m.name,
+                        label_block(&m.labels, None),
+                        h.sum
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        m.name,
+                        label_block(&m.labels, None),
+                        h.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,50 @@
+//! RAII stage timers: a guard that records its scope's wall-clock
+//! duration (nanoseconds) into a [`Histogram`] on drop.
+
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// Times a scope and records the elapsed nanoseconds into a histogram
+/// when dropped. When telemetry is disabled ([`crate::enabled`] is
+/// `false`) at construction, the guard holds no start instant —
+/// `Instant::now()` is never called and drop records nothing, so a
+/// disabled pipeline pays two branches per span and nothing else.
+///
+/// ```
+/// let h = tlsfp_telemetry::Histogram::new();
+/// {
+///     let _span = tlsfp_telemetry::StageTimer::start(&h);
+///     // ... timed work ...
+/// }
+/// assert_eq!(h.count(), 1);
+/// ```
+#[must_use = "a StageTimer records on drop; binding it to _ drops immediately"]
+pub struct StageTimer<'a> {
+    hist: &'a Histogram,
+    start: Option<Instant>,
+}
+
+impl<'a> StageTimer<'a> {
+    /// Starts a span against `hist` (no-op guard when telemetry is
+    /// disabled).
+    pub fn start(hist: &'a Histogram) -> Self {
+        StageTimer {
+            hist,
+            start: crate::enabled().then(Instant::now),
+        }
+    }
+
+    /// Ends the span now, recording the elapsed time (equivalent to
+    /// dropping the guard, but explicit at the call site).
+    pub fn stop(self) {}
+}
+
+impl Drop for StageTimer<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.hist.observe(nanos);
+        }
+    }
+}

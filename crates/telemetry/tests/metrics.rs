@@ -1,0 +1,231 @@
+//! Histogram bucket-boundary units, merge associativity, and registry
+//! snapshot serde round-trips. Everything here uses standalone
+//! `MetricsRegistry` instances (never the global one), so parallel test
+//! execution cannot perturb the asserted values.
+
+use tlsfp_telemetry::{
+    bucket_index, bucket_upper_edge, Histogram, HistogramSnapshot, MetricValue, MetricsRegistry,
+    RegistrySnapshot, StageTimer, N_BUCKETS, OVERFLOW_BUCKET, OVERFLOW_PERCENTILE_VALUE,
+};
+
+#[test]
+fn values_at_below_and_above_every_log2_edge() {
+    // Bucket i's inclusive upper edge is 2^i; the value just above it
+    // must land in bucket i+1, the edge itself and the value just below
+    // in bucket i.
+    for i in 0..OVERFLOW_BUCKET {
+        let edge = bucket_upper_edge(i).expect("finite bucket");
+        assert_eq!(bucket_index(edge), i, "edge {edge} not in its own bucket");
+        // Just below the edge: still bucket i, except the tiny cases
+        // where the decrement crosses into the shared [0, 1] bucket.
+        let below_expected = if edge <= 2 { 0 } else { i };
+        assert_eq!(
+            bucket_index(edge.saturating_sub(1)),
+            below_expected,
+            "below-edge value misplaced for edge {edge}"
+        );
+        assert_eq!(
+            bucket_index(edge + 1),
+            (i + 1).min(OVERFLOW_BUCKET),
+            "above-edge value misplaced for edge {edge}"
+        );
+    }
+}
+
+#[test]
+fn below_edge_values_stay_in_bucket() {
+    // For every bucket past the first, the previous edge + 1 is the
+    // bucket's smallest member.
+    for i in 1..OVERFLOW_BUCKET {
+        let lo = bucket_upper_edge(i - 1).unwrap();
+        assert_eq!(bucket_index(lo + 1), i, "lower boundary of bucket {i}");
+    }
+    // Zero and one share the first bucket.
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(1), 0);
+}
+
+#[test]
+fn top_bucket_saturates() {
+    let last_edge = bucket_upper_edge(OVERFLOW_BUCKET - 1).unwrap();
+    for v in [last_edge + 1, last_edge * 2, u64::MAX] {
+        assert_eq!(bucket_index(v), OVERFLOW_BUCKET, "{v} must saturate");
+    }
+    let h = Histogram::new();
+    h.observe(u64::MAX);
+    let s = h.snapshot();
+    assert_eq!(s.buckets[OVERFLOW_BUCKET], 1);
+    assert_eq!(s.percentile(50.0), OVERFLOW_PERCENTILE_VALUE);
+}
+
+#[test]
+fn merge_is_associative_and_commutative() {
+    let mk = |vals: &[u64]| {
+        let h = Histogram::new();
+        for &v in vals {
+            h.observe(v);
+        }
+        h.snapshot()
+    };
+    let a = mk(&[1, 5, 900]);
+    let b = mk(&[2, 2, 1 << 20]);
+    let c = mk(&[u64::MAX, 0, 17]);
+
+    // (a + b) + c == a + (b + c)
+    let mut ab = a.clone();
+    ab.merge(&b);
+    let mut ab_c = ab.clone();
+    ab_c.merge(&c);
+    let mut bc = b.clone();
+    bc.merge(&c);
+    let mut a_bc = a.clone();
+    a_bc.merge(&bc);
+    assert_eq!(ab_c, a_bc, "merge must be associative");
+
+    // a + b == b + a
+    let mut ba = b.clone();
+    ba.merge(&a);
+    assert_eq!(ab, ba, "merge must be commutative");
+
+    // Identity element.
+    let mut a_id = a.clone();
+    a_id.merge(&HistogramSnapshot::empty());
+    assert_eq!(a_id, a);
+    assert_eq!(ab_c.count, 9);
+}
+
+#[test]
+fn percentiles_follow_nearest_rank_on_bucket_edges() {
+    let h = Histogram::new();
+    // 90 fast observations in (2, 4], 10 slow in (512, 1024].
+    for _ in 0..90 {
+        h.observe(3);
+    }
+    for _ in 0..10 {
+        h.observe(1000);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.count, 100);
+    assert_eq!(s.percentile(50.0), 4.0);
+    assert_eq!(s.percentile(90.0), 4.0);
+    assert_eq!(s.percentile(91.0), 1024.0);
+    assert_eq!(s.percentile(99.0), 1024.0);
+    assert_eq!(s.percentile(100.0), 1024.0);
+    assert!((s.mean() - (90.0 * 3.0 + 10.0 * 1000.0) / 100.0).abs() < 1e-9);
+    // Empty histograms report 0, never NaN.
+    assert_eq!(HistogramSnapshot::empty().percentile(99.0), 0.0);
+}
+
+#[test]
+fn registry_snapshot_serde_round_trip() {
+    let reg = MetricsRegistry::new();
+    reg.counter("events_total", &[("kind", "a")], "Events by kind")
+        .add(7);
+    reg.counter("events_total", &[("kind", "b")], "Events by kind")
+        .add(2);
+    reg.gauge("occupancy", &[], "Current occupancy").set(41.5);
+    let h = reg.histogram("latency_ns", &[("stage", "scan")], "Stage latency");
+    h.observe(100);
+    h.observe(1 << 30);
+
+    let snap = reg.snapshot();
+    let json = serde_json::to_string(&snap).expect("snapshot serializes");
+    let back: RegistrySnapshot = serde_json::from_str(&json).expect("snapshot deserializes");
+    assert_eq!(back, snap, "serde round trip must be lossless");
+
+    // Typed accessors resolve by (name, labels).
+    assert_eq!(back.counter("events_total", &[("kind", "a")]), Some(7));
+    assert_eq!(back.counter("events_total", &[("kind", "b")]), Some(2));
+    assert_eq!(back.gauge("occupancy", &[]), Some(41.5));
+    let hist = back
+        .histogram("latency_ns", &[("stage", "scan")])
+        .expect("histogram present");
+    assert_eq!(hist.count, 2);
+    assert_eq!(back.counter("missing", &[]), None);
+}
+
+#[test]
+fn registry_dedupes_handles_and_resets() {
+    let reg = MetricsRegistry::new();
+    let a = reg.counter("hits_total", &[], "Hits");
+    let b = reg.counter("hits_total", &[], "Hits");
+    a.inc();
+    b.add(4);
+    assert_eq!(a.get(), 5, "both handles alias one counter");
+    // Different labels are a different series.
+    let c = reg.counter("hits_total", &[("shard", "0")], "Hits");
+    c.inc();
+    assert_eq!(a.get(), 5);
+    assert_eq!(
+        reg.snapshot().counter("hits_total", &[("shard", "0")]),
+        Some(1)
+    );
+
+    reg.reset();
+    assert_eq!(a.get(), 0, "reset zeroes without unregistering");
+    a.inc();
+    assert_eq!(reg.snapshot().counter("hits_total", &[]), Some(1));
+}
+
+#[test]
+fn prometheus_exposition_shape() {
+    let reg = MetricsRegistry::new();
+    reg.counter("requests_total", &[("code", "200")], "Requests by status")
+        .add(3);
+    reg.gauge("depth", &[], "Queue depth").set(2.0);
+    let h = reg.histogram("dur_ns", &[], "Duration");
+    h.observe(1);
+    h.observe(3);
+
+    let text = reg.prometheus();
+    assert!(text.contains("# HELP requests_total Requests by status\n"));
+    assert!(text.contains("# TYPE requests_total counter\n"));
+    assert!(text.contains("requests_total{code=\"200\"} 3\n"));
+    assert!(text.contains("# TYPE depth gauge\n"));
+    assert!(text.contains("depth 2\n"));
+    assert!(text.contains("# TYPE dur_ns histogram\n"));
+    // Cumulative buckets: the le="1" bucket holds 1, le="2" still 1,
+    // le="4" both, and +Inf always equals the count.
+    assert!(text.contains("dur_ns_bucket{le=\"1\"} 1\n"));
+    assert!(text.contains("dur_ns_bucket{le=\"2\"} 1\n"));
+    assert!(text.contains("dur_ns_bucket{le=\"4\"} 2\n"));
+    assert!(text.contains("dur_ns_bucket{le=\"+Inf\"} 2\n"));
+    assert!(text.contains("dur_ns_sum 4\n"));
+    assert!(text.contains("dur_ns_count 2\n"));
+}
+
+#[test]
+fn snapshot_value_kinds_are_tagged() {
+    let reg = MetricsRegistry::new();
+    reg.counter("c", &[], "c").inc();
+    reg.gauge("g", &[], "g").set(1.0);
+    reg.histogram("h", &[], "h").observe(1);
+    let snap = reg.snapshot();
+    assert_eq!(snap.metrics.len(), 3);
+    // Snapshot sorts by name: c, g, h.
+    let kinds: Vec<&'static str> = snap
+        .metrics
+        .iter()
+        .map(|m| match m.value {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        })
+        .collect();
+    assert_eq!(kinds, ["counter", "gauge", "histogram"]);
+}
+
+#[test]
+fn stage_timer_records_only_when_enabled() {
+    let h = Histogram::new();
+    {
+        let _span = StageTimer::start(&h);
+        std::hint::black_box(0u64);
+    }
+    assert_eq!(h.count(), 1, "enabled span records once");
+    let s = h.snapshot();
+    assert_eq!(s.buckets.len(), N_BUCKETS);
+    // The disabled path is covered by the serving-path identity test
+    // (tests/telemetry.rs at the workspace root), which owns the global
+    // enabled flag; flipping it here would race parallel tests.
+}

@@ -21,6 +21,10 @@
 //!   defenses.
 //! - [`baselines`] — k-fingerprinting, Deep-Fingerprinting-lite, HMM
 //!   journey decoding and the operational-cost framework.
+//! - [`telemetry`] — zero-perturbation runtime observability: stage
+//!   timers, per-shard gauges, query histograms and an exportable
+//!   metrics registry wired through the whole serving path
+//!   (Prometheus text exposition + JSON snapshots).
 //!
 //! ## Quickstart
 //!
@@ -54,5 +58,6 @@ pub use tlsfp_core as core;
 pub use tlsfp_index as index;
 pub use tlsfp_net as net;
 pub use tlsfp_nn as nn;
+pub use tlsfp_telemetry as telemetry;
 pub use tlsfp_trace as trace;
 pub use tlsfp_web as web;

@@ -1,0 +1,254 @@
+//! Telemetry regression tests: the observability layer must be a pure
+//! observer. Decisions, score bits and open-world reports are
+//! bit-identical with recording on or off, at every worker count; the
+//! gauges/counters themselves track store state and churn faithfully.
+//!
+//! The enabled flag and the registry are process-wide, so every test
+//! here serializes on one mutex and restores recording on exit (other
+//! test binaries never toggle the flag).
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use tlsfp::index::sharded::ShardedStore;
+use tlsfp::index::{IndexConfig, Metric, Rows};
+
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds the telemetry lock and restores recording on drop — a panic
+/// mid-test cannot leak a disabled flag into later tests.
+struct FlagGuard<'a> {
+    _lock: MutexGuard<'a, ()>,
+}
+
+impl FlagGuard<'_> {
+    fn acquire() -> Self {
+        FlagGuard {
+            _lock: TELEMETRY_LOCK
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+}
+
+impl Drop for FlagGuard<'_> {
+    fn drop(&mut self) {
+        tlsfp::telemetry::set_enabled(true);
+    }
+}
+
+/// Clustered labeled rows: `classes` groups of `per_class` points.
+fn clustered(classes: usize, per_class: usize, dim: usize) -> (Vec<f32>, Vec<usize>) {
+    let mut data = Vec::new();
+    let mut labels = Vec::new();
+    for c in 0..classes {
+        for j in 0..per_class {
+            for d in 0..dim {
+                data.push(c as f32 * 3.0 + j as f32 * 0.01 + d as f32 * 0.001);
+            }
+            labels.push(c);
+        }
+    }
+    (data, labels)
+}
+
+/// The acceptance-criteria pin: the full serving path — calibration,
+/// closed-world ranking, score bits, open-world accept/reject and the
+/// evaluation report — produces the same bits with telemetry on and
+/// off, at query workers 1, 4 and 0 (auto).
+#[test]
+fn decisions_and_scores_bit_identical_with_telemetry_on_and_off() {
+    // Build fixtures before taking the flag lock: provisioning applies
+    // the config's own (enabled) telemetry knob.
+    let adversary = tlsfp_testkit::tiny_adversary();
+    let profiles = tlsfp_testkit::Profile::ALL;
+    let ds = tlsfp_testkit::open_world_profile_dataset(profiles[0]);
+    let (reference, test) = ds.split_per_class(0.25, tlsfp_testkit::SEED);
+    let unmonitored = tlsfp_testkit::open_world_profile_dataset(profiles[1])
+        .split_per_class(0.25, tlsfp_testkit::SEED)
+        .1;
+
+    let mut fp = adversary.clone();
+    fp.set_shards(4);
+    fp.set_reference(&reference)
+        .expect("profile reference fits");
+
+    let _guard = FlagGuard::acquire();
+    let mut outcomes = Vec::new();
+    for telemetry_on in [true, false] {
+        tlsfp::telemetry::set_enabled(telemetry_on);
+        let threshold = fp
+            .calibrate_rejection_threshold(&test, 90.0)
+            .expect("calibration on non-empty test split");
+        for workers in [1usize, 4, 0] {
+            let mut fp_w = fp.clone();
+            fp_w.set_query_workers(workers);
+            let decisions = fp_w.fingerprint_all(&test);
+            let scored = fp_w.fingerprint_with_score_all(&test);
+            let score_bits: Vec<u32> = scored.iter().map(|sp| sp.score.to_bits()).collect();
+            let accepts: Vec<bool> = scored.iter().map(|sp| sp.accepted(threshold)).collect();
+            let report = fp_w.evaluate_open_world(&test, &unmonitored, threshold);
+            outcomes.push((
+                telemetry_on,
+                workers,
+                threshold.to_bits(),
+                decisions,
+                score_bits,
+                accepts,
+                report,
+            ));
+        }
+    }
+    let baseline = &outcomes[0];
+    for (on, workers, threshold_bits, decisions, score_bits, accepts, report) in &outcomes[1..] {
+        let at = format!("telemetry={on} workers={workers}");
+        assert_eq!(
+            threshold_bits, &baseline.2,
+            "{at}: calibrated threshold bits changed"
+        );
+        assert_eq!(
+            decisions, &baseline.3,
+            "{at}: closed-world decisions changed"
+        );
+        assert_eq!(score_bits, &baseline.4, "{at}: score bits changed");
+        assert_eq!(
+            accepts, &baseline.5,
+            "{at}: open-world accept/reject changed"
+        );
+        assert_eq!(report, &baseline.6, "{at}: open-world report changed");
+    }
+}
+
+/// Per-shard row gauges, the store-level balance gauges and the
+/// mutation counter all move with churn, and both exporters carry
+/// them.
+#[test]
+fn shard_gauges_track_churn_and_export() {
+    let _guard = FlagGuard::acquire();
+    tlsfp::telemetry::set_enabled(true);
+
+    let (data, labels) = clustered(6, 4, 2);
+    let store = ShardedStore::build(
+        &IndexConfig::Flat,
+        Metric::Euclidean,
+        Rows::new(2, &data),
+        &labels,
+        6,
+        3,
+    );
+    let snap = tlsfp::telemetry::global().snapshot();
+    for s in 0..3 {
+        assert_eq!(
+            snap.gauge("tlsfp_shard_rows", &[("shard", &s.to_string())]),
+            Some(store.shard_len(s) as f64),
+            "shard {s} row gauge after build"
+        );
+    }
+    assert_eq!(
+        snap.gauge("tlsfp_store_rows", &[]),
+        Some(store.len() as f64)
+    );
+    assert_eq!(snap.gauge("tlsfp_store_shards", &[]), Some(3.0));
+
+    // Class 4 lives on shard 1 (4 % 3); removing it drains 4 rows from
+    // that shard's gauge and bumps the mutation counter.
+    let mutations_before = snap
+        .counter("tlsfp_store_mutations_total", &[])
+        .unwrap_or(0);
+    assert_eq!(store.remove_class(4), 4);
+    let snap = tlsfp::telemetry::global().snapshot();
+    assert_eq!(
+        snap.gauge("tlsfp_shard_rows", &[("shard", "1")]),
+        Some(store.shard_len(1) as f64),
+        "shard 1 gauge follows remove_class"
+    );
+    assert_eq!(
+        snap.gauge("tlsfp_store_rows", &[]),
+        Some(store.len() as f64)
+    );
+    assert!(
+        snap.counter("tlsfp_store_mutations_total", &[])
+            .unwrap_or(0)
+            > mutations_before,
+        "mutation counter did not advance"
+    );
+    assert!(
+        snap.gauge("tlsfp_store_shard_skew", &[]).unwrap_or(0.0) >= 1.0,
+        "skew gauge should report >= 1.0 on a populated store"
+    );
+
+    // Serving through the concurrent front door records the sharded
+    // backend counters and the fan-out stage spans.
+    let queries: Vec<Vec<f32>> = (0..6).map(|c| vec![c as f32 * 3.0 + 0.004; 2]).collect();
+    let before = tlsfp::telemetry::global().snapshot();
+    let sharded_before = before
+        .counter("tlsfp_queries_total", &[("backend", "sharded")])
+        .unwrap_or(0);
+    let results = store.search_batch_concurrent(&queries, 3, 2);
+    assert_eq!(results.len(), queries.len());
+    let after = tlsfp::telemetry::global().snapshot();
+    assert_eq!(
+        after
+            .counter("tlsfp_queries_total", &[("backend", "sharded")])
+            .unwrap_or(0),
+        sharded_before + queries.len() as u64,
+        "one merged sharded query per trace"
+    );
+    let fanout = after
+        .histogram("tlsfp_stage_duration_ns", &[("stage", "fanout")])
+        .expect("fan-out stage span recorded");
+    assert!(fanout.count > 0);
+
+    // Both exporters carry the gauges.
+    let text = after.prometheus();
+    assert!(text.contains("# TYPE tlsfp_shard_rows gauge"));
+    assert!(text.contains("tlsfp_store_shard_skew"));
+    let json = serde_json::to_string(&after).expect("snapshot serializes");
+    assert!(json.contains("tlsfp_shard_rows"));
+}
+
+/// With recording off, the serving path still works but nothing lands
+/// in the registry — values stay wherever they were (here: zero, after
+/// a reset).
+#[test]
+fn disabled_telemetry_records_nothing() {
+    let _guard = FlagGuard::acquire();
+    tlsfp::telemetry::set_enabled(false);
+    tlsfp::telemetry::reset();
+
+    let (data, labels) = clustered(4, 3, 2);
+    let store = ShardedStore::build(
+        &IndexConfig::Flat,
+        Metric::Euclidean,
+        Rows::new(2, &data),
+        &labels,
+        4,
+        2,
+    );
+    store.remove_class(3);
+    let queries: Vec<Vec<f32>> = (0..4).map(|c| vec![c as f32 * 3.0; 2]).collect();
+    let results = store.search_batch_concurrent(&queries, 2, 2);
+    assert_eq!(results.len(), queries.len(), "serving path unaffected");
+
+    let snap = tlsfp::telemetry::global().snapshot();
+    assert_eq!(
+        snap.counter("tlsfp_store_mutations_total", &[])
+            .unwrap_or(0),
+        0,
+        "mutation counter recorded while disabled"
+    );
+    assert_eq!(
+        snap.counter("tlsfp_queries_total", &[("backend", "sharded")])
+            .unwrap_or(0),
+        0,
+        "query counter recorded while disabled"
+    );
+    assert_eq!(
+        snap.gauge("tlsfp_shard_rows", &[("shard", "0")])
+            .unwrap_or(0.0),
+        0.0,
+        "shard gauge recorded while disabled"
+    );
+    if let Some(h) = snap.histogram("tlsfp_stage_duration_ns", &[("stage", "fanout")]) {
+        assert_eq!(h.count, 0, "stage span recorded while disabled");
+    }
+}
