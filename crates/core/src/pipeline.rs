@@ -59,6 +59,14 @@ pub struct PipelineConfig {
     /// shard-major fan-out and ordered-commit merge guarantee it (see
     /// the `tlsfp_index::sharded` module docs).
     pub query_workers: usize,
+    /// Queries per blocked-scan block on the batch query paths (`0` =
+    /// auto: the batch split evenly across the query workers, capped at
+    /// 64). Each block shares one pass over every shard's rows — the
+    /// cache-blocked scan kernels — so larger blocks amortize memory
+    /// bandwidth, smaller blocks expose more parallelism. Results are
+    /// **bit-identical at every value**; the knob only moves the
+    /// amortization/parallelism trade-off.
+    pub query_block: usize,
     /// Nearest-neighbor index backend each shard serves from. The
     /// default [`IndexConfig::Flat`] keeps every decision bit-identical
     /// to an exhaustive reference scan; [`IndexConfig::ivf_default`]
@@ -105,6 +113,7 @@ impl PipelineConfig {
             k: 250,
             threads: 0,
             query_workers: 0,
+            query_block: 0,
             index: IndexConfig::Flat,
             shards: 1,
             telemetry: true,
@@ -133,6 +142,7 @@ impl PipelineConfig {
             k: 15,
             threads: 0,
             query_workers: 0,
+            query_block: 0,
             index: IndexConfig::Flat,
             shards: 1,
             telemetry: true,
@@ -169,6 +179,10 @@ pub struct AdaptiveFingerprinter {
     /// Worker-pool size for the concurrent shard fan-out on the query
     /// paths (`0` = auto). Never changes a decision.
     query_workers: usize,
+    /// Queries per blocked-scan block on the batch query paths
+    /// (`0` = auto). Mirrored into the store on every rebuild. Never
+    /// changes a decision.
+    query_block: usize,
     log: TrainingLog,
     /// The per-shard index backend (mirrors `PipelineConfig::index`).
     index_config: IndexConfig,
@@ -216,6 +230,7 @@ impl AdaptiveFingerprinter {
             knn,
             threads: config.threads,
             query_workers: config.query_workers,
+            query_block: config.query_block,
             log,
             index_config: config.index,
             shards: config.shards,
@@ -236,6 +251,7 @@ impl AdaptiveFingerprinter {
             knn,
             threads,
             query_workers: 0,
+            query_block: 0,
             log: TrainingLog {
                 epoch_losses: Vec::new(),
                 train_seconds: 0.0,
@@ -327,6 +343,22 @@ impl AdaptiveFingerprinter {
         self.query_workers
     }
 
+    /// Sets the query-block knob for the blocked batch scans
+    /// (`0` = auto: the batch split evenly across the query workers,
+    /// capped at `tlsfp_index::MAX_QUERY_BLOCK`). Applied to the
+    /// current store and remembered for every future rebuild. Results
+    /// are **bit-identical** at every value; only wall-clock time
+    /// changes.
+    pub fn set_query_block(&mut self, query_block: usize) {
+        self.query_block = query_block;
+        self.store.set_query_block(query_block);
+    }
+
+    /// The configured query-block size (`0` = auto).
+    pub fn query_block(&self) -> usize {
+        self.query_block
+    }
+
     /// Replaces the whole reference store with embeddings of `data`
     /// (initialization, step 2 of Figure 2). The label space becomes
     /// `data.n_classes()`, the shard count re-resolves against it, and
@@ -354,6 +386,7 @@ impl AdaptiveFingerprinter {
             data.n_classes(),
             self.shards,
         );
+        store.set_query_block(self.query_block);
         if store.n_shards() == 1 {
             // Single shard: embed the corpus in one pass and load it in
             // dataset order — exactly the historical unsharded path,

@@ -76,11 +76,13 @@ pub(crate) use record_backend_search;
 
 pub mod flat;
 pub mod ivf;
+pub mod kernels;
 pub mod pq;
 pub mod sharded;
 
 pub use flat::FlatIndex;
 pub use ivf::{BalanceStats, IvfIndex, IvfParams};
+pub use kernels::{resolve_query_block, MAX_QUERY_BLOCK};
 pub use pq::{PqIndex, PqParams};
 pub use sharded::{resolve_shards, shard_of, ShardedStore, StoreBalance};
 
@@ -222,11 +224,55 @@ pub trait VectorIndex: Send + Sync + std::fmt::Debug {
     /// Finds the `k` nearest stored vectors to `query`.
     fn search(&self, query: &[f32], k: usize) -> SearchResult;
 
-    /// Thread-sharded batch search: queries are split across `threads`
-    /// workers (`0` = all cores); each query's result is identical to
-    /// [`VectorIndex::search`].
+    /// Serves one contiguous *block* of queries in a single scan pass —
+    /// the cache-blocked kernel unit (see [`kernels`]). Runs on the
+    /// calling thread; [`VectorIndex::search_batch_blocked`] shards
+    /// blocks across workers. Each query's result must be
+    /// **bit-identical** to [`VectorIndex::search`] — the default is
+    /// the per-query loop itself; backends override it with a blocked
+    /// scan that preserves per-(query, row) accumulation order.
+    fn search_block(&self, queries: &[Vec<f32>], k: usize) -> Vec<SearchResult> {
+        queries.iter().map(|q| self.search(q, k)).collect()
+    }
+
+    /// Query-blocked batch search: splits `queries` into contiguous
+    /// blocks of `query_block` (`0` = auto — the batch split evenly
+    /// across the worker pool, capped at
+    /// [`kernels::MAX_QUERY_BLOCK`]), fans the blocks across `threads`
+    /// workers (`0` = all cores), and serves each block through one
+    /// [`VectorIndex::search_block`] scan pass. Results are
+    /// bit-identical to the per-query loop at every block size and
+    /// worker count: blocks are contiguous and order-preserving, and a
+    /// single query's scan never splits across threads.
+    fn search_batch_blocked(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        threads: usize,
+        query_block: usize,
+    ) -> Vec<SearchResult> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let threads = if threads == 0 {
+            tlsfp_nn::parallel::default_threads()
+        } else {
+            threads
+        };
+        let block = kernels::resolve_query_block(query_block, queries.len(), threads);
+        let blocks: Vec<&[Vec<f32>]> = queries.chunks(block).collect();
+        map_elems(&blocks, threads, |b| self.search_block(b, k))
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Thread-sharded batch search: routes through
+    /// [`VectorIndex::search_batch_blocked`] at the auto block size,
+    /// so every batch caller gets the cache-blocked scan. Each query's
+    /// result is identical to [`VectorIndex::search`].
     fn search_batch(&self, queries: &[Vec<f32>], k: usize, threads: usize) -> Vec<SearchResult> {
-        map_elems(queries, threads, |q| self.search(q, k))
+        self.search_batch_blocked(queries, k, threads, 0)
     }
 
     /// Adds one labeled vector, assigning it the next insertion id.

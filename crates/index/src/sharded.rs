@@ -57,11 +57,14 @@
 //!    use no locks at all. With no thread ever waiting on a second
 //!    lock, a cycle in the wait-for graph — the precondition for
 //!    deadlock — cannot form.
-//! 2. **Shard-major fan-out.** [`ShardedStore::search_batch_concurrent`]
-//!    hands each *shard* (not each query) to a worker: the worker
-//!    read-locks its shard once, runs every query against it, and
-//!    releases. One query's scan is never split across threads, so no
-//!    floating-point reduction ever changes order.
+//! 2. **(Shard × query-block) fan-out.** [`ShardedStore::search_batch_concurrent`]
+//!    hands each worker a *(shard, query-block)* pair: the worker
+//!    read-locks its shard once, runs one contiguous block of queries
+//!    against it through the blocked scan kernel
+//!    ([`VectorIndex::search_block`]), and releases. One query's scan
+//!    is never split across threads, so no floating-point reduction
+//!    ever changes order — blocking only decides *which* queries share
+//!    a worker's row loads.
 //! 3. **Ordered commit.** Workers finish in any order, but per-shard
 //!    results are merged strictly in shard order (ids remapped, then
 //!    one sort under `(dist, global id)`), so the merged neighbor
@@ -289,6 +292,9 @@ pub struct ShardedStore {
     dim: usize,
     metric: Metric,
     config: IndexConfig,
+    /// Queries per blocked-scan block on the batch paths (`0` = auto;
+    /// see [`crate::kernels::resolve_query_block`]).
+    query_block: usize,
     n_classes: AtomicUsize,
     shards: Vec<RwLock<StoreShard>>,
     /// Gauge handles only — never serialized, never compared.
@@ -301,6 +307,7 @@ impl Clone for ShardedStore {
             dim: self.dim,
             metric: self.metric,
             config: self.config,
+            query_block: self.query_block,
             n_classes: AtomicUsize::new(self.n_classes()),
             shards: (0..self.shards.len())
                 .map(|s| RwLock::new(self.read_shard(s).clone()))
@@ -315,6 +322,7 @@ impl PartialEq for ShardedStore {
         self.dim == other.dim
             && self.metric == other.metric
             && self.config == other.config
+            && self.query_block == other.query_block
             && self.n_classes() == other.n_classes()
             && self.shards.len() == other.shards.len()
             && (0..self.shards.len()).all(|s| *self.read_shard(s) == *other.read_shard(s))
@@ -328,6 +336,7 @@ impl Serialize for ShardedStore {
             ("dim".to_string(), self.dim.to_value()),
             ("metric".to_string(), self.metric.to_value()),
             ("config".to_string(), self.config.to_value()),
+            ("query_block".to_string(), self.query_block.to_value()),
             ("n_classes".to_string(), self.n_classes().to_value()),
             (
                 "shards".to_string(),
@@ -348,10 +357,19 @@ impl Deserialize for ShardedStore {
             .ok_or_else(|| serde::json::Error::custom("ShardedStore: expected object"))?;
         let shards: Vec<StoreShard> = serde::json::field(pairs, "shards")?;
         let telemetry = StoreTelemetry::new(shards.len());
+        // Tolerant lookup: snapshots written before the knob existed
+        // simply keep the auto behavior.
+        let query_block = pairs
+            .iter()
+            .find(|(key, _)| key.as_str() == "query_block")
+            .map(|(_, v)| usize::from_value(v))
+            .transpose()?
+            .unwrap_or(0);
         Ok(ShardedStore {
             dim: serde::json::field(pairs, "dim")?,
             metric: serde::json::field(pairs, "metric")?,
             config: serde::json::field(pairs, "config")?,
+            query_block,
             n_classes: AtomicUsize::new(serde::json::field(pairs, "n_classes")?),
             shards: shards.into_iter().map(RwLock::new).collect(),
             telemetry,
@@ -379,6 +397,7 @@ impl ShardedStore {
             dim,
             metric,
             config: *config,
+            query_block: 0,
             n_classes: AtomicUsize::new(n_classes),
             shards: (0..n_shards)
                 .map(|_| RwLock::new(StoreShard::empty(dim, metric, config)))
@@ -502,6 +521,20 @@ impl ShardedStore {
     /// The per-shard index backend in use.
     pub fn index_config(&self) -> IndexConfig {
         self.config
+    }
+
+    /// The query-block knob the batch paths scan with (`0` = auto:
+    /// batch split evenly across workers, capped at
+    /// [`crate::MAX_QUERY_BLOCK`]).
+    pub fn query_block(&self) -> usize {
+        self.query_block
+    }
+
+    /// Sets the query-block knob. Results are bit-identical at every
+    /// value — the knob only moves the cache-amortization /
+    /// parallelism trade-off.
+    pub fn set_query_block(&mut self, query_block: usize) {
+        self.query_block = query_block;
     }
 
     /// The shard owning `class` under this store's partitioning.
@@ -957,9 +990,11 @@ impl ShardedStore {
     /// worker count by construction.
     ///
     /// This is also where the `backend="sharded"` query/eval counters
-    /// record — so they count multi-shard merged queries only. The
-    /// single-shard fast paths return the inner backend's result
-    /// untouched, and that backend's own counters cover them.
+    /// record for multi-shard stores. The single-shard fast paths
+    /// return the inner backend's result untouched but record the same
+    /// `sharded` counters themselves, so the store's front-door totals
+    /// are shard-count-independent (the inner backend's own counters
+    /// advance too, as on every path).
     fn merge_shard_results(&self, per_shard: Vec<SearchResult>, k: usize) -> SearchResult {
         let mut merged: Vec<Neighbor> = Vec::with_capacity(k * 2);
         let mut nearest = f32::INFINITY;
@@ -989,7 +1024,9 @@ impl ShardedStore {
     /// bit-identical to [`VectorIndex::search`] at every worker count.
     pub fn search_concurrent(&self, query: &[f32], k: usize, workers: usize) -> SearchResult {
         if self.shards.len() == 1 {
-            return self.read_shard(0).index.0.as_dyn().search(query, k);
+            let result = self.read_shard(0).index.0.as_dyn().search(query, k);
+            crate::record_backend_search!("sharded", result);
+            return result;
         }
         let workers = resolve_workers(workers);
         let shard_ids: Vec<usize> = (0..self.shards.len()).collect();
@@ -1004,54 +1041,91 @@ impl ShardedStore {
         self.merge_shard_results(per_shard, k)
     }
 
-    /// The batch front door: every query against every shard, fanned
-    /// out **shard-major** across `workers` threads (`0` = all cores).
-    /// Each worker read-locks one shard, runs the whole query batch
-    /// against it, and releases; per-shard results then merge under
-    /// the ordered-commit rule. Results are bit-identical to calling
-    /// [`VectorIndex::search`] per query, at every worker count.
+    /// The batch front door: the batch is split into contiguous
+    /// query-blocks ([`ShardedStore::query_block`]; `0` = auto) and
+    /// every *(shard, block)* pair becomes one worker task fanned out
+    /// across `workers` threads (`0` = all cores). Each worker
+    /// read-locks its shard, runs its block through the backend's
+    /// blocked scan ([`VectorIndex::search_block`] — each row tile
+    /// loaded once per block), and releases; per-shard results then
+    /// merge under the ordered-commit rule. Results are bit-identical
+    /// to calling [`VectorIndex::search`] per query, at every worker
+    /// count and every block size.
     ///
-    /// With one shard the batch is split across workers query-major
-    /// instead (one query's scan still never splits), which is the
-    /// pre-sharding batch path, untouched.
+    /// With one shard the blocks go straight through the inner
+    /// backend's [`VectorIndex::search_batch_blocked`] (no merge
+    /// needed), preserving the inner result bit-for-bit — heap order
+    /// included.
     pub fn search_batch_concurrent(
         &self,
         queries: &[Vec<f32>],
         k: usize,
         workers: usize,
     ) -> Vec<SearchResult> {
+        self.batch_concurrent_with(queries, k, workers, self.query_block)
+    }
+
+    /// The (shard × query-block) fan-out behind every batch path; see
+    /// [`ShardedStore::search_batch_concurrent`].
+    fn batch_concurrent_with(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        workers: usize,
+        query_block: usize,
+    ) -> Vec<SearchResult> {
         if queries.is_empty() {
             return Vec::new();
         }
         let workers = resolve_workers(workers);
         if self.shards.len() == 1 {
-            let shard = self.read_shard(0);
-            return shard.index.0.as_dyn().search_batch(queries, k, workers);
+            let results = {
+                let shard = self.read_shard(0);
+                shard
+                    .index
+                    .0
+                    .as_dyn()
+                    .search_batch_blocked(queries, k, workers, query_block)
+            };
+            for result in &results {
+                crate::record_backend_search!("sharded", result);
+            }
+            return results;
         }
-        let shard_ids: Vec<usize> = (0..self.shards.len()).collect();
-        let per_shard: Vec<Vec<SearchResult>> = {
+        let n_shards = self.shards.len();
+        let qb = crate::kernels::resolve_query_block(query_block, queries.len(), workers);
+        let n_blocks = queries.len().div_ceil(qb);
+        let tasks: Vec<(usize, usize)> = (0..n_shards)
+            .flat_map(|s| (0..n_blocks).map(move |b| (s, b)))
+            .collect();
+        let per_task: Vec<Vec<SearchResult>> = {
             let _fanout = tlsfp_telemetry::stage_timer!("fanout");
-            map_elems(&shard_ids, workers, |&s| {
+            map_elems(&tasks, workers, |&(s, b)| {
                 let _scan = tlsfp_telemetry::stage_timer!("shard_scan");
-                let shard = self.read_shard(s);
-                let index = shard.index.0.as_dyn();
-                queries.iter().map(|q| index.search(q, k)).collect()
+                let block = &queries[b * qb..((b + 1) * qb).min(queries.len())];
+                self.read_shard(s).index.0.as_dyn().search_block(block, k)
             })
         };
-        // Ordered commit: `per_shard` is shard-major by construction
-        // (map_elems preserves input order), so transposing and
-        // merging per query consumes shard results in shard order no
-        // matter which worker produced them, or when.
+        // Ordered commit: `per_task` is (shard-major, then block-major)
+        // by construction (map_elems preserves input order), so pulling
+        // query `qi`'s result from task `s * n_blocks + qi / qb`
+        // consumes shard results in shard order no matter which worker
+        // produced them, or when. Queries are consumed in ascending
+        // order, so each task's iterator advances exactly in step.
         let _merge = tlsfp_telemetry::stage_timer!("merge");
-        let mut columns: Vec<std::vec::IntoIter<SearchResult>> =
-            per_shard.into_iter().map(|v| v.into_iter()).collect();
+        let mut cursors: Vec<std::vec::IntoIter<SearchResult>> =
+            per_task.into_iter().map(|v| v.into_iter()).collect();
         (0..queries.len())
-            .map(|_| {
-                let per_query: Vec<SearchResult> = columns
-                    .iter_mut()
-                    .map(|it| it.next().expect("one result per query per shard"))
+            .map(|qi| {
+                let b = qi / qb;
+                let per_shard: Vec<SearchResult> = (0..n_shards)
+                    .map(|s| {
+                        cursors[s * n_blocks + b]
+                            .next()
+                            .expect("one result per query per (shard, block) task")
+                    })
                     .collect();
-                self.merge_shard_results(per_query, k)
+                self.merge_shard_results(per_shard, k)
             })
             .collect()
     }
@@ -1078,7 +1152,9 @@ impl VectorIndex for ShardedStore {
     /// back sorted ascending by `(dist, id)`.
     fn search(&self, query: &[f32], k: usize) -> SearchResult {
         if self.shards.len() == 1 {
-            return self.read_shard(0).index.0.as_dyn().search(query, k);
+            let result = self.read_shard(0).index.0.as_dyn().search(query, k);
+            crate::record_backend_search!("sharded", result);
+            return result;
         }
         let per_shard: Vec<SearchResult> = (0..self.shards.len())
             .map(|s| self.read_shard(s).index.0.as_dyn().search(query, k))
@@ -1086,9 +1162,23 @@ impl VectorIndex for ShardedStore {
         self.merge_shard_results(per_shard, k)
     }
 
+    /// Routes to the (shard × query-block) fan-out with an explicit
+    /// block size, overriding the store's [`ShardedStore::query_block`]
+    /// knob for this call.
+    fn search_batch_blocked(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        threads: usize,
+        query_block: usize,
+    ) -> Vec<SearchResult> {
+        self.batch_concurrent_with(queries, k, threads, query_block)
+    }
+
     /// Routes to [`ShardedStore::search_batch_concurrent`]: the whole
-    /// serving path gets shard-major concurrent fan-out through the
-    /// trait it already calls.
+    /// serving path gets (shard × query-block) concurrent fan-out, at
+    /// the store's configured block size, through the trait it already
+    /// calls.
     fn search_batch(&self, queries: &[Vec<f32>], k: usize, threads: usize) -> Vec<SearchResult> {
         self.search_batch_concurrent(queries, k, threads)
     }

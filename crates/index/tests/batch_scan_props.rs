@@ -1,0 +1,157 @@
+//! Property tests for the query-blocked batch scan kernels: over
+//! random ragged batches, corpora full of exact duplicate rows
+//! (guaranteed distance ties), every backend's blocked
+//! `search_batch_blocked` must be **bit-identical** to the per-query
+//! `search` loop — distances, ids, labels, neighbor order (the flat
+//! backend's heap iteration order included) and `distance_evals` — at
+//! block sizes {1, 3, 64, > batch, auto} and worker counts {1, 4, 0}.
+//!
+//! This is the contract that makes the blocked kernels safe to route
+//! every batch caller through: blocking reorders which (query, row)
+//! pair is evaluated when, never the arithmetic inside a pair nor the
+//! per-query selection sequence.
+
+use proptest::prelude::*;
+
+use tlsfp_index::sharded::ShardedStore;
+use tlsfp_index::{
+    FlatIndex, IndexConfig, IvfIndex, IvfParams, Metric, PqIndex, PqParams, Rows, SearchResult,
+    VectorIndex,
+};
+
+fn hash(v: u64) -> u64 {
+    v.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)
+}
+
+/// A coarse-grid coordinate: few distinct values => frequent exact
+/// distance ties even between non-duplicate rows.
+fn grid_coord(h: u64) -> f32 {
+    (h % 5) as f32 * 0.5
+}
+
+/// Corpus with exact duplicate rows and a ragged query batch, both
+/// derived deterministically from the proptest-drawn parameters.
+fn corpus(
+    n_rows: usize,
+    dim: usize,
+    n_classes: usize,
+    n_queries: usize,
+    salt: u64,
+) -> (Vec<f32>, Vec<usize>, Vec<Vec<f32>>) {
+    let base = (n_rows / 2).max(1);
+    let mut data = Vec::with_capacity(n_rows * dim);
+    let mut labels = Vec::with_capacity(n_rows);
+    for i in 0..n_rows {
+        let src = (i % base) as u64;
+        for d in 0..dim {
+            data.push(grid_coord(hash(salt ^ hash(src * 31 + d as u64 + 1))));
+        }
+        labels.push((hash(salt ^ hash(i as u64 + 7_777)) % n_classes as u64) as usize);
+    }
+    let queries: Vec<Vec<f32>> = (0..n_queries)
+        .map(|qi| {
+            (0..dim)
+                .map(|d| grid_coord(hash(salt ^ hash(900 + qi as u64 * 13 + d as u64))))
+                .collect()
+        })
+        .collect();
+    (data, labels, queries)
+}
+
+/// Asserts the blocked batch path is bit-identical to the per-query
+/// loop on `index`, across block sizes and worker counts.
+fn assert_blocked_matches_serial(
+    index: &dyn VectorIndex,
+    queries: &[Vec<f32>],
+    k: usize,
+    backend: &str,
+) {
+    let serial: Vec<SearchResult> = queries.iter().map(|q| index.search(q, k)).collect();
+    // The single-block kernel itself (one scan pass for the whole batch).
+    prop_assert_eq!(
+        &index.search_block(queries, k),
+        &serial,
+        "{} search_block diverged",
+        backend
+    );
+    for query_block in [1usize, 3, 64, queries.len() + 7] {
+        for threads in [1usize, 4, 0] {
+            prop_assert_eq!(
+                &index.search_batch_blocked(queries, k, threads, query_block),
+                &serial,
+                "{} diverged at query_block={} threads={}",
+                backend,
+                query_block,
+                threads
+            );
+        }
+    }
+    // The auto block size (0) through the default batch front door.
+    for threads in [1usize, 4, 0] {
+        prop_assert_eq!(
+            &index.search_batch(queries, k, threads),
+            &serial,
+            "{} auto-block search_batch diverged at threads={}",
+            backend,
+            threads
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn blocked_batch_is_bit_identical_on_every_backend(
+        n_rows in 4usize..48,
+        k in 1usize..40,
+        dim in 2usize..5,
+        n_classes in 1usize..12,
+        n_queries in 1usize..14,
+        salt in 0u64..1_000_000,
+    ) {
+        let (data, labels, queries) = corpus(n_rows, dim, n_classes, n_queries, salt);
+        let rows = Rows::new(dim, &data);
+
+        let flat = FlatIndex::from_rows(Metric::Euclidean, rows, &labels);
+        assert_blocked_matches_serial(&flat, &queries, k, "flat");
+
+        let ivf = IvfIndex::build(IvfParams::auto(), Metric::Euclidean, rows, &labels);
+        assert_blocked_matches_serial(&ivf, &queries, k, "ivf");
+
+        let pq = PqIndex::build(PqParams::auto(), Metric::Euclidean, rows, &labels);
+        assert_blocked_matches_serial(&pq, &queries, k, "pq");
+    }
+
+    #[test]
+    fn blocked_batch_is_bit_identical_through_the_sharded_store(
+        n_rows in 4usize..48,
+        shards in 1usize..6,
+        k in 1usize..40,
+        dim in 2usize..5,
+        n_classes in 1usize..12,
+        n_queries in 1usize..14,
+        salt in 0u64..1_000_000,
+    ) {
+        let (data, labels, queries) = corpus(n_rows, dim, n_classes, n_queries, salt);
+        let store = ShardedStore::build(
+            &IndexConfig::Flat,
+            Metric::Euclidean,
+            Rows::new(dim, &data),
+            &labels,
+            n_classes,
+            shards,
+        );
+        assert_blocked_matches_serial(&store, &queries, k, "sharded");
+        // The store-level knob routes the same way as the explicit arg.
+        let serial: Vec<SearchResult> = queries.iter().map(|q| store.search(q, k)).collect();
+        let mut knobbed = store.clone();
+        knobbed.set_query_block(3);
+        prop_assert_eq!(knobbed.query_block(), 3);
+        prop_assert_eq!(
+            &knobbed.search_batch_concurrent(&queries, k, 2),
+            &serial,
+            "store-level query_block knob diverged"
+        );
+    }
+}

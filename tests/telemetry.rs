@@ -206,6 +206,76 @@ fn shard_gauges_track_churn_and_export() {
     assert!(json.contains("tlsfp_shard_rows"));
 }
 
+/// The PR-8 gap, closed: the single-shard fast paths used to bypass
+/// the `backend="sharded"` query/eval counters entirely. Now every
+/// front door — trait `search`, `search_concurrent` and the batch
+/// fan-out — advances them by exactly the same amount on an S=1 store
+/// as on an S=4 store over the same rows (a flat backend scans every
+/// row either way, so the eval totals match too).
+#[test]
+fn sharded_counters_agree_between_one_and_four_shards() {
+    use tlsfp::index::VectorIndex;
+
+    let _guard = FlagGuard::acquire();
+    tlsfp::telemetry::set_enabled(true);
+
+    let (data, labels) = clustered(8, 5, 3);
+    let queries: Vec<Vec<f32>> = (0..7).map(|c| vec![c as f32 * 3.0 + 0.004; 3]).collect();
+    let mut deltas = Vec::new();
+    for shards in [1usize, 4] {
+        let store = ShardedStore::build(
+            &IndexConfig::Flat,
+            Metric::Euclidean,
+            Rows::new(3, &data),
+            &labels,
+            8,
+            shards,
+        );
+        let before = tlsfp::telemetry::global().snapshot();
+        let q_before = before
+            .counter("tlsfp_queries_total", &[("backend", "sharded")])
+            .unwrap_or(0);
+        let e_before = before
+            .counter("tlsfp_distance_evals_total", &[("backend", "sharded")])
+            .unwrap_or(0);
+        store.search(&queries[0], 3);
+        store.search_concurrent(&queries[1], 3, 2);
+        store.search_batch_concurrent(&queries, 3, 2);
+        let after = tlsfp::telemetry::global().snapshot();
+        deltas.push((
+            shards,
+            after
+                .counter("tlsfp_queries_total", &[("backend", "sharded")])
+                .unwrap_or(0)
+                - q_before,
+            after
+                .counter("tlsfp_distance_evals_total", &[("backend", "sharded")])
+                .unwrap_or(0)
+                - e_before,
+        ));
+    }
+    let (_, q1, e1) = deltas[0];
+    let (_, q4, e4) = deltas[1];
+    // 2 single queries + the 7-query batch, on every path.
+    assert_eq!(q1, 2 + queries.len() as u64, "S=1 query counter delta");
+    assert_eq!(q1, q4, "query counters diverge between S=1 and S=4");
+    // Flat scans every stored row per query, merged or not.
+    assert_eq!(
+        e1,
+        (2 + queries.len() as u64) * labels.len() as u64,
+        "S=1 eval counter delta"
+    );
+    assert_eq!(e1, e4, "eval counters diverge between S=1 and S=4");
+
+    // The blocked scan records its per-backend block-size histogram on
+    // the inner (flat) backend for both shard counts.
+    let snap = tlsfp::telemetry::global().snapshot();
+    let blocks = snap
+        .histogram("tlsfp_query_block_size", &[("backend", "flat")])
+        .expect("block-size histogram recorded");
+    assert!(blocks.count > 0, "no blocked-scan blocks observed");
+}
+
 /// With recording off, the serving path still works but nothing lands
 /// in the registry — values stay wherever they were (here: zero, after
 /// a reset).
