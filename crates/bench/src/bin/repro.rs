@@ -4,8 +4,9 @@
 //! repro <target> [--smoke|--full] [--seed N] [--json DIR]
 //!
 //! targets: fig6 fig7 table2 fig8 fig9 fig10 fig11 fig12 fig13 table3
-//!          fig_open_world fig_index fig_embed fig_shard fig_quant
-//!          fig_concurrent fig_telemetry fig_batchscan ablations all
+//!          fig_open_world fig_early fig_index fig_embed fig_shard
+//!          fig_quant fig_concurrent fig_telemetry fig_batchscan
+//!          ablations all
 //! ```
 
 use std::fs;
@@ -13,11 +14,11 @@ use std::path::PathBuf;
 
 use tlsfp_bench::ablations::{print_ablations, run_ablations};
 use tlsfp_bench::experiments::{
-    print_cdf, print_fig_batchscan, print_fig_concurrent, print_fig_embed, print_fig_index,
-    print_fig_quant, print_fig_shard, print_fig_telemetry, print_open_world, print_series,
-    run_fig12_13, run_fig6, run_fig7, run_fig8, run_fig9_to_11, run_fig_batchscan,
-    run_fig_concurrent, run_fig_embed, run_fig_index, run_fig_open_world, run_fig_quant,
-    run_fig_shard, run_fig_telemetry, run_table3, Scale,
+    print_cdf, print_fig_batchscan, print_fig_concurrent, print_fig_early, print_fig_embed,
+    print_fig_index, print_fig_quant, print_fig_shard, print_fig_telemetry, print_open_world,
+    print_series, run_fig12_13, run_fig6, run_fig7, run_fig8, run_fig9_to_11, run_fig_batchscan,
+    run_fig_concurrent, run_fig_early, run_fig_embed, run_fig_index, run_fig_open_world,
+    run_fig_quant, run_fig_shard, run_fig_telemetry, run_table3, Scale,
 };
 
 fn main() {
@@ -216,6 +217,17 @@ fn main() {
             print_open_world(p);
         }
         write_json("fig_open_world", &result);
+    }
+
+    if run_all || target == "fig_early" {
+        println!(
+            "\n=== Early — streaming prefix decisions and calibrated early stop, all profiles ==="
+        );
+        let result = run_fig_early(&scale);
+        for p in &result.profiles {
+            print_fig_early(p);
+        }
+        write_json("fig_early", &result);
     }
 
     if run_all || target == "fig_index" {

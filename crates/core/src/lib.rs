@@ -24,6 +24,10 @@
 //!   the Table II smallest-n search.
 //! - [`open_world`] — §VI-C open-world detection metrics: confusion
 //!   counts, ROC sweeps, threshold calibration.
+//! - [`streaming`] — per-session incremental serving: fold TLS records
+//!   in as they arrive, decide at any prefix, early-stop on per-class
+//!   calibrated radii; full-trace decisions are bit-identical to the
+//!   batch path.
 //! - [`defense`] — fixed-length and anonymity-set padding (§VII) with
 //!   bandwidth accounting.
 //!
@@ -55,6 +59,7 @@ pub mod metrics;
 pub mod open_world;
 pub mod pipeline;
 pub mod reference;
+pub mod streaming;
 
 pub use error::{CoreError, Result};
 pub use knn::{KnnClassifier, RankedPrediction, ScoredPrediction};
@@ -62,4 +67,5 @@ pub use metrics::EvalReport;
 pub use open_world::{ConfusionCounts, OpenWorldReport, PerClassThresholds, RocPoint};
 pub use pipeline::{AdaptiveFingerprinter, PipelineConfig};
 pub use reference::ReferenceSet;
+pub use streaming::{EarlyDecision, EarlyStopPolicy, PrefixDecision, StreamingSession};
 pub use tlsfp_index::{IndexConfig, IvfParams, VectorIndex};

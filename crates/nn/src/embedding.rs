@@ -13,6 +13,7 @@
 //! | Dropout | 0.1 |
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -23,7 +24,7 @@ use crate::dropout::Dropout;
 use crate::error::{NnError, Result};
 use crate::init::Init;
 use crate::linear::{Dense, DenseGrad};
-use crate::lstm::{GateWeightsT, Lstm, LstmCache, LstmGrad, LstmScratch};
+use crate::lstm::{GateWeightsT, Lstm, LstmCache, LstmGrad, LstmScratch, LstmStream};
 use crate::parallel::{default_threads, scatter_chunks_mut};
 use crate::seq::SeqInput;
 use crate::tensor::Rows;
@@ -263,6 +264,40 @@ impl EmbedScratch {
     /// Changes the worker-thread count for subsequent calls.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads;
+    }
+}
+
+/// Transposed weights frozen at one parameter version, shared across
+/// all streaming sessions of a model (see
+/// [`SequenceEmbedder::stream_weights`]). Holding these outside the
+/// per-session state keeps an [`EmbedStream`] down to a few LSTM
+/// panels.
+#[derive(Debug)]
+pub struct StreamWeights {
+    /// Weights version these transposes were taken from.
+    version: u64,
+    /// Transposed, panel-padded LSTM gate weights.
+    lstm: GateWeightsT,
+    /// Transposed hidden dense weights, one buffer per layer.
+    hidden: Vec<Vec<f32>>,
+    /// Transposed output-layer weights.
+    output: Vec<f32>,
+}
+
+/// Incremental embedding state for one streaming session: the live
+/// LSTM fold. The dense stack is stateless and replayed on demand by
+/// [`SequenceEmbedder::stream_embedding`], so peeking at the embedding
+/// mid-trace costs one dense pass and consumes nothing. Cloning is
+/// cheap (a few `hp`-sized panels).
+#[derive(Debug, Clone)]
+pub struct EmbedStream {
+    lstm: LstmStream,
+}
+
+impl EmbedStream {
+    /// Number of tensor timesteps folded so far.
+    pub fn steps(&self) -> usize {
+        self.lstm.steps()
     }
 }
 
@@ -519,6 +554,100 @@ impl SequenceEmbedder {
         self.output
             .forward_batch_t(wt_output, &worker.a[..n * width], out);
         self.config.output_activation.apply_fast_slice(out);
+    }
+
+    /// Transposed weights for the streaming path, frozen at the current
+    /// parameter version and shared behind an [`Arc`] so every live
+    /// session on a thread reuses one copy.
+    ///
+    /// The per-thread cache is keyed on the weights version (the same
+    /// key [`EmbedScratch`] uses), so retraining or deserializing a new
+    /// model naturally invalidates it; streams started against a stale
+    /// [`StreamWeights`] are rejected by the version assert in
+    /// [`SequenceEmbedder::stream_start`].
+    pub fn stream_weights(&self) -> Arc<StreamWeights> {
+        thread_local! {
+            static CACHE: std::cell::RefCell<Option<Arc<StreamWeights>>> =
+                const { std::cell::RefCell::new(None) };
+        }
+        CACHE.with(|cell| {
+            let mut cached = cell.borrow_mut();
+            if let Some(w) = cached.as_deref() {
+                if w.version == self.version {
+                    return Arc::clone(cached.as_ref().unwrap());
+                }
+            }
+            let mut lstm = GateWeightsT::default();
+            self.lstm.gate_weights_t(&mut lstm);
+            let mut hidden = vec![Vec::new(); self.hidden.len()];
+            for (layer, wt) in self.hidden.iter().zip(&mut hidden) {
+                layer.weights_t(wt);
+            }
+            let mut output = Vec::new();
+            self.output.weights_t(&mut output);
+            let w = Arc::new(StreamWeights {
+                version: self.version,
+                lstm,
+                hidden,
+                output,
+            });
+            *cached = Some(Arc::clone(&w));
+            w
+        })
+    }
+
+    /// Starts an incremental embedding fold with zeroed LSTM state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` was built for a different parameter version
+    /// (the model was retrained or replaced since
+    /// [`SequenceEmbedder::stream_weights`]).
+    pub fn stream_start(&self, weights: &StreamWeights) -> EmbedStream {
+        assert_eq!(
+            weights.version, self.version,
+            "stream weights were built for a different parameter state"
+        );
+        EmbedStream {
+            lstm: self.lstm.stream_start(&weights.lstm),
+        }
+    }
+
+    /// Folds one tensorized timestep (length [`EmbedderConfig::input_size`])
+    /// into the stream — the LSTM advances; the dense stack is deferred
+    /// to [`SequenceEmbedder::stream_embedding`].
+    pub fn stream_fold(&self, weights: &StreamWeights, stream: &mut EmbedStream, x_t: &[f32]) {
+        debug_assert_eq!(weights.version, self.version, "stale stream weights");
+        self.lstm.stream_step(&weights.lstm, &mut stream.lstm, x_t);
+    }
+
+    /// The embedding at the stream's current prefix, without consuming
+    /// the stream: the dense stack replayed on the live hidden state
+    /// with the exact batch-of-one arithmetic of the fused engine, so
+    /// after folding a trace's full tensor step-by-step the result is
+    /// **bit-identical** to [`SequenceEmbedder::embed`] of that trace.
+    pub fn stream_embedding(&self, weights: &StreamWeights, stream: &EmbedStream) -> Vec<f32> {
+        assert_eq!(
+            weights.version, self.version,
+            "stream weights were built for a different parameter state"
+        );
+        let mut width = self.config.lstm_hidden;
+        let mut a = self.lstm.stream_hidden(&stream.lstm).to_vec();
+        let mut b: Vec<f32> = Vec::new();
+        for (layer, wt) in self.hidden.iter().zip(&weights.hidden) {
+            let next = layer.output_size();
+            b.clear();
+            b.resize(next, 0.0);
+            layer.forward_batch_t(wt, &a[..width], &mut b);
+            self.config.hidden_activation.apply_fast_slice(&mut b);
+            std::mem::swap(&mut a, &mut b);
+            width = next;
+        }
+        let mut out = vec![0.0; self.config.output_size];
+        self.output
+            .forward_batch_t(&weights.output, &a[..width], &mut out);
+        self.config.output_activation.apply_fast_slice(&mut out);
+        out
     }
 
     /// The pre-batching reference path: one allocation-per-step LSTM
@@ -797,6 +926,68 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The streaming fold is bit-identical to the batched engine at
+    /// every prefix length: folding `t` timesteps and asking for the
+    /// embedding equals `embed` of the `t`-step prefix tensor exactly.
+    #[test]
+    fn stream_fold_matches_embed_at_every_prefix() {
+        let net = tiny_net();
+        let steps = 9usize;
+        let data: Vec<f32> = (0..steps * 2)
+            .map(|j| ((j * 5 + 3) % 13) as f32 * 0.1 - 0.6)
+            .collect();
+        let full = SeqInput::new(steps, 2, data).unwrap();
+
+        let weights = net.stream_weights();
+        let mut stream = net.stream_start(&weights);
+        // Empty prefix equals embedding the empty sequence.
+        let empty = SeqInput::new(0, 2, Vec::new()).unwrap();
+        assert_eq!(
+            net.stream_embedding(&weights, &stream),
+            net.embed(&empty),
+            "empty prefix"
+        );
+        for t in 0..steps {
+            net.stream_fold(&weights, &mut stream, full.step(t));
+            assert_eq!(stream.steps(), t + 1);
+            let prefix = SeqInput::new(t + 1, 2, full.as_slice()[..(t + 1) * 2].to_vec()).unwrap();
+            assert_eq!(
+                net.stream_embedding(&weights, &stream),
+                net.embed(&prefix),
+                "prefix length {}",
+                t + 1
+            );
+        }
+        // stream_embedding does not consume: asking twice is stable,
+        // and a clone can run ahead without disturbing the parent.
+        let again = net.stream_embedding(&weights, &stream);
+        assert_eq!(again, net.embed(&full));
+        let mut peek = stream.clone();
+        net.stream_fold(&weights, &mut peek, full.step(0));
+        assert_eq!(net.stream_embedding(&weights, &stream), net.embed(&full));
+    }
+
+    /// Retraining (any mutable parameter borrow) invalidates cached
+    /// stream weights; stale handles are refused.
+    #[test]
+    fn stream_weights_track_parameter_version() {
+        let mut net = tiny_net();
+        let w1 = net.stream_weights();
+        let w2 = net.stream_weights();
+        assert!(Arc::ptr_eq(&w1, &w2), "cache should hand out one copy");
+        net.param_slices_mut()[0][0] += 0.5;
+        let w3 = net.stream_weights();
+        assert!(!Arc::ptr_eq(&w1, &w3), "mutation must invalidate cache");
+        let x = tiny_input();
+        let mut stream = net.stream_start(&w3);
+        for t in 0..x.steps() {
+            net.stream_fold(&w3, &mut stream, x.step(t));
+        }
+        assert_eq!(net.stream_embedding(&w3, &stream), net.embed(&x));
+        let stale = std::panic::catch_unwind(|| net.stream_start(&w1));
+        assert!(stale.is_err(), "stale weights must be rejected");
     }
 
     #[test]

@@ -109,6 +109,42 @@ impl LstmCache {
     }
 }
 
+/// Incremental per-session LSTM state for the streaming serving path:
+/// the hidden/cell panels plus the per-step work buffers, folded one
+/// timestep at a time by [`Lstm::stream_step`].
+///
+/// All panels use the padded stride `hp` from the [`GateWeightsT`] the
+/// stream was started with, exactly like [`Lstm::forward_batch_t`]'s
+/// scratch, so the per-step arithmetic replays the batched engine's
+/// batch-of-one path bit for bit. Cloning a stream is cheap (a few
+/// `hp`-sized buffers) — sessions clone it to peek at a decision that
+/// includes a not-yet-sealed feature step without consuming state.
+#[derive(Debug, Clone)]
+pub struct LstmStream {
+    /// Hidden state panel (stride `hp`; the first `H` lanes are real).
+    h: Vec<f32>,
+    /// Cell state panel.
+    c: Vec<f32>,
+    /// Concatenated `[x_t ; h_{t-1}]` row.
+    xh: Vec<f32>,
+    /// Packed gate pre-activations (four `hp`-wide panels).
+    z: Vec<f32>,
+    /// Timesteps folded so far.
+    steps: usize,
+}
+
+impl LstmStream {
+    /// Number of timesteps folded into this stream.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Whether no timestep has been folded yet.
+    pub fn is_empty(&self) -> bool {
+        self.steps == 0
+    }
+}
+
 impl Lstm {
     /// Creates an LSTM with Xavier-initialized gate weights and the
     /// customary forget-gate bias of 1 (helps gradient flow early on).
@@ -410,6 +446,88 @@ impl Lstm {
         }
     }
 
+    /// Starts an incremental fold with zeroed state sized for `wt`.
+    ///
+    /// The returned [`LstmStream`] advances one timestep per
+    /// [`Lstm::stream_step`] call and replays [`Lstm::forward_batch_t`]'s
+    /// batch-of-one arithmetic exactly, so after `t` steps
+    /// [`Lstm::stream_hidden`] is bit-identical to the batched final
+    /// hidden state of the corresponding `t`-step prefix. A stream that
+    /// never steps reads back the zero state, matching the batched
+    /// engine's empty-sequence convention.
+    pub fn stream_start(&self, wt: &GateWeightsT) -> LstmStream {
+        let hp = wt.hp;
+        debug_assert!(hp >= self.hidden_size, "panel width below hidden size");
+        LstmStream {
+            h: vec![0.0; hp],
+            c: vec![0.0; hp],
+            xh: vec![0.0; self.input_size + self.hidden_size],
+            z: vec![0.0; 4 * hp],
+            steps: 0,
+        }
+    }
+
+    /// Folds one timestep `x_t` (length [`Lstm::input_size`]) into the
+    /// stream — the exact batch-of-one body of
+    /// [`Lstm::forward_batch_t`]: same gate product, same whole-panel
+    /// activation sweeps over the padded stride, same state-update
+    /// order, so the result carries the bit-identity guarantee.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `x_t` or the stream's panels disagree with the
+    /// layer shape or with `wt`.
+    pub fn stream_step(&self, wt: &GateWeightsT, st: &mut LstmStream, x_t: &[f32]) {
+        let hs = self.hidden_size;
+        let xd = self.input_size;
+        let hp = wt.hp;
+        debug_assert_eq!(x_t.len(), xd, "input channel count");
+        debug_assert_eq!(st.h.len(), hp, "stream panel width");
+        let xh_w = xd + hs;
+        let gate_wt = hp * xh_w;
+
+        st.xh[..xd].copy_from_slice(x_t);
+        st.xh[xd..].copy_from_slice(&st.h[..hs]);
+        let span = hp;
+        {
+            let (zi, rest) = st.z.split_at_mut(hp);
+            let (zf, rest) = rest.split_at_mut(hp);
+            let (zg, zo) = rest.split_at_mut(hp);
+            for (gate, panel) in [&mut *zi, &mut *zf, &mut *zg, &mut *zo]
+                .into_iter()
+                .enumerate()
+            {
+                matmul_t(
+                    &st.xh,
+                    xh_w,
+                    &wt.wt[gate * gate_wt..(gate + 1) * gate_wt],
+                    &wt.bias[gate * hp..(gate + 1) * hp],
+                    &mut panel[..span],
+                );
+            }
+            fast_sigmoid_slice(&mut zi[..span]);
+            fast_sigmoid_slice(&mut zf[..span]);
+            fast_tanh_slice(&mut zg[..span]);
+            fast_sigmoid_slice(&mut zo[..span]);
+            let c = &mut st.c[..span];
+            for (idx, cv) in c.iter_mut().enumerate() {
+                *cv = zf[idx] * *cv + zi[idx] * zg[idx];
+            }
+            zg[..span].copy_from_slice(c);
+            fast_tanh_slice(&mut zg[..span]);
+            let h = &mut st.h[..span];
+            for (idx, hv) in h.iter_mut().enumerate() {
+                *hv = zo[idx] * zg[idx];
+            }
+        }
+        st.steps += 1;
+    }
+
+    /// The stream's current hidden state (the real `H` lanes).
+    pub fn stream_hidden<'a>(&self, st: &'a LstmStream) -> &'a [f32] {
+        &st.h[..self.hidden_size]
+    }
+
     /// Mutable parameter views (weights then biases) for optimizers.
     pub fn param_slices_mut(&mut self) -> [&mut [f32]; 2] {
         [self.w.as_mut_slice(), &mut self.b]
@@ -612,6 +730,41 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Folding a sequence one timestep at a time through the stream
+    /// state reproduces the batched engine's final hidden state bit for
+    /// bit at every prefix length — the invariance the streaming
+    /// serving path rests on.
+    #[test]
+    fn stream_fold_matches_batched_prefixes_exactly() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let lstm = Lstm::new(3, 5, &mut rng);
+        let full = seq(11, 3, 42);
+        let mut wt = GateWeightsT::default();
+        lstm.gate_weights_t(&mut wt);
+        let mut st = lstm.stream_start(&wt);
+        // Prefix length 0 reads back the zero state.
+        assert_eq!(lstm.stream_hidden(&st), &[0.0; 5]);
+        assert!(st.is_empty());
+        for t in 0..full.steps() {
+            lstm.stream_step(&wt, &mut st, full.step(t));
+            assert_eq!(st.steps(), t + 1);
+            let prefix = SeqInput::new(t + 1, 3, full.as_slice()[..(t + 1) * 3].to_vec()).unwrap();
+            let batched = batch_forward(&lstm, std::slice::from_ref(&prefix));
+            assert_eq!(
+                lstm.stream_hidden(&st),
+                batched.as_slice(),
+                "prefix length {}",
+                t + 1
+            );
+        }
+        // A cloned stream advances independently of its parent.
+        let frozen = st.clone();
+        let mut branch = st.clone();
+        lstm.stream_step(&wt, &mut branch, full.step(0));
+        assert_eq!(lstm.stream_hidden(&st), lstm.stream_hidden(&frozen));
+        assert_ne!(branch.steps(), st.steps());
     }
 
     /// Scratch reuse across differently-shaped batches never leaks

@@ -21,6 +21,9 @@
 //!
 //! For open-world evaluation (§VI-C), [`corpus::open_world_split`]
 //! partitions a corpus's classes into monitored/unmonitored sets.
+//! For challenging serving conditions, [`scenario`] interleaves
+//! multi-tab loads and injects background-noise flows into any of the
+//! five profiles.
 //!
 //! ## Example: crawl a small Wikipedia-like site
 //!
@@ -47,6 +50,7 @@ pub mod drift;
 pub mod error;
 pub mod linkgraph;
 pub mod resource;
+pub mod scenario;
 pub mod site;
 
 pub use browser::{load_page, BrowserConfig};
@@ -54,4 +58,5 @@ pub use corpus::{open_world_split, CorpusSpec, OpenWorldSplit, SyntheticCorpus};
 pub use crawler::{Crawler, LabeledCapture};
 pub use drift::DriftConfig;
 pub use error::{Result, WebError};
+pub use scenario::{merge_captures, BackgroundNoiseSpec, MultiTabSpec};
 pub use site::{SiteSpec, Website};

@@ -1,0 +1,282 @@
+//! Challenging-conditions scenario generators: interleaved multi-tab
+//! loads and background-noise traffic, synthesized from the five
+//! corpus profiles.
+//!
+//! The crawler collects pristine one-page-at-a-time loads; a real
+//! client rarely looks like that. These generators stress the serving
+//! path (and especially the streaming prefix decisions) with the two
+//! classic confounders:
+//!
+//! - [`MultiTabSpec`] — the user opens a second tab mid-load: a
+//!   background page load (possibly from a different profile) is
+//!   time-shifted into the primary load's window and the two packet
+//!   streams interleave chronologically. The label stays the primary
+//!   page.
+//! - [`BackgroundNoiseSpec`] — long-lived background flows (sync
+//!   clients, messengers, telemetry) sprinkle records from servers
+//!   outside the site's pool across the load.
+//!
+//! Everything is deterministic in the seed, like the rest of the
+//! corpus machinery.
+
+use std::net::Ipv4Addr;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use tlsfp_net::capture::{Capture, Packet};
+
+use crate::browser::load_page;
+use crate::corpus::CorpusSpec;
+use crate::crawler::LabeledCapture;
+use crate::error::Result;
+use crate::site::Website;
+
+/// Merges a background capture into a primary one: the background's
+/// packets are shifted `offset_us` into the primary's timeline,
+/// appended, and the chronological invariant restored (stable sort, so
+/// same-timestamp packets keep primary-before-background order). The
+/// merged capture keeps the primary's client.
+pub fn merge_captures(primary: &Capture, background: &Capture, offset_us: u64) -> Capture {
+    let mut merged = primary.clone();
+    for p in &background.packets {
+        let mut p = *p;
+        p.timestamp_us = p.timestamp_us.saturating_add(offset_us);
+        merged.push(p);
+    }
+    merged.sort_by_time();
+    merged
+}
+
+/// An interleaved two-tab corpus: every trace is a monitored primary
+/// page load with a second, randomly-chosen background page load
+/// overlapping it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiTabSpec {
+    /// The monitored tab — labels come from this corpus.
+    pub primary: CorpusSpec,
+    /// The interfering tab: its pages are drawn uniformly per trace
+    /// (any profile; its `traces_per_class` is ignored).
+    pub background: CorpusSpec,
+    /// How much of the primary load the background tab overlaps, in
+    /// `[0, 1]`: `1.0` opens both tabs together, `0.5` opens the
+    /// background tab halfway through, `0.0` opens it as the primary
+    /// load ends (no interleaving).
+    pub overlap: f64,
+}
+
+impl MultiTabSpec {
+    /// Both tabs from one corpus spec — the "same site, two articles"
+    /// case.
+    pub fn same_profile(spec: CorpusSpec, overlap: f64) -> Self {
+        MultiTabSpec {
+            primary: spec.clone(),
+            background: spec,
+            overlap,
+        }
+    }
+
+    /// Generates the interleaved corpus: `primary.traces_per_class`
+    /// visits of every primary page, each merged with a fresh
+    /// background load. Deterministic in `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::error::WebError`] if either site spec is
+    /// invalid.
+    pub fn generate(&self, seed: u64) -> Result<Vec<LabeledCapture>> {
+        let primary_site = Website::generate(self.primary.site.clone(), seed)?;
+        let background_site =
+            Website::generate(self.background.site.clone(), seed ^ 0x9E37_79B9_7F4A_7C15)?;
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+        let overlap = self.overlap.clamp(0.0, 1.0);
+        let mut out = Vec::with_capacity(primary_site.n_pages() * self.primary.traces_per_class);
+        for _visit in 0..self.primary.traces_per_class {
+            for page in 0..primary_site.n_pages() {
+                let capture = load_page(&primary_site, page, &self.primary.browser, &mut rng)?;
+                let bg_page = rng.random_range(0..background_site.n_pages());
+                let bg = load_page(
+                    &background_site,
+                    bg_page,
+                    &self.background.browser,
+                    &mut rng,
+                )?;
+                let offset = (capture.duration_us() as f64 * (1.0 - overlap)) as u64;
+                out.push(LabeledCapture {
+                    page,
+                    capture: merge_captures(&capture, &bg, offset),
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A corpus with background-flow noise: every trace gets extra records
+/// from servers outside the site's pool (TEST-NET-3 addresses, so they
+/// never collide with the 198.18.0.0/15 site servers), scattered
+/// uniformly across the load window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackgroundNoiseSpec {
+    /// The clean corpus to perturb.
+    pub base: CorpusSpec,
+    /// Noise records injected per trace.
+    pub packets_per_trace: usize,
+    /// Payload-size range of a noise record (inclusive).
+    pub bytes: (u32, u32),
+    /// Probability a noise record is upstream (client → noise server)
+    /// rather than downstream.
+    pub upstream_prob: f64,
+    /// Distinct background servers the noise is spread over.
+    pub flows: usize,
+}
+
+impl BackgroundNoiseSpec {
+    /// A light default: 12 noise records per trace over 2 flows,
+    /// messenger-sized payloads, mostly downstream.
+    pub fn light(base: CorpusSpec) -> Self {
+        BackgroundNoiseSpec {
+            base,
+            packets_per_trace: 12,
+            bytes: (80, 1_400),
+            upstream_prob: 0.3,
+            flows: 2,
+        }
+    }
+
+    /// Generates the noisy corpus. Deterministic in `seed`; the clean
+    /// traces are exactly `SyntheticCorpus::generate(&base, seed)`'s,
+    /// so clean-vs-noisy comparisons hold the page loads fixed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::error::WebError`] if the base spec is
+    /// invalid.
+    pub fn generate(&self, seed: u64) -> Result<Vec<LabeledCapture>> {
+        let corpus = crate::corpus::SyntheticCorpus::generate(&self.base, seed)?;
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0xB0_15E));
+        let flows = self.flows.clamp(1, 200);
+        let mut out = corpus.traces;
+        for lc in &mut out {
+            let start = lc.capture.packets.first().map_or(0, |p| p.timestamp_us);
+            let window = lc.capture.duration_us().max(1);
+            let client = lc.capture.client;
+            for _ in 0..self.packets_per_trace {
+                let server = Ipv4Addr::new(203, 0, 113, rng.random_range(0..flows) as u8);
+                let timestamp_us = start + rng.random_range(0..=window);
+                let payload_len = rng.random_range(self.bytes.0..=self.bytes.1.max(self.bytes.0));
+                let (src, dst) = if rng.random_bool(self.upstream_prob.clamp(0.0, 1.0)) {
+                    (client, server)
+                } else {
+                    (server, client)
+                };
+                lc.capture.push(Packet {
+                    timestamp_us,
+                    src,
+                    dst,
+                    payload_len,
+                });
+            }
+            lc.capture.sort_by_time();
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CorpusSpec {
+        CorpusSpec::wiki_like(3, 2)
+    }
+
+    #[test]
+    fn merge_preserves_bytes_and_time_order() {
+        let specs = tiny_spec();
+        let site = Website::generate(specs.site.clone(), 5).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = load_page(&site, 0, &specs.browser, &mut rng).unwrap();
+        let b = load_page(&site, 1, &specs.browser, &mut rng).unwrap();
+        let merged = merge_captures(&a, &b, a.duration_us() / 2);
+        assert_eq!(merged.len(), a.len() + b.len());
+        assert_eq!(
+            merged.total_payload(),
+            a.total_payload() + b.total_payload()
+        );
+        assert!(merged
+            .packets
+            .windows(2)
+            .all(|w| w[0].timestamp_us <= w[1].timestamp_us));
+        assert_eq!(merged.client, a.client);
+    }
+
+    #[test]
+    fn multi_tab_is_deterministic_and_labeled_by_primary() {
+        let spec = MultiTabSpec {
+            primary: tiny_spec(),
+            background: CorpusSpec::spa_like(2, 1),
+            overlap: 0.7,
+        };
+        let a = spec.generate(11).unwrap();
+        let b = spec.generate(11).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6); // 3 pages × 2 visits
+        assert!(a.iter().all(|lc| lc.page < 3));
+        // A different seed moves the traffic.
+        let c = spec.generate(12).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn multi_tab_traces_carry_more_traffic_than_clean_loads() {
+        let spec = MultiTabSpec::same_profile(tiny_spec(), 1.0);
+        let noisy = spec.generate(3).unwrap();
+        let clean = crate::corpus::SyntheticCorpus::generate(&tiny_spec(), 3).unwrap();
+        let noisy_total: u64 = noisy.iter().map(|lc| lc.capture.total_payload()).sum();
+        let clean_total: u64 = clean
+            .traces
+            .iter()
+            .map(|lc| lc.capture.total_payload())
+            .sum();
+        assert!(
+            noisy_total > clean_total,
+            "interleaving must add traffic: {noisy_total} vs {clean_total}"
+        );
+    }
+
+    #[test]
+    fn background_noise_adds_foreign_servers_only() {
+        let spec = BackgroundNoiseSpec::light(tiny_spec());
+        let noisy = spec.generate(21).unwrap();
+        let again = spec.generate(21).unwrap();
+        assert_eq!(noisy, again);
+        let clean = crate::corpus::SyntheticCorpus::generate(&tiny_spec(), 21).unwrap();
+        assert_eq!(noisy.len(), clean.traces.len());
+        for (n, c) in noisy.iter().zip(&clean.traces) {
+            assert_eq!(n.page, c.page);
+            assert_eq!(n.capture.len(), c.capture.len() + spec.packets_per_trace);
+            // Noise comes from the TEST-NET-3 pool, never the site's
+            // servers, and stays inside the load window.
+            for p in n
+                .capture
+                .packets
+                .iter()
+                .filter(|p| p.src.octets()[0] == 203 || p.dst.octets()[0] == 203)
+            {
+                let peer = if p.src == n.capture.client {
+                    p.dst
+                } else {
+                    p.src
+                };
+                assert_eq!(peer.octets()[..3], [203, 0, 113]);
+            }
+            assert!(n
+                .capture
+                .packets
+                .windows(2)
+                .all(|w| w[0].timestamp_us <= w[1].timestamp_us));
+        }
+    }
+}

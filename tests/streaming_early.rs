@@ -1,0 +1,225 @@
+//! Edge cases of the streaming early-classification path: empty and
+//! single-record prefixes, policies that reject everything, non-finite
+//! incremental scores (the PR-7 NaN-filter convention), and the
+//! monotone-latch guarantee — once a policy accepts with margin, longer
+//! prefixes never flip the committed class.
+
+use std::net::Ipv4Addr;
+
+use tlsfp::core::{AdaptiveFingerprinter, EarlyStopPolicy, PerClassThresholds, ScoredPrediction};
+use tlsfp::net::capture::Capture;
+use tlsfp::trace::sequence::IpSequences;
+use tlsfp::trace::tensorize::TensorConfig;
+use tlsfp::web::corpus::SyntheticCorpus;
+use tlsfp_testkit::{tiny_adversary, Profile, SEED};
+
+/// A small real capture to stream (first trace of a wiki-like corpus).
+fn wiki_capture() -> Capture {
+    SyntheticCorpus::generate(&Profile::Wiki.spec(3, 2), SEED)
+        .expect("wiki corpus generates")
+        .traces
+        .remove(0)
+        .capture
+}
+
+/// The batch path's answer for a capture.
+fn batch_answer(fp: &AdaptiveFingerprinter, capture: &Capture) -> ScoredPrediction {
+    let seq = TensorConfig::wiki().tensorize(&IpSequences::extract(capture));
+    fp.fingerprint_with_score(&seq)
+}
+
+/// A policy that accepts any finite-scored, non-empty prediction from
+/// the very first step: every radius is +∞, so `score - radius = -∞`.
+fn accept_everything(n_classes: usize) -> EarlyStopPolicy {
+    EarlyStopPolicy::new(
+        PerClassThresholds {
+            radii: vec![f32::INFINITY; n_classes],
+            fallback: f32::INFINITY,
+        },
+        0.0,
+        1,
+    )
+}
+
+/// A policy that can never accept: every radius is -∞, so the
+/// normalized score is +∞ at any finite score.
+fn reject_everything(n_classes: usize) -> EarlyStopPolicy {
+    EarlyStopPolicy::new(
+        PerClassThresholds {
+            radii: vec![f32::NEG_INFINITY; n_classes],
+            fallback: f32::NEG_INFINITY,
+        },
+        0.0,
+        1,
+    )
+}
+
+/// An empty prefix scores exactly like the batch path's answer for an
+/// empty capture (tensorize's single-zero-step convention), reports one
+/// tensor step, and never satisfies a policy with `min_steps > 1`.
+#[test]
+fn empty_prefix_matches_batch_on_empty_capture() {
+    let fp = tiny_adversary();
+    let client = Ipv4Addr::new(10, 0, 0, 1);
+    let expected = batch_answer(&fp, &Capture::new(client));
+
+    let n = fp.reference().n_classes();
+    let mut guarded = accept_everything(n);
+    guarded.min_steps = 2;
+
+    let mut session = fp.start_session(TensorConfig::wiki(), client);
+    let d = fp.decide_now(&mut session, Some(&guarded));
+    assert_eq!(d.prefix_steps, 1, "empty capture tensorizes to one step");
+    assert_eq!(d.scored.prediction.ranked, expected.prediction.ranked);
+    assert_eq!(d.scored.score.to_bits(), expected.score.to_bits());
+    assert!(
+        !d.accepted,
+        "min_steps=2 can never pass at the empty prefix"
+    );
+    assert!(session.early_decision().is_none());
+    assert_eq!(session.records_fed(), 0);
+
+    // Finishing the empty session also routes through the batch path.
+    let finished = fp.finish(session);
+    assert_eq!(finished.score.to_bits(), expected.score.to_bits());
+    assert_eq!(finished.prediction.ranked, expected.prediction.ranked);
+}
+
+/// A single-record prefix is bit-identical to the batch answer for a
+/// one-packet capture.
+#[test]
+fn single_record_prefix_matches_batch() {
+    let fp = tiny_adversary();
+    let capture = wiki_capture();
+    let first = capture.packets[0];
+
+    let mut one_packet = Capture::new(capture.client);
+    one_packet.push(first);
+    let expected = batch_answer(&fp, &one_packet);
+
+    let mut session = fp.start_session(TensorConfig::wiki(), capture.client);
+    fp.feed(&mut session, first);
+    let d = fp.decide_now(&mut session, None);
+    assert_eq!(session.records_fed(), 1);
+    assert_eq!(d.scored.prediction.ranked, expected.prediction.ranked);
+    assert_eq!(d.scored.prediction.votes, expected.prediction.votes);
+    assert_eq!(d.scored.score.to_bits(), expected.score.to_bits());
+    let finished = fp.finish(session);
+    assert_eq!(finished.score.to_bits(), expected.score.to_bits());
+}
+
+/// When every class's radius rejects, no prefix ever latches — but
+/// `decide_now` still reports the prefix's top label as its (tentative)
+/// decision, and the full-trace answer stays bit-identical to batch.
+#[test]
+fn all_classes_rejected_prefix_never_latches() {
+    let fp = tiny_adversary();
+    let capture = wiki_capture();
+    let policy = reject_everything(fp.reference().n_classes());
+
+    let mut session = fp.start_session(TensorConfig::wiki(), capture.client);
+    for chunk in capture.packets.chunks(5) {
+        fp.feed_chunk(&mut session, chunk);
+        let d = fp.decide_now(&mut session, Some(&policy));
+        assert!(!d.accepted, "reject-everything policy must never accept");
+        assert_eq!(
+            d.decision,
+            d.scored.prediction.top(),
+            "unlatched decisions track the prefix's top label"
+        );
+        assert!(d.decision.is_some(), "the store is non-empty");
+    }
+    assert!(session.early_decision().is_none());
+    let expected = batch_answer(&fp, &capture);
+    let finished = fp.finish(session);
+    assert_eq!(finished.score.to_bits(), expected.score.to_bits());
+    assert_eq!(finished.prediction.ranked, expected.prediction.ranked);
+}
+
+/// Non-finite prefix scores never accept — even under a policy that
+/// would accept anything. An emptied reference store yields +∞ scores
+/// and empty predictions (the same convention the calibration path
+/// uses to filter poisoned scores), and NaN radii poison the
+/// normalized score into a never-true comparison.
+#[test]
+fn non_finite_scores_never_accept() {
+    let capture = wiki_capture();
+
+    // Empty store: score is +∞, prediction empty.
+    let mut emptied = tiny_adversary();
+    let n = emptied.reference().n_classes();
+    for class in 0..n {
+        emptied.remove_class(class).expect("class id in range");
+    }
+    let policy = accept_everything(n);
+    let mut session = emptied.start_session(TensorConfig::wiki(), capture.client);
+    emptied.feed_chunk(&mut session, &capture.packets);
+    let d = emptied.decide_now(&mut session, Some(&policy));
+    assert!(d.scored.score.is_infinite(), "empty store scores +∞");
+    assert!(d.scored.prediction.ranked.is_empty());
+    assert_eq!(d.confidence, 0.0);
+    assert!(!d.accepted, "+∞ scores must never latch");
+    assert_eq!(d.decision, None);
+    assert!(session.early_decision().is_none());
+
+    // NaN radii: the normalized score is NaN, and NaN comparisons are
+    // false — the policy can never accept a finite score either.
+    let fp = tiny_adversary();
+    let nan_policy = EarlyStopPolicy::new(
+        PerClassThresholds {
+            radii: vec![f32::NAN; n],
+            fallback: f32::NAN,
+        },
+        0.0,
+        1,
+    );
+    let mut session = fp.start_session(TensorConfig::wiki(), capture.client);
+    fp.feed_chunk(&mut session, &capture.packets);
+    let d = fp.decide_now(&mut session, Some(&nan_policy));
+    assert!(d.scored.score.is_finite(), "intact store scores finitely");
+    assert!(!d.accepted, "NaN radii must never latch");
+    assert!(session.early_decision().is_none());
+}
+
+/// The monotone latch: once a policy accepts at some prefix, every
+/// later `decide_now` keeps reporting the same committed class — the
+/// decision never flips as more records arrive — and the latched
+/// `EarlyDecision` itself is frozen.
+#[test]
+fn accepted_decision_is_monotone_across_longer_prefixes() {
+    let fp = tiny_adversary();
+    let capture = wiki_capture();
+    let policy = accept_everything(fp.reference().n_classes());
+
+    let mut session = fp.start_session(TensorConfig::wiki(), capture.client);
+    let mut committed = None;
+    for chunk in capture.packets.chunks(3) {
+        fp.feed_chunk(&mut session, chunk);
+        let d = fp.decide_now(&mut session, Some(&policy));
+        assert!(d.accepted, "accept-everything latches at the first peek");
+        match committed {
+            None => {
+                committed = Some((
+                    d.decision.expect("accepted decisions carry a class"),
+                    *session.early_decision().expect("latch recorded"),
+                ));
+            }
+            Some((class, early)) => {
+                assert_eq!(d.decision, Some(class), "latched class must not flip");
+                assert_eq!(
+                    *session.early_decision().expect("latch persists"),
+                    early,
+                    "the latched EarlyDecision is frozen at first acceptance"
+                );
+            }
+        }
+    }
+    let (class, early) = committed.expect("trace has at least one chunk");
+    assert_eq!(early.class, class);
+    assert!(early.records <= session.records_fed());
+    // The latch never perturbs the settle path: finish still equals batch.
+    let expected = batch_answer(&fp, &capture);
+    let finished = fp.finish(session);
+    assert_eq!(finished.score.to_bits(), expected.score.to_bits());
+    assert_eq!(finished.prediction.ranked, expected.prediction.ranked);
+}

@@ -1,0 +1,196 @@
+//! The prefix-consistency battery: feeding a full trace through a
+//! [`StreamingSession`] — record by record or in arbitrary chunkings —
+//! is **bit-identical** (ranked labels, votes, score bits) to the
+//! batch serving path, across all five corpus profiles × query-worker
+//! counts {1, 4, 0} × shard counts {1, 4}.
+//!
+//! [`StreamingSession`]: tlsfp::core::StreamingSession
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use tlsfp::core::{AdaptiveFingerprinter, ScoredPrediction};
+use tlsfp::net::capture::Capture;
+use tlsfp::trace::sequence::IpSequences;
+use tlsfp::trace::tensorize::TensorConfig;
+use tlsfp::web::corpus::SyntheticCorpus;
+use tlsfp_testkit::{tiny_adversary, Profile, SEED};
+
+/// Two captures per profile (first two crawler outputs of a 3-class ×
+/// 2-visit corpus), cached per test process.
+fn profile_captures() -> &'static Vec<(Profile, Vec<Capture>)> {
+    static CELL: OnceLock<Vec<(Profile, Vec<Capture>)>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        Profile::ALL
+            .iter()
+            .map(|&profile| {
+                let corpus = SyntheticCorpus::generate(&profile.spec(3, 2), SEED)
+                    .expect("profile corpus generates");
+                let captures = corpus
+                    .traces
+                    .into_iter()
+                    .take(2)
+                    .map(|lc| lc.capture)
+                    .collect();
+                (profile, captures)
+            })
+            .collect()
+    })
+}
+
+/// An adversary clone at the given serving knobs.
+fn adversary_with(shards: usize, workers: usize) -> AdaptiveFingerprinter {
+    let mut fp = tiny_adversary();
+    fp.set_shards(shards);
+    fp.set_query_workers(workers);
+    fp
+}
+
+/// The batch path's answer for a capture.
+fn batch_answer(fp: &AdaptiveFingerprinter, capture: &Capture) -> ScoredPrediction {
+    let seq = TensorConfig::wiki().tensorize(&IpSequences::extract(capture));
+    fp.fingerprint_with_score(&seq)
+}
+
+fn assert_bit_identical(a: &ScoredPrediction, b: &ScoredPrediction, context: &str) {
+    assert_eq!(
+        a.prediction.ranked, b.prediction.ranked,
+        "{context}: ranked"
+    );
+    assert_eq!(a.prediction.votes, b.prediction.votes, "{context}: votes");
+    assert_eq!(
+        a.score.to_bits(),
+        b.score.to_bits(),
+        "{context}: score bits ({} vs {})",
+        a.score,
+        b.score
+    );
+}
+
+/// Record-by-record streaming at the full prefix is bit-identical to
+/// the batch path — and to `finish` — for every profile, worker count
+/// and shard count. This is the tier-1 pin of the tentpole's
+/// determinism contract.
+#[test]
+fn record_by_record_full_prefix_matches_batch_everywhere() {
+    for &(profile, ref captures) in profile_captures() {
+        for &shards in &[1usize, 4] {
+            for &workers in &[1usize, 4, 0] {
+                let fp = adversary_with(shards, workers);
+                for (i, capture) in captures.iter().enumerate() {
+                    let context = format!("{} s={shards} w={workers} trace {i}", profile.name());
+                    let expected = batch_answer(&fp, capture);
+
+                    let mut session = fp.start_session(TensorConfig::wiki(), capture.client);
+                    for &packet in &capture.packets {
+                        fp.feed(&mut session, packet);
+                    }
+                    let decision = fp.decide_now(&mut session, None);
+                    assert_bit_identical(&decision.scored, &expected, &context);
+                    let finished = fp.finish(session);
+                    assert_bit_identical(&finished, &expected, &context);
+                }
+            }
+        }
+    }
+}
+
+/// `finish_all` (the batched settle path) equals `fingerprint_with_score`
+/// per trace for every profile at the matrix corners.
+#[test]
+fn finish_all_matches_batch_per_trace() {
+    for &shards in &[1usize, 4] {
+        for &workers in &[1usize, 4, 0] {
+            let fp = adversary_with(shards, workers);
+            let mut sessions = Vec::new();
+            let mut expected = Vec::new();
+            for (_, captures) in profile_captures() {
+                for capture in captures {
+                    expected.push(batch_answer(&fp, capture));
+                    let mut session = fp.start_session(TensorConfig::wiki(), capture.client);
+                    fp.feed_chunk(&mut session, &capture.packets);
+                    sessions.push(session);
+                }
+            }
+            let finished = fp.finish_all(sessions);
+            assert_eq!(finished.len(), expected.len());
+            for (i, (got, want)) in finished.iter().zip(&expected).enumerate() {
+                assert_bit_identical(got, want, &format!("s={shards} w={workers} trace {i}"));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Chunking invariance: an arbitrary split of the record stream
+    /// across `feed_chunk` calls reaches the same state — decisions at
+    /// the full prefix are bit-identical to the batch path — at
+    /// randomly drawn matrix corners.
+    #[test]
+    fn random_chunkings_are_bit_identical_to_batch(
+        profile_idx in 0usize..5,
+        trace_idx in 0usize..2,
+        shards in prop::sample::select(vec![1usize, 4]),
+        workers in prop::sample::select(vec![1usize, 4, 0]),
+        cuts in proptest::collection::vec(0usize..512, 0..6),
+    ) {
+        let (profile, captures) = &profile_captures()[profile_idx];
+        let capture = &captures[trace_idx];
+        let fp = adversary_with(shards, workers);
+        let expected = batch_answer(&fp, capture);
+
+        // Turn the random cut points into chunk boundaries.
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (capture.packets.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(capture.packets.len());
+        bounds.sort_unstable();
+
+        let mut session = fp.start_session(TensorConfig::wiki(), capture.client);
+        for pair in bounds.windows(2) {
+            fp.feed_chunk(&mut session, &capture.packets[pair[0]..pair[1]]);
+        }
+        let decision = fp.decide_now(&mut session, None);
+        let context = format!("{} s={} w={} chunks={:?}", profile.name(), shards, workers, bounds);
+        prop_assert_eq!(&decision.scored.prediction.ranked, &expected.prediction.ranked, "{}: ranked", &context);
+        prop_assert_eq!(&decision.scored.prediction.votes, &expected.prediction.votes, "{}: votes", &context);
+        prop_assert_eq!(decision.scored.score.to_bits(), expected.score.to_bits(), "{}: score bits", &context);
+        let finished = fp.finish(session);
+        prop_assert_eq!(finished.score.to_bits(), expected.score.to_bits(), "{}: finish score", &context);
+        prop_assert_eq!(&finished.prediction.ranked, &expected.prediction.ranked, "{}: finish ranked", &context);
+    }
+
+    /// Mid-trace prefix decisions are themselves chunking-invariant:
+    /// two sessions fed the same prefix through different chunkings
+    /// agree bit-for-bit at that prefix.
+    #[test]
+    fn prefix_decisions_are_chunking_invariant(
+        profile_idx in 0usize..5,
+        prefix_frac in 0.0f64..1.0,
+        cut in 0usize..512,
+    ) {
+        let (profile, captures) = &profile_captures()[profile_idx];
+        let capture = &captures[0];
+        let fp = tiny_adversary();
+        let n = ((capture.packets.len() as f64) * prefix_frac) as usize;
+        let prefix = &capture.packets[..n];
+
+        let mut one = fp.start_session(TensorConfig::wiki(), capture.client);
+        for &p in prefix {
+            fp.feed(&mut one, p);
+        }
+        let mut two = fp.start_session(TensorConfig::wiki(), capture.client);
+        let mid = if n == 0 { 0 } else { cut % (n + 1) };
+        fp.feed_chunk(&mut two, &prefix[..mid]);
+        fp.feed_chunk(&mut two, &prefix[mid..]);
+
+        let a = fp.decide_now(&mut one, None);
+        let b = fp.decide_now(&mut two, None);
+        let context = format!("{} prefix {}/{} cut {}", profile.name(), n, capture.packets.len(), mid);
+        prop_assert_eq!(&a.scored.prediction.ranked, &b.scored.prediction.ranked, "{}: ranked", &context);
+        prop_assert_eq!(a.scored.score.to_bits(), b.scored.score.to_bits(), "{}: score", &context);
+        prop_assert_eq!(a.prefix_steps, b.prefix_steps, "{}: steps", &context);
+    }
+}

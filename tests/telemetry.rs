@@ -276,6 +276,142 @@ fn sharded_counters_agree_between_one_and_four_shards() {
     assert!(blocks.count > 0, "no blocked-scan blocks observed");
 }
 
+/// Streaming fixtures for the telemetry on/off comparisons: the cached
+/// adversary, a calibrated early-stop policy, and two real captures.
+/// Built *before* taking the flag lock, like the batch-path fixture.
+fn streaming_fixture() -> (
+    tlsfp::core::AdaptiveFingerprinter,
+    tlsfp::core::EarlyStopPolicy,
+    Vec<tlsfp::net::capture::Capture>,
+) {
+    let fp = tlsfp_testkit::tiny_adversary();
+    let (_, test) = tlsfp_testkit::tiny_split();
+    let radii = fp
+        .calibrate_rejection_radii(&test, 90.0, 2)
+        .expect("calibration on non-empty test split");
+    let policy = tlsfp::core::EarlyStopPolicy::new(radii, 0.0, 2);
+    let captures = tlsfp::web::corpus::SyntheticCorpus::generate(
+        &tlsfp_testkit::Profile::Wiki.spec(3, 2),
+        tlsfp_testkit::SEED,
+    )
+    .expect("wiki corpus generates")
+    .traces
+    .into_iter()
+    .take(2)
+    .map(|lc| lc.capture)
+    .collect();
+    (fp, policy, captures)
+}
+
+/// The tentpole's observability pin: the whole streaming path — prefix
+/// decisions, early-stop latches, score bits, finish — is bit-identical
+/// with telemetry on and off, at query workers 1, 4 and 0 (auto). The
+/// new time/fraction histograms must never perturb a decision.
+#[test]
+fn streaming_decisions_bit_identical_with_telemetry_on_and_off() {
+    use tlsfp::trace::tensorize::TensorConfig;
+
+    let (fp, policy, captures) = streaming_fixture();
+
+    let _guard = FlagGuard::acquire();
+    let mut outcomes = Vec::new();
+    for telemetry_on in [true, false] {
+        tlsfp::telemetry::set_enabled(telemetry_on);
+        for workers in [1usize, 4, 0] {
+            let mut fp_w = fp.clone();
+            fp_w.set_query_workers(workers);
+            let mut trail = Vec::new();
+            for capture in &captures {
+                let mut session = fp_w.start_session(TensorConfig::wiki(), capture.client);
+                for chunk in capture.packets.chunks(4) {
+                    fp_w.feed_chunk(&mut session, chunk);
+                    let d = fp_w.decide_now(&mut session, Some(&policy));
+                    trail.push((
+                        d.scored.prediction.ranked.clone(),
+                        d.scored.score.to_bits(),
+                        d.prefix_steps,
+                        d.accepted,
+                        d.decision,
+                    ));
+                }
+                let early = session
+                    .early_decision()
+                    .map(|e| (e.class, e.prefix_steps, e.records, e.score.to_bits()));
+                let finished = fp_w.finish(session);
+                trail.push((
+                    finished.prediction.ranked.clone(),
+                    finished.score.to_bits(),
+                    early.map_or(0, |e| e.1),
+                    early.is_some(),
+                    early.map(|e| e.0),
+                ));
+            }
+            outcomes.push((telemetry_on, workers, trail));
+        }
+    }
+    let baseline = &outcomes[0].2;
+    for (on, workers, trail) in &outcomes[1..] {
+        assert_eq!(
+            trail, baseline,
+            "telemetry={on} workers={workers}: streaming outcomes changed"
+        );
+    }
+}
+
+/// The two streaming metrics land in the registry when recording is on
+/// — time-to-decision for both latched and never-latched sessions, and
+/// the consumed-prefix fraction in permille — and nothing lands when
+/// recording is off.
+#[test]
+fn streaming_metrics_record_only_when_enabled() {
+    use tlsfp::trace::tensorize::TensorConfig;
+
+    let (fp, policy, captures) = streaming_fixture();
+    let run = |fp: &tlsfp::core::AdaptiveFingerprinter, with_policy: bool| {
+        for capture in &captures {
+            let mut session = fp.start_session(TensorConfig::wiki(), capture.client);
+            fp.feed_chunk(&mut session, &capture.packets);
+            fp.decide_now(&mut session, with_policy.then_some(&policy));
+            fp.finish(session);
+        }
+    };
+
+    let _guard = FlagGuard::acquire();
+    tlsfp::telemetry::set_enabled(true);
+    tlsfp::telemetry::reset();
+    run(&fp, true); // may latch (records time at the latch)
+    run(&fp, false); // never latches (records time at finish)
+    let snap = tlsfp::telemetry::global().snapshot();
+    let ttd = snap
+        .histogram("tlsfp_time_to_decision_ns", &[])
+        .expect("time-to-decision histogram recorded");
+    assert_eq!(
+        ttd.count,
+        2 * captures.len() as u64,
+        "one time-to-decision observation per session"
+    );
+    let frac = snap
+        .histogram("tlsfp_prefix_fraction", &[])
+        .expect("prefix-fraction histogram recorded");
+    assert_eq!(
+        frac.count,
+        2 * captures.len() as u64,
+        "one prefix-fraction observation per finished session"
+    );
+
+    tlsfp::telemetry::set_enabled(false);
+    tlsfp::telemetry::reset();
+    run(&fp, true);
+    run(&fp, false);
+    let snap = tlsfp::telemetry::global().snapshot();
+    if let Some(h) = snap.histogram("tlsfp_time_to_decision_ns", &[]) {
+        assert_eq!(h.count, 0, "time-to-decision recorded while disabled");
+    }
+    if let Some(h) = snap.histogram("tlsfp_prefix_fraction", &[]) {
+        assert_eq!(h.count, 0, "prefix fraction recorded while disabled");
+    }
+}
+
 /// With recording off, the serving path still works but nothing lands
 /// in the registry — values stay wherever they were (here: zero, after
 /// a reset).
